@@ -1,0 +1,81 @@
+//! Criterion: CGRA toolchain and executor performance.
+//!
+//! Two claims are quantified:
+//! * the "reconfiguration in seconds" workflow — C source → DFG →
+//!   schedule → context memories must be interactive, not hours of
+//!   synthesis;
+//! * the cycle-accurate executor's iteration rate (relevant for how fast
+//!   the *simulated* CGRA runs inside our HIL, not for the FPGA itself).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cil_cgra::context::ContextMemories;
+use cil_cgra::exec::{CgraExecutor, MapBus};
+use cil_cgra::frontend::compile;
+use cil_cgra::grid::GridConfig;
+use cil_cgra::kernels::{beam_kernel_source, build_beam_kernel, KernelParams};
+use cil_cgra::sched::ListScheduler;
+
+fn bench_toolchain(c: &mut Criterion) {
+    let params = KernelParams::mde_default();
+    let mut g = c.benchmark_group("cgra_toolchain");
+
+    let source = beam_kernel_source(&params, 8, true);
+    g.bench_function("compile_c_source_8bunch", |b| {
+        b.iter(|| black_box(compile(&source).unwrap()));
+    });
+
+    let kernel = build_beam_kernel(&params, 8, true);
+    let sched = ListScheduler::new(GridConfig::mesh_5x5());
+    g.bench_function("schedule_8bunch_5x5", |b| {
+        b.iter(|| black_box(sched.schedule(&kernel.kernel.dfg)));
+    });
+
+    let schedule = sched.schedule(&kernel.kernel.dfg);
+    g.bench_function("context_pack_unpack", |b| {
+        let ctx = ContextMemories::from_schedule(&kernel.kernel.dfg, &schedule);
+        b.iter(|| {
+            let img = ctx.pack();
+            black_box(ContextMemories::unpack(&img).unwrap())
+        });
+    });
+
+    g.bench_function("full_toolchain_source_to_contexts", |b| {
+        b.iter(|| {
+            let k = build_beam_kernel(&params, 8, true);
+            let s = sched.schedule(&k.kernel.dfg);
+            black_box(ContextMemories::from_schedule(&k.kernel.dfg, &s).pack())
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let params = KernelParams::mde_default();
+    let mut g = c.benchmark_group("cgra_executor");
+    g.throughput(Throughput::Elements(1));
+
+    for bunches in [1usize, 8] {
+        let kernel = build_beam_kernel(&params, bunches, true);
+        let schedule = ListScheduler::new(GridConfig::mesh_5x5()).schedule(&kernel.kernel.dfg);
+        let mut ex = CgraExecutor::new(kernel.kernel.dfg.clone(), schedule);
+        for &(r, v) in &kernel.kernel.reg_inits {
+            ex.set_reg(r, v);
+        }
+        let mut bus = MapBus::default();
+        bus.sensors.insert(0, 1.25e-6);
+        bus.sensors.insert(1, 0.01);
+        bus.sensors.insert(2, 0.02);
+        g.bench_function(format!("iteration_{bunches}bunch"), |b| {
+            b.iter(|| {
+                bus.writes.clear();
+                black_box(ex.run_iteration(&mut bus, &[]))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_toolchain, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion: multi-particle reference tracker throughput and thread
+//! scaling.
+//!
+//! The paper cites ESME/LONG1D/BLonD-class codes as "far from the
+//! real-time requirements" (Section II); this bench puts a number on it:
+//! particle-turns/s for realistic ensemble sizes, sequential vs parallel.
+//! For real time, a 10⁴-particle bunch at 800 kHz would need 8 × 10⁹
+//! particle-turns/s.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cil_physics::distribution::BunchSpec;
+use cil_physics::machine::{MachineParams, OperatingPoint};
+use cil_physics::synchrotron::SynchrotronCalc;
+use cil_physics::IonSpecies;
+use cil_reftrack::ensemble::Ensemble;
+use cil_reftrack::tracker::{MultiParticleTracker, TrackerConfig};
+
+fn mde_op() -> OperatingPoint {
+    let m = MachineParams::sis18();
+    let ion = IonSpecies::n14_7plus();
+    let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+    OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let op = mde_op();
+    let mut g = c.benchmark_group("reftrack");
+
+    for &n in &[1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let ensemble = Ensemble::matched(&BunchSpec::gaussian(15e-9), n, &op, 7).unwrap();
+
+        g.bench_with_input(BenchmarkId::new("turn_seq", n), &n, |b, _| {
+            let mut tr = MultiParticleTracker::new(
+                op,
+                ensemble.clone(),
+                TrackerConfig { threads: 1, min_chunk: 1 << 30 },
+            );
+            b.iter(|| {
+                tr.step(0.0);
+                black_box(tr.ensemble.dt[0])
+            });
+        });
+
+        let threads = std::thread::available_parallelism().map_or(4, |v| v.get());
+        g.bench_with_input(BenchmarkId::new(format!("turn_par_{threads}t"), n), &n, |b, _| {
+            let mut tr = MultiParticleTracker::new(
+                op,
+                ensemble.clone(),
+                TrackerConfig { threads, min_chunk: 4096 },
+            );
+            b.iter(|| {
+                tr.step(0.0);
+                black_box(tr.ensemble.dt[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracker);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: turn-level tracking throughput against the real-time bar.
+//!
+//! The paper's hard requirement: one model update per revolution, with
+//! revolution frequencies up to ≈1.4 MHz (SIS18) — i.e. ≥1.4 M updates/s.
+//! These benches measure what the two-particle map and the closed-loop
+//! turn-level executive achieve on a general-purpose CPU, the baseline the
+//! paper rejected for jitter (Section I) — note that meeting the *average*
+//! rate here says nothing about worst-case jitter (see `jitter_table`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cil_core::control::{BeamPhaseController, ControllerParams};
+use cil_physics::machine::{MachineParams, OperatingPoint};
+use cil_physics::synchrotron::SynchrotronCalc;
+use cil_physics::tracking::{ExactMap, TwoParticleMap};
+use cil_physics::IonSpecies;
+
+fn mde_op() -> OperatingPoint {
+    let m = MachineParams::sis18();
+    let ion = IonSpecies::n14_7plus();
+    let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+    OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
+}
+
+fn bench_two_particle_map(c: &mut Criterion) {
+    let op = mde_op();
+    let mut g = c.benchmark_group("turn_level");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("two_particle_map_step", |b| {
+        let mut map = TwoParticleMap::at_operating_point(&op);
+        map.particle.dt = 5e-9;
+        b.iter(|| black_box(map.step_stationary(op.v_gap_volts, 0.0)));
+    });
+
+    g.bench_function("exact_map_step", |b| {
+        let mut map = ExactMap::from_linear(&TwoParticleMap::at_operating_point(&op));
+        map.dt = 5e-9;
+        b.iter(|| black_box(map.step_stationary(op.v_gap_volts, 0.0)));
+    });
+
+    g.bench_function("map_step_plus_controller", |b| {
+        let mut map = TwoParticleMap::at_operating_point(&op);
+        map.particle.dt = 5e-9;
+        let mut ctrl = BeamPhaseController::new(ControllerParams::evaluation_default(), 800e3);
+        let mut phase = 0.0f64;
+        b.iter(|| {
+            let dt = map.step_stationary(op.v_gap_volts, phase);
+            let deg = dt * op.f_rf() * 360.0;
+            if let Some(u) = ctrl.push_measurement(deg) {
+                phase += u * 1e-8;
+            }
+            black_box(dt)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_two_particle_map);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Ablation A8 — phase-measurement instrument: pulse-centroid timing vs
+//! IQ demodulation.
+//!
+//! The paper's DSP "captures the phase difference between the beam signal
+//! … and the reference signal" without specifying the method; the GSI
+//! instrument of ref. [8] IQ-demodulates at the RF harmonic. Both are run
+//! here on the *same* signal-level beam, comparing their noise floor
+//! (driven by the 4 ns pulse-trigger grid) and their tracking of the
+//! synchrotron oscillation.
+
+use cil_bench::{write_csv, Table};
+use cil_core::framework::SimulatorFramework;
+use cil_core::scenario::MdeScenario;
+use cil_core::signalgen::{PhaseJumpProgram, SignalBench};
+use cil_dsp::iq::IqDemodulator;
+use cil_dsp::phase_detector::PhaseDetector;
+use std::fmt::Write as _;
+
+struct Measured {
+    fs_hz: f64,
+    amp_deg: f64,
+    noise_rms_deg: f64,
+}
+
+/// Unwrap a ±180°-wrapped phase series into a continuous one.
+fn unwrap(trace: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(trace.len());
+    let mut offset = 0.0;
+    for (i, &x) in trace.iter().enumerate() {
+        if i > 0 {
+            let prev = trace[i - 1];
+            if x - prev > 180.0 {
+                offset -= 360.0;
+            } else if x - prev < -180.0 {
+                offset += 360.0;
+            }
+        }
+        out.push(x + offset);
+    }
+    out
+}
+
+fn stats(trace: &[f64], f_rev: f64) -> Measured {
+    let (f_norm, amp) =
+        cil_dsp::spectrum::dominant_frequency(trace, 800.0 / f_rev, 2000.0 / f_rev);
+    // Noise: residual after removing mean and the dominant tone.
+    let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+    let tau = std::f64::consts::TAU * f_norm;
+    let (a_fit, ph_fit) = {
+        let (mut re, mut im) = (0.0, 0.0);
+        for (i, &x) in trace.iter().enumerate() {
+            re += (x - mean) * (tau * i as f64).cos();
+            im -= (x - mean) * (tau * i as f64).sin();
+        }
+        let n = trace.len() as f64;
+        (2.0 * (re * re + im * im).sqrt() / n, im.atan2(re))
+    };
+    let mut resid = 0.0;
+    for (i, &x) in trace.iter().enumerate() {
+        let model = mean + a_fit * (tau * i as f64 + ph_fit).cos();
+        resid += (x - model) * (x - model);
+    }
+    Measured {
+        fs_hz: f_norm * f_rev,
+        amp_deg: amp,
+        noise_rms_deg: (resid / trace.len() as f64).sqrt(),
+    }
+}
+
+fn main() {
+    let mut s = MdeScenario::nov24_2023();
+    s.bunches = 1;
+    s.pipelined = false;
+    let f_rf = s.f_rev * f64::from(s.harmonic());
+    let mut fw = SimulatorFramework::new(s.framework_config(), s.kernel_params());
+    let mut bench = SignalBench::new(
+        250e6,
+        s.f_rev,
+        s.harmonic(),
+        s.adc_amplitude,
+        s.adc_amplitude,
+        PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 10.0, path_latency_s: 0.0 },
+    );
+    let period_samples = 250e6 / s.f_rev;
+    let mut centroid = PhaseDetector::new(0.2, f64::from(s.harmonic()), period_samples);
+    // The reference DDS is undisturbed and clock-locked, so the beam's
+    // absolute IQ phase against the demodulator's internal LO (same clock)
+    // is the beam-vs-reference phase up to a constant offset — exactly how
+    // a clock-synchronous DSP measures it.
+    let mut iq = IqDemodulator::new(f_rf, 250e6, 30e3);
+
+    // Initialise, displace the bunch by 8 degrees, then measure 6 ms with
+    // both instruments on the same streams.
+    for _ in 0..(50e-6 * 250e6) as usize {
+        let (r, g) = bench.tick();
+        let out = fw.push_sample(r, g);
+        centroid.push(r, out.beam);
+        iq.push(out.beam);
+    }
+    fw.set_kernel_static("dt_0", 8.0 / 360.0 / f_rf);
+    let mut trace_centroid = Vec::new();
+    let mut trace_iq = Vec::new();
+    let mut iq_decim = 0u32;
+    for _ in 0..(6e-3 * 250e6) as usize {
+        let (r, g) = bench.tick();
+        let out = fw.push_sample(r, g);
+        if let Some(m) = centroid.push(r, out.beam) {
+            trace_centroid.push(m.phase_deg);
+        }
+        if let Some(d) = iq.push(out.beam) {
+            // Decimate the continuous IQ output to the revolution rate.
+            iq_decim += 1;
+            if iq_decim as f64 >= period_samples {
+                iq_decim = 0;
+                trace_iq.push(d);
+            }
+        }
+    }
+
+    let mc = stats(&unwrap(&trace_centroid), s.f_rev);
+    let mi = stats(&unwrap(&trace_iq), s.f_rev);
+    println!("Ablation A8 — centroid vs IQ phase measurement (signal level,");
+    println!("8 deg displaced bunch, 6 ms, both instruments on the same beam)\n");
+    let mut t = Table::new(&["instrument", "fs [Hz]", "oscillation amp [deg]", "noise RMS [deg]"]);
+    let mut csv = String::from("instrument,fs_hz,amp_deg,noise_rms_deg\n");
+    for (name, m) in [("pulse centroid", &mc), ("IQ demodulation", &mi)] {
+        t.row(&[
+            name.into(),
+            format!("{:.1}", m.fs_hz),
+            format!("{:.2}", m.amp_deg),
+            format!("{:.3}", m.noise_rms_deg),
+        ]);
+        writeln!(csv, "{name},{:.2},{:.3},{:.4}", m.fs_hz, m.amp_deg, m.noise_rms_deg).unwrap();
+    }
+    t.print();
+    println!("\nreading: both instruments agree on fs and amplitude; the IQ");
+    println!("meter averages over many RF cycles and is insensitive to the");
+    println!("4 ns trigger grid, so its noise floor is lower — the reason the");
+    println!("production GSI DSP demodulates instead of timing pulse edges.");
+    let path = write_csv("ablation_detector.csv", &csv);
+    println!("\ndata -> {}", path.display());
+}

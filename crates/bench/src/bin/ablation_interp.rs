@@ -1,0 +1,87 @@
+//! Ablation A1 — the Section IV-B linear interpolation.
+//!
+//! Two views: (a) raw reconstruction error of the interpolation policies on
+//! the two input sines; (b) end-to-end effect on the simulated synchrotron
+//! frequency and phase-trace noise when the kernel's second buffer read is
+//! removed (nearest-sample addressing instead of two reads + lerp).
+
+use cil_bench::{write_csv, Table};
+use cil_core::framework::SimulatorFramework;
+use cil_core::scenario::MdeScenario;
+use cil_core::signalgen::{PhaseJumpProgram, SignalBench};
+use cil_dsp::interp::Interpolation;
+use std::fmt::Write as _;
+
+fn end_to_end(interpolate: bool) -> (f64, f64) {
+    let mut s = MdeScenario::nov24_2023();
+    s.bunches = 1;
+    s.pipelined = false;
+    let mut cfg = s.framework_config();
+    cfg.interpolate = interpolate;
+    let mut fw = SimulatorFramework::new(cfg, s.kernel_params());
+    let mut bench = SignalBench::new(
+        250e6,
+        s.f_rev,
+        s.harmonic(),
+        s.adc_amplitude,
+        s.adc_amplitude,
+        PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 10.0, path_latency_s: 0.0 },
+    );
+    for _ in 0..(50e-6 * 250e6) as usize {
+        let (r, g) = bench.tick();
+        fw.push_sample(r, g);
+    }
+    let dt0 = 8.0 / 360.0 / (s.f_rev * f64::from(s.harmonic()));
+    fw.set_kernel_static("dt_0", dt0);
+    fw.records.clear();
+    for _ in 0..(5e-3 * 250e6) as usize {
+        let (r, g) = bench.tick();
+        fw.push_sample(r, g);
+    }
+    let trace: Vec<f64> = fw.records.iter().map(|r| r.dt[0]).collect();
+    let (f_norm, amp) =
+        cil_dsp::spectrum::dominant_frequency(&trace, 800.0 / s.f_rev, 2000.0 / s.f_rev);
+    (f_norm * s.f_rev, amp)
+}
+
+fn main() {
+    println!("Ablation A1 — linear interpolation of the buffer reads\n");
+
+    // (a) Raw reconstruction error per policy and signal.
+    let mut t = Table::new(&["policy", "ref sine (312.5 smp/period)", "gap sine (78.1 smp/period)"]);
+    let mut csv = String::from("policy,err_ref,err_gap\n");
+    for (name, p) in [
+        ("nearest", Interpolation::NearestNeighbor),
+        ("linear (paper)", Interpolation::Linear),
+        ("catmull-rom", Interpolation::CatmullRom),
+    ] {
+        let e_ref = p.sine_error(312.5);
+        let e_gap = p.sine_error(78.125);
+        t.row(&[name.into(), format!("{e_ref:.2e}"), format!("{e_gap:.2e}")]);
+        writeln!(csv, "{name},{e_ref:.3e},{e_gap:.3e}").unwrap();
+    }
+    t.print();
+
+    // (b) End-to-end.
+    println!("\nend-to-end (signal-level, 5 ms, 8 deg displaced bunch):\n");
+    let (fs_with, amp_with) = end_to_end(true);
+    let (fs_without, amp_without) = end_to_end(false);
+    let mut t2 = Table::new(&["kernel", "measured fs [Hz]", "fs error vs 1280", "amplitude [ns]"]);
+    for (name, fs, amp) in [
+        ("two reads + lerp (paper)", fs_with, amp_with),
+        ("single nearest read", fs_without, amp_without),
+    ] {
+        t2.row(&[
+            name.into(),
+            format!("{fs:.1}"),
+            format!("{:+.2}%", (fs - 1280.0) / 1280.0 * 100.0),
+            format!("{:.2}", amp * 1e9),
+        ]);
+    }
+    t2.print();
+    println!("\nconclusion: interpolation keeps the sampled-voltage error");
+    println!("orders of magnitude below the ADC floor; without it the gap");
+    println!("sampling quantises to 4 ns and the loop picks up extra noise.");
+    let path = write_csv("ablation_interp.csv", &csv);
+    println!("\ndata -> {}", path.display());
+}

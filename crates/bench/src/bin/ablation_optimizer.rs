@@ -1,0 +1,68 @@
+//! Ablation A9 — compiler middle-end.
+//!
+//! The paper compiles the C model straight into SCAR and schedules it. How
+//! much headroom does a classic optimiser (constant folding + CSE + DCE)
+//! buy on the same kernels, in nodes and in schedule ticks (i.e. maximum
+//! real-time revolution frequency)?
+
+use cil_bench::{write_csv, Table};
+use cil_cgra::grid::GridConfig;
+use cil_cgra::kernels::{build_beam_kernel, KernelParams};
+use cil_cgra::optimize::optimize;
+use cil_cgra::sched::ListScheduler;
+use cil_core::scenario::MdeScenario;
+use std::fmt::Write as _;
+
+fn main() {
+    let params: KernelParams = MdeScenario::nov24_2023().kernel_params();
+    let sched = ListScheduler::new(GridConfig::mesh_5x5());
+    let f_clk = 111e6;
+
+    println!("Ablation A9 — DFG optimiser (fold + CSE + DCE) on the beam kernels\n");
+    let mut t = Table::new(&[
+        "kernel",
+        "nodes",
+        "nodes (opt)",
+        "ticks",
+        "ticks (opt)",
+        "f_max MHz",
+        "f_max MHz (opt)",
+    ]);
+    let mut csv =
+        String::from("kernel,nodes,nodes_opt,ticks,ticks_opt,fmax_mhz,fmax_opt_mhz\n");
+    for (bunches, pipelined) in [(1usize, true), (4, true), (8, true), (8, false)] {
+        let bk = build_beam_kernel(&params, bunches, pipelined);
+        let (opt, stats) = optimize(&bk.kernel.dfg);
+        let before = sched.schedule(&bk.kernel.dfg);
+        let after = sched.schedule(&opt);
+        after.validate(&opt).expect("optimised schedule valid");
+        let label = format!("{bunches}b{}", if pipelined { "/pipe" } else { "" });
+        t.row(&[
+            label.clone(),
+            stats.nodes_before.to_string(),
+            stats.nodes_after.to_string(),
+            before.makespan.to_string(),
+            after.makespan.to_string(),
+            format!("{:.3}", before.max_revolution_frequency(f_clk) / 1e6),
+            format!("{:.3}", after.max_revolution_frequency(f_clk) / 1e6),
+        ]);
+        writeln!(
+            csv,
+            "{label},{},{},{},{},{:.4},{:.4}",
+            stats.nodes_before,
+            stats.nodes_after,
+            before.makespan,
+            after.makespan,
+            before.max_revolution_frequency(f_clk) / 1e6,
+            after.max_revolution_frequency(f_clk) / 1e6
+        )
+        .unwrap();
+    }
+    t.print();
+    println!("\nreading: CSE removes the duplicated per-bunch scale constants");
+    println!("and interpolation terms (fewer nodes = less issue pressure);");
+    println!("the critical path barely moves, so the tick gains are modest —");
+    println!("consistent with the kernel being latency-bound (ablation A4).");
+    let path = write_csv("ablation_optimizer.csv", &csv);
+    println!("\ndata -> {}", path.display());
+}

@@ -1,0 +1,72 @@
+//! Ablation A2 — the period-length detector's averaging window.
+//!
+//! "The measured frequency is averaged over the past four periods to reduce
+//! jitter" (Section III-B). Sweeps the window over 1/2/4/8/16 periods with
+//! ADC noise applied and reports the RMS error of the period estimate and
+//! the lock delay (the kernel waits for a full window before initialising).
+
+use cil_bench::{write_csv, Table};
+use cil_dsp::period::PeriodLengthDetector;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn measure(window: usize, noise_rms: f64, seed: u64) -> (f64, usize) {
+    let fs = 250e6;
+    let f = 800e3;
+    let true_period = fs / f;
+    let mut det = PeriodLengthDetector::new(window, 0.1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errs = Vec::new();
+    let mut lock_samples = None;
+    for i in 0..2_000_000 {
+        let v = (std::f64::consts::TAU * f * i as f64 / fs).sin() + noise_rms * gauss(&mut rng);
+        if let Some(p) = det.push(v) {
+            if det.warmed_up() {
+                if lock_samples.is_none() {
+                    lock_samples = Some(i);
+                }
+                errs.push(p - true_period);
+            }
+        }
+    }
+    let rms = (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+    (rms, lock_samples.unwrap_or(usize::MAX))
+}
+
+fn main() {
+    println!("Ablation A2 — period-average window vs frequency-estimate jitter");
+    println!("(800 kHz reference, 250 MS/s, 2% RMS additive noise)\n");
+    let mut t = Table::new(&[
+        "window [periods]",
+        "period RMS error [samples]",
+        "freq RMS error [Hz]",
+        "lock delay [us]",
+    ]);
+    let mut csv = String::from("window,period_rms_samples,freq_rms_hz,lock_delay_us\n");
+    for window in [1usize, 2, 4, 8, 16] {
+        let (rms, lock) = measure(window, 0.02, 42);
+        // df/f = -dp/p -> df = f * rms/period.
+        let df = 800e3 * rms / 312.5;
+        let label = if window == 4 { "4 (paper)".to_string() } else { window.to_string() };
+        t.row(&[
+            label,
+            format!("{rms:.4}"),
+            format!("{df:.1}"),
+            format!("{:.1}", lock as f64 / 250.0),
+        ]);
+        writeln!(csv, "{window},{rms:.5},{df:.2},{:.2}", lock as f64 / 250.0).unwrap();
+    }
+    t.print();
+    println!("\ntrade-off: wider windows cut jitter ~ 1/sqrt(N) but delay the");
+    println!("initial lock and the response to ramp-driven frequency changes.");
+    let path = write_csv("ablation_period_avg.csv", &csv);
+    println!("\ndata -> {}", path.display());
+}

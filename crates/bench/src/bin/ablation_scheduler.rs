@@ -1,0 +1,62 @@
+//! Ablation A7 — scheduler priority heuristics.
+//!
+//! The paper calls its scheduler "a customised resource-constrained list
+//! scheduler" without quantifying the customisation. This ablation compares
+//! three ready-list priorities on the beam kernels: critical-path height
+//! (our default), least-mobility (ALAP−ASAP slack), and naive source order.
+
+use cil_bench::{write_csv, Table};
+use cil_cgra::grid::GridConfig;
+use cil_cgra::kernels::{build_beam_kernel, KernelParams};
+use cil_cgra::route::route;
+use cil_cgra::sched::{ListScheduler, SchedulerPolicy};
+use cil_core::scenario::MdeScenario;
+use std::fmt::Write as _;
+
+fn main() {
+    let params: KernelParams = MdeScenario::nov24_2023().kernel_params();
+    let grid = GridConfig::mesh_5x5();
+    println!("Ablation A7 — list-scheduler priority policies (5x5 mesh)\n");
+
+    let mut t = Table::new(&[
+        "kernel",
+        "policy",
+        "ticks",
+        "vs critical-path",
+        "routed transfers",
+        "max link occupancy",
+    ]);
+    let mut csv = String::from("kernel,policy,ticks,transfers,max_occupancy\n");
+    for (bunches, pipelined) in [(1usize, true), (8, true), (8, false)] {
+        let bk = build_beam_kernel(&params, bunches, pipelined);
+        let baseline = ListScheduler::with_policy(grid, SchedulerPolicy::CriticalPath)
+            .schedule(&bk.kernel.dfg)
+            .makespan;
+        for policy in [
+            SchedulerPolicy::CriticalPath,
+            SchedulerPolicy::Mobility,
+            SchedulerPolicy::SourceOrder,
+        ] {
+            let s = ListScheduler::with_policy(grid, policy).schedule(&bk.kernel.dfg);
+            s.validate(&bk.kernel.dfg).expect("valid");
+            let r = route(&bk.kernel.dfg, &s);
+            let label = format!("{bunches}b{}", if pipelined { "/pipe" } else { "" });
+            t.row(&[
+                label.clone(),
+                format!("{policy:?}"),
+                s.makespan.to_string(),
+                format!("{:+.1}%", (s.makespan as f64 / baseline as f64 - 1.0) * 100.0),
+                r.routed_transfers.to_string(),
+                r.max_link_occupancy.to_string(),
+            ]);
+            writeln!(csv, "{label},{policy:?},{},{},{}", s.makespan, r.routed_transfers, r.max_link_occupancy).unwrap();
+        }
+    }
+    t.print();
+    println!("\nreading: on this latency-bound kernel the informed priorities");
+    println!("(critical-path, mobility) track each other closely; naive source");
+    println!("order pays a measurable penalty — the customisation the paper's");
+    println!("scheduler needs is mostly 'respect the critical path'.");
+    let path = write_csv("ablation_scheduler.csv", &csv);
+    println!("\ndata -> {}", path.display());
+}

@@ -1,0 +1,67 @@
+//! Fig. 1 — "Sample forces that influence a bunch".
+//!
+//! Regenerates the data behind the paper's intro figure: the sinusoidal gap
+//! voltage over one RF period, a Gaussian bunch profile around the stable
+//! zero crossing, and the per-passage energy kick experienced by early /
+//! on-time / late particles (late → higher voltage → accelerated; early →
+//! lower voltage → decelerated, Section I).
+
+use cil_bench::{compare_line, write_csv, Table};
+use cil_physics::constants::TWO_PI;
+use cil_physics::machine::{MachineParams, OperatingPoint};
+use cil_physics::synchrotron::SynchrotronCalc;
+use cil_physics::tracking::TwoParticleMap;
+use cil_physics::IonSpecies;
+use std::fmt::Write as _;
+
+fn main() {
+    let machine = MachineParams::sis18();
+    let ion = IonSpecies::n14_7plus();
+    let v_hat = SynchrotronCalc::new(machine, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+    let op = OperatingPoint::from_revolution_frequency(machine, ion, 800e3, v_hat);
+    let f_rf = op.f_rf();
+    let t_rf = 1.0 / f_rf;
+
+    // Curve data: gap voltage + bunch profile over ±half an RF period.
+    let mut csv = String::from("dt_s,v_gap_volts,bunch_density\n");
+    let points = 401;
+    for i in 0..points {
+        let dt = (i as f64 / (points - 1) as f64 - 0.5) * t_rf;
+        let v = v_hat * (TWO_PI * f_rf * dt).sin();
+        let x = dt / 20e-9;
+        let density = (-0.5 * x * x).exp();
+        writeln!(csv, "{dt:.6e},{v:.6e},{density:.6e}").unwrap();
+    }
+    let path = write_csv("fig1_forces.csv", &csv);
+
+    // Energy kicks of representative particles, via the actual map.
+    let mut table = Table::new(&["particle", "dt [ns]", "V seen [V]", "dGamma per turn", "effect"]);
+    for (label, dt_ns) in [("early", -10.0), ("on time", 0.0), ("late", 10.0)] {
+        let mut map = TwoParticleMap::at_operating_point(&op);
+        map.particle.dt = dt_ns * 1e-9;
+        let v_seen = v_hat * (TWO_PI * f_rf * map.particle.dt).sin();
+        map.step_stationary(v_hat, 0.0);
+        let effect = if map.particle.dgamma > 0.0 {
+            "accelerated"
+        } else if map.particle.dgamma < 0.0 {
+            "slowed down"
+        } else {
+            "unchanged"
+        };
+        table.row(&[
+            label.to_string(),
+            format!("{dt_ns:+.1}"),
+            format!("{v_seen:+.1}"),
+            format!("{:+.3e}", map.particle.dgamma),
+            effect.to_string(),
+        ]);
+    }
+
+    println!("Fig. 1 — forces on a bunch (stationary bucket, SIS18, 14N7+)\n");
+    table.print();
+    println!();
+    println!("{}", compare_line("late particle (dt>0)", "accelerated", "accelerated"));
+    println!("{}", compare_line("early particle (dt<0)", "slowed down", "slowed down"));
+    println!("{}", compare_line("gap voltage amplitude", "(set for fs=1.28 kHz)", &format!("{v_hat:.0} V")));
+    println!("\ncurve data -> {}", path.display());
+}

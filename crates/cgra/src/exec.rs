@@ -1,0 +1,361 @@
+//! Cycle-accurate CGRA executor.
+//!
+//! Replays the context memories cycle by cycle against a [`SensorBus`] (the
+//! SensorAccess module of Section III-C). Values, register state and sensor
+//! traffic are modelled exactly; the executor is the component the HIL
+//! framework (`cil-core`) drives once per revolution.
+//!
+//! Correctness is anchored two ways: `Schedule::validate` proves the timing
+//! is feasible, and [`interpret_dfg`] provides an order-independent
+//! reference evaluation the executor is differentially tested against.
+
+use crate::context::ContextMemories;
+use crate::dfg::{Dfg, NodeId};
+use crate::isa::OpKind;
+use crate::sched::Schedule;
+
+/// The SensorAccess module interface: "a SensorAccess module was implemented
+/// to act as memory. This allows the simulation model to both read input
+/// signal data and set the output timing for the next Gauss pulse."
+pub trait SensorBus {
+    /// Read sensor `port` at address `addr` (meaning is port-specific, e.g.
+    /// "samples before the last zero crossing" for ring-buffer ports).
+    fn read(&mut self, port: u16, addr: f64) -> f64;
+    /// Write `value` to actuator `port`.
+    fn write(&mut self, port: u16, value: f64);
+}
+
+/// A sensor bus for tests: fixed scalar per port, records writes.
+#[derive(Debug, Default, Clone)]
+pub struct MapBus {
+    /// Values served per sensor port (addr is ignored).
+    pub sensors: std::collections::BTreeMap<u16, f64>,
+    /// All writes observed, in order.
+    pub writes: Vec<(u16, f64)>,
+}
+
+impl SensorBus for MapBus {
+    fn read(&mut self, port: u16, _addr: f64) -> f64 {
+        *self.sensors.get(&port).unwrap_or(&0.0)
+    }
+    fn write(&mut self, port: u16, value: f64) {
+        self.writes.push((port, value));
+    }
+}
+
+/// Executor state: configured contexts + loop-carried register file.
+#[derive(Debug, Clone)]
+pub struct CgraExecutor {
+    dfg: Dfg,
+    schedule: Schedule,
+    contexts: ContextMemories,
+    /// Loop-carried registers (double-buffered: reads see last iteration).
+    regs_current: Vec<f64>,
+    regs_next: Vec<f64>,
+    /// Scratch node-value store reused across iterations.
+    values: Vec<f64>,
+    /// Execution order: node ids sorted by (start cycle, pe).
+    order: Vec<NodeId>,
+    /// Iterations executed.
+    iterations: u64,
+}
+
+impl CgraExecutor {
+    /// Configure an executor from a DFG + its schedule. Initial register
+    /// values default to zero; use [`Self::set_reg`] for kernel `static`
+    /// initialisers.
+    pub fn new(dfg: Dfg, schedule: Schedule) -> Self {
+        schedule
+            .validate(&dfg)
+            .expect("schedule must be valid for its DFG");
+        let contexts = ContextMemories::from_schedule(&dfg, &schedule);
+        let mut order: Vec<NodeId> = dfg.nodes().map(|(id, _)| id).collect();
+        order.sort_by_key(|&id| {
+            let p = schedule.placement(id);
+            (p.start, p.pe.0)
+        });
+        let regs = vec![0.0; dfg.reg_count() as usize];
+        let values = vec![0.0; dfg.len()];
+        Self {
+            dfg,
+            schedule,
+            contexts,
+            regs_current: regs.clone(),
+            regs_next: regs,
+            values,
+            order,
+            iterations: 0,
+        }
+    }
+
+    /// Set a loop-carried register (kernel `static float x = init;`).
+    pub fn set_reg(&mut self, reg: u16, value: f64) {
+        self.regs_current[reg as usize] = value;
+        self.regs_next[reg as usize] = value;
+    }
+
+    /// Read a loop-carried register.
+    pub fn reg(&self, reg: u16) -> f64 {
+        self.regs_current[reg as usize]
+    }
+
+    /// Execute one kernel iteration ("one revolution"): every context slot
+    /// fires at its cycle; sensor reads/writes hit `bus`; register writes
+    /// become visible to the *next* iteration. `inputs[i]` feeds
+    /// `OpKind::Input(i)`. Returns the values written to `Output` ports.
+    pub fn run_iteration<B: SensorBus>(&mut self, bus: &mut B, inputs: &[f64]) -> Vec<(u16, f64)> {
+        let mut outputs = Vec::new();
+        for &id in &self.order {
+            let node = self.dfg.node(id);
+            let v = match node.op {
+                OpKind::Input(p) => *inputs
+                    .get(p as usize)
+                    .unwrap_or_else(|| panic!("missing input port {p}")),
+                OpKind::Output(p) => {
+                    let v = self.values[node.operands[0].0 as usize];
+                    outputs.push((p, v));
+                    v
+                }
+                OpKind::SensorRead(p) => {
+                    let addr = self.values[node.operands[0].0 as usize];
+                    bus.read(p, addr)
+                }
+                OpKind::ActuatorWrite(p) => {
+                    let v = self.values[node.operands[0].0 as usize];
+                    bus.write(p, v);
+                    v
+                }
+                OpKind::RegRead(r) => self.regs_current[r as usize],
+                OpKind::RegWrite(r) => {
+                    let v = self.values[node.operands[0].0 as usize];
+                    self.regs_next[r as usize] = v;
+                    v
+                }
+                ref pure => {
+                    // Gather operands without allocating.
+                    let mut args = [0.0f64; 3];
+                    for (i, &o) in node.operands.iter().enumerate() {
+                        args[i] = self.values[o.0 as usize];
+                    }
+                    pure.eval_pure(&args[..node.operands.len()])
+                        .expect("pure op")
+                }
+            };
+            self.values[id.0 as usize] = v;
+        }
+        // Commit loop-carried registers.
+        self.regs_current.copy_from_slice(&self.regs_next);
+        self.iterations += 1;
+        outputs
+    }
+
+    /// Warm-up for pipelined kernels: the stage-bridging registers start at
+    /// zero, so the first iteration's second half computes garbage (up to
+    /// NaN via division by zero). This mirrors the paper's initialisation
+    /// phase (Section IV-B): run one iteration to fill the bridges, then
+    /// restore the architectural state registers to their initial values.
+    pub fn warmup<B: SensorBus>(
+        &mut self,
+        bus: &mut B,
+        inputs: &[f64],
+        restore: &[(u16, f64)],
+    ) {
+        self.run_iteration(bus, inputs);
+        for &(r, v) in restore {
+            self.set_reg(r, v);
+        }
+        self.iterations = 0;
+    }
+
+    /// Schedule length in CGRA ticks — the time one iteration occupies.
+    pub fn ticks_per_iteration(&self) -> u32 {
+        self.schedule.makespan
+    }
+
+    /// Wall-clock duration of one iteration at CGRA clock `f_clk`.
+    pub fn iteration_seconds(&self, f_clk: f64) -> f64 {
+        f64::from(self.schedule.makespan) / f_clk
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// The configured context memories (the bitstream-patch artifact).
+    pub fn contexts(&self) -> &ContextMemories {
+        &self.contexts
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The underlying DFG.
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+}
+
+/// Reference interpretation of a DFG for one iteration: definition order
+/// (operands always precede users), same register/bus semantics. The
+/// executor must agree with this exactly.
+pub fn interpret_dfg<B: SensorBus>(
+    dfg: &Dfg,
+    regs: &mut [f64],
+    bus: &mut B,
+    inputs: &[f64],
+) -> Vec<(u16, f64)> {
+    let mut values = vec![0.0f64; dfg.len()];
+    let mut outputs = Vec::new();
+    let mut regs_next = regs.to_vec();
+    for (id, node) in dfg.nodes() {
+        let v = match node.op {
+            OpKind::Input(p) => inputs[p as usize],
+            OpKind::Output(p) => {
+                let v = values[node.operands[0].0 as usize];
+                outputs.push((p, v));
+                v
+            }
+            OpKind::SensorRead(p) => {
+                let addr = values[node.operands[0].0 as usize];
+                bus.read(p, addr)
+            }
+            OpKind::ActuatorWrite(p) => {
+                let v = values[node.operands[0].0 as usize];
+                bus.write(p, v);
+                v
+            }
+            OpKind::RegRead(r) => regs[r as usize],
+            OpKind::RegWrite(r) => {
+                let v = values[node.operands[0].0 as usize];
+                regs_next[r as usize] = v;
+                v
+            }
+            ref pure => {
+                let args: Vec<f64> =
+                    node.operands.iter().map(|&o| values[o.0 as usize]).collect();
+                pure.eval_pure(&args).expect("pure op")
+            }
+        };
+        values[id.0 as usize] = v;
+    }
+    regs.copy_from_slice(&regs_next);
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridConfig;
+    use crate::sched::ListScheduler;
+
+    /// y = sqrt(sensor(0)) * 2 ; actuator(0) <- y ; state += y
+    fn kernel() -> Dfg {
+        let mut g = Dfg::new();
+        let zero = g.konst(0.0);
+        let s = g.add(OpKind::SensorRead(0), &[zero]);
+        let r = g.add(OpKind::Sqrt, &[s]);
+        let two = g.konst(2.0);
+        let y = g.add(OpKind::Mul, &[r, two]);
+        g.add(OpKind::ActuatorWrite(0), &[y]);
+        let acc = g.add(OpKind::RegRead(0), &[]);
+        let acc2 = g.add(OpKind::Add, &[acc, y]);
+        g.add(OpKind::RegWrite(0), &[acc2]);
+        g.add(OpKind::Output(0), &[acc2]);
+        g
+    }
+
+    fn executor() -> CgraExecutor {
+        let g = kernel();
+        let s = ListScheduler::new(GridConfig::mesh_3x3()).schedule(&g);
+        CgraExecutor::new(g, s)
+    }
+
+    #[test]
+    fn single_iteration_value() {
+        let mut ex = executor();
+        let mut bus = MapBus::default();
+        bus.sensors.insert(0, 9.0);
+        let out = ex.run_iteration(&mut bus, &[]);
+        // sqrt(9)*2 = 6; accumulator = 6.
+        assert_eq!(out, vec![(0, 6.0)]);
+        assert_eq!(bus.writes, vec![(0, 6.0)]);
+    }
+
+    #[test]
+    fn registers_carry_across_iterations() {
+        let mut ex = executor();
+        let mut bus = MapBus::default();
+        bus.sensors.insert(0, 4.0);
+        for expected in [4.0, 8.0, 12.0] {
+            let out = ex.run_iteration(&mut bus, &[]);
+            assert_eq!(out[0].1, expected, "accumulator grows by 4 per turn");
+        }
+        assert_eq!(ex.iterations(), 3);
+    }
+
+    #[test]
+    fn set_reg_initialises_state() {
+        let mut ex = executor();
+        ex.set_reg(0, 100.0);
+        let mut bus = MapBus::default();
+        bus.sensors.insert(0, 1.0);
+        let out = ex.run_iteration(&mut bus, &[]);
+        assert_eq!(out[0].1, 102.0);
+    }
+
+    #[test]
+    fn executor_matches_interpreter() {
+        // Differential test over several iterations and varying sensors.
+        let g = kernel();
+        let s = ListScheduler::new(GridConfig::mesh_5x5()).schedule(&g);
+        let mut ex = CgraExecutor::new(g.clone(), s);
+        let mut regs = vec![0.0f64; g.reg_count() as usize];
+        for i in 0..10 {
+            let mut bus_a = MapBus::default();
+            let mut bus_b = MapBus::default();
+            let sensor_val = (i as f64 + 1.0) * 1.7;
+            bus_a.sensors.insert(0, sensor_val);
+            bus_b.sensors.insert(0, sensor_val);
+            let out_a = ex.run_iteration(&mut bus_a, &[]);
+            let out_b = interpret_dfg(&g, &mut regs, &mut bus_b, &[]);
+            assert_eq!(out_a, out_b, "iteration {i}");
+            assert_eq!(bus_a.writes, bus_b.writes);
+        }
+    }
+
+    #[test]
+    fn inputs_feed_input_nodes() {
+        let mut g = Dfg::new();
+        let a = g.add(OpKind::Input(0), &[]);
+        let b = g.add(OpKind::Input(1), &[]);
+        let s = g.add(OpKind::Add, &[a, b]);
+        g.add(OpKind::Output(0), &[s]);
+        let sch = ListScheduler::new(GridConfig::mesh_3x3()).schedule(&g);
+        let mut ex = CgraExecutor::new(g, sch);
+        let out = ex.run_iteration(&mut MapBus::default(), &[3.0, 4.0]);
+        assert_eq!(out, vec![(0, 7.0)]);
+    }
+
+    #[test]
+    fn iteration_timing_from_schedule() {
+        let ex = executor();
+        let ticks = ex.ticks_per_iteration();
+        assert!(ticks > 0);
+        let dt = ex.iteration_seconds(111e6);
+        assert!((dt - f64::from(ticks) / 111e6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing input port")]
+    fn missing_input_panics() {
+        let mut g = Dfg::new();
+        let a = g.add(OpKind::Input(0), &[]);
+        g.add(OpKind::Output(0), &[a]);
+        let sch = ListScheduler::new(GridConfig::mesh_3x3()).schedule(&g);
+        let mut ex = CgraExecutor::new(g, sch);
+        ex.run_iteration(&mut MapBus::default(), &[]);
+    }
+}

@@ -1,0 +1,762 @@
+//! C-subset frontend (Section III-C): "Programming of the CGRA is done
+//! using the C programming language. A code parser converts the program into
+//! a SCAR control and data flow graph format."
+//!
+//! The accepted subset is exactly what the beam-model kernel needs:
+//!
+//! ```c
+//! static float gamma_r = 1.2258f;      // loop-carried state
+//! static float dt = 0.0f;
+//!
+//! for (;;) {                            // the per-revolution main loop
+//!     float t = read_sensor(0, 0.0f);   // SensorAccess read
+//!     float b = sqrtf(1.0f - 1.0f / (gamma_r * gamma_r));
+//!     pipeline_stage();                 // manual factor-2 loop pipelining
+//!     dt = dt + t * b;                  // assignment to statics carries
+//!     write_actuator(0, dt);            // SensorAccess write
+//! }
+//! ```
+//!
+//! Supported: `float` locals, assignment, `+ - * /`, unary `-`, parentheses,
+//! `< <=` comparisons, calls `sqrtf fabsf floorf fminf fmaxf select
+//! read_sensor write_actuator pipeline_stage output`, float literals with
+//! optional `f` suffix. The parser is a classic recursive-descent with
+//! precedence climbing; codegen is direct SSA into [`Dfg`].
+
+use crate::dfg::{Dfg, NodeId};
+use crate::isa::OpKind;
+use std::collections::HashMap;
+
+/// A compiled kernel: the DFG plus the initial values of the loop-carried
+/// registers that `static` initialisers demand.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The dataflow graph of one loop iteration.
+    pub dfg: Dfg,
+    /// `(register, initial value)` pairs from `static float x = init;`.
+    pub reg_inits: Vec<(u16, f64)>,
+    /// Static variable name → register index (for tests/inspection).
+    pub statics: Vec<(String, u16)>,
+}
+
+/// Parse error with line/column context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Compile a kernel source into a [`Kernel`].
+pub fn compile(source: &str) -> Result<Kernel, ParseError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Punct(&'static str),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Token {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let (mut line, mut col) = (1usize, 1usize);
+    let err = |m: &str, line: usize, col: usize| ParseError {
+        message: m.to_string(),
+        line,
+        col,
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            col += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= bytes.len() {
+                return Err(err("unterminated block comment", line, col));
+            }
+            i += 2;
+            col += 2;
+            continue;
+        }
+        let (tline, tcol) = (line, col);
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+                col += 1;
+            }
+            let s: String = bytes[start..i].iter().collect();
+            out.push(Token { tok: Tok::Ident(s), line: tline, col: tcol });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && matches!(bytes[i - 1], 'e' | 'E')))
+            {
+                i += 1;
+                col += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            // Optional f/F suffix.
+            if i < bytes.len() && (bytes[i] == 'f' || bytes[i] == 'F') {
+                i += 1;
+                col += 1;
+            }
+            let v: f64 = text
+                .parse()
+                .map_err(|_| err(&format!("bad number literal '{text}'"), tline, tcol))?;
+            out.push(Token { tok: Tok::Number(v), line: tline, col: tcol });
+            continue;
+        }
+        // Punctuation (two-char first).
+        if c == '<' && i + 1 < bytes.len() && bytes[i + 1] == '=' {
+            out.push(Token { tok: Tok::Punct("<="), line: tline, col: tcol });
+            i += 2;
+            col += 2;
+            continue;
+        }
+        let punct: Option<&'static str> = match c {
+            '(' => Some("("),
+            ')' => Some(")"),
+            '{' => Some("{"),
+            '}' => Some("}"),
+            ';' => Some(";"),
+            ',' => Some(","),
+            '=' => Some("="),
+            '+' => Some("+"),
+            '-' => Some("-"),
+            '*' => Some("*"),
+            '/' => Some("/"),
+            '<' => Some("<"),
+            _ => None,
+        };
+        match punct {
+            Some(p) => {
+                out.push(Token { tok: Tok::Punct(p), line: tline, col: tcol });
+                i += 1;
+                col += 1;
+            }
+            None => return Err(err(&format!("unexpected character '{c}'"), tline, tcol)),
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+struct LoopCtx {
+    dfg: Dfg,
+    /// current SSA value of every visible name.
+    env: HashMap<String, NodeId>,
+    /// static name -> register.
+    statics: HashMap<String, u16>,
+    /// statics assigned in the loop (need a RegWrite), with assignment stage.
+    dirty: HashMap<String, u8>,
+    /// memoised RegRead per (static, stage). Per-stage memoisation is what
+    /// keeps a static's update recurrence inside one pipeline stage (II = 1)
+    /// while other stages see the previous iteration's value — the paper's
+    /// "results … are assigned to new variables" trick.
+    reads: HashMap<(String, u8), NodeId>,
+    stage: u8,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn error_here(&self, msg: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError { message: msg.to_string(), line: t.line, col: t.col },
+            None => ParseError { message: format!("{msg} (at end of input)"), line: 0, col: 0 },
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token { tok: Tok::Punct(q), .. }) if *q == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error_here(&format!("expected '{p}'"))),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token { tok: Tok::Punct(q), .. }) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token { tok: Tok::Ident(s), .. }) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error_here("expected identifier")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token { tok: Tok::Ident(s), .. }) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error_here(&format!("expected '{kw}'"))),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_number(&mut self) -> Result<f64, ParseError> {
+        let neg = self.try_punct("-");
+        match self.peek() {
+            Some(Token { tok: Tok::Number(v), .. }) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(if neg { -v } else { v })
+            }
+            _ => Err(self.error_here("expected number")),
+        }
+    }
+
+    fn eat_int(&mut self) -> Result<u16, ParseError> {
+        let v = self.eat_number()?;
+        if v < 0.0 || v.fract() != 0.0 || v > f64::from(u16::MAX) {
+            return Err(self.error_here("expected small non-negative integer"));
+        }
+        Ok(v as u16)
+    }
+
+    fn program(&mut self) -> Result<Kernel, ParseError> {
+        let mut ctx = LoopCtx {
+            dfg: Dfg::new(),
+            env: HashMap::new(),
+            statics: HashMap::new(),
+            dirty: HashMap::new(),
+            reads: HashMap::new(),
+            stage: 0,
+        };
+        let mut reg_inits = Vec::new();
+        let mut saw_loop = false;
+
+        while self.peek().is_some() {
+            if self.try_keyword("static") {
+                self.eat_keyword("float")?;
+                let name = self.eat_ident()?;
+                let mut init = 0.0;
+                if self.try_punct("=") {
+                    init = self.eat_number()?;
+                }
+                self.eat_punct(";")?;
+                if ctx.statics.contains_key(&name) {
+                    return Err(self.error_here(&format!("duplicate static '{name}'")));
+                }
+                let reg = ctx.dfg.alloc_reg();
+                ctx.statics.insert(name, reg);
+                reg_inits.push((reg, init));
+            } else if self.try_keyword("for") {
+                if saw_loop {
+                    return Err(self.error_here("only one main loop is allowed"));
+                }
+                saw_loop = true;
+                self.eat_punct("(")?;
+                self.eat_punct(";")?;
+                self.eat_punct(";")?;
+                self.eat_punct(")")?;
+                self.eat_punct("{")?;
+                while !self.try_punct("}") {
+                    if self.peek().is_none() {
+                        return Err(self.error_here("unterminated loop body"));
+                    }
+                    self.statement(&mut ctx)?;
+                }
+            } else {
+                return Err(self.error_here("expected 'static' declaration or 'for (;;)' loop"));
+            }
+        }
+        if !saw_loop {
+            return Err(ParseError {
+                message: "kernel has no 'for (;;)' main loop".into(),
+                line: 0,
+                col: 0,
+            });
+        }
+
+        // Emit RegWrites for statics assigned in the loop.
+        let mut dirty: Vec<(String, u8)> = ctx.dirty.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        dirty.sort();
+        for (name, stage) in dirty {
+            let reg = ctx.statics[&name];
+            let val = ctx.env[&name];
+            ctx.dfg.add_staged(OpKind::RegWrite(reg), &[val], stage);
+        }
+
+        let mut statics: Vec<(String, u16)> = ctx.statics.into_iter().collect();
+        statics.sort();
+        Ok(Kernel { dfg: ctx.dfg, reg_inits, statics })
+    }
+
+    fn statement(&mut self, ctx: &mut LoopCtx) -> Result<(), ParseError> {
+        if self.try_keyword("float") {
+            let name = self.eat_ident()?;
+            self.eat_punct("=")?;
+            let v = self.expr(ctx)?;
+            self.eat_punct(";")?;
+            if ctx.statics.contains_key(&name) {
+                return Err(self.error_here(&format!("'{name}' shadows a static")));
+            }
+            ctx.env.insert(name, v);
+            return Ok(());
+        }
+        if self.try_keyword("write_actuator") {
+            self.eat_punct("(")?;
+            let port = self.eat_int()?;
+            self.eat_punct(",")?;
+            let v = self.expr(ctx)?;
+            self.eat_punct(")")?;
+            self.eat_punct(";")?;
+            let stage = ctx.stage;
+            ctx.dfg.add_staged(OpKind::ActuatorWrite(port), &[v], stage);
+            return Ok(());
+        }
+        if self.try_keyword("output") {
+            self.eat_punct("(")?;
+            let port = self.eat_int()?;
+            self.eat_punct(",")?;
+            let v = self.expr(ctx)?;
+            self.eat_punct(")")?;
+            self.eat_punct(";")?;
+            let stage = ctx.stage;
+            ctx.dfg.add_staged(OpKind::Output(port), &[v], stage);
+            return Ok(());
+        }
+        if self.try_keyword("pipeline_stage") {
+            self.eat_punct("(")?;
+            self.eat_punct(")")?;
+            self.eat_punct(";")?;
+            if ctx.stage >= 1 {
+                return Err(self.error_here("only factor-2 pipelining is supported"));
+            }
+            ctx.stage = 1;
+            return Ok(());
+        }
+        // Assignment: ident = expr ;
+        let name = self.eat_ident()?;
+        self.eat_punct("=")?;
+        let v = self.expr(ctx)?;
+        self.eat_punct(";")?;
+        if ctx.statics.contains_key(&name) {
+            ctx.dirty.insert(name.clone(), ctx.stage);
+            ctx.env.insert(name, v);
+        } else if ctx.env.contains_key(&name) {
+            ctx.env.insert(name, v);
+        } else {
+            return Err(self.error_here(&format!("assignment to undeclared '{name}'")));
+        }
+        Ok(())
+    }
+
+    // Precedence: cmp < addsub < muldiv < unary < primary.
+    fn expr(&mut self, ctx: &mut LoopCtx) -> Result<NodeId, ParseError> {
+        let lhs = self.addsub(ctx)?;
+        if self.try_punct("<=") {
+            let rhs = self.addsub(ctx)?;
+            let stage = ctx.stage;
+            return Ok(ctx.dfg.add_staged(OpKind::CmpLe, &[lhs, rhs], stage));
+        }
+        if self.try_punct("<") {
+            let rhs = self.addsub(ctx)?;
+            let stage = ctx.stage;
+            return Ok(ctx.dfg.add_staged(OpKind::CmpLt, &[lhs, rhs], stage));
+        }
+        Ok(lhs)
+    }
+
+    fn addsub(&mut self, ctx: &mut LoopCtx) -> Result<NodeId, ParseError> {
+        let mut lhs = self.muldiv(ctx)?;
+        loop {
+            if self.try_punct("+") {
+                let rhs = self.muldiv(ctx)?;
+                let stage = ctx.stage;
+                lhs = ctx.dfg.add_staged(OpKind::Add, &[lhs, rhs], stage);
+            } else if self.try_punct("-") {
+                let rhs = self.muldiv(ctx)?;
+                let stage = ctx.stage;
+                lhs = ctx.dfg.add_staged(OpKind::Sub, &[lhs, rhs], stage);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn muldiv(&mut self, ctx: &mut LoopCtx) -> Result<NodeId, ParseError> {
+        let mut lhs = self.unary(ctx)?;
+        loop {
+            if self.try_punct("*") {
+                let rhs = self.unary(ctx)?;
+                let stage = ctx.stage;
+                lhs = ctx.dfg.add_staged(OpKind::Mul, &[lhs, rhs], stage);
+            } else if self.try_punct("/") {
+                let rhs = self.unary(ctx)?;
+                let stage = ctx.stage;
+                lhs = ctx.dfg.add_staged(OpKind::Div, &[lhs, rhs], stage);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self, ctx: &mut LoopCtx) -> Result<NodeId, ParseError> {
+        if self.try_punct("-") {
+            let v = self.unary(ctx)?;
+            let stage = ctx.stage;
+            return Ok(ctx.dfg.add_staged(OpKind::Neg, &[v], stage));
+        }
+        self.primary(ctx)
+    }
+
+    fn primary(&mut self, ctx: &mut LoopCtx) -> Result<NodeId, ParseError> {
+        if self.try_punct("(") {
+            let v = self.expr(ctx)?;
+            self.eat_punct(")")?;
+            return Ok(v);
+        }
+        match self.peek().cloned() {
+            Some(Token { tok: Tok::Number(v), .. }) => {
+                self.pos += 1;
+                let stage = ctx.stage;
+                Ok(ctx.dfg.add_staged(OpKind::Const(v), &[], stage))
+            }
+            Some(Token { tok: Tok::Ident(name), .. }) => {
+                self.pos += 1;
+                // Call?
+                if self.try_punct("(") {
+                    return self.call(ctx, &name);
+                }
+                // Variable.
+                if let Some(&v) = ctx.env.get(&name) {
+                    return Ok(v);
+                }
+                if let Some(&reg) = ctx.statics.get(&name) {
+                    let stage = ctx.stage;
+                    let key = (name.clone(), stage);
+                    let id = match ctx.reads.get(&key) {
+                        Some(&id) => id,
+                        None => {
+                            let id = ctx.dfg.add_staged(OpKind::RegRead(reg), &[], stage);
+                            ctx.reads.insert(key, id);
+                            id
+                        }
+                    };
+                    // Deliberately NOT cached in env: a later read in another
+                    // stage must get its own RegRead so stage-crossing only
+                    // happens through explicit assignments.
+                    return Ok(id);
+                }
+                Err(self.error_here(&format!("unknown identifier '{name}'")))
+            }
+            _ => Err(self.error_here("expected expression")),
+        }
+    }
+
+    fn call(&mut self, ctx: &mut LoopCtx, name: &str) -> Result<NodeId, ParseError> {
+        let stage = ctx.stage;
+        let node = match name {
+            "sqrtf" | "sqrt" => {
+                let a = self.expr(ctx)?;
+                ctx.dfg.add_staged(OpKind::Sqrt, &[a], stage)
+            }
+            "fabsf" | "fabs" => {
+                let a = self.expr(ctx)?;
+                ctx.dfg.add_staged(OpKind::Abs, &[a], stage)
+            }
+            "floorf" | "floor" => {
+                let a = self.expr(ctx)?;
+                ctx.dfg.add_staged(OpKind::Floor, &[a], stage)
+            }
+            "fminf" | "fmin" => {
+                let a = self.expr(ctx)?;
+                self.eat_punct(",")?;
+                let b = self.expr(ctx)?;
+                ctx.dfg.add_staged(OpKind::Min, &[a, b], stage)
+            }
+            "fmaxf" | "fmax" => {
+                let a = self.expr(ctx)?;
+                self.eat_punct(",")?;
+                let b = self.expr(ctx)?;
+                ctx.dfg.add_staged(OpKind::Max, &[a, b], stage)
+            }
+            "select" => {
+                let c = self.expr(ctx)?;
+                self.eat_punct(",")?;
+                let a = self.expr(ctx)?;
+                self.eat_punct(",")?;
+                let b = self.expr(ctx)?;
+                ctx.dfg.add_staged(OpKind::Select, &[c, a, b], stage)
+            }
+            "read_sensor" => {
+                let port = self.eat_int()?;
+                self.eat_punct(",")?;
+                let addr = self.expr(ctx)?;
+                ctx.dfg.add_staged(OpKind::SensorRead(port), &[addr], stage)
+            }
+            other => return Err(self.error_here(&format!("unknown function '{other}'"))),
+        };
+        self.eat_punct(")")?;
+        Ok(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{interpret_dfg, MapBus};
+
+    #[test]
+    fn minimal_kernel_compiles() {
+        let k = compile(
+            "static float x = 1.5f;\n\
+             for (;;) { x = x + 1.0f; write_actuator(0, x); }",
+        )
+        .unwrap();
+        assert_eq!(k.reg_inits, vec![(0, 1.5)]);
+        assert_eq!(k.statics, vec![("x".to_string(), 0)]);
+        assert!(k.dfg.len() >= 4);
+    }
+
+    #[test]
+    fn compiled_kernel_executes_correctly() {
+        let k = compile(
+            "static float acc = 0.0f;\n\
+             for (;;) {\n\
+               float v = read_sensor(3, 0.0f);\n\
+               acc = acc + sqrtf(v) * 2.0f;\n\
+               write_actuator(1, acc);\n\
+             }",
+        )
+        .unwrap();
+        let mut regs = vec![0.0f64; k.dfg.reg_count() as usize];
+        for (r, v) in &k.reg_inits {
+            regs[*r as usize] = *v;
+        }
+        let mut bus = MapBus::default();
+        bus.sensors.insert(3, 16.0);
+        interpret_dfg(&k.dfg, &mut regs, &mut bus, &[]);
+        interpret_dfg(&k.dfg, &mut regs, &mut bus, &[]);
+        // acc = 8 then 16.
+        assert_eq!(bus.writes, vec![(1, 8.0), (1, 16.0)]);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let k = compile(
+            "for (;;) { float y = 2.0f + 3.0f * 4.0f - (1.0f + 1.0f) / 2.0f; output(0, y); }",
+        )
+        .unwrap();
+        let mut regs = vec![];
+        let out = interpret_dfg(&k.dfg, &mut regs, &mut MapBus::default(), &[]);
+        assert_eq!(out, vec![(0, 13.0)]);
+    }
+
+    #[test]
+    fn unary_minus_and_comparison() {
+        let k = compile(
+            "for (;;) { float y = select(1.0f < 2.0f, -3.0f, 4.0f); output(0, y); }",
+        )
+        .unwrap();
+        let out = interpret_dfg(&k.dfg, &mut [], &mut MapBus::default(), &[]);
+        assert_eq!(out, vec![(0, -3.0)]);
+    }
+
+    #[test]
+    fn math_builtins() {
+        let k = compile(
+            "for (;;) { output(0, fminf(floorf(2.9f), fabsf(-5.0f))); output(1, fmaxf(1.0f, 2.0f)); }",
+        )
+        .unwrap();
+        let out = interpret_dfg(&k.dfg, &mut [], &mut MapBus::default(), &[]);
+        assert_eq!(out, vec![(0, 2.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn pipeline_stage_tags_nodes() {
+        let k = compile(
+            "static float s = 0.0f;\n\
+             for (;;) {\n\
+               float a = read_sensor(0, 0.0f);\n\
+               pipeline_stage();\n\
+               s = s + a;\n\
+               write_actuator(0, s);\n\
+             }",
+        )
+        .unwrap();
+        let stages: Vec<u8> = k.dfg.nodes().map(|(_, n)| n.stage).collect();
+        assert!(stages.contains(&0));
+        assert!(stages.contains(&1));
+        // The split graph must validate the stage separation.
+        let split = k.dfg.pipeline_split();
+        for (_, n) in split.nodes() {
+            if n.stage == 1 {
+                for &o in &n.operands {
+                    assert_ne!(split.node(o).stage, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scientific_notation_literals() {
+        let k = compile("for (;;) { output(0, 2.5e-3f + 1e2f); }").unwrap();
+        let out = interpret_dfg(&k.dfg, &mut [], &mut MapBus::default(), &[]);
+        assert!((out[0].1 - 100.0025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let k = compile(
+            "// line comment\n/* block\ncomment */\nfor (;;) { output(0, 1.0f); // end\n }",
+        )
+        .unwrap();
+        assert_eq!(k.dfg.len(), 2);
+    }
+
+    #[test]
+    fn error_unknown_identifier() {
+        let e = compile("for (;;) { output(0, nope); }").unwrap_err();
+        assert!(e.message.contains("unknown identifier"), "{e}");
+        assert!(e.line >= 1);
+    }
+
+    #[test]
+    fn error_assignment_to_undeclared() {
+        let e = compile("for (;;) { y = 1.0f; }").unwrap_err();
+        assert!(e.message.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn error_missing_loop() {
+        let e = compile("static float x = 1.0f;").unwrap_err();
+        assert!(e.message.contains("no 'for (;;)'"), "{e}");
+    }
+
+    #[test]
+    fn error_double_pipeline_stage() {
+        let e = compile("for (;;) { pipeline_stage(); pipeline_stage(); }").unwrap_err();
+        assert!(e.message.contains("factor-2"), "{e}");
+    }
+
+    #[test]
+    fn error_duplicate_static() {
+        let e = compile("static float x = 1.0f; static float x = 2.0f; for(;;){}").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn error_unknown_function() {
+        let e = compile("for (;;) { output(0, tanhf(1.0f)); }").unwrap_err();
+        assert!(e.message.contains("unknown function"), "{e}");
+    }
+
+    #[test]
+    fn statics_without_assignment_need_no_regwrite() {
+        let k = compile("static float c = 3.0f; for (;;) { output(0, c * 2.0f); }").unwrap();
+        let writes = k
+            .dfg
+            .nodes()
+            .filter(|(_, n)| matches!(n.op, OpKind::RegWrite(_)))
+            .count();
+        assert_eq!(writes, 0);
+        let mut regs = vec![3.0f64];
+        let out = interpret_dfg(&k.dfg, &mut regs, &mut MapBus::default(), &[]);
+        assert_eq!(out, vec![(0, 6.0)]);
+    }
+
+    #[test]
+    fn local_reassignment_is_ssa() {
+        let k = compile(
+            "for (;;) { float a = 1.0f; a = a + 1.0f; a = a * 3.0f; output(0, a); }",
+        )
+        .unwrap();
+        let out = interpret_dfg(&k.dfg, &mut [], &mut MapBus::default(), &[]);
+        assert_eq!(out, vec![(0, 6.0)]);
+    }
+}

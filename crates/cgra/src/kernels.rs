@@ -1,0 +1,457 @@
+//! The beam-model kernel of Section IV, expressed in the C subset and run
+//! through the full toolchain (parser → SCAR DFG → list scheduler → context
+//! memories → executor).
+//!
+//! The kernel is generated for a configurable number of bunches B ∈ {1, 4,
+//! 8, …} and optionally with the paper's factor-2 manual loop pipelining
+//! ("splitting the loop after the voltages have been calculated", with the
+//! Δt write-back pushed into the first half so all I/O happens in stage 0).
+//! Scheduling these variants reproduces the Section IV-B tick-count table.
+
+use crate::frontend::{compile, Kernel};
+use crate::grid::GridConfig;
+use crate::sched::{ListScheduler, Schedule};
+use std::fmt::Write as _;
+
+/// Sensor port: measured revolution period (seconds). Address ignored.
+pub const PORT_PERIOD: u16 = 0;
+/// Sensor port: reference-signal ring buffer. Address = whole samples
+/// relative to the last positive zero crossing (negative = before).
+pub const PORT_REF_BUF: u16 = 1;
+/// Sensor port: gap-signal ring buffer. Addressing as [`PORT_REF_BUF`].
+pub const PORT_GAP_BUF: u16 = 2;
+/// Actuator ports 0..B−1: Δt of bunch b (seconds relative to the reference
+/// zero crossing).
+pub const ACT_DT_BASE: u16 = 0;
+/// Actuator port: monitoring output (the runtime-selectable second DAC
+/// channel of Section III-A).
+pub const ACT_MONITOR: u16 = 100;
+
+/// Physical/scaling constants the kernel is specialised with (the paper
+/// hard-codes these per experiment via the SpartanMC parameter interface).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelParams {
+    /// Reference orbit length l_R, metres.
+    pub orbit_length_m: f64,
+    /// Momentum compaction α_c.
+    pub momentum_compaction: f64,
+    /// Q/(mc²) in 1/volts (γ gained per volt of gap voltage).
+    pub gamma_per_volt: f64,
+    /// ADC sample rate, Hz (address unit of the ring buffers).
+    pub sample_rate: f64,
+    /// Gap volts per ADC volt on the reference channel.
+    pub scale_ref: f64,
+    /// Gap volts per ADC volt on the gap channel.
+    pub scale_gap: f64,
+    /// Initial γ_R (from the period-length detector at init).
+    pub gamma_r_init: f64,
+}
+
+/// A fully built beam kernel: compiled DFG + metadata.
+#[derive(Debug, Clone)]
+pub struct BeamKernel {
+    /// The compiled kernel (DFG + register initialisers).
+    pub kernel: Kernel,
+    /// The generated C source (for inspection/tests — the artifact a user
+    /// of the paper's system would edit).
+    pub source: String,
+    /// Number of bunches simulated per revolution.
+    pub bunches: usize,
+    /// Whether the factor-2 pipeline split was applied.
+    pub pipelined: bool,
+}
+
+/// Generate the kernel C source for `bunches` bunches.
+///
+/// Layout mirrors Section IV-B:
+/// 1. read the averaged revolution period from the period-length detector;
+/// 2. compute the reference particle's revolution time from γ_R and the
+///    offset ΔT to the measured zero crossing;
+/// 3. fetch V_R from the reference ring buffer and V_b from the gap ring
+///    buffer (two reads + linear interpolation each);
+/// 4. `pipeline_stage()` (the paper's manual split point, only if
+///    `pipelined`) — all I/O is in the first half, including the Δt
+///    write-back of the previous result;
+/// 5. apply Eqs. (2), (5), (3), (6) and store the new state.
+pub fn beam_kernel_source(params: &KernelParams, bunches: usize, pipelined: bool) -> String {
+    beam_kernel_source_opts(params, bunches, pipelined, true)
+}
+
+/// [`beam_kernel_source`] with the linear interpolation made optional
+/// (ablation A1: "a second value is requested from the buffer to perform
+/// linear interpolation to increase the accuracy" — what if it were not?).
+pub fn beam_kernel_source_opts(
+    params: &KernelParams,
+    bunches: usize,
+    pipelined: bool,
+    interpolate: bool,
+) -> String {
+    assert!(bunches >= 1 && bunches <= 64);
+    let mut s = String::new();
+    let p = params;
+    let c_light = 299_792_458.0_f64;
+    writeln!(s, "// Beam-phase kernel: {bunches} bunch(es), pipelined={pipelined}").unwrap();
+    writeln!(s, "static float gamma_r = {:.17e};", p.gamma_r_init).unwrap();
+    for b in 0..bunches {
+        writeln!(s, "static float dgamma_{b} = 0.0f;").unwrap();
+        writeln!(s, "static float dt_{b} = 0.0f;").unwrap();
+    }
+    writeln!(s, "for (;;) {{").unwrap();
+    // --- Stage 0: measurement + voltage acquisition (all I/O). ---
+    writeln!(s, "  float t_meas = read_sensor({PORT_PERIOD}, 0.0f);").unwrap();
+    writeln!(s, "  float inv_g = 1.0f / gamma_r;").unwrap();
+    writeln!(s, "  float beta2 = 1.0f - inv_g * inv_g;").unwrap();
+    writeln!(s, "  float beta = sqrtf(beta2);").unwrap();
+    writeln!(s, "  float t_ref = {:.17e} / (beta * {:.17e});", p.orbit_length_m, c_light).unwrap();
+    writeln!(s, "  float dT = t_ref - t_meas;").unwrap();
+    // Reference voltage (Eq. 2 input), interpolated.
+    writeln!(s, "  float a_r = dT * {:.17e};", p.sample_rate).unwrap();
+    if interpolate {
+        writeln!(s, "  float a_r0 = floorf(a_r);").unwrap();
+        writeln!(s, "  float fr_r = a_r - a_r0;").unwrap();
+        writeln!(
+            s,
+            "  float v_r = (read_sensor({PORT_REF_BUF}, a_r0) * (1.0f - fr_r) + read_sensor({PORT_REF_BUF}, a_r0 + 1.0f) * fr_r) * {:.17e};",
+            p.scale_ref
+        )
+        .unwrap();
+    } else {
+        // Single (nearest) read: floor(a + 0.5).
+        writeln!(
+            s,
+            "  float v_r = read_sensor({PORT_REF_BUF}, floorf(a_r + 0.5f)) * {:.17e};",
+            p.scale_ref
+        )
+        .unwrap();
+    }
+    // Gap voltage per bunch (Eq. 3 input).
+    for b in 0..bunches {
+        writeln!(s, "  float a_g{b} = (dT + dt_{b}) * {:.17e};", p.sample_rate).unwrap();
+        if interpolate {
+            writeln!(s, "  float a_g{b}0 = floorf(a_g{b});").unwrap();
+            writeln!(s, "  float fr_g{b} = a_g{b} - a_g{b}0;").unwrap();
+            writeln!(
+                s,
+                "  float v_{b} = (read_sensor({PORT_GAP_BUF}, a_g{b}0) * (1.0f - fr_g{b}) + read_sensor({PORT_GAP_BUF}, a_g{b}0 + 1.0f) * fr_g{b}) * {:.17e};",
+                p.scale_gap
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                s,
+                "  float v_{b} = read_sensor({PORT_GAP_BUF}, floorf(a_g{b} + 0.5f)) * {:.17e};",
+                p.scale_gap
+            )
+            .unwrap();
+        }
+    }
+    if pipelined {
+        // The paper pushes the Δt write-back into the first loop half: the
+        // value written is the previous iteration's result, so all I/O is in
+        // stage 0 and "there is no additional delay induced by the loop
+        // pipelining".
+        for b in 0..bunches {
+            writeln!(s, "  write_actuator({}, dt_{b});", ACT_DT_BASE + b as u16).unwrap();
+        }
+        writeln!(s, "  pipeline_stage();").unwrap();
+    }
+    // --- Stage 1: the tracking equations. ---
+    writeln!(s, "  float g2 = gamma_r + {:.17e} * v_r;", p.gamma_per_volt).unwrap(); // Eq. (2)
+    writeln!(s, "  float inv_g2 = 1.0f / g2;").unwrap();
+    writeln!(s, "  float eta = {:.17e} - inv_g2 * inv_g2;", p.momentum_compaction).unwrap(); // Eq. (5)
+    writeln!(
+        s,
+        "  float drift = {:.17e} * eta / (beta * beta2 * {:.17e}) * inv_g2;",
+        p.orbit_length_m, c_light
+    )
+    .unwrap(); // l_R·η/(β³·c·γ) of Eq. (6)
+    for b in 0..bunches {
+        writeln!(
+            s,
+            "  dgamma_{b} = dgamma_{b} + {:.17e} * (v_{b} - v_r);",
+            p.gamma_per_volt
+        )
+        .unwrap(); // Eq. (3)
+        writeln!(s, "  dt_{b} = dt_{b} + drift * dgamma_{b};").unwrap(); // Eq. (6)
+        if !pipelined {
+            writeln!(s, "  write_actuator({}, dt_{b});", ACT_DT_BASE + b as u16).unwrap();
+        }
+    }
+    writeln!(s, "  gamma_r = g2;").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Build (compile and optionally pipeline-split) the beam kernel.
+pub fn build_beam_kernel(params: &KernelParams, bunches: usize, pipelined: bool) -> BeamKernel {
+    build_beam_kernel_opts(params, bunches, pipelined, true)
+}
+
+/// [`build_beam_kernel`] with optional interpolation (ablation A1).
+pub fn build_beam_kernel_opts(
+    params: &KernelParams,
+    bunches: usize,
+    pipelined: bool,
+    interpolate: bool,
+) -> BeamKernel {
+    let source = beam_kernel_source_opts(params, bunches, pipelined, interpolate);
+    let mut kernel = compile(&source).unwrap_or_else(|e| panic!("kernel source invalid: {e}"));
+    if pipelined {
+        kernel.dfg = kernel.dfg.pipeline_split();
+    }
+    BeamKernel { kernel, source, bunches, pipelined }
+}
+
+/// One row of the Section IV-B schedule-length table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleRow {
+    /// Bunches simulated per revolution.
+    pub bunches: usize,
+    /// Pipelined?
+    pub pipelined: bool,
+    /// Our schedule length in ticks.
+    pub ticks: u32,
+    /// Max revolution frequency at the given CGRA clock.
+    pub max_f_rev: f64,
+}
+
+/// Reproduce the Section IV-B table on a given grid and CGRA clock:
+/// schedule the kernel for each (bunches, pipelined) configuration.
+pub fn schedule_table(
+    params: &KernelParams,
+    grid: GridConfig,
+    f_clk: f64,
+    configs: &[(usize, bool)],
+) -> Vec<(ScheduleRow, Schedule)> {
+    let sched = ListScheduler::new(grid);
+    configs
+        .iter()
+        .map(|&(bunches, pipelined)| {
+            let bk = build_beam_kernel(params, bunches, pipelined);
+            let schedule = sched.schedule(&bk.kernel.dfg);
+            schedule
+                .validate(&bk.kernel.dfg)
+                .expect("beam kernel schedule must validate");
+            let row = ScheduleRow {
+                bunches,
+                pipelined,
+                ticks: schedule.makespan,
+                max_f_rev: schedule.max_revolution_frequency(f_clk),
+            };
+            (row, schedule)
+        })
+        .collect()
+}
+
+impl KernelParams {
+    /// The MDE operating point of the evaluation: SIS18, ¹⁴N⁷⁺, 800 kHz,
+    /// gap scale chosen for ≈4.9 kV at 1 V ADC full scale.
+    pub fn mde_default() -> Self {
+        // Values mirror cil-physics (SIS18 + N14,7+ at 800 kHz); duplicated
+        // numerically here to keep cil-cgra dependency-free of cil-physics.
+        let gamma_t = 5.45_f64;
+        Self {
+            orbit_length_m: 216.72,
+            momentum_compaction: 1.0 / (gamma_t * gamma_t),
+            gamma_per_volt: 7.0 / 13.0402e9,
+            sample_rate: 250e6,
+            scale_ref: 4.9e3,
+            scale_gap: 4.9e3,
+            gamma_r_init: 1.2258,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{CgraExecutor, SensorBus};
+    use cil_physics::machine::{MachineParams, OperatingPoint};
+    use cil_physics::synchrotron::SynchrotronCalc;
+    use cil_physics::tracking::TwoParticleMap;
+    use cil_physics::IonSpecies;
+
+    fn mde_params() -> (KernelParams, OperatingPoint) {
+        let machine = MachineParams::sis18();
+        let ion = IonSpecies::n14_7plus();
+        let v_hat = SynchrotronCalc::new(machine, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let op = OperatingPoint::from_revolution_frequency(machine, ion, 800e3, v_hat);
+        let params = KernelParams {
+            orbit_length_m: machine.orbit_length_m,
+            momentum_compaction: machine.momentum_compaction,
+            gamma_per_volt: ion.gamma_per_volt(),
+            sample_rate: 250e6,
+            scale_ref: 1.0,
+            scale_gap: 1.0,
+            gamma_r_init: op.gamma_r,
+        };
+        (params, op)
+    }
+
+    #[test]
+    fn kernel_source_compiles_for_all_configs() {
+        let (p, _) = mde_params();
+        for &(b, pl) in &[(1, false), (1, true), (4, true), (8, true), (8, false)] {
+            let bk = build_beam_kernel(&p, b, pl);
+            assert!(bk.kernel.dfg.len() > 20);
+            // One Δt actuator write per bunch.
+            let writes = bk
+                .kernel
+                .dfg
+                .nodes()
+                .filter(|(_, n)| matches!(n.op, crate::isa::OpKind::ActuatorWrite(_)))
+                .count();
+            assert_eq!(writes, b, "bunches={b} pipelined={pl}");
+        }
+    }
+
+    #[test]
+    fn schedule_table_shape_matches_paper() {
+        // Section IV-B: pipelined(8) < unpipelined(8); fewer bunches -> fewer
+        // ticks; 1 MHz-class revolution frequencies at 111 MHz.
+        let (p, _) = mde_params();
+        let rows = schedule_table(
+            &p,
+            GridConfig::mesh_5x5(),
+            111e6,
+            &[(8, false), (8, true), (4, true), (1, true)],
+        );
+        let ticks: Vec<u32> = rows.iter().map(|(r, _)| r.ticks).collect();
+        let (t8np, t8p, t4p, t1p) = (ticks[0], ticks[1], ticks[2], ticks[3]);
+        assert!(t8p < t8np, "pipelining must shorten: {t8p} !< {t8np}");
+        assert!(t4p <= t8p, "4 bunches <= 8 bunches: {t4p} !<= {t8p}");
+        assert!(t1p <= t4p, "1 bunch <= 4 bunches: {t1p} !<= {t4p}");
+        // Same order of magnitude as the paper's 93-128 ticks.
+        assert!(t8np < 400 && t1p > 20, "ticks in a plausible range: {ticks:?}");
+        // Max revolution frequency covers the SIS18 range (>= 800 kHz for
+        // the pipelined single-bunch configuration).
+        let f1 = rows[3].0.max_f_rev;
+        assert!(f1 > 800e3, "single-bunch max f_rev = {f1}");
+    }
+
+    /// Bus that serves analytic stationary signals to the kernel, mirroring
+    /// what the HIL framework provides from its ring buffers.
+    struct AnalyticBus {
+        op: OperatingPoint,
+        phase_offset_rad: f64,
+        /// collected Δt writes (port, value)
+        writes: Vec<(u16, f64)>,
+    }
+
+    impl SensorBus for AnalyticBus {
+        fn read(&mut self, port: u16, addr: f64) -> f64 {
+            let fs = 250e6;
+            let t = addr / fs; // seconds relative to the reference crossing
+            match port {
+                PORT_PERIOD => 1.0 / self.op.f_rev(),
+                PORT_REF_BUF => {
+                    (std::f64::consts::TAU * self.op.f_rev() * t).sin()
+                }
+                PORT_GAP_BUF => {
+                    (std::f64::consts::TAU * self.op.f_rf() * t + self.phase_offset_rad).sin()
+                        * self.op.v_gap_volts
+                }
+                _ => 0.0,
+            }
+        }
+        fn write(&mut self, port: u16, value: f64) {
+            self.writes.push((port, value));
+        }
+    }
+
+    #[test]
+    fn kernel_tracks_like_two_particle_map() {
+        // The full toolchain (C source -> DFG -> schedule -> executor)
+        // driven by analytic signals must reproduce the physics map's
+        // synchrotron oscillation.
+        let (mut p, op) = mde_params();
+        p.scale_gap = 1.0;
+        let bk = build_beam_kernel(&p, 1, false);
+        let sched = ListScheduler::new(GridConfig::mesh_5x5()).schedule(&bk.kernel.dfg);
+        let mut ex = CgraExecutor::new(bk.kernel.dfg.clone(), sched);
+        for (r, v) in &bk.kernel.reg_inits {
+            ex.set_reg(*r, *v);
+        }
+        // Give the kernel's bunch an 8 degree offset like a phase jump, by
+        // initialising dt_0 (register of the "dt_0" static).
+        let dt_reg = bk
+            .kernel
+            .statics
+            .iter()
+            .find(|(n, _)| n == "dt_0")
+            .map(|(_, r)| *r)
+            .unwrap();
+        let dt0 = 8.0 / 360.0 / op.f_rf();
+        ex.set_reg(dt_reg, dt0);
+
+        let mut bus = AnalyticBus { op, phase_offset_rad: 0.0, writes: Vec::new() };
+
+        // Reference map with the same initial condition.
+        let mut map = TwoParticleMap::at_operating_point(&op);
+        map.particle.dt = dt0;
+
+        let turns = (op.f_rev() / 1.28e3 * 2.0) as usize; // two synchrotron periods
+        let mut max_err: f64 = 0.0;
+        for _ in 0..turns {
+            bus.writes.clear();
+            ex.run_iteration(&mut bus, &[]);
+            let dt_kernel = bus.writes.iter().find(|(p, _)| *p == ACT_DT_BASE).unwrap().1;
+            let dt_map = map.step_stationary(op.v_gap_volts, 0.0);
+            max_err = max_err.max((dt_kernel - dt_map).abs());
+        }
+        // The kernel samples signals with its own ΔT bookkeeping; agreement
+        // to a few percent of the amplitude proves the chain.
+        assert!(
+            max_err < dt0 * 0.05,
+            "kernel vs map max deviation {max_err} (amplitude {dt0})"
+        );
+    }
+
+    #[test]
+    fn pipelined_kernel_same_physics_one_turn_late() {
+        let (p, op) = mde_params();
+        let bk = build_beam_kernel(&p, 1, true);
+        let sched = ListScheduler::new(GridConfig::mesh_5x5()).schedule(&bk.kernel.dfg);
+        let mut ex = CgraExecutor::new(bk.kernel.dfg.clone(), sched);
+        for (r, v) in &bk.kernel.reg_inits {
+            ex.set_reg(*r, *v);
+        }
+        let dt_reg = bk.kernel.statics.iter().find(|(n, _)| n == "dt_0").unwrap().1;
+        let dt0 = 8.0 / 360.0 / op.f_rf();
+        ex.set_reg(dt_reg, dt0);
+        let mut bus = AnalyticBus { op, phase_offset_rad: 0.0, writes: Vec::new() };
+        // Pipelined kernels need the initialisation pass to fill the stage
+        // bridges before the architectural state is valid.
+        let mut restore: Vec<(u16, f64)> = bk.kernel.reg_inits.clone();
+        restore.push((dt_reg, dt0));
+        ex.warmup(&mut bus, &[], &restore);
+        bus.writes.clear();
+        // Track amplitude over one synchrotron period; oscillation must stay
+        // bounded (the pipelined kernel's one-iteration-stale voltages are a
+        // tiny perturbation at fs << f_rev).
+        let turns = (op.f_rev() / 1.28e3) as usize;
+        let mut max_dt: f64 = 0.0;
+        let mut min_dt: f64 = f64::MAX;
+        for _ in 0..turns {
+            bus.writes.clear();
+            ex.run_iteration(&mut bus, &[]);
+            let dt = bus.writes.iter().find(|(p, _)| *p == ACT_DT_BASE).unwrap().1;
+            max_dt = max_dt.max(dt.abs());
+            min_dt = min_dt.min(dt);
+        }
+        assert!(max_dt < dt0 * 1.1, "bounded oscillation, max {max_dt}");
+        assert!(min_dt < -dt0 * 0.8, "oscillates to the other side, min {min_dt}");
+    }
+
+    #[test]
+    fn source_is_human_editable_c() {
+        let (p, _) = mde_params();
+        let src = beam_kernel_source(&p, 2, true);
+        assert!(src.contains("for (;;)"));
+        assert!(src.contains("pipeline_stage();"));
+        assert!(src.contains("static float gamma_r"));
+        assert!(src.contains("dt_1"));
+        // Round-trips through the compiler.
+        assert!(compile(&src).is_ok());
+    }
+}

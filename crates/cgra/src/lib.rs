@@ -1,0 +1,39 @@
+//! # cil-cgra — Coarse-Grained Reconfigurable Architecture overlay simulator
+//!
+//! A from-scratch implementation of the CGRA environment of Section III-C:
+//!
+//! * [`isa`] — the processing-element operator set (floating point + square
+//!   root, as used by the beam model) with per-operator latencies;
+//! * [`dfg`] — the SCAR-style control/data-flow graph the C frontend emits;
+//! * [`frontend`] — a C-subset parser ("Programming of the CGRA is done
+//!   using the C programming language");
+//! * [`grid`] — the PE array with configurable size (3×3, 5×5, …) and
+//!   interconnect topology;
+//! * [`sched`] — the customised resource-constrained list scheduler,
+//!   including the paper's factor-2 loop pipelining transform;
+//! * [`context`] — per-PE context memories, the artifact that is swapped
+//!   into the bitstream without re-synthesis ("model changes are available
+//!   on the experimental setup in seconds");
+//! * [`exec`] — a cycle-accurate executor that replays context memories
+//!   against a [`exec::SensorBus`], differentially testable against direct
+//!   DFG interpretation;
+//! * [`kernels`] — the beam-model kernel of Section IV for 1/4/8 bunches,
+//!   pipelined and sequential, reproducing the schedule-length table.
+
+pub mod context;
+pub mod dfg;
+pub mod exec;
+pub mod frontend;
+pub mod grid;
+pub mod isa;
+pub mod kernels;
+pub mod optimize;
+pub mod report;
+pub mod route;
+pub mod sched;
+
+pub use dfg::{Dfg, NodeId};
+pub use exec::{CgraExecutor, SensorBus};
+pub use grid::{GridConfig, Topology};
+pub use isa::OpKind;
+pub use sched::{ListScheduler, Schedule};

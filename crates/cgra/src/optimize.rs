@@ -1,0 +1,321 @@
+//! DFG optimisation passes — the middle-end between the C parser and the
+//! scheduler.
+//!
+//! The generated beam kernel contains plenty of redundancy a C programmer
+//! would not hand-optimise (repeated `1-frac` terms, shared scale constants
+//! per bunch, …). Three classic passes clean it up before scheduling:
+//!
+//! * **constant folding** — pure ops over constant operands;
+//! * **common-subexpression elimination** — pure ops with identical
+//!   operands, *within the same pipeline stage* (merging across stages
+//!   would re-introduce the cross-stage edges `pipeline_split` removes);
+//! * **dead-code elimination** — anything not reachable from a
+//!   side-effecting node.
+//!
+//! Sensor reads are treated as volatile (never folded or merged): the
+//! SensorAccess module may be timing-sensitive. Register reads of the same
+//! register are pure within one iteration and are merged per stage.
+
+use crate::dfg::{Dfg, NodeId};
+use crate::isa::OpKind;
+use std::collections::HashMap;
+
+/// Statistics of one optimisation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Nodes in the input graph.
+    pub nodes_before: usize,
+    /// Nodes in the output graph.
+    pub nodes_after: usize,
+    /// Pure ops replaced by constants.
+    pub folded: usize,
+    /// Nodes merged into an existing equivalent node.
+    pub cse_merged: usize,
+    /// Dead nodes removed.
+    pub dead_removed: usize,
+}
+
+/// Key identifying a mergeable computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CseKey {
+    Const(u64, u8),
+    RegRead(u16, u8),
+    Pure(&'static str, Vec<NodeId>, u8),
+}
+
+fn pure_name(op: &OpKind) -> Option<&'static str> {
+    Some(match op {
+        OpKind::Add => "add",
+        OpKind::Sub => "sub",
+        OpKind::Mul => "mul",
+        OpKind::Div => "div",
+        OpKind::Sqrt => "sqrt",
+        OpKind::Neg => "neg",
+        OpKind::Abs => "abs",
+        OpKind::Floor => "floor",
+        OpKind::Min => "min",
+        OpKind::Max => "max",
+        OpKind::CmpLt => "cmplt",
+        OpKind::CmpLe => "cmple",
+        OpKind::Select => "select",
+        OpKind::Pass => "pass",
+        _ => return None,
+    })
+}
+
+/// Run fold + CSE + DCE; returns the optimised graph and statistics.
+pub fn optimize(dfg: &Dfg) -> (Dfg, OptStats) {
+    let mut stats = OptStats { nodes_before: dfg.len(), ..Default::default() };
+
+    // ---- pass 1: forward rewrite with folding + CSE --------------------
+    // map[i] = id in the new graph representing old node i.
+    let mut out = Dfg::new();
+    // Preserve the register space.
+    for _ in 0..dfg.reg_count() {
+        out.alloc_reg();
+    }
+    let mut map: Vec<NodeId> = Vec::with_capacity(dfg.len());
+    let mut cse: HashMap<CseKey, NodeId> = HashMap::new();
+    // Known constant value of a new-graph node (for folding).
+    let mut const_of: HashMap<NodeId, f64> = HashMap::new();
+
+    for (_, node) in dfg.nodes() {
+        let ops: Vec<NodeId> = node.operands.iter().map(|&o| map[o.0 as usize]).collect();
+        let stage = node.stage;
+
+        // Try folding: pure op, all operands constant.
+        let folded = pure_name(&node.op).and_then(|_| {
+            let args: Option<Vec<f64>> =
+                ops.iter().map(|o| const_of.get(o).copied()).collect();
+            let args = args?;
+            node.op.eval_pure(&args)
+        });
+        if let Some(v) = folded {
+            if !matches!(node.op, OpKind::Const(_)) {
+                stats.folded += 1;
+            }
+            let key = CseKey::Const(v.to_bits(), stage);
+            let id = match cse.get(&key) {
+                Some(&id) => {
+                    stats.cse_merged += 1;
+                    id
+                }
+                None => {
+                    let id = out.add_staged(OpKind::Const(v), &[], stage);
+                    cse.insert(key, id);
+                    const_of.insert(id, v);
+                    id
+                }
+            };
+            map.push(id);
+            continue;
+        }
+
+        // CSE for constants, register reads and pure ops.
+        let key = match node.op {
+            OpKind::Const(c) => Some(CseKey::Const(c.to_bits(), stage)),
+            OpKind::RegRead(r) => Some(CseKey::RegRead(r, stage)),
+            ref op => pure_name(op).map(|n| CseKey::Pure(n, ops.clone(), stage)),
+        };
+        if let Some(key) = key {
+            if let Some(&existing) = cse.get(&key) {
+                stats.cse_merged += 1;
+                map.push(existing);
+                continue;
+            }
+            let id = out.add_staged(node.op, &ops, stage);
+            if let OpKind::Const(c) = node.op {
+                const_of.insert(id, c);
+            }
+            cse.insert(key, id);
+            map.push(id);
+            continue;
+        }
+
+        // Side-effecting / volatile ops pass through untouched.
+        let id = out.add_staged(node.op, &ops, stage);
+        map.push(id);
+    }
+
+    // ---- pass 2: DCE ----------------------------------------------------
+    let mut live = vec![false; out.len()];
+    for (id, node) in out.nodes() {
+        if node.op.has_side_effect() {
+            live[id.0 as usize] = true;
+        }
+    }
+    // Propagate liveness backwards (operands precede users).
+    for i in (0..out.len()).rev() {
+        if live[i] {
+            for &o in &out.node(NodeId(i as u32)).operands {
+                live[o.0 as usize] = true;
+            }
+        }
+    }
+    let mut final_dfg = Dfg::new();
+    for _ in 0..out.reg_count() {
+        final_dfg.alloc_reg();
+    }
+    let mut remap: Vec<Option<NodeId>> = vec![None; out.len()];
+    for (id, node) in out.nodes() {
+        if !live[id.0 as usize] {
+            stats.dead_removed += 1;
+            continue;
+        }
+        let ops: Vec<NodeId> = node
+            .operands
+            .iter()
+            .map(|&o| remap[o.0 as usize].expect("live operand"))
+            .collect();
+        remap[id.0 as usize] = Some(final_dfg.add_staged(node.op, &ops, node.stage));
+    }
+
+    stats.nodes_after = final_dfg.len();
+    (final_dfg, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{interpret_dfg, MapBus};
+    use crate::frontend::compile;
+    use crate::kernels::{build_beam_kernel, KernelParams};
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let k = compile("for (;;) { output(0, (2.0f + 3.0f) * 4.0f); }").unwrap();
+        let (opt, stats) = optimize(&k.dfg);
+        assert!(stats.folded >= 2);
+        // Down to one const + one output.
+        assert_eq!(opt.len(), 2);
+        let out = interpret_dfg(&opt, &mut [], &mut MapBus::default(), &[]);
+        assert_eq!(out, vec![(0, 20.0)]);
+    }
+
+    #[test]
+    fn merges_common_subexpressions() {
+        let k = compile(
+            "static float s = 3.0f;\n\
+             for (;;) { output(0, s * s + s * s); }",
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&k.dfg);
+        assert!(stats.cse_merged >= 1, "s*s computed once");
+        let mut regs = vec![3.0];
+        let out = interpret_dfg(&opt, &mut regs, &mut MapBus::default(), &[]);
+        assert_eq!(out, vec![(0, 18.0)]);
+    }
+
+    #[test]
+    fn removes_dead_code() {
+        let k = compile(
+            "for (;;) { float dead = sqrtf(2.0f); float live = 1.0f; write_actuator(0, live); }",
+        )
+        .unwrap();
+        let (opt, stats) = optimize(&k.dfg);
+        assert!(stats.dead_removed >= 1);
+        assert!(!opt.nodes().any(|(_, n)| matches!(n.op, OpKind::Sqrt)));
+    }
+
+    #[test]
+    fn sensor_reads_are_volatile() {
+        // Two reads of the same port+address must both survive.
+        let k = compile(
+            "for (;;) { output(0, read_sensor(0, 1.0f) + read_sensor(0, 1.0f)); }",
+        )
+        .unwrap();
+        let (opt, _) = optimize(&k.dfg);
+        let reads = opt
+            .nodes()
+            .filter(|(_, n)| matches!(n.op, OpKind::SensorRead(_)))
+            .count();
+        assert_eq!(reads, 2);
+    }
+
+    #[test]
+    fn cse_respects_pipeline_stages() {
+        // The same expression in both stages must stay duplicated, so the
+        // stage split introduces no new cross-stage edges.
+        let k = compile(
+            "static float s = 2.0f;\n\
+             for (;;) {\n\
+               float a = s * s;\n\
+               write_actuator(0, a);\n\
+               pipeline_stage();\n\
+               float b = s * s;\n\
+               s = b * 0.5f;\n\
+             }",
+        )
+        .unwrap();
+        let (opt, _) = optimize(&k.dfg);
+        for (_, n) in opt.nodes() {
+            if n.stage == 1 {
+                for &o in &n.operands {
+                    assert_eq!(opt.node(o).stage, 1, "no cross-stage edges introduced");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beam_kernel_shrinks_and_stays_correct() {
+        let params = KernelParams::mde_default();
+        let bk = build_beam_kernel(&params, 4, false);
+        let (opt, stats) = optimize(&bk.kernel.dfg);
+        assert!(
+            stats.nodes_after < stats.nodes_before,
+            "{} -> {}",
+            stats.nodes_before,
+            stats.nodes_after
+        );
+
+        // Differential check over several iterations with register state.
+        let mut regs_a = vec![0.0; bk.kernel.dfg.reg_count() as usize];
+        let mut regs_b = vec![0.0; opt.reg_count() as usize];
+        for &(r, v) in &bk.kernel.reg_inits {
+            regs_a[r as usize] = v;
+            regs_b[r as usize] = v;
+        }
+        for i in 0..5 {
+            let mut bus_a = MapBus::default();
+            bus_a.sensors.insert(0, 1.25e-6);
+            bus_a.sensors.insert(1, 0.01 * f64::from(i));
+            bus_a.sensors.insert(2, 0.02);
+            let mut bus_b = bus_a.clone();
+            interpret_dfg(&bk.kernel.dfg, &mut regs_a, &mut bus_a, &[]);
+            interpret_dfg(&opt, &mut regs_b, &mut bus_b, &[]);
+            assert_eq!(bus_a.writes, bus_b.writes, "iteration {i}");
+        }
+        assert_eq!(regs_a[..], regs_b[..bk.kernel.dfg.reg_count() as usize]);
+    }
+
+    #[test]
+    fn optimized_kernel_schedules_no_longer() {
+        use crate::grid::GridConfig;
+        use crate::sched::ListScheduler;
+        let params = KernelParams::mde_default();
+        let bk = build_beam_kernel(&params, 8, true);
+        let (opt, _) = optimize(&bk.kernel.dfg);
+        let sched = ListScheduler::new(GridConfig::mesh_5x5());
+        let before = sched.schedule(&bk.kernel.dfg);
+        let after = sched.schedule(&opt);
+        after.validate(&opt).unwrap();
+        assert!(
+            after.makespan <= before.makespan,
+            "optimisation must not lengthen the schedule: {} -> {}",
+            before.makespan,
+            after.makespan
+        );
+    }
+
+    #[test]
+    fn idempotent() {
+        let params = KernelParams::mde_default();
+        let bk = build_beam_kernel(&params, 2, true);
+        let (once, _) = optimize(&bk.kernel.dfg);
+        let (twice, stats) = optimize(&once);
+        assert_eq!(once.len(), twice.len());
+        assert_eq!(stats.folded, 0);
+        assert_eq!(stats.dead_removed, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Human-readable schedule reports: per-PE Gantt charts and occupancy
+//! summaries — the "what did the scheduler do" artifact an engineer
+//! iterating on the kernel actually reads.
+
+use crate::dfg::Dfg;
+use crate::isa::OpKind;
+use crate::sched::Schedule;
+use std::fmt::Write as _;
+
+/// A one-character mnemonic per op for the Gantt rendering.
+fn glyph(op: &OpKind) -> char {
+    match op {
+        OpKind::Const(_) => 'c',
+        OpKind::Input(_) => 'i',
+        OpKind::Output(_) => 'o',
+        OpKind::Add => '+',
+        OpKind::Sub => '-',
+        OpKind::Mul => '*',
+        OpKind::Div => '/',
+        OpKind::Sqrt => 'q',
+        OpKind::Neg => 'n',
+        OpKind::Abs => 'a',
+        OpKind::Floor => 'f',
+        OpKind::Min | OpKind::Max => 'm',
+        OpKind::CmpLt | OpKind::CmpLe => '<',
+        OpKind::Select => '?',
+        OpKind::SensorRead(_) => 'R',
+        OpKind::ActuatorWrite(_) => 'W',
+        OpKind::RegRead(_) => 'r',
+        OpKind::RegWrite(_) => 'w',
+        OpKind::Pass => '.',
+    }
+}
+
+/// Render an ASCII Gantt chart: one row per PE, one column per cycle;
+/// the issue cycle shows the op glyph, the remaining latency shows `=`.
+/// Wide schedules are windowed to the first `max_cols` cycles.
+pub fn gantt(dfg: &Dfg, schedule: &Schedule, max_cols: usize) -> String {
+    let cols = (schedule.makespan as usize).min(max_cols);
+    let pes = schedule.grid.pe_count();
+    let mut rows = vec![vec![' '; cols]; pes];
+    for (id, node) in dfg.nodes() {
+        let p = schedule.placement(id);
+        let row = &mut rows[p.pe.0 as usize];
+        let start = p.start as usize;
+        if start < cols {
+            for t in start..(p.finish as usize).min(cols) {
+                if row[t] == ' ' {
+                    row[t] = '=';
+                }
+            }
+            row[start] = glyph(&node.op);
+        }
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "schedule: {} ticks on {}x{} grid ({} nodes){}",
+        schedule.makespan,
+        schedule.grid.rows,
+        schedule.grid.cols,
+        dfg.len(),
+        if (schedule.makespan as usize) > cols { " [windowed]" } else { "" }
+    )
+    .unwrap();
+    // Cycle ruler every 10.
+    let mut ruler = String::from("      ");
+    for t in 0..cols {
+        ruler.push(if t % 10 == 0 { '|' } else { ' ' });
+    }
+    out.push_str(&ruler);
+    out.push('\n');
+    for (i, row) in rows.iter().enumerate() {
+        let s: String = row.iter().collect();
+        writeln!(out, "PE{i:<3} {s}").unwrap();
+    }
+    out
+}
+
+/// Per-PE occupancy statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeStats {
+    /// PE index.
+    pub pe: usize,
+    /// Ops issued on this PE.
+    pub ops: usize,
+    /// Fraction of cycles with an issue.
+    pub issue_occupancy: f64,
+}
+
+/// Compute per-PE statistics.
+pub fn pe_stats(dfg: &Dfg, schedule: &Schedule) -> Vec<PeStats> {
+    let mut counts = vec![0usize; schedule.grid.pe_count()];
+    for (id, _) in dfg.nodes() {
+        counts[schedule.placement(id).pe.0 as usize] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(pe, ops)| PeStats {
+            pe,
+            ops,
+            issue_occupancy: ops as f64 / schedule.makespan.max(1) as f64,
+        })
+        .collect()
+}
+
+/// A compact text summary: makespan, critical path, bound gap, busiest PE.
+pub fn summary(dfg: &Dfg, schedule: &Schedule) -> String {
+    let (_, cp) = dfg.critical_path();
+    let stats = pe_stats(dfg, schedule);
+    let busiest = stats.iter().max_by_key(|s| s.ops).expect("at least one PE");
+    format!(
+        "{} nodes, critical path {} ticks, scheduled {} ticks ({:+.0}% over bound), busiest PE{} issues {} ops ({:.0}% of cycles)",
+        dfg.len(),
+        cp,
+        schedule.makespan,
+        (schedule.makespan as f64 / cp as f64 - 1.0) * 100.0,
+        busiest.pe,
+        busiest.ops,
+        busiest.issue_occupancy * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridConfig;
+    use crate::sched::ListScheduler;
+
+    fn sample() -> (Dfg, Schedule) {
+        let mut g = Dfg::new();
+        let zero = g.konst(0.0);
+        let s = g.add(OpKind::SensorRead(0), &[zero]);
+        let r = g.add(OpKind::Sqrt, &[s]);
+        let two = g.konst(2.0);
+        let m = g.add(OpKind::Mul, &[r, two]);
+        g.add(OpKind::ActuatorWrite(0), &[m]);
+        let sched = ListScheduler::new(GridConfig::mesh_3x3()).schedule(&g);
+        (g, sched)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_pe_plus_header() {
+        let (g, s) = sample();
+        let chart = gantt(&g, &s, 200);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2 + 9, "header + ruler + 9 PEs");
+        assert!(lines[0].contains("ticks"));
+        // The sqrt glyph appears exactly once.
+        assert_eq!(chart.matches('q').count(), 1);
+        // Issue glyphs for every node appear somewhere.
+        assert_eq!(chart.matches('R').count(), 1);
+        assert_eq!(chart.matches('W').count(), 1);
+        assert_eq!(chart.matches('*').count(), 1);
+    }
+
+    #[test]
+    fn gantt_windowing() {
+        let (g, s) = sample();
+        let chart = gantt(&g, &s, 5);
+        assert!(chart.contains("[windowed]"));
+        let pe_line_len = chart.lines().nth(2).unwrap().len();
+        assert!(pe_line_len <= 5 + 6, "rows clipped to window");
+    }
+
+    #[test]
+    fn stats_account_for_all_ops() {
+        let (g, s) = sample();
+        let stats = pe_stats(&g, &s);
+        let total: usize = stats.iter().map(|x| x.ops).sum();
+        assert_eq!(total, g.len());
+        for st in &stats {
+            assert!(st.issue_occupancy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn summary_mentions_bound_gap() {
+        let (g, s) = sample();
+        let txt = summary(&g, &s);
+        assert!(txt.contains("critical path"));
+        assert!(txt.contains("busiest"));
+    }
+}

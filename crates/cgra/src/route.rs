@@ -1,0 +1,232 @@
+//! Operand routing over the interconnect.
+//!
+//! "Each PE is connected to its surrounding neighbours through a
+//! configurable interconnect. Results of operations can be passed on,
+//! allowing the routing of operands where no direct connection exists."
+//! (Section III-C.)
+//!
+//! The list scheduler accounts for routing *latency* (one cycle per hop);
+//! this module materialises the actual paths — dimension-order (X then Y)
+//! routing on the mesh — and measures link *occupancy*: how many transfers
+//! cross each physical link in the same cycle. The maximum simultaneous
+//! occupancy is the channel multiplicity the interconnect must provide
+//! (real CGRA links carry several word-wide channels); the report makes
+//! that requirement explicit per kernel instead of assuming it.
+
+use crate::dfg::Dfg;
+use crate::grid::{GridConfig, PeId, Topology};
+use crate::sched::Schedule;
+use std::collections::HashMap;
+
+/// A directed physical link between neighbouring PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Link {
+    /// Source PE.
+    pub from: PeId,
+    /// Destination PE (a grid neighbour of `from`).
+    pub to: PeId,
+}
+
+/// One hop of a routed transfer: which link, at which cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The link used.
+    pub link: Link,
+    /// The cycle in which the value crosses the link.
+    pub cycle: u32,
+}
+
+/// Routing analysis of a scheduled kernel.
+#[derive(Debug, Clone)]
+pub struct RoutingReport {
+    /// Total operand transfers that needed at least one hop.
+    pub routed_transfers: usize,
+    /// Total hops across all transfers.
+    pub total_hops: usize,
+    /// Maximum number of transfers on one link in one cycle — the channel
+    /// multiplicity the interconnect must provide for this schedule.
+    pub max_link_occupancy: usize,
+    /// Number of (link, cycle) slots that carry more than one transfer.
+    pub contended_slots: usize,
+    /// Distinct links used at least once.
+    pub links_used: usize,
+}
+
+/// Route every scheduled operand transfer and produce the report.
+///
+/// Panics if the schedule was produced for a different DFG.
+pub fn route(dfg: &Dfg, schedule: &Schedule) -> RoutingReport {
+    let grid = schedule.grid;
+    let mut occupancy: HashMap<(Link, u32), usize> = HashMap::new();
+    let mut routed = 0usize;
+    let mut total_hops = 0usize;
+
+    for (id, node) in dfg.nodes() {
+        let dst = schedule.placement(id);
+        for &o in &node.operands {
+            let src = schedule.placement(o);
+            if src.pe == dst.pe {
+                continue;
+            }
+            let path = dimension_order_path(&grid, src.pe, dst.pe);
+            debug_assert_eq!(path.len() as u32, grid.distance(src.pe, dst.pe));
+            routed += 1;
+            total_hops += path.len();
+            // The value leaves the producer when it finishes; one hop/cycle.
+            for (k, link) in path.into_iter().enumerate() {
+                let cycle = src.finish + k as u32;
+                *occupancy.entry((link, cycle)).or_default() += 1;
+            }
+        }
+    }
+
+    let max_link_occupancy = occupancy.values().copied().max().unwrap_or(0);
+    let contended_slots = occupancy.values().filter(|&&c| c > 1).count();
+    let links_used = {
+        let mut links: Vec<Link> = occupancy.keys().map(|(l, _)| *l).collect();
+        links.sort();
+        links.dedup();
+        links.len()
+    };
+    RoutingReport {
+        routed_transfers: routed,
+        total_hops,
+        max_link_occupancy,
+        contended_slots,
+        links_used,
+    }
+}
+
+/// Dimension-order (X-first) shortest path between two PEs; returns the
+/// sequence of directed links. Respects the grid topology: diagonal moves
+/// on [`Topology::MeshDiagonal`], wrap-around moves on [`Topology::Torus`].
+pub fn dimension_order_path(grid: &GridConfig, from: PeId, to: PeId) -> Vec<Link> {
+    let (mut r, mut c) = grid.coords(from);
+    let (tr, tc) = grid.coords(to);
+    let mut path = Vec::new();
+    let rows = i32::from(grid.rows);
+    let cols = i32::from(grid.cols);
+
+    let step_toward = |cur: u16, target: u16, n: i32, wrap: bool| -> i32 {
+        if cur == target {
+            return 0;
+        }
+        let fwd = (i32::from(target) - i32::from(cur)).rem_euclid(n);
+        let bwd = (i32::from(cur) - i32::from(target)).rem_euclid(n);
+        if wrap && bwd < fwd {
+            -1
+        } else if wrap {
+            1
+        } else if target > cur {
+            1
+        } else {
+            -1
+        }
+    };
+
+    let wrap = grid.topology == Topology::Torus;
+    let diagonal = grid.topology == Topology::MeshDiagonal;
+    while (r, c) != (tr, tc) {
+        let dc = step_toward(c, tc, cols, wrap);
+        let dr = step_toward(r, tr, rows, wrap);
+        let (nr, nc) = if diagonal && dr != 0 && dc != 0 {
+            // Diagonal hop covers both dimensions at once.
+            (
+                ((i32::from(r) + dr).rem_euclid(rows)) as u16,
+                ((i32::from(c) + dc).rem_euclid(cols)) as u16,
+            )
+        } else if dc != 0 {
+            (r, ((i32::from(c) + dc).rem_euclid(cols)) as u16)
+        } else {
+            (((i32::from(r) + dr).rem_euclid(rows)) as u16, c)
+        };
+        let next = grid.pe_at(nr, nc);
+        path.push(Link { from: grid.pe_at(r, c), to: next });
+        r = nr;
+        c = nc;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridConfig;
+    use crate::isa::OpKind;
+    use crate::kernels::{build_beam_kernel, KernelParams};
+    use crate::sched::ListScheduler;
+
+    #[test]
+    fn path_length_matches_distance_mesh() {
+        let g = GridConfig::mesh_5x5();
+        for a in g.pes() {
+            for b in g.pes() {
+                let p = dimension_order_path(&g, a, b);
+                assert_eq!(p.len() as u32, g.distance(a, b), "{a:?} -> {b:?}");
+                // Path is connected and ends at b.
+                let mut cur = a;
+                for hop in &p {
+                    assert_eq!(hop.from, cur);
+                    assert_eq!(g.distance(hop.from, hop.to), 1, "one hop per link");
+                    cur = hop.to;
+                }
+                if !p.is_empty() {
+                    assert_eq!(p.last().unwrap().to, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_length_matches_distance_torus_and_diagonal() {
+        for topo in [Topology::Torus, Topology::MeshDiagonal] {
+            let g = GridConfig { topology: topo, ..GridConfig::mesh(4, 5) };
+            for a in g.pes() {
+                for b in g.pes() {
+                    let p = dimension_order_path(&g, a, b);
+                    assert_eq!(p.len() as u32, g.distance(a, b), "{topo:?} {a:?}->{b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_pe_transfer_needs_no_route() {
+        let g = GridConfig::mesh_3x3();
+        let p = dimension_order_path(&g, g.pe_at(1, 1), g.pe_at(1, 1));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn report_on_local_chain_is_empty() {
+        // A pure chain schedules on one PE: no routed transfers.
+        let mut dfg = Dfg::new();
+        let mut v = dfg.konst(2.0);
+        for _ in 0..4 {
+            v = dfg.add(OpKind::Sqrt, &[v]);
+        }
+        dfg.add(OpKind::Output(0), &[v]);
+        let s = ListScheduler::new(GridConfig::mesh_3x3()).schedule(&dfg);
+        let r = route(&dfg, &s);
+        assert_eq!(r.routed_transfers, 0);
+        assert_eq!(r.max_link_occupancy, 0);
+    }
+
+    #[test]
+    fn beam_kernel_routing_is_modest() {
+        // The 8-bunch kernel spreads over the grid: transfers exist, but the
+        // required channel multiplicity stays small — the property that
+        // makes a word-wide mesh interconnect sufficient.
+        let bk = build_beam_kernel(&KernelParams::mde_default(), 8, true);
+        let s = ListScheduler::new(GridConfig::mesh_5x5()).schedule(&bk.kernel.dfg);
+        let r = route(&bk.kernel.dfg, &s);
+        assert!(r.routed_transfers > 10, "kernel actually uses the mesh");
+        assert!(r.total_hops >= r.routed_transfers);
+        assert!(
+            r.max_link_occupancy <= 4,
+            "channel multiplicity {} should be small",
+            r.max_link_occupancy
+        );
+        assert!(r.links_used > 4);
+    }
+}

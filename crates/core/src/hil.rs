@@ -1,0 +1,412 @@
+//! Closed-loop executives — "cavity in the loop".
+//!
+//! Two fidelities of the same experiment:
+//!
+//! * [`TurnLevelLoop`] — one step per revolution. The beam model runs either
+//!   as the plain two-particle map or through the *actual CGRA executor*
+//!   fed by analytic signals; the controller and jump program act once per
+//!   turn. Fast enough for the full 0.4 s Fig. 5 trace in milliseconds.
+//! * [`SignalLevelLoop`] — every 250 MHz sample: DDS → ADC → ring buffers →
+//!   detectors → CGRA → Gauss pulses → DAC → DSP phase detector →
+//!   controller → gap DDS. The full Fig. 3 + Fig. 4 chain; ablation A6
+//!   checks it against the turn-level loop.
+
+use crate::control::BeamPhaseController;
+use crate::framework::SimulatorFramework;
+use crate::scenario::MdeScenario;
+use crate::signalgen::SignalBench;
+use crate::trace::TimeSeries;
+use cil_cgra::exec::{CgraExecutor, SensorBus};
+use cil_cgra::kernels::{build_beam_kernel, ACT_DT_BASE, PORT_GAP_BUF, PORT_PERIOD, PORT_REF_BUF};
+use cil_cgra::sched::ListScheduler;
+use cil_dsp::phase_detector::PhaseDetector;
+use cil_physics::constants::TWO_PI;
+use cil_physics::tracking::TwoParticleMap;
+
+/// Result of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct HilResult {
+    /// Beam-vs-reference phase (degrees at the RF harmonic), one sample per
+    /// revolution — the Fig. 5 trace.
+    pub phase_deg: TimeSeries,
+    /// Controller actuation (Hz gap-frequency trim), one sample per
+    /// revolution.
+    pub control_hz: TimeSeries,
+    /// Times at which the jump program toggled, seconds.
+    pub jump_times: Vec<f64>,
+}
+
+impl HilResult {
+    /// The Fig. 5a display form: 5-sample moving average.
+    pub fn display_trace(&self) -> TimeSeries {
+        self.phase_deg.averaged(5)
+    }
+}
+
+/// Which beam-model engine the turn-level loop uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnEngine {
+    /// The two-particle map evaluated directly (fastest).
+    Map,
+    /// The compiled kernel on the cycle-accurate CGRA executor, fed by
+    /// analytic signals — the cavity-in-the-loop path without converter
+    /// effects.
+    Cgra,
+}
+
+/// Turn-level closed-loop executive.
+pub struct TurnLevelLoop {
+    scenario: MdeScenario,
+    engine: TurnEngine,
+}
+
+/// Analytic SensorBus for the turn-level CGRA engine: serves ideal DDS
+/// waveforms (no ADC/quantisation) with the current gap-phase offset.
+struct AnalyticBus {
+    f_rev: f64,
+    f_rf: f64,
+    sample_rate: f64,
+    /// ADC-side amplitudes (the kernel multiplies by its scale factors).
+    amp: f64,
+    gap_phase_rad: f64,
+    dt_out: Vec<f64>,
+}
+
+impl SensorBus for AnalyticBus {
+    fn read(&mut self, port: u16, addr: f64) -> f64 {
+        let t = addr / self.sample_rate; // seconds relative to the crossing
+        match port {
+            PORT_PERIOD => 1.0 / self.f_rev,
+            PORT_REF_BUF => self.amp * (TWO_PI * self.f_rev * t).sin(),
+            PORT_GAP_BUF => self.amp * (TWO_PI * self.f_rf * t + self.gap_phase_rad).sin(),
+            _ => 0.0,
+        }
+    }
+    fn write(&mut self, port: u16, value: f64) {
+        let b = (port - ACT_DT_BASE) as usize;
+        if b < self.dt_out.len() {
+            self.dt_out[b] = value;
+        }
+    }
+}
+
+impl TurnLevelLoop {
+    /// New loop for a scenario.
+    pub fn new(scenario: MdeScenario, engine: TurnEngine) -> Self {
+        Self { scenario, engine }
+    }
+
+    /// Run the experiment for the scenario duration. `control_enabled`
+    /// opens/closes the loop (Fig. 5 runs closed).
+    pub fn run(&self, control_enabled: bool) -> HilResult {
+        let s = &self.scenario;
+        let op = s.operating_point();
+        let v_hat = op.v_gap_volts;
+        let f_rf = op.f_rf();
+        let t_rev = 1.0 / s.f_rev;
+        let turns = s.revolutions();
+
+        let mut controller = BeamPhaseController::new(s.controller, s.f_rev);
+        controller.enabled = control_enabled;
+
+        // Engines.
+        let mut map = TwoParticleMap::at_operating_point(&op);
+        let mut cgra: Option<(CgraExecutor, AnalyticBus)> = if self.engine == TurnEngine::Cgra {
+            let bk = build_beam_kernel(&s.kernel_params(), 1, s.pipelined);
+            let sched = ListScheduler::new(s.grid).schedule(&bk.kernel.dfg);
+            let mut ex = CgraExecutor::new(bk.kernel.dfg.clone(), sched);
+            for &(r, v) in &bk.kernel.reg_inits {
+                ex.set_reg(r, v);
+            }
+            let mut bus = AnalyticBus {
+                f_rev: s.f_rev,
+                f_rf,
+                sample_rate: 250e6,
+                amp: s.adc_amplitude,
+                gap_phase_rad: 0.0,
+                dt_out: vec![0.0; 1],
+            };
+            if s.pipelined {
+                let restore = bk.kernel.reg_inits.clone();
+                ex.warmup(&mut bus, &[], &restore);
+            }
+            Some((ex, bus))
+        } else {
+            None
+        };
+
+        let mut ctrl_phase_rad = 0.0f64;
+        let mut phase = Vec::with_capacity(turns);
+        let mut control = Vec::with_capacity(turns);
+        let mut jump_times = Vec::new();
+        let mut last_jump = 0.0f64;
+
+        for n in 0..turns {
+            let t = n as f64 * t_rev;
+            let jump_deg = s.jumps.offset_deg_at(t);
+            if jump_deg != last_jump {
+                jump_times.push(t);
+                last_jump = jump_deg;
+            }
+            let gap_phase = jump_deg.to_radians() + ctrl_phase_rad;
+
+            let dt = match (&mut cgra, self.engine) {
+                (Some((ex, bus)), TurnEngine::Cgra) => {
+                    bus.gap_phase_rad = gap_phase;
+                    ex.run_iteration(bus, &[]);
+                    bus.dt_out[0]
+                }
+                _ => map.step_stationary(v_hat, gap_phase),
+            };
+
+            let phase_deg = dt * f_rf * 360.0 + s.instrument_offset_deg;
+            if let Some(u) = controller.push_measurement(phase_deg) {
+                ctrl_phase_rad +=
+                    TWO_PI * u * t_rev * f64::from(s.controller.decimation);
+            }
+            phase.push(phase_deg);
+            control.push(controller.output());
+        }
+
+        HilResult {
+            phase_deg: TimeSeries::new(0.0, t_rev, phase),
+            control_hz: TimeSeries::new(0.0, t_rev, control),
+            jump_times,
+        }
+    }
+}
+
+/// Signal-level closed-loop executive: the full test bench of Fig. 4.
+pub struct SignalLevelLoop {
+    scenario: MdeScenario,
+}
+
+impl SignalLevelLoop {
+    /// New loop for a scenario.
+    pub fn new(scenario: MdeScenario) -> Self {
+        Self { scenario }
+    }
+
+    /// Run for `duration_s` seconds of bench time (may be shorter than the
+    /// scenario duration — the signal-level loop processes 250 M samples
+    /// per simulated second).
+    pub fn run(&self, duration_s: f64, control_enabled: bool) -> HilResult {
+        let s = &self.scenario;
+        let sample_rate = 250e6;
+        let mut bench = SignalBench::new(
+            sample_rate,
+            s.f_rev,
+            s.harmonic(),
+            s.adc_amplitude,
+            s.adc_amplitude,
+            s.jumps,
+        );
+        let mut fw = SimulatorFramework::new(s.framework_config(), s.kernel_params());
+        let period_samples = sample_rate / s.f_rev;
+        let mut detector = PhaseDetector::with_zc_threshold(
+            fw.config.pulse_amplitude * 0.25,
+            f64::from(s.harmonic()),
+            period_samples,
+            fw.config.zc_threshold,
+        );
+        let mut controller = BeamPhaseController::new(s.controller, s.f_rev * s.bunches as f64);
+        controller.enabled = control_enabled;
+
+        let n = (duration_s * sample_rate) as usize;
+        let t_rev = 1.0 / s.f_rev;
+        let mut phase_events: Vec<(f64, f64)> = Vec::new();
+        let mut control_events: Vec<(f64, f64)> = Vec::new();
+        let mut jump_times = Vec::new();
+        let mut last_jump = 0.0;
+
+        for i in 0..n {
+            let t = i as f64 / sample_rate;
+            let (v_ref, v_gap) = bench.tick();
+            if bench.applied_jump_deg() != last_jump {
+                jump_times.push(t);
+                last_jump = bench.applied_jump_deg();
+            }
+            let out = fw.push_sample(v_ref, v_gap);
+            if let Some(p) = fw.measured_period() {
+                let samples = p * sample_rate;
+                // Guard against transient mis-measurements under heavy noise.
+                if samples > period_samples * 0.5 && samples < period_samples * 2.0 {
+                    detector.set_period_samples(samples);
+                }
+            }
+            if let Some(m) = detector.push(v_ref, out.beam) {
+                let deg = m.phase_deg + s.instrument_offset_deg;
+                phase_events.push((t, deg));
+                if let Some(u) = controller.push_measurement(deg) {
+                    bench.set_control_frequency_offset(u);
+                    control_events.push((t, u));
+                }
+            }
+        }
+
+        HilResult {
+            phase_deg: resample(&phase_events, t_rev, duration_s),
+            control_hz: resample(&control_events, t_rev, duration_s),
+            jump_times,
+        }
+    }
+}
+
+/// Convert irregular (time, value) events into a uniform series with
+/// zero-order hold, one sample per `dt`.
+fn resample(events: &[(f64, f64)], dt: f64, duration: f64) -> TimeSeries {
+    let n = (duration / dt) as usize;
+    let mut values = Vec::with_capacity(n);
+    let mut idx = 0usize;
+    let mut current = events.first().map_or(0.0, |e| e.1);
+    for i in 0..n {
+        let t = i as f64 * dt;
+        while idx < events.len() && events[idx].0 <= t {
+            current = events[idx].1;
+            idx += 1;
+        }
+        values.push(current);
+    }
+    TimeSeries::new(0.0, dt, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::score_jump_response;
+
+    fn fast_scenario() -> MdeScenario {
+        // Shorter jump interval so short runs still contain jump events.
+        let mut s = MdeScenario::nov24_2023();
+        s.duration_s = 0.1;
+        s.bunches = 1;
+        s
+    }
+
+    #[test]
+    fn turn_level_map_reproduces_fig5_shape() {
+        let s = fast_scenario();
+        let result = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(true);
+        assert!(result.jump_times.len() >= 1, "at least one jump in 0.1 s");
+        let t_jump = result.jump_times[0];
+        let r = score_jump_response(
+            &result.phase_deg,
+            t_jump,
+            t_jump + 0.045,
+            s.jumps.amplitude_deg,
+        );
+        // First peak ≈ 2× the jump; the loop damps the oscillation.
+        assert!(
+            (r.first_peak_ratio - 2.0).abs() < 0.35,
+            "first-peak ratio {}",
+            r.first_peak_ratio
+        );
+        assert!(r.residual_ratio < 0.2, "damped, residual {}", r.residual_ratio);
+        // A constant baseline offset is visible. It is close to, but not
+        // exactly, the instrumentation offset: the controller's start-up
+        // transient integrates into a permanent (physically arbitrary) RF
+        // phase shift — the same class of constant offset the paper notes
+        // in Fig. 5 and dismisses as irrelevant.
+        assert!((r.baseline_deg - s.instrument_offset_deg).abs() < 8.0);
+    }
+
+    #[test]
+    fn turn_level_cgra_matches_map_engine() {
+        let mut s = fast_scenario();
+        s.duration_s = 0.06;
+        let a = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(true);
+        let b = TurnLevelLoop::new(s, TurnEngine::Cgra).run(true);
+        assert_eq!(a.phase_deg.len(), b.phase_deg.len());
+        // The engines see slightly different sampled voltages (the CGRA
+        // kernel does its own ΔT bookkeeping), but the traces must agree to
+        // a fraction of a degree RMS.
+        let mut err2 = 0.0;
+        for (x, y) in a.phase_deg.values.iter().zip(&b.phase_deg.values) {
+            err2 += (x - y) * (x - y);
+        }
+        let rms = (err2 / a.phase_deg.len() as f64).sqrt();
+        assert!(rms < 0.8, "map vs CGRA rms {rms} deg");
+    }
+
+    #[test]
+    fn open_loop_does_not_damp() {
+        let mut s = fast_scenario();
+        s.duration_s = 0.1;
+        let result = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(false);
+        let t_jump = result.jump_times[0];
+        let r = score_jump_response(
+            &result.phase_deg,
+            t_jump,
+            t_jump + 0.045,
+            s.jumps.amplitude_deg,
+        );
+        assert!(r.residual_ratio > 0.7, "open loop rings, residual {}", r.residual_ratio);
+    }
+
+    #[test]
+    fn display_trace_is_smoothed() {
+        let s = fast_scenario();
+        let result = TurnLevelLoop::new(s, TurnEngine::Map).run(true);
+        let raw = &result.phase_deg;
+        let disp = result.display_trace();
+        assert_eq!(raw.len(), disp.len());
+    }
+
+    #[test]
+    fn signal_level_loop_oscillates_and_damps() {
+        // One real jump cycle at the paper's 0.05 s spacing: 65 ms of full
+        // 250 MS/s simulation. Score on the paper's display form (5-sample
+        // averaging) — the raw trace carries the ±4.6° quantisation of the
+        // 4 ns pulse-trigger grid.
+        let s = fast_scenario();
+        let result = SignalLevelLoop::new(s).run(0.076, true);
+        assert!(!result.jump_times.is_empty());
+        let t_jump = result.jump_times[0];
+        let display = result.display_trace();
+        let r = score_jump_response(&display, t_jump, t_jump + 0.025, 8.0);
+        assert!(
+            r.first_peak_ratio > 1.4 && r.first_peak_ratio < 2.6,
+            "signal-level first-peak ratio {}",
+            r.first_peak_ratio
+        );
+        // The signal-level loop damps more slowly than the ideal turn-level
+        // loop: the pipelined kernel's two-turn-stale voltages cost ~80/s of
+        // damping rate, and the 4 ns pulse-trigger grid leaves a ~0.3
+        // quantisation floor. Within 25 ms the oscillation must still fall
+        // well below the open-loop level (≈ 1.0).
+        assert!(r.residual_ratio < 0.6, "residual {}", r.residual_ratio);
+    }
+
+    #[test]
+    fn signal_level_matches_turn_level_open_loop() {
+        // Ablation A6 (reduced): open-loop phase traces from both
+        // fidelities agree on frequency and amplitude of the oscillation.
+        let mut s = fast_scenario();
+        s.jumps.interval_s = 4e-3;
+        s.instrument_offset_deg = 0.0;
+        let duration = 0.012;
+        let sig = SignalLevelLoop::new(s.clone()).run(duration, false);
+        let mut s_turn = s.clone();
+        s_turn.duration_s = duration;
+        let turn = TurnLevelLoop::new(s_turn, TurnEngine::Map).run(false);
+
+        // Compare over the window after the first signal-level jump.
+        let t0 = sig.jump_times[0].max(turn.jump_times[0]) + 1e-4;
+        let w_sig = sig.phase_deg.window(t0, duration);
+        let w_turn = turn.phase_deg.window(t0, duration);
+        let (f_sig, a_sig) = w_sig.dominant_frequency(600.0, 3000.0);
+        let (f_turn, a_turn) = w_turn.dominant_frequency(600.0, 3000.0);
+        assert!((f_sig - f_turn).abs() < 100.0, "fs {f_sig} vs {f_turn}");
+        assert!(
+            (a_sig - a_turn).abs() / a_turn < 0.35,
+            "amplitude {a_sig} vs {a_turn}"
+        );
+    }
+
+    #[test]
+    fn resample_zero_order_hold() {
+        let events = vec![(0.1, 1.0), (0.3, 2.0)];
+        let s = resample(&events, 0.1, 0.5);
+        assert_eq!(s.values, vec![1.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+}

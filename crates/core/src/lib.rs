@@ -1,0 +1,45 @@
+//! # cil-core — the Cavity-in-the-Loop HIL framework
+//!
+//! The paper's contribution: a hardware-in-the-loop environment in which the
+//! (real) beam-phase control system runs against a real-time simulation of
+//! the beam. This crate models the complete Fig. 3 / Fig. 4 setup:
+//!
+//! * [`clock`] — the two clock domains (250 MHz system, 111 MHz CGRA) and
+//!   the BuTiS-grade master clock;
+//! * [`signalgen`] — the group DDS (reference + gap, synchronised reset)
+//!   and the AWG/CEL phase-jump injection path;
+//! * [`framework`] — the FPGA top level: ADC front-ends, capture ring
+//!   buffers, zero-crossing + period-length detectors, the CGRA
+//!   `SensorBus` wiring, Gauss pulse generators, monitoring mux, the
+//!   SpartanMC-style parameter interface and the DRAM recorder;
+//! * [`control`] — the beam-phase control loop (FIR + recursion factor +
+//!   gain, frequency actuation on the gap DDS — Klingbeil 2007);
+//! * [`hil`] — closed-loop executives at two fidelities: **signal-level**
+//!   (every 250 MHz sample) and **turn-level** (one step per revolution,
+//!   validated against signal-level in ablation A6);
+//! * [`scenario`] — experiment descriptions (the Nov 24 2023 MDE, ramp-up,
+//!   multi-bunch);
+//! * [`jitter`] — output-timing jitter models comparing an OS-scheduled
+//!   software simulator against the CGRA pipeline (the Section I
+//!   motivation);
+//! * [`trace`] — time-series recording, CSV export and the Fig. 5 summary
+//!   statistics (measured f_s, first-peak ratio, damping time).
+
+pub mod clock;
+pub mod control;
+pub mod framework;
+pub mod hil;
+pub mod jitter;
+pub mod multibunch;
+pub mod ramploop;
+pub mod recorder;
+pub mod sweep;
+pub mod scenario;
+pub mod signalgen;
+pub mod trace;
+
+pub use control::BeamPhaseController;
+pub use hil::{SignalLevelLoop, TurnLevelLoop};
+pub use ramploop::RampLoop;
+pub use scenario::MdeScenario;
+pub use trace::TimeSeries;

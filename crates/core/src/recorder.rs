@@ -1,0 +1,151 @@
+//! Binary trace format for DRAM recordings.
+//!
+//! "[The SpartanMC] allows to record the simulation into the DRAM memory of
+//! the FPGA board, which can be read out from a computer via the serial
+//! port" (Section III-B). This module defines that wire format: a compact
+//! little-endian stream of [`RevolutionRecord`]s with a magic header and a
+//! length-checked layout, plus streaming encode/decode built on `bytes`.
+
+use crate::framework::RevolutionRecord;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes identifying a recording stream ("CIL" + version 1).
+pub const MAGIC: [u8; 4] = *b"CIL\x01";
+
+/// Encode a recording into the serial wire format.
+///
+/// Layout: magic, bunch count (u32), record count (u64), then per record:
+/// crossing sample (u64), period seconds (f64), Δt per bunch (f64 × B).
+/// All records must have the same bunch count.
+pub fn encode(records: &[RevolutionRecord]) -> Bytes {
+    let bunches = records.first().map_or(0, |r| r.dt.len());
+    let mut buf =
+        BytesMut::with_capacity(16 + records.len() * (16 + 8 * bunches));
+    buf.put_slice(&MAGIC);
+    buf.put_u32_le(bunches as u32);
+    buf.put_u64_le(records.len() as u64);
+    for r in records {
+        assert_eq!(r.dt.len(), bunches, "inconsistent bunch count");
+        buf.put_u64_le(r.crossing_sample);
+        buf.put_f64_le(r.period_s);
+        for &dt in &r.dt {
+            buf.put_f64_le(dt);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Stream does not start with the magic bytes.
+    BadMagic,
+    /// Stream ended before the declared record count was read.
+    Truncated,
+    /// Declared sizes are implausible (corrupt header).
+    Corrupt,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a CIL recording (bad magic)"),
+            Self::Truncated => write!(f, "recording truncated"),
+            Self::Corrupt => write!(f, "corrupt recording header"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode a recording stream.
+pub fn decode(mut data: Bytes) -> Result<Vec<RevolutionRecord>, DecodeError> {
+    if data.remaining() < 16 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let bunches = data.get_u32_le() as usize;
+    let count = data.get_u64_le() as usize;
+    if bunches > 1 << 16 || count > 1 << 40 {
+        return Err(DecodeError::Corrupt);
+    }
+    let record_size = 16 + 8 * bunches;
+    if data.remaining() < count.saturating_mul(record_size) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let crossing_sample = data.get_u64_le();
+        let period_s = data.get_f64_le();
+        let mut dt = Vec::with_capacity(bunches);
+        for _ in 0..bunches {
+            dt.push(data.get_f64_le());
+        }
+        out.push(RevolutionRecord { crossing_sample, period_s, dt });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, bunches: usize) -> Vec<RevolutionRecord> {
+        (0..n)
+            .map(|i| RevolutionRecord {
+                crossing_sample: i as u64 * 312,
+                period_s: 1.25e-6 + i as f64 * 1e-12,
+                dt: (0..bunches).map(|b| (i * b) as f64 * 1e-9).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample(100, 4);
+        let encoded = encode(&records);
+        let decoded = decode(encoded).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn empty_recording_roundtrips() {
+        let decoded = decode(encode(&[])).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut data = encode(&sample(3, 1)).to_vec();
+        data[0] = b'X';
+        assert_eq!(decode(Bytes::from(data)), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = encode(&sample(10, 2));
+        let cut = data.slice(0..data.len() - 5);
+        assert_eq!(decode(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn detects_corrupt_header() {
+        let mut data = encode(&sample(1, 1)).to_vec();
+        // Blow up the bunch count field.
+        data[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(Bytes::from(data)), Err(DecodeError::Corrupt));
+    }
+
+    #[test]
+    fn size_is_compact() {
+        // 0.4 s at 800 kHz with 4 bunches: 320k records x 48 B ≈ 15 MB —
+        // fits the board DRAM with plenty of headroom.
+        let records = sample(1000, 4);
+        let encoded = encode(&records);
+        assert_eq!(encoded.len(), 16 + 1000 * (16 + 32));
+    }
+}

@@ -1,0 +1,202 @@
+//! Experiment descriptions.
+//!
+//! A scenario bundles every knob of an evaluation run — machine, ion,
+//! operating point, jump program, controller settings, converter and CGRA
+//! configuration — and derives the component configurations from it, so the
+//! same scenario drives the turn-level loop, the signal-level loop and the
+//! multi-particle reference consistently.
+
+use crate::control::ControllerParams;
+use crate::framework::{FrameworkConfig, MonitorMode};
+use crate::signalgen::PhaseJumpProgram;
+use cil_cgra::grid::GridConfig;
+use cil_cgra::kernels::KernelParams;
+use cil_dsp::converter::{AdcModel, DacModel};
+use cil_physics::machine::{MachineParams, OperatingPoint};
+use cil_physics::synchrotron::SynchrotronCalc;
+use cil_physics::IonSpecies;
+
+/// The machine-development-experiment scenario of Section V (and variants).
+#[derive(Debug, Clone)]
+pub struct MdeScenario {
+    /// Ring parameters.
+    pub machine: MachineParams,
+    /// Ion species.
+    pub ion: IonSpecies,
+    /// Revolution frequency of the reference signal, Hz.
+    pub f_rev: f64,
+    /// Target synchrotron frequency, Hz (sets the gap-voltage amplitude).
+    pub fs_target: f64,
+    /// The AWG phase-jump program.
+    pub jumps: PhaseJumpProgram,
+    /// Beam-phase controller settings.
+    pub controller: ControllerParams,
+    /// Bunches simulated (≤ harmonic number).
+    pub bunches: usize,
+    /// DDS amplitudes at the ADC inputs, volts.
+    pub adc_amplitude: f64,
+    /// Experiment duration, seconds.
+    pub duration_s: f64,
+    /// Pipelined CGRA kernel?
+    pub pipelined: bool,
+    /// CGRA grid.
+    pub grid: GridConfig,
+    /// Constant instrumentation phase offset (dead times / cable lengths),
+    /// degrees — the offset the paper notes is irrelevant to the result.
+    pub instrument_offset_deg: f64,
+    /// RMS width of the generated beam pulse, seconds.
+    pub pulse_sigma_s: f64,
+    /// Additive ADC input noise, volts RMS (0 = clean front-end).
+    pub adc_noise_rms: f64,
+}
+
+impl MdeScenario {
+    /// The Nov 24 2023 MDE reproduction: SIS18, ¹⁴N⁷⁺, 800 kHz / h = 4
+    /// (gap 3200 kHz), f_s = 1.28 kHz, 8° jumps every 0.05 s, controller at
+    /// f_pass = 1.4 kHz / gain −5 / recursion 0.99.
+    pub fn nov24_2023() -> Self {
+        Self {
+            machine: MachineParams::sis18(),
+            ion: IonSpecies::n14_7plus(),
+            f_rev: 800e3,
+            fs_target: 1.28e3,
+            jumps: PhaseJumpProgram::evaluation_default(),
+            controller: ControllerParams::evaluation_default(),
+            bunches: 4,
+            adc_amplitude: 0.5,
+            duration_s: 0.4,
+            pipelined: true,
+            grid: GridConfig::mesh_5x5(),
+            instrument_offset_deg: 14.0,
+            pulse_sigma_s: 20e-9,
+            adc_noise_rms: 0.0,
+        }
+    }
+
+    /// Fig. 2 variant: harmonic number 2.
+    pub fn harmonic_two_snapshot() -> Self {
+        Self {
+            machine: MachineParams::sis18_with_harmonic(2),
+            bunches: 2,
+            ..Self::nov24_2023()
+        }
+    }
+
+    /// Harmonic number of the ring configuration.
+    pub fn harmonic(&self) -> u32 {
+        self.machine.harmonic_number
+    }
+
+    /// Gap-voltage amplitude (volts at the gap) realising `fs_target`.
+    pub fn v_hat(&self) -> f64 {
+        SynchrotronCalc::new(self.machine, self.ion)
+            .voltage_for_fs(self.f_rev, self.fs_target)
+            .expect("scenario below transition")
+    }
+
+    /// The derived operating point.
+    pub fn operating_point(&self) -> OperatingPoint {
+        OperatingPoint::from_revolution_frequency(
+            self.machine,
+            self.ion,
+            self.f_rev,
+            self.v_hat(),
+        )
+    }
+
+    /// Kernel generation parameters (scales map ADC volts → gap volts).
+    pub fn kernel_params(&self) -> KernelParams {
+        let op = self.operating_point();
+        KernelParams {
+            orbit_length_m: self.machine.orbit_length_m,
+            momentum_compaction: self.machine.momentum_compaction,
+            gamma_per_volt: self.ion.gamma_per_volt(),
+            sample_rate: 250e6,
+            scale_ref: self.v_hat() / self.adc_amplitude,
+            scale_gap: self.v_hat() / self.adc_amplitude,
+            gamma_r_init: op.gamma_r,
+        }
+    }
+
+    /// Framework configuration.
+    pub fn framework_config(&self) -> FrameworkConfig {
+        FrameworkConfig {
+            sample_rate: 250e6,
+            adc: AdcModel { noise_rms: self.adc_noise_rms, ..AdcModel::fmc151() },
+            dac: DacModel::fmc151(),
+            buffer_depth: 8192,
+            period_avg: 4,
+            zc_threshold: (self.adc_noise_rms * 4.0).max(0.05),
+            pulse_sigma_s: self.pulse_sigma_s,
+            pulse_table: None,
+            pulse_amplitude: 0.8,
+            monitor_mode: MonitorMode::PhaseDifference,
+            monitor_scale: 1e7,
+            bunches: self.bunches,
+            harmonic: self.harmonic(),
+            grid: self.grid,
+            pipelined: self.pipelined,
+            interpolate: true,
+            record_capacity: (self.duration_s * self.f_rev * 1.2) as usize + 1024,
+        }
+    }
+
+    /// Number of revolutions in the experiment.
+    pub fn revolutions(&self) -> usize {
+        (self.duration_s * self.f_rev) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_scenario_matches_paper_numbers() {
+        let s = MdeScenario::nov24_2023();
+        assert_eq!(s.f_rev, 800e3);
+        assert_eq!(s.harmonic(), 4);
+        assert_eq!(s.machine.rf_frequency(s.f_rev), 3.2e6);
+        assert_eq!(s.jumps.amplitude_deg, 8.0);
+        assert_eq!(s.jumps.interval_s, 0.05);
+        assert_eq!(s.controller.f_pass, 1.4e3);
+        assert_eq!(s.controller.gain, -5.0);
+        assert_eq!(s.controller.recursion, 0.99);
+        assert_eq!(s.ion.name, "14N7+");
+    }
+
+    #[test]
+    fn v_hat_gives_target_fs() {
+        let s = MdeScenario::nov24_2023();
+        let fs = SynchrotronCalc::new(s.machine, s.ion)
+            .fs_stationary(s.f_rev, s.v_hat())
+            .unwrap();
+        assert!((fs - 1.28e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_scales_invert_adc_attenuation() {
+        // "Gap and reference voltage are scaled down on the beam side … to
+        // fit within the acceptable ADC ranges"; the kernel multiplies back.
+        let s = MdeScenario::nov24_2023();
+        let k = s.kernel_params();
+        assert!((k.scale_gap * s.adc_amplitude - s.v_hat()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_two_variant() {
+        let s = MdeScenario::harmonic_two_snapshot();
+        assert_eq!(s.harmonic(), 2);
+        assert_eq!(s.machine.rf_frequency(s.f_rev), 1.6e6);
+        assert_eq!(s.bunches, 2);
+    }
+
+    #[test]
+    fn framework_config_sized_for_duration() {
+        let s = MdeScenario::nov24_2023();
+        let f = s.framework_config();
+        assert!(f.record_capacity >= s.revolutions());
+        assert_eq!(f.bunches, 4);
+        assert_eq!(f.harmonic, 4);
+    }
+}

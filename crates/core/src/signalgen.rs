@@ -1,0 +1,246 @@
+//! Signal generation side of the test bench (Fig. 4).
+//!
+//! Three synchronised DDS modules generate the RF signals; the phase jump is
+//! injected into the gap DDS through an AWG → CEL (optical) path with a
+//! fixed latency; the beam-phase controller additionally trims the gap DDS
+//! frequency. This module bundles those sources into a [`SignalBench`]
+//! producing one (reference, gap) voltage pair per system-clock sample.
+
+use cil_dsp::dds::Dds;
+use serde::{Deserialize, Serialize};
+
+/// The phase-jump program of the evaluation: the AWG toggles a phase offset
+/// on and off at a fixed interval ("The phase jump was toggled every
+/// twentieth of a second", amplitude 8°).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseJumpProgram {
+    /// Jump amplitude, degrees (8° in the test setup, 10° in the MDE).
+    pub amplitude_deg: f64,
+    /// Toggle interval, seconds (0.05 s).
+    pub interval_s: f64,
+    /// CEL/optical-path latency between command and effect, seconds.
+    pub path_latency_s: f64,
+}
+
+impl PhaseJumpProgram {
+    /// The evaluation's program: 8° every 0.05 s, ~200 ns optical path.
+    pub fn evaluation_default() -> Self {
+        Self { amplitude_deg: 8.0, interval_s: 0.05, path_latency_s: 200e-9 }
+    }
+
+    /// Phase offset (degrees) in effect at time `t` (seconds).
+    pub fn offset_deg_at(&self, t: f64) -> f64 {
+        let t_eff = t - self.path_latency_s;
+        if t_eff < 0.0 {
+            return 0.0;
+        }
+        let phase_idx = (t_eff / self.interval_s) as u64;
+        if phase_idx % 2 == 1 {
+            self.amplitude_deg
+        } else {
+            0.0
+        }
+    }
+
+    /// Time of the next toggle edge strictly after `t`.
+    pub fn next_toggle_after(&self, t: f64) -> f64 {
+        let t_eff = (t - self.path_latency_s).max(0.0);
+        let idx = (t_eff / self.interval_s).floor() + 1.0;
+        idx * self.interval_s + self.path_latency_s
+    }
+}
+
+/// The synchronised signal bench: reference DDS at f_rev, gap DDS at
+/// h·f_rev, a jump program and a controller-driven frequency trim.
+#[derive(Debug, Clone)]
+pub struct SignalBench {
+    /// Reference DDS (undisturbed, "follows the revolution frequency set
+    /// values in an undisturbed way").
+    pub reference: Dds,
+    /// Gap DDS (receives jumps and control action).
+    pub gap: Dds,
+    /// The AWG jump program.
+    pub jumps: PhaseJumpProgram,
+    /// Harmonic number h.
+    pub harmonic: u32,
+    sample_rate: f64,
+    sample: u64,
+    /// Currently applied jump offset (deg) so that toggles are edges.
+    applied_jump_deg: f64,
+    /// Controller frequency trim currently applied to the gap DDS, Hz.
+    ctrl_freq_offset: f64,
+    base_gap_freq: f64,
+}
+
+impl SignalBench {
+    /// New bench at revolution frequency `f_rev`, harmonic `h`, given DDS
+    /// amplitudes (volts at the ADC inputs).
+    pub fn new(
+        sample_rate: f64,
+        f_rev: f64,
+        harmonic: u32,
+        amp_ref: f64,
+        amp_gap: f64,
+        jumps: PhaseJumpProgram,
+    ) -> Self {
+        let mut reference = Dds::standard(sample_rate);
+        reference.set_frequency(f_rev);
+        reference.set_amplitude(amp_ref);
+        let mut gap = Dds::standard(sample_rate);
+        let f_gap = f_rev * f64::from(harmonic);
+        gap.set_frequency(f_gap);
+        gap.set_amplitude(amp_gap);
+        // Synchronised reset (the mini control system of Fig. 4).
+        reference.sync_reset();
+        gap.sync_reset();
+        Self {
+            reference,
+            gap,
+            jumps,
+            harmonic,
+            sample_rate,
+            sample: 0,
+            applied_jump_deg: 0.0,
+            ctrl_freq_offset: 0.0,
+            base_gap_freq: f_gap,
+        }
+    }
+
+    /// Apply a controller frequency trim (Hz at the gap/RF frequency).
+    pub fn set_control_frequency_offset(&mut self, df: f64) {
+        if df != self.ctrl_freq_offset {
+            self.ctrl_freq_offset = df;
+            self.gap.set_frequency((self.base_gap_freq + df).max(0.0));
+        }
+    }
+
+    /// Currently applied controller trim, Hz.
+    pub fn control_frequency_offset(&self) -> f64 {
+        self.ctrl_freq_offset
+    }
+
+    /// Produce the next (reference, gap) sample pair.
+    pub fn tick(&mut self) -> (f64, f64) {
+        let t = self.sample as f64 / self.sample_rate;
+        self.sample += 1;
+        // Edge-apply jump program changes.
+        let want = self.jumps.offset_deg_at(t);
+        if want != self.applied_jump_deg {
+            self.gap.jump_phase_deg(want - self.applied_jump_deg);
+            self.applied_jump_deg = want;
+        }
+        (self.reference.tick(), self.gap.tick())
+    }
+
+    /// Current bench time, seconds.
+    pub fn time(&self) -> f64 {
+        self.sample as f64 / self.sample_rate
+    }
+
+    /// Currently applied jump offset (degrees).
+    pub fn applied_jump_deg(&self) -> f64 {
+        self.applied_jump_deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_program_toggles_every_interval() {
+        let p = PhaseJumpProgram { amplitude_deg: 8.0, interval_s: 0.05, path_latency_s: 0.0 };
+        assert_eq!(p.offset_deg_at(0.01), 0.0);
+        assert_eq!(p.offset_deg_at(0.06), 8.0);
+        assert_eq!(p.offset_deg_at(0.11), 0.0);
+        assert_eq!(p.offset_deg_at(0.16), 8.0);
+    }
+
+    #[test]
+    fn path_latency_delays_effect() {
+        let p = PhaseJumpProgram { amplitude_deg: 8.0, interval_s: 0.05, path_latency_s: 1e-3 };
+        assert_eq!(p.offset_deg_at(0.0505), 0.0, "before optical path delivers");
+        assert_eq!(p.offset_deg_at(0.052), 8.0);
+    }
+
+    #[test]
+    fn next_toggle_is_strictly_future() {
+        let p = PhaseJumpProgram::evaluation_default();
+        let t = p.next_toggle_after(0.0);
+        assert!(t > 0.0 && t <= 0.051);
+        let t2 = p.next_toggle_after(t);
+        assert!((t2 - t - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_produces_harmonic_pair() {
+        let mut bench = SignalBench::new(
+            250e6,
+            800e3,
+            4,
+            0.5,
+            0.5,
+            PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 1.0, path_latency_s: 0.0 },
+        );
+        // Count zero crossings over 1 ms.
+        let (mut cr, mut cg) = (0, 0);
+        let (mut lr, mut lg) = bench.tick();
+        for _ in 0..250_000 {
+            let (r, g) = bench.tick();
+            if lr < 0.0 && r >= 0.0 {
+                cr += 1;
+            }
+            if lg < 0.0 && g >= 0.0 {
+                cg += 1;
+            }
+            lr = r;
+            lg = g;
+        }
+        assert!((cr as i64 - 800).abs() <= 1, "ref crossings {cr}");
+        assert!((cg as i64 - 3200).abs() <= 1, "gap crossings {cg}");
+    }
+
+    #[test]
+    fn jump_applies_once_per_toggle() {
+        let mut bench = SignalBench::new(
+            250e6,
+            800e3,
+            4,
+            1.0,
+            1.0,
+            PhaseJumpProgram { amplitude_deg: 8.0, interval_s: 1e-4, path_latency_s: 0.0 },
+        );
+        // Cross two toggle boundaries; applied offset alternates 0/8.
+        let mut seen = Vec::new();
+        for _ in 0..(250e6_f64 * 2.5e-4) as usize {
+            bench.tick();
+            if seen.last() != Some(&bench.applied_jump_deg()) {
+                seen.push(bench.applied_jump_deg());
+            }
+        }
+        assert_eq!(seen, vec![0.0, 8.0, 0.0]);
+    }
+
+    #[test]
+    fn control_offset_changes_gap_frequency() {
+        let mut bench = SignalBench::new(
+            250e6,
+            800e3,
+            4,
+            1.0,
+            1.0,
+            PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 1.0, path_latency_s: 0.0 },
+        );
+        bench.set_control_frequency_offset(1e3);
+        // 3.201 MHz over 1 ms -> 3201 crossings.
+        let (mut c, mut last) = (0, bench.tick().1);
+        for _ in 0..250_000 {
+            let (_, g) = bench.tick();
+            if last < 0.0 && g >= 0.0 {
+                c += 1;
+            }
+            last = g;
+        }
+        assert!((c as i64 - 3201).abs() <= 1, "crossings {c}");
+    }
+}

@@ -1,0 +1,169 @@
+//! CIC (cascaded integrator–comb) decimation filters.
+//!
+//! The beam-phase controller runs at a decimated rate (Section V's DSP
+//! chain); in FPGA practice the rate change is done with a CIC filter —
+//! multiplier-free, so it fits in front of the context-limited CGRA. An
+//! order-N CIC decimating by R is N integrators at the input rate, a ÷R
+//! sampler, and N combs at the output rate; its DC gain is Rᴺ
+//! (normalised away here).
+
+/// An order-N CIC decimator with unit differential delay.
+#[derive(Debug, Clone)]
+pub struct CicDecimator {
+    /// Decimation ratio R.
+    pub ratio: u32,
+    /// Filter order N (number of integrator/comb pairs).
+    pub order: u32,
+    integrators: Vec<f64>,
+    combs: Vec<f64>,
+    phase: u32,
+    gain: f64,
+}
+
+impl CicDecimator {
+    /// New decimator with ratio `r` and order `n`.
+    pub fn new(r: u32, n: u32) -> Self {
+        assert!(r >= 1, "decimation ratio must be positive");
+        assert!((1..=8).contains(&n), "order out of the practical range");
+        Self {
+            ratio: r,
+            order: n,
+            integrators: vec![0.0; n as usize],
+            combs: vec![0.0; n as usize],
+            phase: 0,
+            gain: (f64::from(r)).powi(n as i32),
+        }
+    }
+
+    /// Feed one input-rate sample; returns an output-rate sample every
+    /// `ratio` inputs.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        // Integrator cascade at the input rate.
+        let mut acc = x;
+        for i in &mut self.integrators {
+            *i += acc;
+            acc = *i;
+        }
+        self.phase += 1;
+        if self.phase < self.ratio {
+            return None;
+        }
+        self.phase = 0;
+        // Comb cascade at the output rate.
+        let mut y = acc;
+        for c in &mut self.combs {
+            let prev = *c;
+            *c = y;
+            y -= prev;
+        }
+        Some(y / self.gain)
+    }
+
+    /// Amplitude response at normalised input frequency `f` (0..0.5):
+    /// `|sin(πfR)/(R·sin(πf))|^N`.
+    pub fn magnitude_at(&self, f: f64) -> f64 {
+        if f == 0.0 {
+            return 1.0;
+        }
+        let r = f64::from(self.ratio);
+        let num = (std::f64::consts::PI * f * r).sin();
+        let den = r * (std::f64::consts::PI * f).sin();
+        (num / den).abs().powi(self.order as i32)
+    }
+
+    /// Reset all state.
+    pub fn reset(&mut self) {
+        self.integrators.iter_mut().for_each(|v| *v = 0.0);
+        self.combs.iter_mut().for_each(|v| *v = 0.0);
+        self.phase = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_gain_is_unity() {
+        let mut cic = CicDecimator::new(8, 3);
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            if let Some(y) = cic.push(2.5) {
+                last = y;
+            }
+        }
+        assert!((last - 2.5).abs() < 1e-9, "dc out {last}");
+    }
+
+    #[test]
+    fn output_rate_is_input_over_ratio() {
+        let mut cic = CicDecimator::new(5, 2);
+        let outputs = (0..100).filter(|_| cic.push(1.0).is_some()).count();
+        assert_eq!(outputs, 20);
+    }
+
+    #[test]
+    fn order_one_equals_boxcar_average() {
+        let mut cic = CicDecimator::new(4, 1);
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mut outs = Vec::new();
+        for &x in &xs {
+            if let Some(y) = cic.push(x) {
+                outs.push(y);
+            }
+        }
+        assert_eq!(outs.len(), 2);
+        assert!((outs[0] - 2.5).abs() < 1e-12, "mean of 1..4");
+        assert!((outs[1] - 6.5).abs() < 1e-12, "mean of 5..8");
+    }
+
+    #[test]
+    fn nulls_at_multiples_of_output_rate() {
+        let cic = CicDecimator::new(8, 3);
+        for k in 1..4 {
+            let f = f64::from(k) / 8.0;
+            assert!(cic.magnitude_at(f) < 1e-12, "null at k/R");
+        }
+        assert!(cic.magnitude_at(0.01) > 0.9, "passband nearly flat");
+    }
+
+    #[test]
+    fn alias_rejection_in_time_domain() {
+        // A tone exactly at the first null (f = 1/R) must vanish.
+        let mut cic = CicDecimator::new(10, 3);
+        let mut outs = Vec::new();
+        for i in 0..10_000 {
+            let x = (std::f64::consts::TAU * 0.1 * i as f64).sin();
+            if let Some(y) = cic.push(x) {
+                outs.push(y);
+            }
+        }
+        let tail_max = outs[20..].iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!(tail_max < 1e-9, "nulled alias: {tail_max}");
+    }
+
+    #[test]
+    fn higher_order_rejects_more_stopband() {
+        let lo = CicDecimator::new(8, 1);
+        let hi = CicDecimator::new(8, 4);
+        let f = 0.09; // just off the first null
+        assert!(hi.magnitude_at(f) < lo.magnitude_at(f) * 0.1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut cic = CicDecimator::new(4, 2);
+        for _ in 0..7 {
+            cic.push(100.0);
+        }
+        cic.reset();
+        let mut first = None;
+        for _ in 0..4 {
+            if let Some(y) = cic.push(0.0) {
+                first = Some(y);
+            }
+        }
+        assert_eq!(first, Some(0.0));
+    }
+}

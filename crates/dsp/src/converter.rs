@@ -1,0 +1,194 @@
+//! Analogue/digital converter models of the FMC151 daughter card
+//! (Section III-A): two-channel 14-bit ADC and two-channel 16-bit DAC, both
+//! at 250 MHz, with input/output amplitudes limited to 2 V peak-to-peak.
+//!
+//! The models capture the behaviourally relevant properties: quantisation,
+//! full-scale clipping, optional additive noise and aperture jitter. The
+//! resolution is a parameter so ablation A3 can sweep it.
+
+use crate::fixed;
+use rand::Rng;
+
+/// ADC model: samples a continuous-time signal (provided by the caller as a
+/// function of time) into signed codes, or quantises already-discrete
+/// samples.
+#[derive(Debug, Clone)]
+pub struct AdcModel {
+    /// Resolution in bits (FMC151: 14).
+    pub bits: u32,
+    /// Full scale voltage, i.e. ±`full_scale` (FMC151 at 2 Vp-p: 1.0).
+    pub full_scale: f64,
+    /// RMS of additive input-referred noise, volts.
+    pub noise_rms: f64,
+    /// RMS aperture jitter, seconds (affects `sample_at` only).
+    pub aperture_jitter_s: f64,
+}
+
+impl AdcModel {
+    /// Ideal converter with the given resolution.
+    pub fn ideal(bits: u32, full_scale: f64) -> Self {
+        Self { bits, full_scale, noise_rms: 0.0, aperture_jitter_s: 0.0 }
+    }
+
+    /// The FMC151 ADC: 14 bits, ±1 V.
+    pub fn fmc151() -> Self {
+        Self::ideal(14, 1.0)
+    }
+
+    /// Quantise one voltage to a code (no noise path — deterministic).
+    #[inline]
+    pub fn quantize(&self, v: f64) -> i32 {
+        fixed::quantize(v, self.full_scale, self.bits)
+    }
+
+    /// Convert a code back to the voltage the downstream logic works with.
+    #[inline]
+    pub fn code_to_volts(&self, code: i32) -> f64 {
+        fixed::dequantize(code, self.full_scale, self.bits)
+    }
+
+    /// Quantise with the noise model applied (needs an RNG).
+    #[inline]
+    pub fn convert<R: Rng>(&self, v: f64, rng: &mut R) -> i32 {
+        let noisy = if self.noise_rms > 0.0 {
+            v + gauss_sample(rng) * self.noise_rms
+        } else {
+            v
+        };
+        self.quantize(noisy)
+    }
+
+    /// Sample a continuous signal `f(t)` at time `t` with aperture jitter.
+    pub fn sample_at<R: Rng, F: Fn(f64) -> f64>(&self, f: F, t: f64, rng: &mut R) -> i32 {
+        let t_eff = if self.aperture_jitter_s > 0.0 {
+            t + gauss_sample(rng) * self.aperture_jitter_s
+        } else {
+            t
+        };
+        self.convert(f(t_eff), rng)
+    }
+
+    /// One least-significant bit in volts.
+    pub fn lsb(&self) -> f64 {
+        fixed::lsb(self.full_scale, self.bits)
+    }
+}
+
+/// DAC model: signed codes to output voltage, with full-scale clipping.
+#[derive(Debug, Clone)]
+pub struct DacModel {
+    /// Resolution in bits (FMC151: 16).
+    pub bits: u32,
+    /// Full scale voltage, i.e. ±`full_scale`.
+    pub full_scale: f64,
+}
+
+impl DacModel {
+    /// The FMC151 DAC: 16 bits, ±1 V.
+    pub fn fmc151() -> Self {
+        Self { bits: 16, full_scale: 1.0 }
+    }
+
+    /// Convert a code to the output voltage.
+    #[inline]
+    pub fn code_to_volts(&self, code: i32) -> f64 {
+        let max = (1i64 << (self.bits - 1)) - 1;
+        let min = -(1i64 << (self.bits - 1));
+        fixed::dequantize((i64::from(code)).clamp(min, max) as i32, self.full_scale, self.bits)
+    }
+
+    /// Quantise a desired voltage to the nearest producible output voltage
+    /// (code → volts roundtrip).
+    #[inline]
+    pub fn quantize_volts(&self, v: f64) -> f64 {
+        self.code_to_volts(fixed::quantize(v, self.full_scale, self.bits))
+    }
+}
+
+/// Box–Muller standard normal sample (keeps `rand_distr` out of the deps).
+fn gauss_sample<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fmc151_resolutions() {
+        assert_eq!(AdcModel::fmc151().bits, 14);
+        assert_eq!(DacModel::fmc151().bits, 16);
+    }
+
+    #[test]
+    fn adc_quantization_error_bounded_by_lsb() {
+        let adc = AdcModel::fmc151();
+        for i in 0..2000 {
+            let v = (i as f64 / 1000.0 - 1.0) * 0.99;
+            let err = (adc.code_to_volts(adc.quantize(v)) - v).abs();
+            assert!(err <= adc.lsb(), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn adc_clips_at_full_scale() {
+        let adc = AdcModel::fmc151();
+        assert_eq!(adc.quantize(5.0), 8191);
+        assert_eq!(adc.quantize(-5.0), -8192);
+    }
+
+    #[test]
+    fn dac_roundtrip_is_idempotent() {
+        let dac = DacModel::fmc151();
+        let v1 = dac.quantize_volts(0.123456789);
+        let v2 = dac.quantize_volts(v1);
+        assert_eq!(v1, v2, "re-quantising a producible voltage is identity");
+    }
+
+    #[test]
+    fn noise_model_produces_requested_rms() {
+        let adc = AdcModel { noise_rms: 0.01, ..AdcModel::fmc151() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let code = adc.convert(0.0, &mut rng);
+            let v = adc.code_to_volts(code);
+            sum_sq += v * v;
+        }
+        let rms = (sum_sq / n as f64).sqrt();
+        assert!((rms - 0.01).abs() < 0.001, "rms = {rms}");
+    }
+
+    #[test]
+    fn aperture_jitter_blurs_fast_edge() {
+        // Sampling a 10 MHz sine at its zero crossing with 1 ns jitter gives
+        // voltage spread ≈ 2π·10 MHz·1 ns ≈ 0.063 V RMS.
+        let adc = AdcModel { aperture_jitter_s: 1e-9, ..AdcModel::fmc151() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = |t: f64| (std::f64::consts::TAU * 10e6 * t).sin();
+        let n = 50_000;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let v = adc.code_to_volts(adc.sample_at(f, 0.0, &mut rng));
+            sum_sq += v * v;
+        }
+        let rms = (sum_sq / n as f64).sqrt();
+        assert!((rms - 0.0628).abs() < 0.005, "rms = {rms}");
+    }
+
+    #[test]
+    fn lower_resolution_larger_error() {
+        let adc8 = AdcModel::ideal(8, 1.0);
+        let adc14 = AdcModel::ideal(14, 1.0);
+        let v = 0.34567;
+        let e8 = (adc8.code_to_volts(adc8.quantize(v)) - v).abs();
+        let e14 = (adc14.code_to_volts(adc14.quantize(v)) - v).abs();
+        assert!(adc8.lsb() > adc14.lsb());
+        assert!(e8 >= e14);
+    }
+}

@@ -1,0 +1,240 @@
+//! FIR filters.
+//!
+//! The closed-loop beam-phase control system "uses a Finite Impulse Response
+//! (FIR) filter" with parameters f_pass = 1.4 kHz, gain = −5 and recursion
+//! factor 0.99 (Section V, citing Klingbeil 2007). This module provides
+//! windowed-sinc designs (lowpass / highpass / bandpass), a moving-average
+//! filter (the 5-sample display filter of Fig. 5a), and a streaming
+//! convolution engine with O(1) per-sample work via a circular delay line.
+
+/// A streaming FIR filter.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+    delay: Vec<f64>,
+    cursor: usize,
+}
+
+impl FirFilter {
+    /// Build from explicit taps.
+    pub fn from_taps(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        let n = taps.len();
+        Self { taps, delay: vec![0.0; n], cursor: 0 }
+    }
+
+    /// Moving-average filter of `width` samples (the Fig. 5a display filter
+    /// uses width 5).
+    pub fn moving_average(width: usize) -> Self {
+        assert!(width >= 1);
+        Self::from_taps(vec![1.0 / width as f64; width])
+    }
+
+    /// Windowed-sinc lowpass: cutoff `fc` (normalised to the sample rate,
+    /// 0 < fc < 0.5), `taps` coefficients (odd preferred), Hamming window.
+    pub fn lowpass(fc: f64, taps: usize) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be in (0, 0.5)");
+        assert!(taps >= 3);
+        let m = (taps - 1) as f64;
+        let mut h: Vec<f64> = (0..taps)
+            .map(|i| {
+                let x = i as f64 - m / 2.0;
+                let sinc = if x == 0.0 {
+                    2.0 * fc
+                } else {
+                    (std::f64::consts::TAU * fc * x).sin() / (std::f64::consts::PI * x)
+                };
+                let w = 0.54 - 0.46 * (std::f64::consts::TAU * i as f64 / m).cos();
+                sinc * w
+            })
+            .collect();
+        // Normalise DC gain to exactly 1.
+        let sum: f64 = h.iter().sum();
+        for v in &mut h {
+            *v /= sum;
+        }
+        Self::from_taps(h)
+    }
+
+    /// Windowed-sinc highpass by spectral inversion of a lowpass.
+    pub fn highpass(fc: f64, taps: usize) -> Self {
+        assert!(taps % 2 == 1, "highpass needs an odd tap count");
+        let lp = Self::lowpass(fc, taps);
+        let mut h: Vec<f64> = lp.taps.iter().map(|v| -v).collect();
+        h[(taps - 1) / 2] += 1.0;
+        Self::from_taps(h)
+    }
+
+    /// Bandpass as highpass(f_lo) ∗ lowpass(f_hi) cascade collapsed into a
+    /// single impulse response.
+    pub fn bandpass(f_lo: f64, f_hi: f64, taps: usize) -> Self {
+        assert!(f_lo < f_hi, "band edges out of order");
+        assert!(taps % 2 == 1);
+        let hp = Self::highpass(f_lo, taps);
+        let lp = Self::lowpass(f_hi, taps);
+        // Convolve the two tap sets. The full-length response is kept:
+        // trimming would break the exact DC null inherited from the
+        // highpass stage.
+        let full_len = 2 * taps - 1;
+        let mut full = vec![0.0; full_len];
+        for (i, a) in hp.taps.iter().enumerate() {
+            for (j, b) in lp.taps.iter().enumerate() {
+                full[i + j] += a * b;
+            }
+        }
+        Self::from_taps(full)
+    }
+
+    /// Process one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        self.delay[self.cursor] = x;
+        let n = self.taps.len();
+        let mut acc = 0.0;
+        let mut idx = self.cursor;
+        for &t in &self.taps {
+            acc += t * self.delay[idx];
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.cursor = (self.cursor + 1) % n;
+        acc
+    }
+
+    /// Filter an entire slice (convenience for offline traces).
+    pub fn filter(&mut self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Steady-state amplitude response at normalised frequency `f`
+    /// (|H(e^{j2πf})|).
+    pub fn magnitude_at(&self, f: f64) -> f64 {
+        let (mut re, mut im) = (0.0, 0.0);
+        for (k, &t) in self.taps.iter().enumerate() {
+            let ph = std::f64::consts::TAU * f * k as f64;
+            re += t * ph.cos();
+            im -= t * ph.sin();
+        }
+        (re * re + im * im).sqrt()
+    }
+
+    /// Group delay in samples (linear-phase symmetric filters only).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Whether the filter has no taps (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Reset the delay line to zero.
+    pub fn reset(&mut self) {
+        self.delay.iter_mut().for_each(|v| *v = 0.0);
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (std::f64::consts::TAU * f * i as f64).sin()).collect()
+    }
+
+    fn steady_rms(filtered: &[f64]) -> f64 {
+        let tail = &filtered[filtered.len() / 2..];
+        (tail.iter().map(|v| v * v).sum::<f64>() / tail.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_identity() {
+        let mut f = FirFilter::moving_average(5);
+        let out = f.filter(&vec![3.0; 20]);
+        assert!((out[19] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_smooths_alternating() {
+        let mut f = FirFilter::moving_average(2);
+        let x: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let out = f.filter(&x);
+        for &v in &out[2..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lowpass_passes_dc_blocks_high() {
+        let mut lp = FirFilter::lowpass(0.05, 101);
+        assert!((lp.magnitude_at(0.0) - 1.0).abs() < 1e-9, "unity DC gain");
+        assert!(lp.magnitude_at(0.25) < 1e-3, "stopband rejection");
+        // Time-domain check.
+        let out_low = steady_rms(&lp.filter(&tone(0.01, 2000)));
+        lp.reset();
+        let out_high = steady_rms(&lp.filter(&tone(0.3, 2000)));
+        let sine_rms = 1.0 / 2.0_f64.sqrt();
+        assert!((out_low - sine_rms).abs() < 0.02);
+        assert!(out_high < 0.01);
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let hp = FirFilter::highpass(0.1, 101);
+        assert!(hp.magnitude_at(0.0) < 1e-9);
+        assert!((hp.magnitude_at(0.3) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bandpass_selects_band() {
+        let bp = FirFilter::bandpass(0.05, 0.15, 201);
+        assert!(bp.magnitude_at(0.0) < 1e-6, "DC blocked");
+        assert!((bp.magnitude_at(0.10) - 1.0).abs() < 0.05, "band centre passes");
+        assert!(bp.magnitude_at(0.35) < 1e-3, "high stopband");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = FirFilter::moving_average(4);
+        f.push(100.0);
+        f.reset();
+        assert_eq!(f.push(0.0), 0.0);
+    }
+
+    #[test]
+    fn group_delay_of_symmetric_filter() {
+        let f = FirFilter::lowpass(0.1, 21);
+        assert_eq!(f.group_delay(), 10.0);
+        // An impulse peaks at the group delay.
+        let mut f = f;
+        let mut out = Vec::new();
+        out.push(f.push(1.0));
+        for _ in 0..20 {
+            out.push(f.push(0.0));
+        }
+        let imax = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(imax, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_rejected() {
+        let _ = FirFilter::from_taps(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "band edges")]
+    fn inverted_band_rejected() {
+        let _ = FirFilter::bandpass(0.2, 0.1, 101);
+    }
+}

@@ -1,0 +1,204 @@
+//! Small IIR building blocks.
+//!
+//! The beam-phase controller's "recursion factor = 0.99" (Section V) is the
+//! pole of a first-order recursive section in the Klingbeil 2007 filter
+//! structure. We provide the leaky integrator, a DC blocker, and a
+//! comb-resonator section — the pieces `cil-core::control` assembles.
+
+/// First-order leaky integrator: `y[n] = r·y[n−1] + (1−r)·x[n]`.
+///
+/// DC gain is exactly 1; `r` close to 1 gives a long memory. With r = 0.99
+/// at the revolution rate this matches the paper's recursion factor.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakyIntegrator {
+    /// Recursion factor r ∈ [0, 1).
+    pub r: f64,
+    y: f64,
+}
+
+impl LeakyIntegrator {
+    /// New integrator with recursion factor `r`.
+    pub fn new(r: f64) -> Self {
+        assert!((0.0..1.0).contains(&r), "r must be in [0, 1)");
+        Self { r, y: 0.0 }
+    }
+
+    /// Process one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        self.y = self.r * self.y + (1.0 - self.r) * x;
+        self.y
+    }
+
+    /// Current output state.
+    pub fn state(&self) -> f64 {
+        self.y
+    }
+
+    /// Reset state to zero.
+    pub fn reset(&mut self) {
+        self.y = 0.0;
+    }
+
+    /// −3 dB cutoff in units of the sample rate: fc ≈ (1−r)/(2π) for r→1.
+    pub fn cutoff(&self) -> f64 {
+        (1.0 - self.r) / std::f64::consts::TAU
+    }
+}
+
+/// DC blocker: `y[n] = x[n] − x[n−1] + r·y[n−1]`.
+///
+/// Removes slowly varying offsets (the constant phase offset the paper notes
+/// is irrelevant) while passing the synchrotron-frequency band.
+#[derive(Debug, Clone, Copy)]
+pub struct DcBlocker {
+    /// Pole radius r ∈ [0, 1): closer to 1 = narrower notch at DC.
+    pub r: f64,
+    x1: f64,
+    y1: f64,
+}
+
+impl DcBlocker {
+    /// New blocker with pole radius `r`.
+    pub fn new(r: f64) -> Self {
+        assert!((0.0..1.0).contains(&r), "r must be in [0, 1)");
+        Self { r, x1: 0.0, y1: 0.0 }
+    }
+
+    /// Process one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        let y = x - self.x1 + self.r * self.y1;
+        self.x1 = x;
+        self.y1 = y;
+        y
+    }
+
+    /// Reset state.
+    pub fn reset(&mut self) {
+        self.x1 = 0.0;
+        self.y1 = 0.0;
+    }
+}
+
+/// Comb resonator `y[n] = x[n] − x[n−N] + r·y[n−N]` — the periodic
+/// pass/notch structure of the GSI beam-phase filter ([8]): notches at DC
+/// and multiples of fs/N, passbands in between.
+#[derive(Debug, Clone)]
+pub struct CombResonator {
+    /// Loop delay N in samples.
+    pub delay: usize,
+    /// Recursion factor r ∈ [0, 1).
+    pub r: f64,
+    x_hist: Vec<f64>,
+    y_hist: Vec<f64>,
+    cursor: usize,
+}
+
+impl CombResonator {
+    /// New comb with delay `n` samples and recursion factor `r`.
+    pub fn new(n: usize, r: f64) -> Self {
+        assert!(n >= 1);
+        assert!((0.0..1.0).contains(&r));
+        Self { delay: n, r, x_hist: vec![0.0; n], y_hist: vec![0.0; n], cursor: 0 }
+    }
+
+    /// Process one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        let xn = self.x_hist[self.cursor];
+        let yn = self.y_hist[self.cursor];
+        let y = x - xn + self.r * yn;
+        self.x_hist[self.cursor] = x;
+        self.y_hist[self.cursor] = y;
+        self.cursor = (self.cursor + 1) % self.delay;
+        y
+    }
+
+    /// Steady-state amplitude response at normalised frequency `f`.
+    pub fn magnitude_at(&self, f: f64) -> f64 {
+        // H(z) = (1 - z^-N) / (1 - r z^-N)
+        let w = std::f64::consts::TAU * f * self.delay as f64;
+        let num = ((1.0 - w.cos()).powi(2) + w.sin().powi(2)).sqrt();
+        let den = ((1.0 - self.r * w.cos()).powi(2) + (self.r * w.sin()).powi(2)).sqrt();
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_integrator_converges_to_dc() {
+        let mut li = LeakyIntegrator::new(0.99);
+        let mut y = 0.0;
+        for _ in 0..2000 {
+            y = li.push(5.0);
+        }
+        assert!((y - 5.0).abs() < 1e-6, "y = {y}");
+    }
+
+    #[test]
+    fn leaky_integrator_smooths_noise() {
+        let mut li = LeakyIntegrator::new(0.99);
+        let mut out = Vec::new();
+        for i in 0..10_000 {
+            let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+            out.push(li.push(x));
+        }
+        let tail_max = out[5000..].iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
+        assert!(tail_max < 0.02, "alternating input almost cancelled: {tail_max}");
+    }
+
+    #[test]
+    fn dc_blocker_removes_offset_passes_ac() {
+        let mut db = DcBlocker::new(0.995);
+        let mut out = Vec::new();
+        for i in 0..20_000 {
+            let x = 3.0 + (std::f64::consts::TAU * 0.05 * i as f64).sin();
+            out.push(db.push(x));
+        }
+        let tail = &out[10_000..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let rms = (tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / tail.len() as f64).sqrt();
+        assert!(mean.abs() < 1e-3, "DC removed: {mean}");
+        assert!((rms - 1.0 / 2.0_f64.sqrt()).abs() < 0.05, "AC passed: {rms}");
+    }
+
+    #[test]
+    fn comb_notches_dc_and_harmonics() {
+        let comb = CombResonator::new(10, 0.9);
+        assert!(comb.magnitude_at(0.0) < 1e-9);
+        assert!(comb.magnitude_at(0.1) < 1e-9, "notch at fs/N");
+        assert!(comb.magnitude_at(0.05) > 1.0, "peak between notches");
+    }
+
+    #[test]
+    fn comb_streaming_matches_analytic() {
+        let mut comb = CombResonator::new(8, 0.8);
+        let f = 1.0 / 16.0; // halfway between notches
+        let n = 4000;
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.push(comb.push((std::f64::consts::TAU * f * i as f64).sin()));
+        }
+        let tail = &out[n / 2..];
+        let rms = (tail.iter().map(|v| v * v).sum::<f64>() / tail.len() as f64).sqrt();
+        let gain = rms * 2.0_f64.sqrt();
+        let expect = comb.magnitude_at(f);
+        assert!((gain - expect).abs() / expect < 0.02, "gain {gain} vs {expect}");
+    }
+
+    #[test]
+    fn leaky_cutoff_formula() {
+        let li = LeakyIntegrator::new(0.99);
+        assert!((li.cutoff() - 0.01 / std::f64::consts::TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn unstable_pole_rejected() {
+        let _ = LeakyIntegrator::new(1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Sample interpolation (Section IV-B).
+//!
+//! "Since ΔT is rarely ever an integer multiple of the period length of the
+//! sampling frequency, a second value is requested from the buffer to
+//! perform linear interpolation to increase the accuracy." Ablation A1
+//! compares these interpolators on the Δt accuracy of the whole loop.
+
+/// Interpolation policy for fractional-sample reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interpolation {
+    /// Take the nearest sample (what the kernel would do without the second
+    /// buffer read).
+    NearestNeighbor,
+    /// Two-point linear interpolation — the paper's choice.
+    Linear,
+    /// Four-point Catmull-Rom cubic — a candidate refinement the paper does
+    /// not use; included for the ablation's upper bound.
+    CatmullRom,
+}
+
+impl Interpolation {
+    /// Interpolate at fractional position `x` into `samples`, where `x = i`
+    /// hits `samples[i]` exactly. Returns `None` when the stencil would
+    /// leave the slice.
+    pub fn at(&self, samples: &[f64], x: f64) -> Option<f64> {
+        if x < 0.0 {
+            return None;
+        }
+        let i = x.floor() as usize;
+        let frac = x - x.floor();
+        match self {
+            Self::NearestNeighbor => {
+                let idx = if frac < 0.5 { i } else { i + 1 };
+                samples.get(idx).copied()
+            }
+            Self::Linear => {
+                if frac == 0.0 {
+                    return samples.get(i).copied();
+                }
+                let a = *samples.get(i)?;
+                let b = *samples.get(i + 1)?;
+                Some(a * (1.0 - frac) + b * frac)
+            }
+            Self::CatmullRom => {
+                if frac == 0.0 {
+                    return samples.get(i).copied();
+                }
+                if i == 0 {
+                    return None;
+                }
+                let p0 = *samples.get(i - 1)?;
+                let p1 = *samples.get(i)?;
+                let p2 = *samples.get(i + 1)?;
+                let p3 = *samples.get(i + 2)?;
+                let t = frac;
+                let t2 = t * t;
+                let t3 = t2 * t;
+                Some(
+                    0.5 * ((2.0 * p1)
+                        + (-p0 + p2) * t
+                        + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * t2
+                        + (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * t3),
+                )
+            }
+        }
+    }
+
+    /// Worst-case reconstruction error of a unit-amplitude sine of
+    /// `samples_per_period` samples, evaluated empirically over one period.
+    /// Used by ablation A1 to rank the policies.
+    pub fn sine_error(&self, samples_per_period: f64) -> f64 {
+        let n = (samples_per_period * 4.0).ceil() as usize + 8;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / samples_per_period).sin())
+            .collect();
+        let mut worst = 0.0_f64;
+        let probes = 1000;
+        for k in 0..probes {
+            let x = 2.0 + (n as f64 - 6.0) * k as f64 / probes as f64;
+            if let Some(v) = self.at(&signal, x) {
+                let truth = (std::f64::consts::TAU * x / samples_per_period).sin();
+                worst = worst.max((v - truth).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_integer_positions() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for interp in [Interpolation::NearestNeighbor, Interpolation::Linear, Interpolation::CatmullRom] {
+            assert_eq!(interp.at(&s, 2.0), Some(3.0), "{interp:?}");
+        }
+    }
+
+    #[test]
+    fn linear_midpoint() {
+        let s = [0.0, 10.0];
+        assert_eq!(Interpolation::Linear.at(&s, 0.5), Some(5.0));
+    }
+
+    #[test]
+    fn nearest_picks_closer_sample() {
+        let s = [0.0, 10.0];
+        assert_eq!(Interpolation::NearestNeighbor.at(&s, 0.4), Some(0.0));
+        assert_eq!(Interpolation::NearestNeighbor.at(&s, 0.6), Some(10.0));
+    }
+
+    #[test]
+    fn catmull_rom_reproduces_linear_ramp() {
+        let s = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let v = Interpolation::CatmullRom.at(&s, 1.5).unwrap();
+        assert!((v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let s = [1.0, 2.0];
+        assert_eq!(Interpolation::Linear.at(&s, 1.5), None);
+        assert_eq!(Interpolation::Linear.at(&s, -0.1), None);
+        assert_eq!(Interpolation::CatmullRom.at(&s, 0.5), None, "stencil needs i-1");
+    }
+
+    #[test]
+    fn accuracy_ordering_on_sine() {
+        // 312.5 samples/period (800 kHz at 250 MS/s): linear beats nearest
+        // by orders of magnitude; cubic beats linear.
+        let spp = 312.5;
+        let e_nn = Interpolation::NearestNeighbor.sine_error(spp);
+        let e_lin = Interpolation::Linear.sine_error(spp);
+        let e_cr = Interpolation::CatmullRom.sine_error(spp);
+        assert!(e_lin < e_nn / 10.0, "linear {e_lin} vs nearest {e_nn}");
+        assert!(e_cr < e_lin, "cubic {e_cr} vs linear {e_lin}");
+    }
+
+    #[test]
+    fn error_grows_with_faster_signals() {
+        let lin = Interpolation::Linear;
+        assert!(lin.sine_error(20.0) > lin.sine_error(300.0));
+    }
+}

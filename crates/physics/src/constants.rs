@@ -1,0 +1,54 @@
+//! Physical constants used throughout the reproduction.
+//!
+//! Values follow CODATA 2018 (the defined SI values where applicable).
+
+/// Speed of light in vacuum, m/s (exact SI definition).
+pub const C: f64 = 299_792_458.0;
+
+/// Speed of light squared, m²/s².
+pub const C2: f64 = C * C;
+
+/// Elementary charge, coulomb (exact SI definition).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Atomic mass unit expressed as rest energy, eV.
+pub const AMU_EV: f64 = 931.494_102_42e6;
+
+/// Electron rest energy, eV.
+pub const ELECTRON_REST_EV: f64 = 0.510_998_950_00e6;
+
+/// Proton rest energy, eV.
+pub const PROTON_REST_EV: f64 = 938.272_088_16e6;
+
+/// Convenience: 2π.
+pub const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+
+/// Degrees per radian.
+pub const DEG_PER_RAD: f64 = 180.0 / std::f64::consts::PI;
+
+/// Radians per degree.
+pub const RAD_PER_DEG: f64 = std::f64::consts::PI / 180.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_speed_is_exact_si_value() {
+        assert_eq!(C, 299_792_458.0);
+        assert_eq!(C2, C * C);
+    }
+
+    #[test]
+    fn amu_matches_codata_to_ppm() {
+        // 1 u = 931.49410242 MeV
+        let rel = (AMU_EV - 931.494_102_42e6).abs() / AMU_EV;
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn degree_radian_roundtrip() {
+        let x = 123.456_f64;
+        assert!((x * RAD_PER_DEG * DEG_PER_RAD - x).abs() < 1e-12);
+    }
+}

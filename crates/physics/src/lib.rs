@@ -1,0 +1,33 @@
+//! # cil-physics — longitudinal beam-dynamics substrate
+//!
+//! This crate implements the accelerator-physics foundation of the
+//! *Cavity in the Loop* reproduction: relativistic kinematics (Eq. 1 of the
+//! paper), the recursive two-particle tracking map (Eqs. 2, 3 and 6), the
+//! machine model of a synchrotron ring (momentum compaction, phase-slip
+//! factor, Eq. 5), small-amplitude synchrotron-frequency theory used to set
+//! the MDE operating point, acceleration-ramp programs (the paper's "ramp-up
+//! case" future work), matched phase-space distributions, and oscillation-mode
+//! diagnostics for particle ensembles.
+//!
+//! All quantities use SI units unless stated otherwise; energies are carried
+//! in electron-volts (eV) because the tracking equations combine `Q·V` (eV
+//! when `Q` is a charge *number*) with the rest energy `m c²` (eV).
+//!
+//! The tracking maps are plain-old-data state machines that allocate nothing
+//! per revolution, so they can be re-expressed 1:1 as CGRA kernels by
+//! `cil-cgra::kernels`.
+
+pub mod constants;
+pub mod distribution;
+pub mod dual_harmonic;
+pub mod ion;
+pub mod machine;
+pub mod modes;
+pub mod ramp;
+pub mod relativity;
+pub mod synchrotron;
+pub mod tracking;
+
+pub use ion::IonSpecies;
+pub use machine::{MachineParams, OperatingPoint};
+pub use tracking::{MacroParticle, ReferenceParticle, TwoParticleMap};

@@ -1,0 +1,182 @@
+//! Relativistic kinematics: the Lorentz factors of Eq. (1) and conversions
+//! between velocity, β, γ, momentum and kinetic energy.
+//!
+//! The paper tracks particle energy through the Lorentz factor γ alone
+//! (Eq. 2); everything else — revolution time, phase-slip factor — is derived
+//! from γ via these conversions.
+
+use crate::constants::C;
+
+/// β = v/c for a velocity in m/s (Eq. 1, first factor).
+///
+/// Panics in debug builds if `v` is superluminal.
+#[inline]
+pub fn beta_from_velocity(v: f64) -> f64 {
+    debug_assert!(v.abs() < C, "superluminal velocity {v}");
+    v / C
+}
+
+/// γ = 1/√(1−β²) (Eq. 1, second factor).
+#[inline]
+pub fn gamma_from_beta(beta: f64) -> f64 {
+    debug_assert!(beta.abs() < 1.0, "|beta| must be < 1, got {beta}");
+    1.0 / (1.0 - beta * beta).sqrt()
+}
+
+/// β from γ: β = √(1 − 1/γ²). Valid for γ ≥ 1.
+#[inline]
+pub fn beta_from_gamma(gamma: f64) -> f64 {
+    debug_assert!(gamma >= 1.0, "gamma must be >= 1, got {gamma}");
+    (1.0 - 1.0 / (gamma * gamma)).sqrt()
+}
+
+/// Velocity in m/s from γ.
+#[inline]
+pub fn velocity_from_gamma(gamma: f64) -> f64 {
+    beta_from_gamma(gamma) * C
+}
+
+/// γ from a revolution frequency `f_rev` (Hz) on an orbit of length
+/// `orbit_len` (m): v = f·l, β = v/c, γ = 1/√(1−β²).
+///
+/// This is exactly the initialisation the paper's C kernel performs from the
+/// period-length detector measurement (Section IV-B).
+#[inline]
+pub fn gamma_from_revolution(f_rev: f64, orbit_len: f64) -> f64 {
+    gamma_from_beta(beta_from_velocity(f_rev * orbit_len))
+}
+
+/// Revolution time (s) of a particle with Lorentz factor γ on `orbit_len` m.
+#[inline]
+pub fn revolution_time(gamma: f64, orbit_len: f64) -> f64 {
+    orbit_len / velocity_from_gamma(gamma)
+}
+
+/// Revolution frequency (Hz) of a particle with Lorentz factor γ.
+#[inline]
+pub fn revolution_frequency(gamma: f64, orbit_len: f64) -> f64 {
+    velocity_from_gamma(gamma) / orbit_len
+}
+
+/// Relativistic momentum times c, in eV: `pc = βγ·mc²`.
+///
+/// Using `pc` in eV avoids carrying kg·m/s through the tracking equations;
+/// only momentum *ratios* ever enter the map (Eqs. 4–5).
+#[inline]
+pub fn pc_ev(gamma: f64, rest_energy_ev: f64) -> f64 {
+    beta_from_gamma(gamma) * gamma * rest_energy_ev
+}
+
+/// Kinetic energy in eV: `(γ−1)·mc²`.
+#[inline]
+pub fn kinetic_energy_ev(gamma: f64, rest_energy_ev: f64) -> f64 {
+    (gamma - 1.0) * rest_energy_ev
+}
+
+/// γ from kinetic energy per particle in eV.
+#[inline]
+pub fn gamma_from_kinetic(kinetic_ev: f64, rest_energy_ev: f64) -> f64 {
+    1.0 + kinetic_ev / rest_energy_ev
+}
+
+/// First-order relation between relative momentum deviation and relative
+/// γ deviation: Δp/p = (1/β²)·(Δγ/γ).
+///
+/// This is the linearisation the paper's third simplification before Eq. (6)
+/// relies on.
+#[inline]
+pub fn dp_over_p_from_dgamma(dgamma: f64, gamma: f64) -> f64 {
+    let beta2 = 1.0 - 1.0 / (gamma * gamma);
+    dgamma / (gamma * beta2)
+}
+
+/// Exact Δp/p between two Lorentz factors, for error analysis of the
+/// linearised map: Δp/p = (β'γ' − βγ)/(βγ).
+#[inline]
+pub fn dp_over_p_exact(gamma: f64, gamma_other: f64) -> f64 {
+    let bg = beta_from_gamma(gamma) * gamma;
+    let bg2 = beta_from_gamma(gamma_other) * gamma_other;
+    (bg2 - bg) / bg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_gamma_roundtrip() {
+        for &beta in &[1e-6, 0.1, 0.5783, 0.9, 0.999_999] {
+            let gamma = gamma_from_beta(beta);
+            // At very small beta the roundtrip loses precision to the
+            // catastrophic cancellation in 1 - 1/gamma^2; 1e-9 absolute is
+            // what f64 supports there.
+            assert!((beta_from_gamma(gamma) - beta).abs() < 1e-9, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn gamma_is_monotone_in_beta() {
+        let mut last = 0.0;
+        for i in 1..1000 {
+            let g = gamma_from_beta(i as f64 / 1000.0);
+            assert!(g > last);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn mde_operating_point_kinematics() {
+        // Paper Section V: f_ref = 800 kHz on the SIS18 orbit (216.72 m).
+        let gamma = gamma_from_revolution(800e3, 216.72);
+        let beta = beta_from_gamma(gamma);
+        assert!((beta - 0.5783).abs() < 1e-3, "beta={beta}");
+        assert!((gamma - 1.2258).abs() < 1e-3, "gamma={gamma}");
+        // Round trip back to the revolution frequency.
+        let f = revolution_frequency(gamma, 216.72);
+        assert!((f - 800e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn revolution_time_matches_frequency() {
+        let gamma = 1.5;
+        let t = revolution_time(gamma, 216.72);
+        let f = revolution_frequency(gamma, 216.72);
+        assert!((t * f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_sis18_revolution_rate() {
+        // Paper Section I: f_R,max ≈ 1.4 MHz => T_R ≈ 0.7 µs. The hard
+        // ceiling on a 216.72 m ring is c/l ≈ 1.3834 MHz (β → 1); the
+        // paper's "≈1.4 MHz" is that ultrarelativistic limit rounded.
+        let f_limit = C / 216.72;
+        assert!((f_limit - 1.3834e6).abs() < 1e3);
+        let gamma = gamma_from_revolution(1.38e6, 216.72);
+        let t = revolution_time(gamma, 216.72);
+        assert!((t - 0.725e-6).abs() < 0.01e-6);
+    }
+
+    #[test]
+    fn dp_over_p_linearisation_accurate_for_small_dgamma() {
+        let gamma = 1.2258;
+        let dgamma = 1e-6;
+        let lin = dp_over_p_from_dgamma(dgamma, gamma);
+        let exact = dp_over_p_exact(gamma, gamma + dgamma);
+        assert!((lin - exact).abs() / exact.abs() < 1e-4);
+    }
+
+    #[test]
+    fn kinetic_energy_conversions() {
+        let rest = 13.04e9;
+        let ke = 150e6 * 14.0; // 150 MeV/u for A=14
+        let g = gamma_from_kinetic(ke, rest);
+        assert!((kinetic_energy_ev(g, rest) - ke).abs() < 1.0);
+    }
+
+    #[test]
+    fn pc_positive_and_increasing() {
+        let rest = 13.04e9;
+        assert!(pc_ev(1.1, rest) < pc_ev(1.2, rest));
+        assert!(pc_ev(1.0001, rest) > 0.0);
+    }
+}

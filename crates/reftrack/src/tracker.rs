@@ -1,0 +1,244 @@
+//! Parallel multi-particle tracking.
+//!
+//! Per revolution, every macro particle gets the full *nonlinear* RF kick
+//! (no small-amplitude expansion) followed by the phase-slip drift — the
+//! same physics as `cil_physics::tracking` but vectorised over the bunch and
+//! parallelised with crossbeam scoped threads over fixed chunks.
+//!
+//! Determinism: the per-particle update is embarrassingly parallel and each
+//! particle is written by exactly one thread, so results are bit-identical
+//! for any thread count; reductions (centroid) are computed afterwards over
+//! the stable particle order.
+
+use crate::ensemble::Ensemble;
+use cil_physics::constants::{C, TWO_PI};
+use cil_physics::machine::OperatingPoint;
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerConfig {
+    /// Worker threads (1 = sequential). Chunking is fixed at construction so
+    /// the thread count never changes results.
+    pub threads: usize,
+    /// Minimum particles per chunk before another thread is worth waking.
+    pub min_chunk: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self { threads: std::thread::available_parallelism().map_or(1, |n| n.get()), min_chunk: 4096 }
+    }
+}
+
+/// Multi-particle tracker bound to an operating point.
+#[derive(Debug, Clone)]
+pub struct MultiParticleTracker {
+    /// Operating point (machine, ion, γ_R, V̂).
+    pub op: OperatingPoint,
+    /// Worker configuration.
+    pub config: TrackerConfig,
+    /// The tracked bunch.
+    pub ensemble: Ensemble,
+    /// Completed revolutions.
+    pub turn: u64,
+}
+
+impl MultiParticleTracker {
+    /// New tracker over an ensemble.
+    pub fn new(op: OperatingPoint, ensemble: Ensemble, config: TrackerConfig) -> Self {
+        Self { op, config, ensemble, turn: 0 }
+    }
+
+    /// Advance one revolution with the gap RF phase offset by
+    /// `rf_phase_offset_rad` (phase jumps plus control action), stationary
+    /// case (reference particle on set values, no net acceleration).
+    pub fn step(&mut self, rf_phase_offset_rad: f64) {
+        let f_rev = self.op.f_rev();
+        let f_rf = self.op.machine.rf_frequency(f_rev);
+        let omega_rf = TWO_PI * f_rf;
+        let q_over_mc2 = self.op.ion.gamma_per_volt();
+        let v_hat = self.op.v_gap_volts;
+        let gamma_r = self.op.gamma_r;
+        let eta = self.op.eta();
+        let beta = self.op.beta_r();
+        let drift = self.op.machine.orbit_length_m * eta / (beta * beta * beta * C) / gamma_r;
+
+        let n = self.ensemble.len();
+        let threads = self.config.threads.max(1);
+        let chunk = (n / threads + 1).max(self.config.min_chunk);
+
+        let dts = &mut self.ensemble.dt;
+        let dgs = &mut self.ensemble.dgamma;
+
+        let kick_drift = |dt_chunk: &mut [f64], dg_chunk: &mut [f64]| {
+            for (t, g) in dt_chunk.iter_mut().zip(dg_chunk.iter_mut()) {
+                let v = v_hat * (omega_rf * *t + rf_phase_offset_rad).sin();
+                *g += q_over_mc2 * v;
+                *t += drift * *g;
+            }
+        };
+
+        if threads == 1 || n <= chunk {
+            kick_drift(dts, dgs);
+        } else {
+            crossbeam::thread::scope(|s| {
+                for (dt_chunk, dg_chunk) in dts.chunks_mut(chunk).zip(dgs.chunks_mut(chunk)) {
+                    s.spawn(move |_| kick_drift(dt_chunk, dg_chunk));
+                }
+            })
+            .expect("tracking worker panicked");
+        }
+        self.turn += 1;
+    }
+
+    /// Track `turns` revolutions with a caller-supplied phase program
+    /// (`phase(turn) -> offset rad`), recording the centroid each turn.
+    /// Returns centroid Δt per turn.
+    pub fn run<F: Fn(u64) -> f64>(&mut self, turns: usize, phase: F) -> Vec<f64> {
+        let mut out = Vec::with_capacity(turns);
+        for _ in 0..turns {
+            self.step(phase(self.turn));
+            out.push(self.ensemble.centroid_dt());
+        }
+        out
+    }
+
+    /// Centroid phase in degrees at the RF harmonic (the Fig. 5 y-axis).
+    pub fn centroid_phase_deg(&self) -> f64 {
+        self.ensemble.centroid_dt() * self.op.f_rf() * 360.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cil_physics::distribution::BunchSpec;
+    use cil_physics::machine::MachineParams;
+    use cil_physics::synchrotron::SynchrotronCalc;
+    use cil_physics::tracking::TwoParticleMap;
+    use cil_physics::IonSpecies;
+
+    fn op() -> OperatingPoint {
+        let m = MachineParams::sis18();
+        let ion = IonSpecies::n14_7plus();
+        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
+    }
+
+    #[test]
+    fn single_particle_matches_two_particle_map() {
+        // One macro particle in the multiparticle tracker = the paper's
+        // model; must agree with TwoParticleMap to float accuracy.
+        let op = op();
+        let dt0 = 8.0 / 360.0 / op.f_rf();
+        let mut tracker = MultiParticleTracker::new(
+            op,
+            Ensemble::monoparticle(1, dt0, 0.0),
+            TrackerConfig { threads: 1, min_chunk: 1 },
+        );
+        let mut map = TwoParticleMap::at_operating_point(&op);
+        map.particle.dt = dt0;
+        for _ in 0..2000 {
+            tracker.step(0.0);
+            map.step_stationary(op.v_gap_volts, 0.0);
+            assert!(
+                (tracker.ensemble.dt[0] - map.particle.dt).abs() < 1e-18,
+                "turn {}: {} vs {}",
+                tracker.turn,
+                tracker.ensemble.dt[0],
+                map.particle.dt
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let op = op();
+        let e = Ensemble::matched(&BunchSpec::gaussian(15e-9), 20_000, &op, 11).unwrap();
+        let mut seq = MultiParticleTracker::new(op, e.clone(), TrackerConfig { threads: 1, min_chunk: 1 });
+        let mut par =
+            MultiParticleTracker::new(op, e, TrackerConfig { threads: 8, min_chunk: 128 });
+        for _ in 0..50 {
+            seq.step(0.1);
+            par.step(0.1);
+        }
+        assert_eq!(seq.ensemble.dt, par.ensemble.dt, "bit-identical across threads");
+        assert_eq!(seq.ensemble.dgamma, par.ensemble.dgamma);
+    }
+
+    #[test]
+    fn coherent_oscillation_after_phase_jump() {
+        // An 8° RF phase jump displaces the stable point; the centroid must
+        // oscillate with first peak ≈ 2× the jump (in phase terms) around
+        // the new equilibrium — the paper's key qualitative signature.
+        let op = op();
+        let e = Ensemble::matched(&BunchSpec::gaussian(10e-9), 5_000, &op, 5).unwrap();
+        let mut tracker = MultiParticleTracker::new(op, e, TrackerConfig { threads: 4, min_chunk: 512 });
+        let jump = 8.0_f64.to_radians();
+        let turns = (op.f_rev() / 1.28e3) as usize; // one synchrotron period
+        let trace = tracker.run(turns, |_| jump);
+        // Convert to degrees at the RF harmonic.
+        let deg: Vec<f64> = trace.iter().map(|dt| dt * op.f_rf() * 360.0).collect();
+        let min = deg.iter().cloned().fold(f64::MAX, f64::min);
+        // Equilibrium moves to −8°; the centroid swings from 0 to ≈ −16°.
+        assert!(min < -14.0 && min > -18.0, "first swing reaches {min} deg");
+    }
+
+    #[test]
+    fn filamentation_decoheres_large_bunch() {
+        // A *large* displaced bunch decoheres (Landau damping /
+        // filamentation): the centroid amplitude shrinks over many periods
+        // even without any control loop — the effect the paper says its
+        // single-macro-particle model cannot show.
+        let op = op();
+        let mut e = Ensemble::matched(&BunchSpec::gaussian(40e-9), 20_000, &op, 9).unwrap();
+        e.displace_dt(30e-9);
+        let mut tracker = MultiParticleTracker::new(op, e, TrackerConfig::default());
+        let period = (op.f_rev() / 1.28e3) as usize;
+        let trace = tracker.run(period * 12, |_| 0.0);
+        let early_peak = trace[..period].iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        let late_peak = trace[period * 10..].iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(
+            late_peak < early_peak * 0.8,
+            "decoherence: early {early_peak}, late {late_peak}"
+        );
+    }
+
+    #[test]
+    fn small_bunch_keeps_coherence_longer() {
+        // The tighter the bunch, the smaller the synchrotron-frequency
+        // spread, the slower the decoherence.
+        let op = op();
+        let run = |sigma: f64| {
+            let mut e = Ensemble::matched(&BunchSpec::gaussian(sigma), 10_000, &op, 2).unwrap();
+            e.displace_dt(20e-9);
+            let mut tr = MultiParticleTracker::new(op, e, TrackerConfig::default());
+            let period = (op.f_rev() / 1.28e3) as usize;
+            let trace = tr.run(period * 8, |_| 0.0);
+            trace[period * 7..].iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()))
+        };
+        let tight = run(5e-9);
+        let wide = run(45e-9);
+        assert!(tight > wide, "tight bunch stays coherent: {tight} vs {wide}");
+    }
+
+    #[test]
+    fn energy_conservation_in_stationary_bucket() {
+        // Without acceleration the ensemble's mean Δγ stays ≈ 0 over long
+        // tracking (symmetric kicks in a matched bunch).
+        let op = op();
+        let e = Ensemble::matched(&BunchSpec::gaussian(15e-9), 10_000, &op, 21).unwrap();
+        let mut tr = MultiParticleTracker::new(op, e, TrackerConfig::default());
+        for _ in 0..5_000 {
+            tr.step(0.0);
+        }
+        let bucket = SynchrotronCalc::new(op.machine, op.ion)
+            .bucket_half_height_dgamma(op.f_rev(), op.v_gap_volts)
+            .unwrap();
+        assert!(
+            tr.ensemble.centroid_dgamma().abs() < bucket * 0.02,
+            "mean dgamma = {}",
+            tr.ensemble.centroid_dgamma()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # cavity-in-the-loop
+//!
+//! A from-scratch Rust reproduction of *"Cavity in the Loop"* (SC 2024): a
+//! CGRA-based hardware-in-the-loop environment that simulates the
+//! longitudinal beam dynamics of the GSI SIS18 synchrotron in real time, so
+//! that the accelerator's beam-phase control system can be developed and
+//! tested without beam time.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`physics`] (`cil-physics`) — relativistic kinematics, the recursive
+//!   two-particle tracking map (Eqs. 1–6 of the paper), synchrotron-
+//!   frequency theory, ramps, matched distributions, mode diagnostics;
+//! * [`dsp`] (`cil-dsp`) — DDS, ring buffers, zero-crossing / period
+//!   detectors, ADC/DAC models, FIR/IIR filters, phase detection, spectra;
+//! * [`cgra`] (`cil-cgra`) — the CGRA overlay: C-subset frontend, SCAR
+//!   dataflow graphs, resource-constrained list scheduler with factor-2
+//!   loop pipelining, context memories, cycle-accurate executor;
+//! * [`reftrack`] (`cil-reftrack`) — the parallel multi-macro-particle
+//!   tracker standing in for the real beam (Fig. 5b);
+//! * the HIL framework itself (`cil-core`), whose modules are re-exported
+//!   at the top level: [`framework`], [`control`], [`hil`], [`scenario`],
+//!   [`signalgen`], [`jitter`], [`clock`], [`trace`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cavity_in_the_loop::hil::{TurnEngine, TurnLevelLoop};
+//! use cavity_in_the_loop::scenario::MdeScenario;
+//!
+//! let mut scenario = MdeScenario::nov24_2023();
+//! scenario.duration_s = 0.02; // keep the doctest fast
+//! scenario.bunches = 1;
+//! let result = TurnLevelLoop::new(scenario, TurnEngine::Map).run(true);
+//! assert!(result.phase_deg.len() > 10_000);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries that regenerate every figure and table of the paper.
+
+pub use cil_cgra as cgra;
+pub use cil_dsp as dsp;
+pub use cil_physics as physics;
+pub use cil_reftrack as reftrack;
+
+pub use cil_core::clock;
+pub use cil_core::control;
+pub use cil_core::framework;
+pub use cil_core::hil;
+pub use cil_core::jitter;
+pub use cil_core::multibunch;
+pub use cil_core::ramploop;
+pub use cil_core::recorder;
+pub use cil_core::scenario;
+pub use cil_core::signalgen;
+pub use cil_core::sweep;
+pub use cil_core::trace;

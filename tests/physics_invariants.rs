@@ -1,0 +1,156 @@
+//! Property-based physics invariants across the whole parameter space the
+//! machine can realistically visit — not just the MDE operating point.
+
+use cavity_in_the_loop::physics::constants::C;
+use cavity_in_the_loop::physics::machine::{MachineParams, OperatingPoint};
+use cavity_in_the_loop::physics::relativity;
+use cavity_in_the_loop::physics::synchrotron::SynchrotronCalc;
+use cavity_in_the_loop::physics::tracking::{ExactMap, MacroParticle, TwoParticleMap};
+use cavity_in_the_loop::physics::IonSpecies;
+use proptest::prelude::*;
+
+fn ions() -> Vec<IonSpecies> {
+    vec![
+        IonSpecies::proton(),
+        IonSpecies::n14_7plus(),
+        IonSpecies::ar40_18plus(),
+        IonSpecies::u238_73plus(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// β/γ relations stay consistent over the full SIS18 frequency range.
+    #[test]
+    fn relativity_consistency(f_rev in 100e3f64..1.35e6) {
+        let m = MachineParams::sis18();
+        let gamma = relativity::gamma_from_revolution(f_rev, m.orbit_length_m);
+        prop_assert!(gamma >= 1.0);
+        let beta = relativity::beta_from_gamma(gamma);
+        prop_assert!(beta > 0.0 && beta < 1.0);
+        // Round trip.
+        let f_back = m.revolution_frequency(gamma);
+        prop_assert!((f_back - f_rev).abs() / f_rev < 1e-12);
+        // Velocity consistency.
+        prop_assert!((beta * C - f_rev * m.orbit_length_m).abs() < 1e-3);
+    }
+
+    /// The analytic synchrotron frequency matches the discrete tracking map
+    /// to better than 1% over frequencies, voltages and species (below
+    /// transition).
+    #[test]
+    fn fs_theory_matches_map(
+        f_rev in 200e3f64..1.2e6,
+        v_hat in 1e3f64..30e3,
+        ion_idx in 0usize..4,
+    ) {
+        let m = MachineParams::sis18();
+        let ion = ions()[ion_idx];
+        let calc = SynchrotronCalc::new(m, ion);
+        let Ok(fs) = calc.fs_stationary(f_rev, v_hat) else {
+            // Above transition for this frequency: nothing to check.
+            return Ok(());
+        };
+        // Keep the test fast: only track when a few periods fit in 50k turns.
+        prop_assume!(fs > f_rev / 5_000.0);
+        prop_assume!(fs < f_rev / 50.0); // discrete map resolution
+
+        let op = OperatingPoint::from_revolution_frequency(m, ion, f_rev, v_hat);
+        let mut map = TwoParticleMap::at_operating_point(&op);
+        map.particle = MacroParticle::from_phase_offset_deg(1.0, &op);
+        let mut crossings = Vec::new();
+        let mut last = map.particle.dt;
+        let max_turns = (f_rev / fs * 4.0) as usize;
+        for n in 0..max_turns {
+            let dt = map.step_stationary(v_hat, 0.0);
+            if last < 0.0 && dt >= 0.0 {
+                crossings.push(n);
+            }
+            last = dt;
+        }
+        prop_assume!(crossings.len() >= 2);
+        let periods = (crossings.len() - 1) as f64;
+        let fs_sim = f_rev * periods / (crossings[crossings.len() - 1] - crossings[0]) as f64;
+        prop_assert!(
+            (fs_sim - fs).abs() / fs < 0.01,
+            "fs theory {} vs sim {} (f_rev {}, v {}, {})",
+            fs, fs_sim, f_rev, v_hat, ion.name
+        );
+    }
+
+    /// Small-amplitude motion is bounded: the linearised map never gains
+    /// energy over thousands of turns (below transition).
+    #[test]
+    fn oscillation_bounded(
+        f_rev in 200e3f64..1.2e6,
+        v_hat in 2e3f64..20e3,
+        phase_deg in 0.5f64..15.0,
+    ) {
+        let m = MachineParams::sis18();
+        let ion = IonSpecies::n14_7plus();
+        prop_assume!(m.below_transition(relativity::gamma_from_revolution(f_rev, m.orbit_length_m)));
+        let op = OperatingPoint::from_revolution_frequency(m, ion, f_rev, v_hat);
+        let mut map = TwoParticleMap::at_operating_point(&op);
+        map.particle = MacroParticle::from_phase_offset_deg(phase_deg, &op);
+        let dt0 = map.particle.dt;
+        let mut max_dt: f64 = 0.0;
+        for _ in 0..20_000 {
+            max_dt = max_dt.max(map.step_stationary(v_hat, 0.0).abs());
+        }
+        prop_assert!(max_dt <= dt0 * 1.15, "max {} vs initial {}", max_dt, dt0);
+    }
+
+    /// The paper's linearised map agrees with the exact nonlinear map for
+    /// small amplitudes (the three simplifications of Section IV-A).
+    #[test]
+    fn linearisation_error_small(
+        f_rev in 300e3f64..1.0e6,
+        phase_deg in 0.5f64..4.0,
+    ) {
+        let m = MachineParams::sis18();
+        let ion = IonSpecies::n14_7plus();
+        let v_hat = 8e3;
+        let op = OperatingPoint::from_revolution_frequency(m, ion, f_rev, v_hat);
+        let mut lin = TwoParticleMap::at_operating_point(&op);
+        lin.particle = MacroParticle::from_phase_offset_deg(phase_deg, &op);
+        let mut exact = ExactMap::from_linear(&lin);
+        let amp = lin.particle.dt;
+        let mut max_err: f64 = 0.0;
+        for _ in 0..3_000 {
+            let a = lin.step_stationary(v_hat, 0.0);
+            let b = exact.step_stationary(v_hat, 0.0);
+            max_err = max_err.max((a - b).abs());
+        }
+        prop_assert!(max_err < amp * 0.05, "relative deviation {}", max_err / amp);
+    }
+
+    /// Energy-kick antisymmetry: early and late particles with the same
+    /// |Δt| get opposite kicks in a stationary bucket.
+    #[test]
+    fn kick_antisymmetry(dt_ns in 0.1f64..30.0) {
+        let m = MachineParams::sis18();
+        let ion = IonSpecies::n14_7plus();
+        let op = OperatingPoint::from_revolution_frequency(m, ion, 800e3, 5e3);
+        let mut late = TwoParticleMap::at_operating_point(&op);
+        let mut early = TwoParticleMap::at_operating_point(&op);
+        late.particle.dt = dt_ns * 1e-9;
+        early.particle.dt = -dt_ns * 1e-9;
+        late.step_stationary(5e3, 0.0);
+        early.step_stationary(5e3, 0.0);
+        prop_assert!((late.particle.dgamma + early.particle.dgamma).abs() < 1e-18);
+    }
+}
+
+#[test]
+fn voltage_inversion_exact_across_species() {
+    for ion in ions() {
+        let m = MachineParams::sis18();
+        let calc = SynchrotronCalc::new(m, ion);
+        for &fs in &[0.8e3, 1.28e3, 2.5e3] {
+            let v = calc.voltage_for_fs(800e3, fs).unwrap();
+            let fs_back = calc.fs_stationary(800e3, v).unwrap();
+            assert!((fs_back - fs).abs() / fs < 1e-12, "{}", ion.name);
+        }
+    }
+}
