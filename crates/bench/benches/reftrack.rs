@@ -19,7 +19,9 @@ use cil_reftrack::tracker::{MultiParticleTracker, TrackerConfig};
 fn mde_op() -> OperatingPoint {
     let m = MachineParams::sis18();
     let ion = IonSpecies::n14_7plus();
-    let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+    let v = SynchrotronCalc::new(m, ion)
+        .voltage_for_fs(800e3, 1.28e3)
+        .unwrap();
     OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
 }
 
@@ -35,7 +37,10 @@ fn bench_tracker(c: &mut Criterion) {
             let mut tr = MultiParticleTracker::new(
                 op,
                 ensemble.clone(),
-                TrackerConfig { threads: 1, min_chunk: 1 << 30 },
+                TrackerConfig {
+                    threads: 1,
+                    min_chunk: 1 << 30,
+                },
             );
             b.iter(|| {
                 tr.step(0.0);
@@ -44,17 +49,24 @@ fn bench_tracker(c: &mut Criterion) {
         });
 
         let threads = std::thread::available_parallelism().map_or(4, |v| v.get());
-        g.bench_with_input(BenchmarkId::new(format!("turn_par_{threads}t"), n), &n, |b, _| {
-            let mut tr = MultiParticleTracker::new(
-                op,
-                ensemble.clone(),
-                TrackerConfig { threads, min_chunk: 4096 },
-            );
-            b.iter(|| {
-                tr.step(0.0);
-                black_box(tr.ensemble.dt[0])
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new(format!("turn_par_{threads}t"), n),
+            &n,
+            |b, _| {
+                let mut tr = MultiParticleTracker::new(
+                    op,
+                    ensemble.clone(),
+                    TrackerConfig {
+                        threads,
+                        min_chunk: 4096,
+                    },
+                );
+                b.iter(|| {
+                    tr.step(0.0);
+                    black_box(tr.ensemble.dt[0])
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -18,7 +18,9 @@ use cil_physics::IonSpecies;
 fn mde_op() -> OperatingPoint {
     let m = MachineParams::sis18();
     let ion = IonSpecies::n14_7plus();
-    let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+    let v = SynchrotronCalc::new(m, ion)
+        .voltage_for_fs(800e3, 1.28e3)
+        .unwrap();
     OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
 }
 

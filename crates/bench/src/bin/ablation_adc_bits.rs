@@ -24,7 +24,11 @@ fn run(bits: u32) -> (f64, f64) {
         s.harmonic(),
         s.adc_amplitude,
         s.adc_amplitude,
-        PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 10.0, path_latency_s: 0.0 },
+        PhaseJumpProgram {
+            amplitude_deg: 0.0,
+            interval_s: 10.0,
+            path_latency_s: 0.0,
+        },
     );
     // Quiescent noise floor over 2 ms.
     for _ in 0..(50e-6 * 250e6) as usize {
@@ -38,9 +42,8 @@ fn run(bits: u32) -> (f64, f64) {
     }
     let quiesc: Vec<f64> = fw.records.iter().map(|r| r.dt[0]).collect();
     let mean = quiesc.iter().sum::<f64>() / quiesc.len() as f64;
-    let noise_rms = (quiesc.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / quiesc.len() as f64)
-        .sqrt();
+    let noise_rms =
+        (quiesc.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / quiesc.len() as f64).sqrt();
 
     // fs with a displaced bunch over 5 ms.
     let dt0 = 8.0 / 360.0 / (s.f_rev * 4.0);
@@ -67,7 +70,11 @@ fn main() {
     let mut csv = String::from("bits,fs_hz,noise_ps\n");
     for bits in [8u32, 10, 12, 14, 16] {
         let (fs, noise) = run(bits);
-        let label = if bits == 14 { "14 (FMC151)".to_string() } else { bits.to_string() };
+        let label = if bits == 14 {
+            "14 (FMC151)".to_string()
+        } else {
+            bits.to_string()
+        };
         t.row(&[
             label,
             format!("{fs:.1}"),

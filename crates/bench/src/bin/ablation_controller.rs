@@ -4,30 +4,77 @@
 //! 0.99, which are the optimal parameters according to [8]". Sweeps gain
 //! and pass frequency around that point (turn-level loop, one 8° jump) and
 //! reports first-peak ratio, residual and damping time — showing the
-//! chosen point is indeed a good one.
+//! chosen point is indeed a good one. The variants run in parallel through
+//! [`cil_core::sweep::parallel_sweep_auto`]; results come back in input
+//! order, so the table stays deterministic.
 
 use cil_bench::{write_csv, Table};
-use cil_core::hil::{TurnEngine, TurnLevelLoop};
+use cil_core::hil::{EngineKind, TurnLevelLoop};
 use cil_core::scenario::MdeScenario;
+use cil_core::sweep::parallel_sweep_auto;
 use cil_core::trace::score_jump_response;
 use std::fmt::Write as _;
 
-fn run(gain: f64, f_pass: f64, recursion: f64) -> (f64, f64, Option<f64>) {
+#[derive(Clone, Copy)]
+struct Point {
+    gain: f64,
+    f_pass: f64,
+    recursion: f64,
+    paper: bool,
+}
+
+fn run(p: &Point) -> (f64, f64, Option<f64>) {
     let mut s = MdeScenario::nov24_2023();
     s.duration_s = 0.1;
     s.bunches = 1;
-    s.controller.gain = gain;
-    s.controller.f_pass = f_pass;
-    s.controller.recursion = recursion;
-    let result = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(true);
+    s.controller.gain = p.gain;
+    s.controller.f_pass = p.f_pass;
+    s.controller.recursion = p.recursion;
+    let result = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(true);
     let t_jump = result.jump_times[0];
-    let r = score_jump_response(&result.phase_deg, t_jump, t_jump + 0.045, s.jumps.amplitude_deg);
+    let r = score_jump_response(
+        &result.phase_deg,
+        t_jump,
+        t_jump + 0.045,
+        s.jumps.amplitude_deg,
+    );
     (r.first_peak_ratio, r.residual_ratio, r.damping_time_s)
 }
 
 fn main() {
     println!("Ablation A5 — beam-phase controller parameter sweep");
     println!("(turn-level loop, 8 deg jump, 45 ms scoring window)\n");
+
+    let mut points = Vec::new();
+    // Gain sweep at the paper's filter settings.
+    for gain in [-1.0, -2.0, -5.0, -8.0, -12.0, 2.0] {
+        points.push(Point {
+            gain,
+            f_pass: 1.4e3,
+            recursion: 0.99,
+            paper: gain == -5.0,
+        });
+    }
+    // Pass-frequency sweep at the paper's gain.
+    for f_pass in [0.7e3f64, 2.8e3, 5.6e3] {
+        points.push(Point {
+            gain: -5.0,
+            f_pass,
+            recursion: 0.99,
+            paper: false,
+        });
+    }
+    // Recursion-factor sweep.
+    for recursion in [0.9, 0.999] {
+        points.push(Point {
+            gain: -5.0,
+            f_pass: 1.4e3,
+            recursion,
+            paper: false,
+        });
+    }
+
+    let results = parallel_sweep_auto(&points, run);
 
     let mut t = Table::new(&[
         "gain",
@@ -38,34 +85,23 @@ fn main() {
         "damping tau [ms]",
     ]);
     let mut csv = String::from("gain,f_pass,recursion,first_peak_ratio,residual,tau_ms\n");
-    let mut add = |gain: f64, f_pass: f64, rec: f64, mark: &str| {
-        let (fp, res, tau) = run(gain, f_pass, rec);
+    for (p, (fp, res, tau)) in points.iter().zip(results) {
+        let mark = if p.paper { " (paper)" } else { "" };
         let tau_s = tau.map_or("-".to_string(), |t| format!("{:.1}", t * 1e3));
         t.row(&[
-            format!("{gain}{mark}"),
-            format!("{:.1}", f_pass / 1e3),
-            format!("{rec}"),
+            format!("{}{mark}", p.gain),
+            format!("{:.1}", p.f_pass / 1e3),
+            format!("{}", p.recursion),
             format!("{fp:.2}"),
             format!("{res:.3}"),
             tau_s.clone(),
         ]);
-        writeln!(csv, "{gain},{f_pass},{rec},{fp:.3},{res:.4},{tau_s}").unwrap();
-    };
-
-    // Gain sweep at the paper's filter settings.
-    for gain in [-1.0, -2.0, -5.0, -8.0, -12.0, 2.0] {
-        let mark = if gain == -5.0 { " (paper)" } else { "" };
-        add(gain, 1.4e3, 0.99, mark);
-    }
-    // Pass-frequency sweep at the paper's gain.
-    for f_pass in [0.7e3f64, 1.4e3, 2.8e3, 5.6e3] {
-        if (f_pass - 1.4e3).abs() > 1.0 {
-            add(-5.0, f_pass, 0.99, "");
-        }
-    }
-    // Recursion-factor sweep.
-    for rec in [0.9, 0.999] {
-        add(-5.0, 1.4e3, rec, "");
+        writeln!(
+            csv,
+            "{},{},{},{fp:.3},{res:.4},{tau_s}",
+            p.gain, p.f_pass, p.recursion
+        )
+        .unwrap();
     }
     t.print();
     println!("\nreading: negative gain damps (positive rings/unstable); the");

@@ -41,8 +41,7 @@ fn unwrap(trace: &[f64]) -> Vec<f64> {
 }
 
 fn stats(trace: &[f64], f_rev: f64) -> Measured {
-    let (f_norm, amp) =
-        cil_dsp::spectrum::dominant_frequency(trace, 800.0 / f_rev, 2000.0 / f_rev);
+    let (f_norm, amp) = cil_dsp::spectrum::dominant_frequency(trace, 800.0 / f_rev, 2000.0 / f_rev);
     // Noise: residual after removing mean and the dominant tone.
     let mean = trace.iter().sum::<f64>() / trace.len() as f64;
     let tau = std::f64::consts::TAU * f_norm;
@@ -79,7 +78,11 @@ fn main() {
         s.harmonic(),
         s.adc_amplitude,
         s.adc_amplitude,
-        PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 10.0, path_latency_s: 0.0 },
+        PhaseJumpProgram {
+            amplitude_deg: 0.0,
+            interval_s: 10.0,
+            path_latency_s: 0.0,
+        },
     );
     let period_samples = 250e6 / s.f_rev;
     let mut centroid = PhaseDetector::new(0.2, f64::from(s.harmonic()), period_samples);
@@ -121,7 +124,12 @@ fn main() {
     let mi = stats(&unwrap(&trace_iq), s.f_rev);
     println!("Ablation A8 — centroid vs IQ phase measurement (signal level,");
     println!("8 deg displaced bunch, 6 ms, both instruments on the same beam)\n");
-    let mut t = Table::new(&["instrument", "fs [Hz]", "oscillation amp [deg]", "noise RMS [deg]"]);
+    let mut t = Table::new(&[
+        "instrument",
+        "fs [Hz]",
+        "oscillation amp [deg]",
+        "noise RMS [deg]",
+    ]);
     let mut csv = String::from("instrument,fs_hz,amp_deg,noise_rms_deg\n");
     for (name, m) in [("pulse centroid", &mc), ("IQ demodulation", &mi)] {
         t.row(&[
@@ -130,7 +138,12 @@ fn main() {
             format!("{:.2}", m.amp_deg),
             format!("{:.3}", m.noise_rms_deg),
         ]);
-        writeln!(csv, "{name},{:.2},{:.3},{:.4}", m.fs_hz, m.amp_deg, m.noise_rms_deg).unwrap();
+        writeln!(
+            csv,
+            "{name},{:.2},{:.3},{:.4}",
+            m.fs_hz, m.amp_deg, m.noise_rms_deg
+        )
+        .unwrap();
     }
     t.print();
     println!("\nreading: both instruments agree on fs and amplitude; the IQ");

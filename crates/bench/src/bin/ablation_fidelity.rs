@@ -7,7 +7,7 @@
 //! modelling layer adds (staleness, quantisation) and costs (wall time).
 
 use cil_bench::{write_csv, Table};
-use cil_core::hil::{SignalLevelLoop, TurnEngine, TurnLevelLoop};
+use cil_core::hil::{EngineKind, SignalLevelLoop, TurnLevelLoop};
 use cil_core::scenario::MdeScenario;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,11 +48,11 @@ fn main() {
 
     let s1 = s.clone();
     measure("turn-level, two-particle map", &move || {
-        TurnLevelLoop::new(s1.clone(), TurnEngine::Map).run(false)
+        TurnLevelLoop::new(s1.clone(), EngineKind::Map).run(false)
     });
     let s2 = s.clone();
     measure("turn-level, CGRA executor", &move || {
-        TurnLevelLoop::new(s2.clone(), TurnEngine::Cgra).run(false)
+        TurnLevelLoop::new(s2.clone(), EngineKind::Cgra).run(false)
     });
     let s3 = s.clone();
     let dur = s.duration_s;

@@ -30,9 +30,14 @@ fn main() {
     let mut csv = String::from("rows,cols,topology,ticks,fmax_mhz,utilisation\n");
     for size in 2u16..=6 {
         for topo in [Topology::Mesh, Topology::MeshDiagonal, Topology::Torus] {
-            let grid = GridConfig { topology: topo, ..GridConfig::mesh(size, size) };
+            let grid = GridConfig {
+                topology: topo,
+                ..GridConfig::mesh(size, size)
+            };
             let schedule = ListScheduler::new(grid).schedule(&kernel.kernel.dfg);
-            schedule.validate(&kernel.kernel.dfg).expect("valid schedule");
+            schedule
+                .validate(&kernel.kernel.dfg)
+                .expect("valid schedule");
             t.row(&[
                 format!("{size}x{size}"),
                 format!("{topo:?}"),

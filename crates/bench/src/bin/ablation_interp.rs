@@ -25,7 +25,11 @@ fn end_to_end(interpolate: bool) -> (f64, f64) {
         s.harmonic(),
         s.adc_amplitude,
         s.adc_amplitude,
-        PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 10.0, path_latency_s: 0.0 },
+        PhaseJumpProgram {
+            amplitude_deg: 0.0,
+            interval_s: 10.0,
+            path_latency_s: 0.0,
+        },
     );
     for _ in 0..(50e-6 * 250e6) as usize {
         let (r, g) = bench.tick();
@@ -48,7 +52,11 @@ fn main() {
     println!("Ablation A1 — linear interpolation of the buffer reads\n");
 
     // (a) Raw reconstruction error per policy and signal.
-    let mut t = Table::new(&["policy", "ref sine (312.5 smp/period)", "gap sine (78.1 smp/period)"]);
+    let mut t = Table::new(&[
+        "policy",
+        "ref sine (312.5 smp/period)",
+        "gap sine (78.1 smp/period)",
+    ]);
     let mut csv = String::from("policy,err_ref,err_gap\n");
     for (name, p) in [
         ("nearest", Interpolation::NearestNeighbor),
@@ -66,7 +74,12 @@ fn main() {
     println!("\nend-to-end (signal-level, 5 ms, 8 deg displaced bunch):\n");
     let (fs_with, amp_with) = end_to_end(true);
     let (fs_without, amp_without) = end_to_end(false);
-    let mut t2 = Table::new(&["kernel", "measured fs [Hz]", "fs error vs 1280", "amplitude [ns]"]);
+    let mut t2 = Table::new(&[
+        "kernel",
+        "measured fs [Hz]",
+        "fs error vs 1280",
+        "amplitude [ns]",
+    ]);
     for (name, fs, amp) in [
         ("two reads + lerp (paper)", fs_with, amp_with),
         ("single nearest read", fs_without, amp_without),

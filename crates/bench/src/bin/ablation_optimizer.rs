@@ -28,8 +28,7 @@ fn main() {
         "f_max MHz",
         "f_max MHz (opt)",
     ]);
-    let mut csv =
-        String::from("kernel,nodes,nodes_opt,ticks,ticks_opt,fmax_mhz,fmax_opt_mhz\n");
+    let mut csv = String::from("kernel,nodes,nodes_opt,ticks,ticks_opt,fmax_mhz,fmax_opt_mhz\n");
     for (bunches, pipelined) in [(1usize, true), (4, true), (8, true), (8, false)] {
         let bk = build_beam_kernel(&params, bunches, pipelined);
         let (opt, stats) = optimize(&bk.kernel.dfg);

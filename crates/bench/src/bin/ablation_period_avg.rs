@@ -55,7 +55,11 @@ fn main() {
         let (rms, lock) = measure(window, 0.02, 42);
         // df/f = -dp/p -> df = f * rms/period.
         let df = 800e3 * rms / 312.5;
-        let label = if window == 4 { "4 (paper)".to_string() } else { window.to_string() };
+        let label = if window == 4 {
+            "4 (paper)".to_string()
+        } else {
+            window.to_string()
+        };
         t.row(&[
             label,
             format!("{rms:.4}"),

@@ -45,11 +45,19 @@ fn main() {
                 label.clone(),
                 format!("{policy:?}"),
                 s.makespan.to_string(),
-                format!("{:+.1}%", (s.makespan as f64 / baseline as f64 - 1.0) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (s.makespan as f64 / baseline as f64 - 1.0) * 100.0
+                ),
                 r.routed_transfers.to_string(),
                 r.max_link_occupancy.to_string(),
             ]);
-            writeln!(csv, "{label},{policy:?},{},{},{}", s.makespan, r.routed_transfers, r.max_link_occupancy).unwrap();
+            writeln!(
+                csv,
+                "{label},{policy:?},{},{},{}",
+                s.makespan, r.routed_transfers, r.max_link_occupancy
+            )
+            .unwrap();
         }
     }
     t.print();

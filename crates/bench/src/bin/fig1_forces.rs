@@ -17,7 +17,9 @@ use std::fmt::Write as _;
 fn main() {
     let machine = MachineParams::sis18();
     let ion = IonSpecies::n14_7plus();
-    let v_hat = SynchrotronCalc::new(machine, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+    let v_hat = SynchrotronCalc::new(machine, ion)
+        .voltage_for_fs(800e3, 1.28e3)
+        .unwrap();
     let op = OperatingPoint::from_revolution_frequency(machine, ion, 800e3, v_hat);
     let f_rf = op.f_rf();
     let t_rf = 1.0 / f_rf;
@@ -35,7 +37,13 @@ fn main() {
     let path = write_csv("fig1_forces.csv", &csv);
 
     // Energy kicks of representative particles, via the actual map.
-    let mut table = Table::new(&["particle", "dt [ns]", "V seen [V]", "dGamma per turn", "effect"]);
+    let mut table = Table::new(&[
+        "particle",
+        "dt [ns]",
+        "V seen [V]",
+        "dGamma per turn",
+        "effect",
+    ]);
     for (label, dt_ns) in [("early", -10.0), ("on time", 0.0), ("late", 10.0)] {
         let mut map = TwoParticleMap::at_operating_point(&op);
         map.particle.dt = dt_ns * 1e-9;
@@ -60,8 +68,21 @@ fn main() {
     println!("Fig. 1 — forces on a bunch (stationary bucket, SIS18, 14N7+)\n");
     table.print();
     println!();
-    println!("{}", compare_line("late particle (dt>0)", "accelerated", "accelerated"));
-    println!("{}", compare_line("early particle (dt<0)", "slowed down", "slowed down"));
-    println!("{}", compare_line("gap voltage amplitude", "(set for fs=1.28 kHz)", &format!("{v_hat:.0} V")));
+    println!(
+        "{}",
+        compare_line("late particle (dt>0)", "accelerated", "accelerated")
+    );
+    println!(
+        "{}",
+        compare_line("early particle (dt<0)", "slowed down", "slowed down")
+    );
+    println!(
+        "{}",
+        compare_line(
+            "gap voltage amplitude",
+            "(set for fs=1.28 kHz)",
+            &format!("{v_hat:.0} V")
+        )
+    );
     println!("\ncurve data -> {}", path.display());
 }

@@ -22,7 +22,11 @@ fn main() {
         scenario.harmonic(),
         scenario.adc_amplitude,
         scenario.adc_amplitude,
-        PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 1.0, path_latency_s: 0.0 },
+        PhaseJumpProgram {
+            amplitude_deg: 0.0,
+            interval_s: 1.0,
+            path_latency_s: 0.0,
+        },
     );
 
     // Initialise, then displace both bunches (non-equilibrium snapshot).
@@ -64,15 +68,36 @@ fn main() {
     let path = write_csv("fig2_signals.csv", &csv);
 
     println!("Fig. 2 — input/output signals at h = 2 (non-equilibrium snapshot)\n");
-    println!("captured: 3 reference periods ({} samples at 250 MS/s)", capture);
-    println!("{}", compare_line("reference frequency", "800 kHz", &format!("{:.0} kHz", scenario.f_rev / 1e3)));
     println!(
-        "{}",
-        compare_line("gap frequency (h=2)", "1600 kHz", &format!("{:.0} kHz", scenario.machine.rf_frequency(scenario.f_rev) / 1e3))
+        "captured: 3 reference periods ({} samples at 250 MS/s)",
+        capture
     );
     println!(
         "{}",
-        compare_line("beam pulses per reference period", "2 (one per bucket)", &format!("{:.1}", beam_peaks as f64 / 3.0))
+        compare_line(
+            "reference frequency",
+            "800 kHz",
+            &format!("{:.0} kHz", scenario.f_rev / 1e3)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "gap frequency (h=2)",
+            "1600 kHz",
+            &format!(
+                "{:.0} kHz",
+                scenario.machine.rf_frequency(scenario.f_rev) / 1e3
+            )
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "beam pulses per reference period",
+            "2 (one per bucket)",
+            &format!("{:.1}", beam_peaks as f64 / 3.0)
+        )
     );
     println!("\nwaveform data -> {}", path.display());
 }

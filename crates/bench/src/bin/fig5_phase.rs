@@ -16,15 +16,11 @@
 //! `--particles <n>` (mde side, default 10000).
 
 use cil_bench::{arg_value, compare_line, write_csv, Table};
-use cil_core::control::BeamPhaseController;
-use cil_core::hil::{SignalLevelLoop, TurnEngine, TurnLevelLoop};
+use cil_core::engine::RefTrackEngine;
+use cil_core::harness::LoopHarness;
+use cil_core::hil::{EngineKind, SignalLevelLoop, TurnLevelLoop};
 use cil_core::scenario::MdeScenario;
 use cil_core::trace::{score_jump_response, JumpResponse, TimeSeries};
-use cil_physics::constants::TWO_PI;
-use cil_physics::distribution::BunchSpec;
-use cil_physics::machine::OperatingPoint;
-use cil_reftrack::ensemble::Ensemble;
-use cil_reftrack::tracker::{MultiParticleTracker, TrackerConfig};
 
 struct SideResult {
     label: String,
@@ -36,12 +32,21 @@ struct SideResult {
 
 fn analyse(label: &str, trace: TimeSeries, jump_times: Vec<f64>, jump_deg: f64) -> SideResult {
     let t_jump = *jump_times.first().expect("no jump in trace");
-    let window_end = jump_times.get(1).copied().unwrap_or(trace.t0 + trace.dt * trace.len() as f64);
+    let window_end = jump_times
+        .get(1)
+        .copied()
+        .unwrap_or(trace.t0 + trace.dt * trace.len() as f64);
     let response = score_jump_response(&trace, t_jump, window_end, jump_deg);
     // fs from the post-jump window.
     let w = trace.window(t_jump + 1e-4, window_end);
     let (fs_hz, _) = w.dominant_frequency(600.0, 3000.0);
-    SideResult { label: label.to_string(), trace, jump_times, fs_hz, response }
+    SideResult {
+        label: label.to_string(),
+        trace,
+        jump_times,
+        fs_hz,
+        response,
+    }
 }
 
 fn run_sim(duration: f64, fidelity: &str) -> SideResult {
@@ -49,7 +54,7 @@ fn run_sim(duration: f64, fidelity: &str) -> SideResult {
     s.duration_s = duration;
     s.bunches = 1; // the phase trace follows one bunch, as in Fig. 5a
     let result = match fidelity {
-        "turn" => TurnLevelLoop::new(s.clone(), TurnEngine::Cgra).run(true),
+        "turn" => TurnLevelLoop::new(s.clone(), EngineKind::Cgra).run(true),
         "signal" => SignalLevelLoop::new(s.clone()).run(duration, true),
         other => panic!("unknown fidelity '{other}' (use signal|turn)"),
     };
@@ -63,43 +68,19 @@ fn run_sim(duration: f64, fidelity: &str) -> SideResult {
 }
 
 fn run_mde_standin(duration: f64, particles: usize) -> SideResult {
-    // The MDE: 10° jumps, synchrotron frequency 1.2 kHz.
+    // The MDE: 10° jumps, synchrotron frequency 1.2 kHz. Real injected
+    // beams are never perfectly centred, hence the 1 ns launch displacement.
     let mut s = MdeScenario::nov24_2023();
     s.fs_target = 1.2e3;
     s.jumps.amplitude_deg = 10.0;
-    let op: OperatingPoint = s.operating_point();
-    let mut ensemble =
-        Ensemble::matched(&BunchSpec::gaussian(15e-9), particles, &op, 20231124).unwrap();
-    // Real injected beams are never perfectly centred.
-    ensemble.displace_dt(1e-9);
-    let mut tracker = MultiParticleTracker::new(op, ensemble, TrackerConfig::default());
-    let mut controller = BeamPhaseController::new(s.controller, s.f_rev);
-
-    let t_rev = 1.0 / s.f_rev;
-    let turns = (duration / t_rev) as usize;
-    let mut trace = Vec::with_capacity(turns);
-    let mut jump_times = Vec::new();
-    let mut last_jump = 0.0;
-    let mut ctrl_phase_rad = 0.0;
-    for n in 0..turns {
-        let t = n as f64 * t_rev;
-        let jump_deg = s.jumps.offset_deg_at(t);
-        if jump_deg != last_jump {
-            jump_times.push(t);
-            last_jump = jump_deg;
-        }
-        tracker.step(jump_deg.to_radians() + ctrl_phase_rad);
-        let phase_deg = tracker.centroid_phase_deg() + s.instrument_offset_deg;
-        if let Some(u) = controller.push_measurement(phase_deg) {
-            ctrl_phase_rad += TWO_PI * u * t_rev * f64::from(s.controller.decimation);
-        }
-        trace.push(phase_deg);
-    }
-    let series = TimeSeries::new(0.0, t_rev, trace).averaged(5);
+    let mut engine = RefTrackEngine::from_scenario(&s, particles, 20231124, 15e-9, 1e-9);
+    let mut harness = LoopHarness::for_scenario(&s, true);
+    let trace = harness.run(&mut engine, duration);
+    let series = TimeSeries::new(0.0, 1.0 / s.f_rev, trace.mean_phase_deg).averaged(5);
     analyse(
         &format!("MDE stand-in ({particles} macro particles)"),
         series,
-        jump_times,
+        trace.jump_times,
         s.jumps.amplitude_deg,
     )
 }
@@ -108,23 +89,65 @@ fn print_side(r: &SideResult, paper_fs: f64) {
     println!("== {} ==", r.label);
     let csv_name = format!(
         "fig5_{}.csv",
-        r.label.split_whitespace().next().unwrap_or("side").to_lowercase().replace('(', "")
+        r.label
+            .split_whitespace()
+            .next()
+            .unwrap_or("side")
+            .to_lowercase()
+            .replace('(', "")
     );
     let path = write_csv(&csv_name, &r.trace.to_csv());
-    println!("{}", compare_line("synchrotron frequency", &format!("{paper_fs:.2} kHz"), &format!("{:.2} kHz", r.fs_hz / 1e3)));
-    println!("{}", compare_line("first peak after jump", "2 x jump amplitude", &format!("{:.2} x", r.response.first_peak_ratio)));
+    println!(
+        "{}",
+        compare_line(
+            "synchrotron frequency",
+            &format!("{paper_fs:.2} kHz"),
+            &format!("{:.2} kHz", r.fs_hz / 1e3)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "first peak after jump",
+            "2 x jump amplitude",
+            &format!("{:.2} x", r.response.first_peak_ratio)
+        )
+    );
     println!(
         "{}",
         compare_line(
             "oscillation damped before next jump",
             "yes",
-            if r.response.residual_ratio < 0.5 { "yes" } else { "no" },
+            if r.response.residual_ratio < 0.5 {
+                "yes"
+            } else {
+                "no"
+            },
         )
     );
     if let Some(tau) = r.response.damping_time_s {
-        println!("{}", compare_line("damping time constant", "(a few ms, Fig. 5)", &format!("{:.1} ms", tau * 1e3)));
+        println!(
+            "{}",
+            compare_line(
+                "damping time constant",
+                "(a few ms, Fig. 5)",
+                &format!("{:.1} ms", tau * 1e3)
+            )
+        );
     }
-    println!("{}", compare_line("jump interval", "0.05 s", &format!("{:.3} s", r.jump_times.get(1).map_or(f64::NAN, |t| t - r.jump_times[0]))));
+    println!(
+        "{}",
+        compare_line(
+            "jump interval",
+            "0.05 s",
+            &format!(
+                "{:.3} s",
+                r.jump_times
+                    .get(1)
+                    .map_or(f64::NAN, |t| t - r.jump_times[0])
+            )
+        )
+    );
     println!("  trace -> {}\n", path.display());
 }
 

@@ -18,13 +18,7 @@ fn main() {
     let n = 2_000_000;
     let budget = 7e-9; // 1% of T_R,min = 0.7 µs
 
-    let mut t = Table::new(&[
-        "implementation",
-        "rms",
-        "p99.9",
-        "worst",
-        "budget 7 ns",
-    ]);
+    let mut t = Table::new(&["implementation", "rms", "p99.9", "worst", "budget 7 ns"]);
     let mut csv = String::from("implementation,rms_s,p999_s,worst_s,meets_budget\n");
     for imp in [
         Implementation::CgraFpga,
@@ -44,10 +38,21 @@ fn main() {
             fmt(s.rms),
             fmt(s.p999),
             fmt(s.worst),
-            if s.meets_budget(budget) { "PASS".into() } else { "FAIL".into() },
+            if s.meets_budget(budget) {
+                "PASS".into()
+            } else {
+                "FAIL".into()
+            },
         ]);
-        writeln!(csv, "{imp:?},{:.3e},{:.3e},{:.3e},{}", s.rms, s.p999, s.worst, s.meets_budget(budget))
-            .unwrap();
+        writeln!(
+            csv,
+            "{imp:?},{:.3e},{:.3e},{:.3e},{}",
+            s.rms,
+            s.p999,
+            s.worst,
+            s.meets_budget(budget)
+        )
+        .unwrap();
     }
 
     println!("§I motivation — output-pulse timing jitter over {n} revolutions\n");

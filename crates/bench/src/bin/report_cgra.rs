@@ -47,7 +47,12 @@ fn main() {
     println!("== PE occupancy ==");
     for st in pe_stats(&bk.kernel.dfg, &schedule) {
         if st.ops > 0 {
-            println!("  PE{:<3} {:>3} ops  {:>4.0}%", st.pe, st.ops, st.issue_occupancy * 100.0);
+            println!(
+                "  PE{:<3} {:>3} ops  {:>4.0}%",
+                st.pe,
+                st.ops,
+                st.issue_occupancy * 100.0
+            );
         }
     }
 
@@ -56,11 +61,17 @@ fn main() {
     println!("  transfers needing hops : {}", r.routed_transfers);
     println!("  total hops             : {}", r.total_hops);
     println!("  links used             : {}", r.links_used);
-    println!("  max link occupancy     : {} (channel multiplicity needed)", r.max_link_occupancy);
+    println!(
+        "  max link occupancy     : {} (channel multiplicity needed)",
+        r.max_link_occupancy
+    );
     println!("  contended slots        : {}", r.contended_slots);
 
     let ctx = ContextMemories::from_schedule(&bk.kernel.dfg, &schedule);
     println!("\n== context memories ==");
     println!("  configured slots : {}", ctx.slot_count());
-    println!("  packed image     : {} bytes (the bitstream patch)", ctx.pack().len());
+    println!(
+        "  packed image     : {} bytes (the bitstream patch)",
+        ctx.pack().len()
+    );
 }

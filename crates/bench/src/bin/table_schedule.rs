@@ -47,8 +47,7 @@ fn main() {
     for ((bunches, pipelined, p_ticks, p_fmax), (row, schedule)) in rows.iter().zip(&ours) {
         // The context-memory image is the artifact swapped into the
         // bitstream ("model changes are available in seconds").
-        let kernel =
-            cil_cgra::kernels::build_beam_kernel(&params, *bunches, *pipelined);
+        let kernel = cil_cgra::kernels::build_beam_kernel(&params, *bunches, *pipelined);
         let ctx = ContextMemories::from_schedule(&kernel.kernel.dfg, schedule);
         let bytes = ctx.pack().len();
         t.row(&[
@@ -63,22 +62,40 @@ fn main() {
         writeln!(
             csv,
             "{},{},{},{},{},{:.4},{}",
-            bunches, pipelined, p_ticks, row.ticks, p_fmax, row.max_f_rev / 1e6, bytes
+            bunches,
+            pipelined,
+            p_ticks,
+            row.ticks,
+            p_fmax,
+            row.max_f_rev / 1e6,
+            bytes
         )
         .unwrap();
     }
 
-    println!("§IV-B — beam-kernel schedule lengths on a 5x5 CGRA @ {:.0} MHz\n", f_clk / 1e6);
+    println!(
+        "§IV-B — beam-kernel schedule lengths on a 5x5 CGRA @ {:.0} MHz\n",
+        f_clk / 1e6
+    );
     t.print();
     println!();
     println!("shape checks (the claims the paper draws from this data):");
     let ticks: Vec<u32> = ours.iter().map(|(r, _)| r.ticks).collect();
-    println!("  pipelining shortens the 8-bunch schedule:   {} ({} -> {})",
-        ticks[1] < ticks[0], ticks[0], ticks[1]);
-    println!("  fewer bunches never schedule longer:        {}",
-        ticks[3] <= ticks[2] && ticks[2] <= ticks[1]);
-    println!("  pipelined single-bunch covers 800 kHz MDE:  {} ({:.3} MHz)",
-        ours[3].0.max_f_rev > 800e3, ours[3].0.max_f_rev / 1e6);
+    println!(
+        "  pipelining shortens the 8-bunch schedule:   {} ({} -> {})",
+        ticks[1] < ticks[0],
+        ticks[0],
+        ticks[1]
+    );
+    println!(
+        "  fewer bunches never schedule longer:        {}",
+        ticks[3] <= ticks[2] && ticks[2] <= ticks[1]
+    );
+    println!(
+        "  pipelined single-bunch covers 800 kHz MDE:  {} ({:.3} MHz)",
+        ours[3].0.max_f_rev > 800e3,
+        ours[3].0.max_f_rev / 1e6
+    );
     let path = write_csv("table_schedule.csv", &csv);
     println!("\ndata -> {}", path.display());
 }

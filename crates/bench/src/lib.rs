@@ -41,7 +41,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -88,7 +91,9 @@ impl Table {
 
 /// Parse a `--key value`-style flag from `std::env::args`.
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// True if a bare `--flag` is present.
@@ -136,8 +141,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["prog", "--side", "sim", "--quick"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["prog", "--side", "sim", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--side").as_deref(), Some("sim"));
         assert_eq!(arg_value(&args, "--missing"), None);
         assert!(arg_flag(&args, "--quick"));

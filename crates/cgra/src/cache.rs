@@ -1,0 +1,253 @@
+//! Compiled-kernel cache.
+//!
+//! Compiling a beam kernel — source generation, parsing, optional pipeline
+//! split, list scheduling, placement — is pure in its inputs: the kernel
+//! parameters, bunch count, pipelining/interpolation flags, and the grid.
+//! Sweeps and repeated loop construction used to redo that work per run;
+//! the [`CompiledKernelCache`] memoises it once per distinct configuration
+//! and hands out [`CompiledKernel`]s whose DFG and schedule are shared
+//! behind `Arc`. Executors stamped out of a cached kernel carry private
+//! register/value state, so concurrent runs never interfere.
+//!
+//! A process-wide [`global`] cache exists because kernel compilation is
+//! deterministic and configuration-keyed — there is nothing per-experiment
+//! about the artifact. Use a local cache instance in tests that count hits.
+
+use crate::exec::CgraExecutor;
+use crate::grid::GridConfig;
+use crate::kernels::{build_beam_kernel_opts, BeamKernel, KernelParams};
+use crate::sched::{ListScheduler, Schedule};
+use crate::Dfg;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything that determines a beam-kernel compilation, in hashable form.
+/// `f64` params are keyed by bit pattern: two configs compare equal exactly
+/// when every parameter is bit-identical, which is the right notion for a
+/// compilation cache (compilation is a pure function of the bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    params_bits: [u64; 7],
+    bunches: usize,
+    pipelined: bool,
+    interpolate: bool,
+    grid: GridConfig,
+}
+
+impl KernelKey {
+    /// Key for a kernel configuration.
+    pub fn new(
+        params: &KernelParams,
+        bunches: usize,
+        pipelined: bool,
+        interpolate: bool,
+        grid: GridConfig,
+    ) -> Self {
+        Self {
+            params_bits: [
+                params.orbit_length_m.to_bits(),
+                params.momentum_compaction.to_bits(),
+                params.gamma_per_volt.to_bits(),
+                params.sample_rate.to_bits(),
+                params.scale_ref.to_bits(),
+                params.scale_gap.to_bits(),
+                params.gamma_r_init.to_bits(),
+            ],
+            bunches,
+            pipelined,
+            interpolate,
+            grid,
+        }
+    }
+}
+
+/// One compiled + scheduled beam kernel, shareable across runs and threads.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The frontend artifact (source, statics table, register inits).
+    pub kernel: BeamKernel,
+    /// The DFG actually scheduled (post pipeline split), shared.
+    pub dfg: Arc<Dfg>,
+    /// The placement/timing schedule, shared.
+    pub schedule: Arc<Schedule>,
+    /// Grid the schedule targets.
+    pub grid: GridConfig,
+}
+
+impl CompiledKernel {
+    /// Stamp out a fresh executor over the shared artifacts with the
+    /// kernel's `static` register initialisers applied. No parsing or
+    /// scheduling happens here.
+    pub fn executor(&self) -> CgraExecutor {
+        let mut ex = CgraExecutor::from_shared(Arc::clone(&self.dfg), Arc::clone(&self.schedule));
+        for &(reg, value) in &self.kernel.kernel.reg_inits {
+            ex.set_reg(reg, value);
+        }
+        ex
+    }
+
+    /// Register index of a kernel `static` by name (e.g. `"dt_0"`).
+    pub fn static_reg(&self, name: &str) -> Option<u16> {
+        self.kernel
+            .kernel
+            .statics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, reg)| reg)
+    }
+}
+
+/// Thread-safe memoisation of kernel compilation + scheduling.
+#[derive(Debug, Default)]
+pub struct CompiledKernelCache {
+    map: Mutex<HashMap<KernelKey, Arc<CompiledKernel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompiledKernelCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the compiled kernel for a configuration, compiling and
+    /// scheduling it on first request.
+    ///
+    /// The compile happens outside the map lock, so a slow first
+    /// compilation never blocks hits on other keys; if two threads race on
+    /// the same cold key, one result wins and the other is dropped (both
+    /// are identical — compilation is deterministic).
+    pub fn get_or_compile(
+        &self,
+        params: &KernelParams,
+        bunches: usize,
+        pipelined: bool,
+        interpolate: bool,
+        grid: GridConfig,
+    ) -> Arc<CompiledKernel> {
+        let key = KernelKey::new(params, bunches, pipelined, interpolate, grid);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let kernel = build_beam_kernel_opts(params, bunches, pipelined, interpolate);
+        let dfg = Arc::new(kernel.kernel.dfg.clone());
+        let schedule = Arc::new(ListScheduler::new(grid).schedule(&dfg));
+        let compiled = Arc::new(CompiledKernel {
+            kernel,
+            dfg,
+            schedule,
+            grid,
+        });
+
+        Arc::clone(self.map.lock().unwrap().entry(key).or_insert(compiled))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (cold compiles) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct configurations currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries and reset counters.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide cache used by the HIL executives and sweeps.
+pub fn global() -> &'static CompiledKernelCache {
+    static GLOBAL: OnceLock<CompiledKernelCache> = OnceLock::new();
+    GLOBAL.get_or_init(CompiledKernelCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> KernelParams {
+        KernelParams::mde_default()
+    }
+
+    #[test]
+    fn second_request_hits() {
+        let cache = CompiledKernelCache::new();
+        let a = cache.get_or_compile(&params(), 1, true, true, GridConfig::mesh_5x5());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.get_or_compile(&params(), 1, true, true, GridConfig::mesh_5x5());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the same artifact");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_entries() {
+        let cache = CompiledKernelCache::new();
+        cache.get_or_compile(&params(), 1, true, true, GridConfig::mesh_5x5());
+        cache.get_or_compile(&params(), 2, true, true, GridConfig::mesh_5x5());
+        cache.get_or_compile(&params(), 1, false, true, GridConfig::mesh_5x5());
+        cache.get_or_compile(&params(), 1, true, false, GridConfig::mesh_5x5());
+        cache.get_or_compile(&params(), 1, true, true, GridConfig::mesh_3x3());
+        let mut p = params();
+        p.gamma_r_init += 1e-9;
+        cache.get_or_compile(&p, 1, true, true, GridConfig::mesh_5x5());
+        assert_eq!(cache.misses(), 6);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn executors_share_artifacts_but_not_state() {
+        let cache = CompiledKernelCache::new();
+        let compiled = cache.get_or_compile(&params(), 1, false, true, GridConfig::mesh_5x5());
+        let mut a = compiled.executor();
+        let b = compiled.executor();
+        // Mutating one executor's registers must not leak into the other.
+        let reg = compiled.static_reg("dt_0").expect("dt_0 static exists");
+        a.set_reg(reg, 42.0);
+        assert_eq!(a.reg(reg), 42.0);
+        assert_ne!(b.reg(reg), 42.0);
+        // Both view the very same schedule object.
+        assert_eq!(a.ticks_per_iteration(), b.ticks_per_iteration());
+    }
+
+    #[test]
+    fn executor_reset_restores_cold_state() {
+        let cache = CompiledKernelCache::new();
+        let compiled = cache.get_or_compile(&params(), 1, false, true, GridConfig::mesh_5x5());
+        let mut ex = compiled.executor();
+        let reg = compiled.static_reg("dt_0").unwrap();
+        ex.set_reg(reg, 7.0);
+        ex.reset();
+        assert_eq!(ex.reg(reg), 0.0);
+        assert_eq!(ex.iterations(), 0);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let cache = CompiledKernelCache::new();
+        cache.get_or_compile(&params(), 1, true, true, GridConfig::mesh_5x5());
+        cache.clear();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 0));
+    }
+}

@@ -54,7 +54,10 @@ impl ContextMemories {
         for lane in &mut per_pe {
             lane.sort_by_key(|s| s.cycle);
         }
-        Self { per_pe, makespan: schedule.makespan }
+        Self {
+            per_pe,
+            makespan: schedule.makespan,
+        }
     }
 
     /// Slots of one PE.
@@ -111,7 +114,12 @@ impl ContextMemories {
                 for _ in 0..argc {
                     operands.push(NodeId(cur.u32()?));
                 }
-                lane.push(ContextSlot { cycle, node, op, operands });
+                lane.push(ContextSlot {
+                    cycle,
+                    node,
+                    op,
+                    operands,
+                });
             }
             per_pe.push(lane);
         }

@@ -51,13 +51,20 @@ impl Dfg {
     pub fn add(&mut self, op: OpKind, operands: &[NodeId]) -> NodeId {
         assert_eq!(operands.len(), op.arity(), "arity mismatch for {op:?}");
         for &o in operands {
-            assert!((o.0 as usize) < self.nodes.len(), "operand {o:?} not yet defined");
+            assert!(
+                (o.0 as usize) < self.nodes.len(),
+                "operand {o:?} not yet defined"
+            );
         }
         if let OpKind::RegRead(r) | OpKind::RegWrite(r) = op {
             self.next_reg = self.next_reg.max(r + 1);
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { op, operands: operands.to_vec(), stage: 0 });
+        self.nodes.push(Node {
+            op,
+            operands: operands.to_vec(),
+            stage: 0,
+        });
         id
     }
 
@@ -87,7 +94,10 @@ impl Dfg {
 
     /// All nodes in definition order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Number of nodes.
@@ -153,10 +163,8 @@ impl Dfg {
         for node in &self.nodes {
             if node.stage == 1 {
                 for &o in &node.operands {
-                    if self.nodes[o.0 as usize].stage == 0 {
-                        if bridge[o.0 as usize].is_none() {
-                            bridge[o.0 as usize] = Some(out.alloc_reg());
-                        }
+                    if self.nodes[o.0 as usize].stage == 0 && bridge[o.0 as usize].is_none() {
+                        bridge[o.0 as usize] = Some(out.alloc_reg());
                     }
                 }
             }
@@ -170,9 +178,8 @@ impl Dfg {
                 let src = &self.nodes[o.0 as usize];
                 if node.stage == 1 && src.stage == 0 {
                     let reg = bridge[o.0 as usize].expect("bridge allocated");
-                    let rr = *reg_read_of[o.0 as usize].get_or_insert_with(|| {
-                        out.add_staged(OpKind::RegRead(reg), &[], 1)
-                    });
+                    let rr = *reg_read_of[o.0 as usize]
+                        .get_or_insert_with(|| out.add_staged(OpKind::RegRead(reg), &[], 1));
                     ops.push(rr);
                 } else {
                     ops.push(map[o.0 as usize]);
@@ -300,8 +307,12 @@ mod tests {
 
         let split = g.pipeline_split();
         // The mul must now read a RegRead, and a RegWrite of x must exist.
-        let has_regread = split.nodes().any(|(_, n)| matches!(n.op, OpKind::RegRead(_)));
-        let has_regwrite = split.nodes().any(|(_, n)| matches!(n.op, OpKind::RegWrite(_)));
+        let has_regread = split
+            .nodes()
+            .any(|(_, n)| matches!(n.op, OpKind::RegRead(_)));
+        let has_regwrite = split
+            .nodes()
+            .any(|(_, n)| matches!(n.op, OpKind::RegWrite(_)));
         assert!(has_regread && has_regwrite);
         // No stage-1 node consumes a stage-0 node anymore.
         for (_, n) in split.nodes() {
@@ -340,8 +351,14 @@ mod tests {
         let y = g.add_staged(OpKind::Mul, &[x, x], 1);
         g.add_staged(OpKind::Output(0), &[y], 1);
         let split = g.pipeline_split();
-        let rr = split.nodes().filter(|(_, n)| matches!(n.op, OpKind::RegRead(_))).count();
-        let rw = split.nodes().filter(|(_, n)| matches!(n.op, OpKind::RegWrite(_))).count();
+        let rr = split
+            .nodes()
+            .filter(|(_, n)| matches!(n.op, OpKind::RegRead(_)))
+            .count();
+        let rw = split
+            .nodes()
+            .filter(|(_, n)| matches!(n.op, OpKind::RegWrite(_)))
+            .count();
         assert_eq!(rr, 1);
         assert_eq!(rw, 1);
     }

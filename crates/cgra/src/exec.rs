@@ -13,6 +13,7 @@ use crate::context::ContextMemories;
 use crate::dfg::{Dfg, NodeId};
 use crate::isa::OpKind;
 use crate::sched::Schedule;
+use std::sync::Arc;
 
 /// The SensorAccess module interface: "a SensorAccess module was implemented
 /// to act as memory. This allows the simulation model to both read input
@@ -44,10 +45,15 @@ impl SensorBus for MapBus {
 }
 
 /// Executor state: configured contexts + loop-carried register file.
+///
+/// The compile artifacts (DFG + schedule) are held behind `Arc`, so many
+/// executors — e.g. one per sweep worker — can share one compiled kernel
+/// ([`crate::cache::CompiledKernelCache`]) while keeping private mutable
+/// run state.
 #[derive(Debug, Clone)]
 pub struct CgraExecutor {
-    dfg: Dfg,
-    schedule: Schedule,
+    dfg: Arc<Dfg>,
+    schedule: Arc<Schedule>,
     contexts: ContextMemories,
     /// Loop-carried registers (double-buffered: reads see last iteration).
     regs_current: Vec<f64>,
@@ -65,6 +71,13 @@ impl CgraExecutor {
     /// values default to zero; use [`Self::set_reg`] for kernel `static`
     /// initialisers.
     pub fn new(dfg: Dfg, schedule: Schedule) -> Self {
+        Self::from_shared(Arc::new(dfg), Arc::new(schedule))
+    }
+
+    /// Configure an executor over *shared* compile artifacts (no DFG or
+    /// schedule clone). This is how [`crate::cache::CompiledKernel`] stamps
+    /// out per-run executors from one cached compilation.
+    pub fn from_shared(dfg: Arc<Dfg>, schedule: Arc<Schedule>) -> Self {
         schedule
             .validate(&dfg)
             .expect("schedule must be valid for its DFG");
@@ -86,6 +99,16 @@ impl CgraExecutor {
             order,
             iterations: 0,
         }
+    }
+
+    /// Reset all per-run state (registers, scratch values, iteration
+    /// counter) without touching the shared compile artifacts — the cheap
+    /// way to reuse an executor for a fresh run.
+    pub fn reset(&mut self) {
+        self.regs_current.fill(0.0);
+        self.regs_next.fill(0.0);
+        self.values.fill(0.0);
+        self.iterations = 0;
     }
 
     /// Set a loop-carried register (kernel `static float x = init;`).
@@ -154,12 +177,7 @@ impl CgraExecutor {
     /// NaN via division by zero). This mirrors the paper's initialisation
     /// phase (Section IV-B): run one iteration to fill the bridges, then
     /// restore the architectural state registers to their initial values.
-    pub fn warmup<B: SensorBus>(
-        &mut self,
-        bus: &mut B,
-        inputs: &[f64],
-        restore: &[(u16, f64)],
-    ) {
+    pub fn warmup<B: SensorBus>(&mut self, bus: &mut B, inputs: &[f64], restore: &[(u16, f64)]) {
         self.run_iteration(bus, inputs);
         for &(r, v) in restore {
             self.set_reg(r, v);
@@ -234,8 +252,11 @@ pub fn interpret_dfg<B: SensorBus>(
                 v
             }
             ref pure => {
-                let args: Vec<f64> =
-                    node.operands.iter().map(|&o| values[o.0 as usize]).collect();
+                let args: Vec<f64> = node
+                    .operands
+                    .iter()
+                    .map(|&o| values[o.0 as usize])
+                    .collect();
                 pure.eval_pure(&args).expect("pure op")
             }
         };

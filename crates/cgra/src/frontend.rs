@@ -139,19 +139,23 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 col += 1;
             }
             let s: String = bytes[start..i].iter().collect();
-            out.push(Token { tok: Tok::Ident(s), line: tline, col: tcol });
+            out.push(Token {
+                tok: Tok::Ident(s),
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         // Numbers.
-        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) {
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
             let start = i;
             while i < bytes.len()
                 && (bytes[i].is_ascii_digit()
                     || bytes[i] == '.'
                     || bytes[i] == 'e'
                     || bytes[i] == 'E'
-                    || ((bytes[i] == '+' || bytes[i] == '-')
-                        && matches!(bytes[i - 1], 'e' | 'E')))
+                    || ((bytes[i] == '+' || bytes[i] == '-') && matches!(bytes[i - 1], 'e' | 'E')))
             {
                 i += 1;
                 col += 1;
@@ -165,12 +169,20 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             let v: f64 = text
                 .parse()
                 .map_err(|_| err(&format!("bad number literal '{text}'"), tline, tcol))?;
-            out.push(Token { tok: Tok::Number(v), line: tline, col: tcol });
+            out.push(Token {
+                tok: Tok::Number(v),
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         // Punctuation (two-char first).
         if c == '<' && i + 1 < bytes.len() && bytes[i + 1] == '=' {
-            out.push(Token { tok: Tok::Punct("<="), line: tline, col: tcol });
+            out.push(Token {
+                tok: Tok::Punct("<="),
+                line: tline,
+                col: tcol,
+            });
             i += 2;
             col += 2;
             continue;
@@ -192,7 +204,11 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
         };
         match punct {
             Some(p) => {
-                out.push(Token { tok: Tok::Punct(p), line: tline, col: tcol });
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    line: tline,
+                    col: tcol,
+                });
                 i += 1;
                 col += 1;
             }
@@ -232,14 +248,24 @@ impl Parser {
 
     fn error_here(&self, msg: &str) -> ParseError {
         match self.peek() {
-            Some(t) => ParseError { message: msg.to_string(), line: t.line, col: t.col },
-            None => ParseError { message: format!("{msg} (at end of input)"), line: 0, col: 0 },
+            Some(t) => ParseError {
+                message: msg.to_string(),
+                line: t.line,
+                col: t.col,
+            },
+            None => ParseError {
+                message: format!("{msg} (at end of input)"),
+                line: 0,
+                col: 0,
+            },
         }
     }
 
     fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
         match self.peek() {
-            Some(Token { tok: Tok::Punct(q), .. }) if *q == p => {
+            Some(Token {
+                tok: Tok::Punct(q), ..
+            }) if *q == p => {
                 self.pos += 1;
                 Ok(())
             }
@@ -258,7 +284,9 @@ impl Parser {
 
     fn eat_ident(&mut self) -> Result<String, ParseError> {
         match self.peek() {
-            Some(Token { tok: Tok::Ident(s), .. }) => {
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) => {
                 let s = s.clone();
                 self.pos += 1;
                 Ok(s)
@@ -269,7 +297,9 @@ impl Parser {
 
     fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.peek() {
-            Some(Token { tok: Tok::Ident(s), .. }) if s == kw => {
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) if s == kw => {
                 self.pos += 1;
                 Ok(())
             }
@@ -289,7 +319,10 @@ impl Parser {
     fn eat_number(&mut self) -> Result<f64, ParseError> {
         let neg = self.try_punct("-");
         match self.peek() {
-            Some(Token { tok: Tok::Number(v), .. }) => {
+            Some(Token {
+                tok: Tok::Number(v),
+                ..
+            }) => {
                 let v = *v;
                 self.pos += 1;
                 Ok(if neg { -v } else { v })
@@ -372,7 +405,11 @@ impl Parser {
 
         let mut statics: Vec<(String, u16)> = ctx.statics.into_iter().collect();
         statics.sort();
-        Ok(Kernel { dfg: ctx.dfg, reg_inits, statics })
+        Ok(Kernel {
+            dfg: ctx.dfg,
+            reg_inits,
+            statics,
+        })
     }
 
     fn statement(&mut self, ctx: &mut LoopCtx) -> Result<(), ParseError> {
@@ -427,8 +464,8 @@ impl Parser {
         if ctx.statics.contains_key(&name) {
             ctx.dirty.insert(name.clone(), ctx.stage);
             ctx.env.insert(name, v);
-        } else if ctx.env.contains_key(&name) {
-            ctx.env.insert(name, v);
+        } else if let Some(slot) = ctx.env.get_mut(&name) {
+            *slot = v;
         } else {
             return Err(self.error_here(&format!("assignment to undeclared '{name}'")));
         }
@@ -501,12 +538,18 @@ impl Parser {
             return Ok(v);
         }
         match self.peek().cloned() {
-            Some(Token { tok: Tok::Number(v), .. }) => {
+            Some(Token {
+                tok: Tok::Number(v),
+                ..
+            }) => {
                 self.pos += 1;
                 let stage = ctx.stage;
                 Ok(ctx.dfg.add_staged(OpKind::Const(v), &[], stage))
             }
-            Some(Token { tok: Tok::Ident(name), .. }) => {
+            Some(Token {
+                tok: Tok::Ident(name),
+                ..
+            }) => {
                 self.pos += 1;
                 // Call?
                 if self.try_punct("(") {
@@ -639,10 +682,8 @@ mod tests {
 
     #[test]
     fn unary_minus_and_comparison() {
-        let k = compile(
-            "for (;;) { float y = select(1.0f < 2.0f, -3.0f, 4.0f); output(0, y); }",
-        )
-        .unwrap();
+        let k = compile("for (;;) { float y = select(1.0f < 2.0f, -3.0f, 4.0f); output(0, y); }")
+            .unwrap();
         let out = interpret_dfg(&k.dfg, &mut [], &mut MapBus::default(), &[]);
         assert_eq!(out, vec![(0, -3.0)]);
     }
@@ -752,10 +793,8 @@ mod tests {
 
     #[test]
     fn local_reassignment_is_ssa() {
-        let k = compile(
-            "for (;;) { float a = 1.0f; a = a + 1.0f; a = a * 3.0f; output(0, a); }",
-        )
-        .unwrap();
+        let k = compile("for (;;) { float a = 1.0f; a = a + 1.0f; a = a * 3.0f; output(0, a); }")
+            .unwrap();
         let out = interpret_dfg(&k.dfg, &mut [], &mut MapBus::default(), &[]);
         assert_eq!(out, vec![(0, 6.0)]);
     }

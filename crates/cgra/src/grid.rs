@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Interconnect topology between neighbouring PEs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Topology {
     /// 4-neighbour mesh (N, E, S, W).
     Mesh,
@@ -29,7 +29,7 @@ pub enum Topology {
 pub struct PeId(pub u16);
 
 /// Grid configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GridConfig {
     /// Number of rows.
     pub rows: u16,
@@ -46,7 +46,12 @@ impl GridConfig {
     /// A `rows × cols` mesh with one I/O column.
     pub fn mesh(rows: u16, cols: u16) -> Self {
         assert!(rows >= 1 && cols >= 1);
-        Self { rows, cols, topology: Topology::Mesh, io_columns: 1 }
+        Self {
+            rows,
+            cols,
+            topology: Topology::Mesh,
+            io_columns: 1,
+        }
     }
 
     /// The paper's example sizes.
@@ -91,11 +96,15 @@ impl GridConfig {
         let dr = i32::from(ra) - i32::from(rb);
         let dc = i32::from(ca) - i32::from(cb);
         match self.topology {
-            Topology::Mesh => (dr.unsigned_abs() + dc.unsigned_abs()) as u32,
-            Topology::MeshDiagonal => dr.unsigned_abs().max(dc.unsigned_abs()) as u32,
+            Topology::Mesh => dr.unsigned_abs() + dc.unsigned_abs(),
+            Topology::MeshDiagonal => dr.unsigned_abs().max(dc.unsigned_abs()),
             Topology::Torus => {
-                let wr = dr.unsigned_abs().min(u32::from(self.rows) - dr.unsigned_abs());
-                let wc = dc.unsigned_abs().min(u32::from(self.cols) - dc.unsigned_abs());
+                let wr = dr
+                    .unsigned_abs()
+                    .min(u32::from(self.rows) - dr.unsigned_abs());
+                let wc = dc
+                    .unsigned_abs()
+                    .min(u32::from(self.cols) - dc.unsigned_abs());
                 wr + wc
             }
         }
@@ -143,7 +152,10 @@ mod tests {
 
     #[test]
     fn diagonal_distance_is_chebyshev() {
-        let g = GridConfig { topology: Topology::MeshDiagonal, ..GridConfig::mesh_5x5() };
+        let g = GridConfig {
+            topology: Topology::MeshDiagonal,
+            ..GridConfig::mesh_5x5()
+        };
         let a = g.pe_at(0, 0);
         let b = g.pe_at(2, 3);
         assert_eq!(g.distance(a, b), 3);
@@ -151,7 +163,10 @@ mod tests {
 
     #[test]
     fn torus_wraps_around() {
-        let g = GridConfig { topology: Topology::Torus, ..GridConfig::mesh_5x5() };
+        let g = GridConfig {
+            topology: Topology::Torus,
+            ..GridConfig::mesh_5x5()
+        };
         let a = g.pe_at(0, 0);
         let b = g.pe_at(0, 4);
         assert_eq!(g.distance(a, b), 1, "wrap link");

@@ -77,8 +77,14 @@ impl OpKind {
             | Self::RegWrite(_)
             | Self::SensorRead(_)
             | Self::Pass => 1,
-            Self::Add | Self::Sub | Self::Mul | Self::Div | Self::Min | Self::Max
-            | Self::CmpLt | Self::CmpLe => 2,
+            Self::Add
+            | Self::Sub
+            | Self::Mul
+            | Self::Div
+            | Self::Min
+            | Self::Max
+            | Self::CmpLt
+            | Self::CmpLe => 2,
             Self::Select => 3,
         }
     }
@@ -110,7 +116,10 @@ impl OpKind {
     /// True for operations with side effects that must execute even if the
     /// value is unused (actuator/register writes, outputs).
     pub fn has_side_effect(&self) -> bool {
-        matches!(self, Self::ActuatorWrite(_) | Self::RegWrite(_) | Self::Output(_))
+        matches!(
+            self,
+            Self::ActuatorWrite(_) | Self::RegWrite(_) | Self::Output(_)
+        )
     }
 
     /// Evaluate the pure arithmetic ops. Returns `None` for ops that need

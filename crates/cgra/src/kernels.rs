@@ -86,11 +86,15 @@ pub fn beam_kernel_source_opts(
     pipelined: bool,
     interpolate: bool,
 ) -> String {
-    assert!(bunches >= 1 && bunches <= 64);
+    assert!((1..=64).contains(&bunches));
     let mut s = String::new();
     let p = params;
     let c_light = 299_792_458.0_f64;
-    writeln!(s, "// Beam-phase kernel: {bunches} bunch(es), pipelined={pipelined}").unwrap();
+    writeln!(
+        s,
+        "// Beam-phase kernel: {bunches} bunch(es), pipelined={pipelined}"
+    )
+    .unwrap();
     writeln!(s, "static float gamma_r = {:.17e};", p.gamma_r_init).unwrap();
     for b in 0..bunches {
         writeln!(s, "static float dgamma_{b} = 0.0f;").unwrap();
@@ -102,7 +106,12 @@ pub fn beam_kernel_source_opts(
     writeln!(s, "  float inv_g = 1.0f / gamma_r;").unwrap();
     writeln!(s, "  float beta2 = 1.0f - inv_g * inv_g;").unwrap();
     writeln!(s, "  float beta = sqrtf(beta2);").unwrap();
-    writeln!(s, "  float t_ref = {:.17e} / (beta * {:.17e});", p.orbit_length_m, c_light).unwrap();
+    writeln!(
+        s,
+        "  float t_ref = {:.17e} / (beta * {:.17e});",
+        p.orbit_length_m, c_light
+    )
+    .unwrap();
     writeln!(s, "  float dT = t_ref - t_meas;").unwrap();
     // Reference voltage (Eq. 2 input), interpolated.
     writeln!(s, "  float a_r = dT * {:.17e};", p.sample_rate).unwrap();
@@ -126,7 +135,12 @@ pub fn beam_kernel_source_opts(
     }
     // Gap voltage per bunch (Eq. 3 input).
     for b in 0..bunches {
-        writeln!(s, "  float a_g{b} = (dT + dt_{b}) * {:.17e};", p.sample_rate).unwrap();
+        writeln!(
+            s,
+            "  float a_g{b} = (dT + dt_{b}) * {:.17e};",
+            p.sample_rate
+        )
+        .unwrap();
         if interpolate {
             writeln!(s, "  float a_g{b}0 = floorf(a_g{b});").unwrap();
             writeln!(s, "  float fr_g{b} = a_g{b} - a_g{b}0;").unwrap();
@@ -158,7 +172,12 @@ pub fn beam_kernel_source_opts(
     // --- Stage 1: the tracking equations. ---
     writeln!(s, "  float g2 = gamma_r + {:.17e} * v_r;", p.gamma_per_volt).unwrap(); // Eq. (2)
     writeln!(s, "  float inv_g2 = 1.0f / g2;").unwrap();
-    writeln!(s, "  float eta = {:.17e} - inv_g2 * inv_g2;", p.momentum_compaction).unwrap(); // Eq. (5)
+    writeln!(
+        s,
+        "  float eta = {:.17e} - inv_g2 * inv_g2;",
+        p.momentum_compaction
+    )
+    .unwrap(); // Eq. (5)
     writeln!(
         s,
         "  float drift = {:.17e} * eta / (beta * beta2 * {:.17e}) * inv_g2;",
@@ -199,7 +218,12 @@ pub fn build_beam_kernel_opts(
     if pipelined {
         kernel.dfg = kernel.dfg.pipeline_split();
     }
-    BeamKernel { kernel, source, bunches, pipelined }
+    BeamKernel {
+        kernel,
+        source,
+        bunches,
+        pipelined,
+    }
 }
 
 /// One row of the Section IV-B schedule-length table.
@@ -274,7 +298,9 @@ mod tests {
     fn mde_params() -> (KernelParams, OperatingPoint) {
         let machine = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v_hat = SynchrotronCalc::new(machine, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v_hat = SynchrotronCalc::new(machine, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         let op = OperatingPoint::from_revolution_frequency(machine, ion, 800e3, v_hat);
         let params = KernelParams {
             orbit_length_m: machine.orbit_length_m,
@@ -322,7 +348,10 @@ mod tests {
         assert!(t4p <= t8p, "4 bunches <= 8 bunches: {t4p} !<= {t8p}");
         assert!(t1p <= t4p, "1 bunch <= 4 bunches: {t1p} !<= {t4p}");
         // Same order of magnitude as the paper's 93-128 ticks.
-        assert!(t8np < 400 && t1p > 20, "ticks in a plausible range: {ticks:?}");
+        assert!(
+            t8np < 400 && t1p > 20,
+            "ticks in a plausible range: {ticks:?}"
+        );
         // Max revolution frequency covers the SIS18 range (>= 800 kHz for
         // the pipelined single-bunch configuration).
         let f1 = rows[3].0.max_f_rev;
@@ -344,9 +373,7 @@ mod tests {
             let t = addr / fs; // seconds relative to the reference crossing
             match port {
                 PORT_PERIOD => 1.0 / self.op.f_rev(),
-                PORT_REF_BUF => {
-                    (std::f64::consts::TAU * self.op.f_rev() * t).sin()
-                }
+                PORT_REF_BUF => (std::f64::consts::TAU * self.op.f_rev() * t).sin(),
                 PORT_GAP_BUF => {
                     (std::f64::consts::TAU * self.op.f_rf() * t + self.phase_offset_rad).sin()
                         * self.op.v_gap_volts
@@ -384,7 +411,11 @@ mod tests {
         let dt0 = 8.0 / 360.0 / op.f_rf();
         ex.set_reg(dt_reg, dt0);
 
-        let mut bus = AnalyticBus { op, phase_offset_rad: 0.0, writes: Vec::new() };
+        let mut bus = AnalyticBus {
+            op,
+            phase_offset_rad: 0.0,
+            writes: Vec::new(),
+        };
 
         // Reference map with the same initial condition.
         let mut map = TwoParticleMap::at_operating_point(&op);
@@ -395,7 +426,12 @@ mod tests {
         for _ in 0..turns {
             bus.writes.clear();
             ex.run_iteration(&mut bus, &[]);
-            let dt_kernel = bus.writes.iter().find(|(p, _)| *p == ACT_DT_BASE).unwrap().1;
+            let dt_kernel = bus
+                .writes
+                .iter()
+                .find(|(p, _)| *p == ACT_DT_BASE)
+                .unwrap()
+                .1;
             let dt_map = map.step_stationary(op.v_gap_volts, 0.0);
             max_err = max_err.max((dt_kernel - dt_map).abs());
         }
@@ -416,10 +452,20 @@ mod tests {
         for (r, v) in &bk.kernel.reg_inits {
             ex.set_reg(*r, *v);
         }
-        let dt_reg = bk.kernel.statics.iter().find(|(n, _)| n == "dt_0").unwrap().1;
+        let dt_reg = bk
+            .kernel
+            .statics
+            .iter()
+            .find(|(n, _)| n == "dt_0")
+            .unwrap()
+            .1;
         let dt0 = 8.0 / 360.0 / op.f_rf();
         ex.set_reg(dt_reg, dt0);
-        let mut bus = AnalyticBus { op, phase_offset_rad: 0.0, writes: Vec::new() };
+        let mut bus = AnalyticBus {
+            op,
+            phase_offset_rad: 0.0,
+            writes: Vec::new(),
+        };
         // Pipelined kernels need the initialisation pass to fill the stage
         // bridges before the architectural state is valid.
         let mut restore: Vec<(u16, f64)> = bk.kernel.reg_inits.clone();
@@ -435,12 +481,20 @@ mod tests {
         for _ in 0..turns {
             bus.writes.clear();
             ex.run_iteration(&mut bus, &[]);
-            let dt = bus.writes.iter().find(|(p, _)| *p == ACT_DT_BASE).unwrap().1;
+            let dt = bus
+                .writes
+                .iter()
+                .find(|(p, _)| *p == ACT_DT_BASE)
+                .unwrap()
+                .1;
             max_dt = max_dt.max(dt.abs());
             min_dt = min_dt.min(dt);
         }
         assert!(max_dt < dt0 * 1.1, "bounded oscillation, max {max_dt}");
-        assert!(min_dt < -dt0 * 0.8, "oscillates to the other side, min {min_dt}");
+        assert!(
+            min_dt < -dt0 * 0.8,
+            "oscillates to the other side, min {min_dt}"
+        );
     }
 
     #[test]

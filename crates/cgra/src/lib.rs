@@ -18,8 +18,11 @@
 //!   against a [`exec::SensorBus`], differentially testable against direct
 //!   DFG interpretation;
 //! * [`kernels`] — the beam-model kernel of Section IV for 1/4/8 bunches,
-//!   pipelined and sequential, reproducing the schedule-length table.
+//!   pipelined and sequential, reproducing the schedule-length table;
+//! * [`cache`] — memoised kernel compilation: schedules are compiled once
+//!   per configuration and shared (`Arc`) across executors and threads.
 
+pub mod cache;
 pub mod context;
 pub mod dfg;
 pub mod exec;
@@ -32,6 +35,7 @@ pub mod report;
 pub mod route;
 pub mod sched;
 
+pub use cache::{CompiledKernel, CompiledKernelCache, KernelKey};
 pub use dfg::{Dfg, NodeId};
 pub use exec::{CgraExecutor, SensorBus};
 pub use grid::{GridConfig, Topology};

@@ -65,7 +65,10 @@ fn pure_name(op: &OpKind) -> Option<&'static str> {
 
 /// Run fold + CSE + DCE; returns the optimised graph and statistics.
 pub fn optimize(dfg: &Dfg) -> (Dfg, OptStats) {
-    let mut stats = OptStats { nodes_before: dfg.len(), ..Default::default() };
+    let mut stats = OptStats {
+        nodes_before: dfg.len(),
+        ..Default::default()
+    };
 
     // ---- pass 1: forward rewrite with folding + CSE --------------------
     // map[i] = id in the new graph representing old node i.
@@ -85,8 +88,7 @@ pub fn optimize(dfg: &Dfg) -> (Dfg, OptStats) {
 
         // Try folding: pure op, all operands constant.
         let folded = pure_name(&node.op).and_then(|_| {
-            let args: Option<Vec<f64>> =
-                ops.iter().map(|o| const_of.get(o).copied()).collect();
+            let args: Option<Vec<f64>> = ops.iter().map(|o| const_of.get(o).copied()).collect();
             let args = args?;
             node.op.eval_pure(&args)
         });
@@ -220,10 +222,8 @@ mod tests {
     #[test]
     fn sensor_reads_are_volatile() {
         // Two reads of the same port+address must both survive.
-        let k = compile(
-            "for (;;) { output(0, read_sensor(0, 1.0f) + read_sensor(0, 1.0f)); }",
-        )
-        .unwrap();
+        let k = compile("for (;;) { output(0, read_sensor(0, 1.0f) + read_sensor(0, 1.0f)); }")
+            .unwrap();
         let (opt, _) = optimize(&k.dfg);
         let reads = opt
             .nodes()

@@ -44,9 +44,10 @@ pub fn gantt(dfg: &Dfg, schedule: &Schedule, max_cols: usize) -> String {
         let row = &mut rows[p.pe.0 as usize];
         let start = p.start as usize;
         if start < cols {
-            for t in start..(p.finish as usize).min(cols) {
-                if row[t] == ' ' {
-                    row[t] = '=';
+            let end = (p.finish as usize).min(cols);
+            for cell in &mut row[start..end] {
+                if *cell == ' ' {
+                    *cell = '=';
                 }
             }
             row[start] = glyph(&node.op);
@@ -60,7 +61,11 @@ pub fn gantt(dfg: &Dfg, schedule: &Schedule, max_cols: usize) -> String {
         schedule.grid.rows,
         schedule.grid.cols,
         dfg.len(),
-        if (schedule.makespan as usize) > cols { " [windowed]" } else { "" }
+        if (schedule.makespan as usize) > cols {
+            " [windowed]"
+        } else {
+            ""
+        }
     )
     .unwrap();
     // Cycle ruler every 10.

@@ -113,10 +113,12 @@ pub fn dimension_order_path(grid: &GridConfig, from: PeId, to: PeId) -> Vec<Link
         }
         let fwd = (i32::from(target) - i32::from(cur)).rem_euclid(n);
         let bwd = (i32::from(cur) - i32::from(target)).rem_euclid(n);
-        if wrap && bwd < fwd {
-            -1
-        } else if wrap {
-            1
+        if wrap {
+            if bwd < fwd {
+                -1
+            } else {
+                1
+            }
         } else if target > cur {
             1
         } else {
@@ -141,7 +143,10 @@ pub fn dimension_order_path(grid: &GridConfig, from: PeId, to: PeId) -> Vec<Link
             (((i32::from(r) + dr).rem_euclid(rows)) as u16, c)
         };
         let next = grid.pe_at(nr, nc);
-        path.push(Link { from: grid.pe_at(r, c), to: next });
+        path.push(Link {
+            from: grid.pe_at(r, c),
+            to: next,
+        });
         r = nr;
         c = nc;
     }
@@ -180,7 +185,10 @@ mod tests {
     #[test]
     fn path_length_matches_distance_torus_and_diagonal() {
         for topo in [Topology::Torus, Topology::MeshDiagonal] {
-            let g = GridConfig { topology: topo, ..GridConfig::mesh(4, 5) };
+            let g = GridConfig {
+                topology: topo,
+                ..GridConfig::mesh(4, 5)
+            };
             for a in g.pes() {
                 for b in g.pes() {
                     let p = dimension_order_path(&g, a, b);

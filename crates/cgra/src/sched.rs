@@ -77,7 +77,10 @@ impl Schedule {
                 return Err(format!("{id:?}: I/O op on non-I/O PE {:?}", p.pe));
             }
             if !issue.insert((p.pe, p.start)) {
-                return Err(format!("{id:?}: issue-slot conflict on {:?} @ {}", p.pe, p.start));
+                return Err(format!(
+                    "{id:?}: issue-slot conflict on {:?} @ {}",
+                    p.pe, p.start
+                ));
             }
             for &o in &node.operands {
                 let po = self.placement(o);
@@ -101,8 +104,7 @@ impl Schedule {
         if self.makespan == 0 {
             return 0.0;
         }
-        self.placements.len() as f64
-            / (self.makespan as f64 * self.grid.pe_count() as f64)
+        self.placements.len() as f64 / (self.makespan as f64 * self.grid.pe_count() as f64)
     }
 }
 
@@ -132,7 +134,10 @@ pub struct ListScheduler {
 impl ListScheduler {
     /// Scheduler for a given grid with the default critical-path priority.
     pub fn new(grid: GridConfig) -> Self {
-        Self { grid, policy: SchedulerPolicy::CriticalPath }
+        Self {
+            grid,
+            policy: SchedulerPolicy::CriticalPath,
+        }
     }
 
     /// Scheduler with an explicit priority policy.
@@ -144,9 +149,7 @@ impl ListScheduler {
     fn priorities(&self, dfg: &Dfg) -> Vec<(i64, i64)> {
         let (heights, cp) = dfg.critical_path();
         match self.policy {
-            SchedulerPolicy::CriticalPath => {
-                heights.iter().map(|&h| (i64::from(h), 0)).collect()
-            }
+            SchedulerPolicy::CriticalPath => heights.iter().map(|&h| (i64::from(h), 0)).collect(),
             SchedulerPolicy::Mobility => {
                 // ASAP: longest latency-weighted path from sources.
                 let mut asap = vec![0u32; dfg.len()];
@@ -168,9 +171,7 @@ impl ListScheduler {
                     })
                     .collect()
             }
-            SchedulerPolicy::SourceOrder => {
-                (0..dfg.len()).map(|i| (-(i as i64), 0)).collect()
-            }
+            SchedulerPolicy::SourceOrder => (0..dfg.len()).map(|i| (-(i as i64), 0)).collect(),
         }
     }
 
@@ -225,30 +226,28 @@ impl ListScheduler {
             };
 
             let mut best: Option<(u32, u32, PeId)> = None; // (start, load, pe)
-            let consider = |pe: PeId,
-                            busy: &mut Vec<Vec<bool>>,
-                            best: &mut Option<(u32, u32, PeId)>| {
-                // Earliest data-ready cycle on this PE.
-                let mut earliest = 0u32;
-                for &o in &node.operands {
-                    let po = placements[o.0 as usize].expect("operand scheduled");
-                    earliest =
-                        earliest.max(po.finish + self.grid.distance(po.pe, pe));
-                }
-                // First free issue slot ≥ earliest.
-                let lane = &mut busy[pe.0 as usize];
-                let mut t = earliest;
-                loop {
-                    if (t as usize) >= lane.len() || !lane[t as usize] {
-                        break;
+            let consider =
+                |pe: PeId, busy: &mut Vec<Vec<bool>>, best: &mut Option<(u32, u32, PeId)>| {
+                    // Earliest data-ready cycle on this PE.
+                    let mut earliest = 0u32;
+                    for &o in &node.operands {
+                        let po = placements[o.0 as usize].expect("operand scheduled");
+                        earliest = earliest.max(po.finish + self.grid.distance(po.pe, pe));
                     }
-                    t += 1;
-                }
-                let cand = (t, load[pe.0 as usize], pe);
-                if best.map_or(true, |b| (cand.0, cand.1, cand.2 .0) < (b.0, b.1, b.2 .0)) {
-                    *best = Some(cand);
-                }
-            };
+                    // First free issue slot ≥ earliest.
+                    let lane = &mut busy[pe.0 as usize];
+                    let mut t = earliest;
+                    loop {
+                        if (t as usize) >= lane.len() || !lane[t as usize] {
+                            break;
+                        }
+                        t += 1;
+                    }
+                    let cand = (t, load[pe.0 as usize], pe);
+                    if best.is_none_or(|b| (cand.0, cand.1, cand.2 .0) < (b.0, b.1, b.2 .0)) {
+                        *best = Some(cand);
+                    }
+                };
 
             if node.op.needs_io() {
                 for &pe in candidates {
@@ -280,9 +279,15 @@ impl ListScheduler {
             }
         }
 
-        let placements: Vec<Placement> =
-            placements.into_iter().map(|p| p.expect("all nodes scheduled")).collect();
-        Schedule { grid: self.grid, placements, makespan }
+        let placements: Vec<Placement> = placements
+            .into_iter()
+            .map(|p| p.expect("all nodes scheduled"))
+            .collect();
+        Schedule {
+            grid: self.grid,
+            placements,
+            makespan,
+        }
     }
 }
 

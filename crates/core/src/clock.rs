@@ -64,7 +64,12 @@ pub struct MasterClock {
 impl MasterClock {
     /// New master clock; `jitter_rms = 0` gives the ideal clock.
     pub fn new(domain: ClockDomain, jitter_rms: f64, seed: u64) -> Self {
-        Self { domain, jitter_rms, tick: 0, rng_state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1 }
+        Self {
+            domain,
+            jitter_rms,
+            tick: 0,
+            rng_state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
     }
 
     /// BuTiS-grade: 250 MHz with 50 fs RMS jitter.

@@ -153,7 +153,9 @@ mod tests {
     fn op() -> OperatingPoint {
         let m = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v = SynchrotronCalc::new(m, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
     }
 
@@ -222,8 +224,7 @@ mod tests {
             let phase_deg = dt * op.f_rf() * 360.0;
             if let Some(u) = ctrl.push_measurement(phase_deg) {
                 // integrate over the decimation window
-                ctrl_phase_rad +=
-                    std::f64::consts::TAU * u * t_rev * f64::from(params.decimation);
+                ctrl_phase_rad += std::f64::consts::TAU * u * t_rev * f64::from(params.decimation);
             }
             trace.push(phase_deg);
         }
@@ -236,7 +237,10 @@ mod tests {
             let min = w.iter().cloned().fold(f64::MAX, f64::min);
             (max - min) / 2.0
         };
-        (amp(&trace[..period_turns]), amp(&trace[turns - period_turns..]))
+        (
+            amp(&trace[..period_turns]),
+            amp(&trace[turns - period_turns..]),
+        )
     }
 
     #[test]
@@ -255,7 +259,10 @@ mod tests {
     fn positive_gain_does_not_damp() {
         let turns = (0.025 * 800e3) as usize;
         let (first, tail) = closed_loop_amplitude(5.0, turns);
-        assert!(tail > first * 0.5, "undamped/growing: first {first}, tail {tail}");
+        assert!(
+            tail > first * 0.5,
+            "undamped/growing: first {first}, tail {tail}"
+        );
     }
 
     #[test]
@@ -286,8 +293,7 @@ mod tests {
             }
             trace.push(deg);
         }
-        let tau_turns = cil_physics::modes::damping_time_turns(&trace)
-            .expect("decaying envelope");
+        let tau_turns = cil_physics::modes::damping_time_turns(&trace).expect("decaying envelope");
         let tau_s = tau_turns / 800e3;
         let predicted = params.predicted_damping_time();
         assert!(

@@ -6,19 +6,20 @@
 //! generators and the DAC outputs, plus the monitoring mux, the
 //! SpartanMC-style parameter interface and the DRAM recorder.
 
+use cil_cgra::cache::CompiledKernel;
 use cil_cgra::exec::{CgraExecutor, SensorBus};
 use cil_cgra::grid::GridConfig;
 use cil_cgra::kernels::{
     BeamKernel, KernelParams, ACT_DT_BASE, ACT_MONITOR, PORT_GAP_BUF, PORT_PERIOD, PORT_REF_BUF,
 };
-use cil_cgra::sched::ListScheduler;
 use cil_dsp::converter::{AdcModel, DacModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use cil_dsp::gauss::GaussPulseGenerator;
 use cil_dsp::period::PeriodLengthDetector;
 use cil_dsp::ring_buffer::CaptureRingBuffer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// What the second DAC channel shows ("a monitoring signal to either show
 /// the phase difference calculated in the model or mirror the generated
@@ -137,7 +138,7 @@ pub mod params {
 pub struct SimulatorFramework {
     /// Active configuration.
     pub config: FrameworkConfig,
-    kernel: BeamKernel,
+    compiled: Arc<CompiledKernel>,
     executor: CgraExecutor,
     ref_buffer: CaptureRingBuffer,
     gap_buffer: CaptureRingBuffer,
@@ -168,20 +169,19 @@ pub struct SimulatorFramework {
 }
 
 impl SimulatorFramework {
-    /// Build the framework: compiles and schedules the beam kernel for the
-    /// configured grid and bunch count.
+    /// Build the framework. The beam kernel is compiled and scheduled at
+    /// most once per configuration — repeated constructions (sweeps,
+    /// repeated loop runs) reuse the shared artifact from
+    /// [`cil_cgra::cache`] and only stamp out fresh executor state.
     pub fn new(config: FrameworkConfig, kernel_params: KernelParams) -> Self {
-        let kernel = cil_cgra::kernels::build_beam_kernel_opts(
+        let compiled = cil_cgra::cache::global().get_or_compile(
             &kernel_params,
             config.bunches,
             config.pipelined,
             config.interpolate,
+            config.grid,
         );
-        let schedule = ListScheduler::new(config.grid).schedule(&kernel.kernel.dfg);
-        let mut executor = CgraExecutor::new(kernel.kernel.dfg.clone(), schedule);
-        for &(r, v) in &kernel.kernel.reg_inits {
-            executor.set_reg(r, v);
-        }
+        let executor = compiled.executor();
         let pulses = (0..config.bunches)
             .map(|_| match &config.pulse_table {
                 Some(table) => {
@@ -208,8 +208,8 @@ impl SimulatorFramework {
             records: Vec::new(),
             recording: true,
             revolutions: 0,
-            adc_rng: StdRng::seed_from_u64(0x5EED_C11),
-            kernel,
+            adc_rng: StdRng::seed_from_u64(0x05EE_DC11),
+            compiled,
             executor,
             config,
         }
@@ -252,8 +252,12 @@ impl SimulatorFramework {
             )
         } else {
             (
-                self.config.adc.code_to_volts(self.config.adc.quantize(v_ref)),
-                self.config.adc.code_to_volts(self.config.adc.quantize(v_gap)),
+                self.config
+                    .adc
+                    .code_to_volts(self.config.adc.quantize(v_ref)),
+                self.config
+                    .adc
+                    .code_to_volts(self.config.adc.quantize(v_gap)),
             )
         };
         self.ref_buffer.push(ref_q);
@@ -317,10 +321,10 @@ impl SimulatorFramework {
             // First run doubles as the pipeline warm-up: fill the stage
             // bridges, then restore the architectural state (and pull γ_R
             // from the *measured* frequency, as the paper's init phase does).
-            let mut restore = self.kernel.kernel.reg_inits.clone();
+            let mut restore = self.compiled.kernel.kernel.reg_inits.clone();
             let gamma_meas =
                 cil_physics::relativity::gamma_from_revolution(1.0 / period_s, orbit_length);
-            for (name, reg) in &self.kernel.kernel.statics {
+            for (name, reg) in &self.compiled.kernel.kernel.statics {
                 if name == "gamma_r" {
                     for r in &mut restore {
                         if r.0 == *reg {
@@ -336,7 +340,6 @@ impl SimulatorFramework {
         }
 
         self.executor.run_iteration(&mut bus, &[]);
-        drop(bus);
 
         // Arm the Gauss pulses for the next revolution: bunch b sits b RF
         // periods after the crossing, plus its Δt.
@@ -371,7 +374,9 @@ impl SimulatorFramework {
 
     /// Measured revolution period (seconds), if the detector has locked.
     pub fn measured_period(&self) -> Option<f64> {
-        self.period.average_period().map(|p| p / self.config.sample_rate)
+        self.period
+            .average_period()
+            .map(|p| p / self.config.sample_rate)
     }
 
     /// Most recent Δt per bunch.
@@ -387,18 +392,15 @@ impl SimulatorFramework {
     /// Direct register access to the CGRA state (test/diagnostic path, like
     /// the SpartanMC debug port). Returns `None` for unknown statics.
     pub fn kernel_static(&self, name: &str) -> Option<f64> {
-        self.kernel
-            .kernel
-            .statics
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, reg)| self.executor.reg(*reg))
+        self.compiled
+            .static_reg(name)
+            .map(|reg| self.executor.reg(reg))
     }
 
     /// Overwrite a kernel static (e.g. to launch the bunch displaced).
     pub fn set_kernel_static(&mut self, name: &str, value: f64) -> bool {
-        if let Some((_, reg)) = self.kernel.kernel.statics.iter().find(|(n, _)| n == name) {
-            self.executor.set_reg(*reg, value);
+        if let Some(reg) = self.compiled.static_reg(name) {
+            self.executor.set_reg(reg, value);
             true
         } else {
             false
@@ -407,7 +409,7 @@ impl SimulatorFramework {
 
     /// The compiled kernel (source + DFG), for inspection.
     pub fn kernel(&self) -> &BeamKernel {
-        &self.kernel
+        &self.compiled.kernel
     }
 
     /// Schedule length of the configured kernel in CGRA ticks.
@@ -543,7 +545,11 @@ mod tests {
             4,
             0.5,
             0.5,
-            PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 1.0, path_latency_s: 0.0 },
+            PhaseJumpProgram {
+                amplitude_deg: 0.0,
+                interval_s: 1.0,
+                path_latency_s: 0.0,
+            },
         )
     }
 
@@ -655,7 +661,10 @@ mod tests {
         let mut bench = quiet_bench();
         fw.write_param(params::REG_PULSE_AMPLITUDE, 0.25);
         let out = run_bench(&mut fw, &mut bench, 300e-6);
-        let max_beam = out[out.len() / 2..].iter().map(|o| o.beam).fold(0.0f64, f64::max);
+        let max_beam = out[out.len() / 2..]
+            .iter()
+            .map(|o| o.beam)
+            .fold(0.0f64, f64::max);
         assert!((max_beam - 0.25).abs() < 0.01, "peak {max_beam}");
     }
 
@@ -685,7 +694,10 @@ mod tests {
         let top = half.iter().filter(|o| o.beam > 0.79).count();
         let pulses = 200e-6 / 2.0 * 800e3; // pulses in the second half
         let per_pulse = top as f64 / pulses;
-        assert!((per_pulse - 15.0).abs() < 1.0, "flat top of {per_pulse} samples");
+        assert!(
+            (per_pulse - 15.0).abs() < 1.0,
+            "flat top of {per_pulse} samples"
+        );
     }
 
     #[test]
@@ -696,9 +708,15 @@ mod tests {
         // Adapt the pulse to a wider flat shape mid-run.
         fw.set_pulse_table(vec![1.0; 25]);
         let out = run_bench(&mut fw, &mut bench, 100e-6);
-        let top = out[out.len() / 2..].iter().filter(|o| o.beam > 0.79).count();
+        let top = out[out.len() / 2..]
+            .iter()
+            .filter(|o| o.beam > 0.79)
+            .count();
         let per_pulse = top as f64 / (100e-6 / 2.0 * 800e3);
-        assert!((per_pulse - 25.0).abs() < 2.0, "swapped table in effect: {per_pulse}");
+        assert!(
+            (per_pulse - 25.0).abs() < 2.0,
+            "swapped table in effect: {per_pulse}"
+        );
     }
 
     #[test]

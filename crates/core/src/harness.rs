@@ -1,0 +1,205 @@
+//! The shared closed-loop harness.
+//!
+//! Every executive — turn-level, signal-level, ramp, multi-bunch — runs the
+//! same experiment skeleton: step the beam model, watch the jump program
+//! toggle, feed the (offset-corrected) mean phase to the beam-phase
+//! controller, actuate, record. [`LoopHarness`] owns that skeleton once;
+//! the executives in [`crate::hil`], [`crate::ramploop`] and
+//! [`crate::multibunch`] reduce to scenario adapters that pick an engine,
+//! run the harness, and reshape the [`LoopTrace`] into their result type.
+
+use crate::control::BeamPhaseController;
+use crate::engine::{BeamEngine, EngineStep};
+use crate::scenario::MdeScenario;
+use crate::signalgen::PhaseJumpProgram;
+
+/// Everything one closed-loop run records.
+#[derive(Debug, Clone)]
+pub struct LoopTrace {
+    /// Measurement time of each row, seconds (uniform per revolution for
+    /// turn-level engines, detector-event times for the signal level,
+    /// ramp-varying for [`crate::engine::RampEngine`]).
+    pub times: Vec<f64>,
+    /// Per-bunch phase rows, degrees at the RF harmonic (instrumentation
+    /// offset included), indexed `[bunch][row]`.
+    pub bunch_phase_deg: Vec<Vec<f64>>,
+    /// Pickup-average phase per row — what the controller acted on.
+    pub mean_phase_deg: Vec<f64>,
+    /// Controller actuation after each row, Hz.
+    pub control_hz: Vec<f64>,
+    /// Times at which the jump program toggled, seconds. A program that
+    /// starts displaced (negative path latency) records its first event at
+    /// t = 0.
+    pub jump_times: Vec<f64>,
+    /// False if the engine reported beam loss before the end time.
+    pub survived: bool,
+}
+
+/// The closed-loop skeleton: controller + jump program + instrumentation
+/// offset + trace recording, generic over the [`BeamEngine`] fidelity.
+pub struct LoopHarness {
+    /// The beam-phase controller (owns the loop-enable flag).
+    pub controller: BeamPhaseController,
+    /// The AWG jump program handed to the engine each step.
+    pub jumps: PhaseJumpProgram,
+    /// Constant instrumentation phase offset added to every measurement,
+    /// degrees.
+    pub instrument_offset_deg: f64,
+}
+
+impl LoopHarness {
+    /// Harness from parts.
+    pub fn new(
+        controller: BeamPhaseController,
+        jumps: PhaseJumpProgram,
+        instrument_offset_deg: f64,
+    ) -> Self {
+        Self {
+            controller,
+            jumps,
+            instrument_offset_deg,
+        }
+    }
+
+    /// The scenario's turn-level harness: controller at the revolution
+    /// frequency, the scenario's jump program and instrumentation offset.
+    pub fn for_scenario(s: &MdeScenario, control_enabled: bool) -> Self {
+        let mut controller = BeamPhaseController::new(s.controller, s.f_rev);
+        controller.enabled = control_enabled;
+        Self::new(controller, s.jumps, s.instrument_offset_deg)
+    }
+
+    /// Run the loop until the engine's time reaches `duration_s`.
+    pub fn run<E: BeamEngine + ?Sized>(&mut self, engine: &mut E, duration_s: f64) -> LoopTrace {
+        self.run_with(engine, duration_s, |_| {})
+    }
+
+    /// Like [`Self::run`], calling `observer` after every recorded row —
+    /// the hook through which executives capture engine-specific telemetry
+    /// (e.g. γ_R and φ_s along a ramp) without widening the trace type.
+    pub fn run_with<E, F>(&mut self, engine: &mut E, duration_s: f64, mut observer: F) -> LoopTrace
+    where
+        E: BeamEngine + ?Sized,
+        F: FnMut(&E),
+    {
+        let bunches = engine.bunches();
+        let mut phase = vec![0.0; bunches];
+        let mut trace = LoopTrace {
+            times: Vec::new(),
+            bunch_phase_deg: vec![Vec::new(); bunches],
+            mean_phase_deg: Vec::new(),
+            control_hz: Vec::new(),
+            jump_times: Vec::new(),
+            survived: true,
+        };
+        let mut last_jump = 0.0f64;
+
+        while engine.time() < duration_s {
+            let t_pre = engine.time();
+            let step = engine.step(&self.jumps, &mut phase);
+            // The engine evaluated the jump program for this step at its
+            // pre-step time, so an edge is stamped there — a program that
+            // starts displaced therefore records its first event at t = 0.
+            let applied = engine.applied_jump_deg();
+            if applied != last_jump {
+                trace.jump_times.push(t_pre);
+                last_jump = applied;
+            }
+            match step {
+                EngineStep::Lost => {
+                    trace.survived = false;
+                    break;
+                }
+                EngineStep::Idle => continue,
+                EngineStep::Measured => {
+                    let mut acc = 0.0;
+                    for (row, &p) in trace.bunch_phase_deg.iter_mut().zip(&phase) {
+                        let deg = p + self.instrument_offset_deg;
+                        row.push(deg);
+                        acc += deg;
+                    }
+                    let mean = acc / bunches as f64;
+                    trace.times.push(engine.time());
+                    trace.mean_phase_deg.push(mean);
+                    if let Some(u) = self.controller.push_measurement(mean) {
+                        engine.apply_control(u, self.controller.params.decimation);
+                    }
+                    trace.control_hz.push(self.controller.output());
+                    observer(engine);
+                }
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineKind, MapEngine};
+
+    fn scenario() -> MdeScenario {
+        let mut s = MdeScenario::nov24_2023();
+        s.duration_s = 0.02;
+        s.bunches = 1;
+        s
+    }
+
+    #[test]
+    fn records_one_row_per_turn() {
+        let s = scenario();
+        let mut engine = MapEngine::from_scenario(&s);
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let trace = harness.run(&mut engine, s.duration_s);
+        assert_eq!(trace.times.len(), s.revolutions());
+        assert_eq!(trace.mean_phase_deg.len(), trace.control_hz.len());
+        assert_eq!(trace.bunch_phase_deg.len(), 1);
+        assert!(trace.survived);
+    }
+
+    #[test]
+    fn displaced_jump_program_records_t0_event() {
+        // Regression: a jump program already displaced at t = 0 must put
+        // its first event at exactly 0.0, so `jump_times[0]`-based analyses
+        // cannot panic or mis-window.
+        let mut s = scenario();
+        s.duration_s = 1e-3;
+        s.jumps = PhaseJumpProgram {
+            amplitude_deg: 8.0,
+            interval_s: 0.05,
+            path_latency_s: -0.06,
+        };
+        let mut engine = MapEngine::from_scenario(&s);
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let trace = harness.run(&mut engine, s.duration_s);
+        assert_eq!(trace.jump_times.first().copied(), Some(0.0));
+    }
+
+    #[test]
+    fn open_loop_never_actuates() {
+        let s = scenario();
+        let mut engine = MapEngine::from_scenario(&s);
+        let mut harness = LoopHarness::for_scenario(&s, false);
+        let trace = harness.run(&mut engine, s.duration_s);
+        assert!(trace.control_hz.iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn observer_sees_every_row() {
+        let s = scenario();
+        let mut engine = MapEngine::from_scenario(&s);
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let mut rows = 0usize;
+        let trace = harness.run_with(&mut engine, s.duration_s, |_| rows += 1);
+        assert_eq!(rows, trace.times.len());
+    }
+
+    #[test]
+    fn boxed_engine_runs_through_the_harness() {
+        let s = scenario();
+        let mut engine = EngineKind::Map.build(&s);
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let trace = harness.run(engine.as_mut(), s.duration_s);
+        assert_eq!(trace.times.len(), s.revolutions());
+    }
+}

@@ -1,27 +1,26 @@
 //! Closed-loop executives — "cavity in the loop".
 //!
-//! Two fidelities of the same experiment:
+//! Two fidelities of the same experiment, both thin adapters over the
+//! shared [`crate::harness::LoopHarness`] / [`crate::engine::BeamEngine`]
+//! pair:
 //!
-//! * [`TurnLevelLoop`] — one step per revolution. The beam model runs either
-//!   as the plain two-particle map or through the *actual CGRA executor*
-//!   fed by analytic signals; the controller and jump program act once per
-//!   turn. Fast enough for the full 0.4 s Fig. 5 trace in milliseconds.
+//! * [`TurnLevelLoop`] — one step per revolution. The beam model runs as
+//!   the plain two-particle map, through the *actual CGRA executor* fed by
+//!   analytic signals, or as the multi-particle reference tracker
+//!   (see [`EngineKind`]). Fast enough for the full 0.4 s Fig. 5 trace in
+//!   milliseconds.
 //! * [`SignalLevelLoop`] — every 250 MHz sample: DDS → ADC → ring buffers →
 //!   detectors → CGRA → Gauss pulses → DAC → DSP phase detector →
 //!   controller → gap DDS. The full Fig. 3 + Fig. 4 chain; ablation A6
 //!   checks it against the turn-level loop.
 
 use crate::control::BeamPhaseController;
-use crate::framework::SimulatorFramework;
+use crate::engine::SignalLevelEngine;
+use crate::harness::LoopHarness;
 use crate::scenario::MdeScenario;
-use crate::signalgen::SignalBench;
 use crate::trace::TimeSeries;
-use cil_cgra::exec::{CgraExecutor, SensorBus};
-use cil_cgra::kernels::{build_beam_kernel, ACT_DT_BASE, PORT_GAP_BUF, PORT_PERIOD, PORT_REF_BUF};
-use cil_cgra::sched::ListScheduler;
-use cil_dsp::phase_detector::PhaseDetector;
-use cil_physics::constants::TWO_PI;
-use cil_physics::tracking::TwoParticleMap;
+
+pub use crate::engine::EngineKind;
 
 /// Result of a closed-loop run.
 #[derive(Debug, Clone)]
@@ -43,56 +42,15 @@ impl HilResult {
     }
 }
 
-/// Which beam-model engine the turn-level loop uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TurnEngine {
-    /// The two-particle map evaluated directly (fastest).
-    Map,
-    /// The compiled kernel on the cycle-accurate CGRA executor, fed by
-    /// analytic signals — the cavity-in-the-loop path without converter
-    /// effects.
-    Cgra,
-}
-
 /// Turn-level closed-loop executive.
 pub struct TurnLevelLoop {
     scenario: MdeScenario,
-    engine: TurnEngine,
-}
-
-/// Analytic SensorBus for the turn-level CGRA engine: serves ideal DDS
-/// waveforms (no ADC/quantisation) with the current gap-phase offset.
-struct AnalyticBus {
-    f_rev: f64,
-    f_rf: f64,
-    sample_rate: f64,
-    /// ADC-side amplitudes (the kernel multiplies by its scale factors).
-    amp: f64,
-    gap_phase_rad: f64,
-    dt_out: Vec<f64>,
-}
-
-impl SensorBus for AnalyticBus {
-    fn read(&mut self, port: u16, addr: f64) -> f64 {
-        let t = addr / self.sample_rate; // seconds relative to the crossing
-        match port {
-            PORT_PERIOD => 1.0 / self.f_rev,
-            PORT_REF_BUF => self.amp * (TWO_PI * self.f_rev * t).sin(),
-            PORT_GAP_BUF => self.amp * (TWO_PI * self.f_rf * t + self.gap_phase_rad).sin(),
-            _ => 0.0,
-        }
-    }
-    fn write(&mut self, port: u16, value: f64) {
-        let b = (port - ACT_DT_BASE) as usize;
-        if b < self.dt_out.len() {
-            self.dt_out[b] = value;
-        }
-    }
+    engine: EngineKind,
 }
 
 impl TurnLevelLoop {
     /// New loop for a scenario.
-    pub fn new(scenario: MdeScenario, engine: TurnEngine) -> Self {
+    pub fn new(scenario: MdeScenario, engine: EngineKind) -> Self {
         Self { scenario, engine }
     }
 
@@ -100,78 +58,14 @@ impl TurnLevelLoop {
     /// opens/closes the loop (Fig. 5 runs closed).
     pub fn run(&self, control_enabled: bool) -> HilResult {
         let s = &self.scenario;
-        let op = s.operating_point();
-        let v_hat = op.v_gap_volts;
-        let f_rf = op.f_rf();
         let t_rev = 1.0 / s.f_rev;
-        let turns = s.revolutions();
-
-        let mut controller = BeamPhaseController::new(s.controller, s.f_rev);
-        controller.enabled = control_enabled;
-
-        // Engines.
-        let mut map = TwoParticleMap::at_operating_point(&op);
-        let mut cgra: Option<(CgraExecutor, AnalyticBus)> = if self.engine == TurnEngine::Cgra {
-            let bk = build_beam_kernel(&s.kernel_params(), 1, s.pipelined);
-            let sched = ListScheduler::new(s.grid).schedule(&bk.kernel.dfg);
-            let mut ex = CgraExecutor::new(bk.kernel.dfg.clone(), sched);
-            for &(r, v) in &bk.kernel.reg_inits {
-                ex.set_reg(r, v);
-            }
-            let mut bus = AnalyticBus {
-                f_rev: s.f_rev,
-                f_rf,
-                sample_rate: 250e6,
-                amp: s.adc_amplitude,
-                gap_phase_rad: 0.0,
-                dt_out: vec![0.0; 1],
-            };
-            if s.pipelined {
-                let restore = bk.kernel.reg_inits.clone();
-                ex.warmup(&mut bus, &[], &restore);
-            }
-            Some((ex, bus))
-        } else {
-            None
-        };
-
-        let mut ctrl_phase_rad = 0.0f64;
-        let mut phase = Vec::with_capacity(turns);
-        let mut control = Vec::with_capacity(turns);
-        let mut jump_times = Vec::new();
-        let mut last_jump = 0.0f64;
-
-        for n in 0..turns {
-            let t = n as f64 * t_rev;
-            let jump_deg = s.jumps.offset_deg_at(t);
-            if jump_deg != last_jump {
-                jump_times.push(t);
-                last_jump = jump_deg;
-            }
-            let gap_phase = jump_deg.to_radians() + ctrl_phase_rad;
-
-            let dt = match (&mut cgra, self.engine) {
-                (Some((ex, bus)), TurnEngine::Cgra) => {
-                    bus.gap_phase_rad = gap_phase;
-                    ex.run_iteration(bus, &[]);
-                    bus.dt_out[0]
-                }
-                _ => map.step_stationary(v_hat, gap_phase),
-            };
-
-            let phase_deg = dt * f_rf * 360.0 + s.instrument_offset_deg;
-            if let Some(u) = controller.push_measurement(phase_deg) {
-                ctrl_phase_rad +=
-                    TWO_PI * u * t_rev * f64::from(s.controller.decimation);
-            }
-            phase.push(phase_deg);
-            control.push(controller.output());
-        }
-
+        let mut engine = self.engine.build(s);
+        let mut harness = LoopHarness::for_scenario(s, control_enabled);
+        let trace = harness.run(engine.as_mut(), s.duration_s);
         HilResult {
-            phase_deg: TimeSeries::new(0.0, t_rev, phase),
-            control_hz: TimeSeries::new(0.0, t_rev, control),
-            jump_times,
+            phase_deg: TimeSeries::new(0.0, t_rev, trace.mean_phase_deg),
+            control_hz: TimeSeries::new(0.0, t_rev, trace.control_hz),
+            jump_times: trace.jump_times,
         }
     }
 }
@@ -192,62 +86,27 @@ impl SignalLevelLoop {
     /// per simulated second).
     pub fn run(&self, duration_s: f64, control_enabled: bool) -> HilResult {
         let s = &self.scenario;
-        let sample_rate = 250e6;
-        let mut bench = SignalBench::new(
-            sample_rate,
-            s.f_rev,
-            s.harmonic(),
-            s.adc_amplitude,
-            s.adc_amplitude,
-            s.jumps,
-        );
-        let mut fw = SimulatorFramework::new(s.framework_config(), s.kernel_params());
-        let period_samples = sample_rate / s.f_rev;
-        let mut detector = PhaseDetector::with_zc_threshold(
-            fw.config.pulse_amplitude * 0.25,
-            f64::from(s.harmonic()),
-            period_samples,
-            fw.config.zc_threshold,
-        );
+        let mut engine = SignalLevelEngine::from_scenario(s);
+        // The detector measures once per bunch passage, so the controller's
+        // decimated rate derives from f_rev × bunches, not f_rev.
         let mut controller = BeamPhaseController::new(s.controller, s.f_rev * s.bunches as f64);
         controller.enabled = control_enabled;
+        let mut harness = LoopHarness::new(controller, s.jumps, s.instrument_offset_deg);
+        let trace = harness.run(&mut engine, duration_s);
 
-        let n = (duration_s * sample_rate) as usize;
         let t_rev = 1.0 / s.f_rev;
-        let mut phase_events: Vec<(f64, f64)> = Vec::new();
-        let mut control_events: Vec<(f64, f64)> = Vec::new();
-        let mut jump_times = Vec::new();
-        let mut last_jump = 0.0;
-
-        for i in 0..n {
-            let t = i as f64 / sample_rate;
-            let (v_ref, v_gap) = bench.tick();
-            if bench.applied_jump_deg() != last_jump {
-                jump_times.push(t);
-                last_jump = bench.applied_jump_deg();
-            }
-            let out = fw.push_sample(v_ref, v_gap);
-            if let Some(p) = fw.measured_period() {
-                let samples = p * sample_rate;
-                // Guard against transient mis-measurements under heavy noise.
-                if samples > period_samples * 0.5 && samples < period_samples * 2.0 {
-                    detector.set_period_samples(samples);
-                }
-            }
-            if let Some(m) = detector.push(v_ref, out.beam) {
-                let deg = m.phase_deg + s.instrument_offset_deg;
-                phase_events.push((t, deg));
-                if let Some(u) = controller.push_measurement(deg) {
-                    bench.set_control_frequency_offset(u);
-                    control_events.push((t, u));
-                }
-            }
-        }
-
+        let phase_events: Vec<(f64, f64)> = trace
+            .times
+            .iter()
+            .copied()
+            .zip(trace.mean_phase_deg)
+            .collect();
+        let control_events: Vec<(f64, f64)> =
+            trace.times.iter().copied().zip(trace.control_hz).collect();
         HilResult {
             phase_deg: resample(&phase_events, t_rev, duration_s),
             control_hz: resample(&control_events, t_rev, duration_s),
-            jump_times,
+            jump_times: trace.jump_times,
         }
     }
 }
@@ -286,8 +145,8 @@ mod tests {
     #[test]
     fn turn_level_map_reproduces_fig5_shape() {
         let s = fast_scenario();
-        let result = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(true);
-        assert!(result.jump_times.len() >= 1, "at least one jump in 0.1 s");
+        let result = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(true);
+        assert!(!result.jump_times.is_empty(), "at least one jump in 0.1 s");
         let t_jump = result.jump_times[0];
         let r = score_jump_response(
             &result.phase_deg,
@@ -301,7 +160,11 @@ mod tests {
             "first-peak ratio {}",
             r.first_peak_ratio
         );
-        assert!(r.residual_ratio < 0.2, "damped, residual {}", r.residual_ratio);
+        assert!(
+            r.residual_ratio < 0.2,
+            "damped, residual {}",
+            r.residual_ratio
+        );
         // A constant baseline offset is visible. It is close to, but not
         // exactly, the instrumentation offset: the controller's start-up
         // transient integrates into a permanent (physically arbitrary) RF
@@ -314,8 +177,8 @@ mod tests {
     fn turn_level_cgra_matches_map_engine() {
         let mut s = fast_scenario();
         s.duration_s = 0.06;
-        let a = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(true);
-        let b = TurnLevelLoop::new(s, TurnEngine::Cgra).run(true);
+        let a = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(true);
+        let b = TurnLevelLoop::new(s, EngineKind::Cgra).run(true);
         assert_eq!(a.phase_deg.len(), b.phase_deg.len());
         // The engines see slightly different sampled voltages (the CGRA
         // kernel does its own ΔT bookkeeping), but the traces must agree to
@@ -332,7 +195,7 @@ mod tests {
     fn open_loop_does_not_damp() {
         let mut s = fast_scenario();
         s.duration_s = 0.1;
-        let result = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(false);
+        let result = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(false);
         let t_jump = result.jump_times[0];
         let r = score_jump_response(
             &result.phase_deg,
@@ -340,13 +203,17 @@ mod tests {
             t_jump + 0.045,
             s.jumps.amplitude_deg,
         );
-        assert!(r.residual_ratio > 0.7, "open loop rings, residual {}", r.residual_ratio);
+        assert!(
+            r.residual_ratio > 0.7,
+            "open loop rings, residual {}",
+            r.residual_ratio
+        );
     }
 
     #[test]
     fn display_trace_is_smoothed() {
         let s = fast_scenario();
-        let result = TurnLevelLoop::new(s, TurnEngine::Map).run(true);
+        let result = TurnLevelLoop::new(s, EngineKind::Map).run(true);
         let raw = &result.phase_deg;
         let disp = result.display_trace();
         assert_eq!(raw.len(), disp.len());
@@ -388,7 +255,7 @@ mod tests {
         let sig = SignalLevelLoop::new(s.clone()).run(duration, false);
         let mut s_turn = s.clone();
         s_turn.duration_s = duration;
-        let turn = TurnLevelLoop::new(s_turn, TurnEngine::Map).run(false);
+        let turn = TurnLevelLoop::new(s_turn, EngineKind::Map).run(false);
 
         // Compare over the window after the first signal-level jump.
         let t0 = sig.jump_times[0].max(turn.jump_times[0]) + 1e-4;

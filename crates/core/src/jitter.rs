@@ -159,7 +159,11 @@ mod tests {
         let s = summary(Implementation::CgraFpga);
         assert!(s.worst <= 2e-9, "worst {}", s.worst);
         // Uniform ±2 ns → RMS = 2/√3 ns.
-        assert!((s.rms - 2e-9 / 3.0f64.sqrt()).abs() < 0.1e-9, "rms {}", s.rms);
+        assert!(
+            (s.rms - 2e-9 / 3.0f64.sqrt()).abs() < 0.1e-9,
+            "rms {}",
+            s.rms
+        );
     }
 
     #[test]

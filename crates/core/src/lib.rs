@@ -14,6 +14,12 @@
 //!   SpartanMC-style parameter interface and the DRAM recorder;
 //! * [`control`] — the beam-phase control loop (FIR + recursion factor +
 //!   gain, frequency actuation on the gap DDS — Klingbeil 2007);
+//! * [`engine`] — the beam models behind one [`engine::BeamEngine`]
+//!   step-per-measurement interface (two-particle map, CGRA executor,
+//!   multi-particle reference, ramp, full signal chain);
+//! * [`harness`] — the shared closed-loop skeleton (controller + jump
+//!   program + instrumentation offset + trace recording) every executive
+//!   runs through;
 //! * [`hil`] — closed-loop executives at two fidelities: **signal-level**
 //!   (every 250 MHz sample) and **turn-level** (one step per revolution,
 //!   validated against signal-level in ablation A6);
@@ -27,19 +33,24 @@
 
 pub mod clock;
 pub mod control;
+pub mod engine;
 pub mod framework;
+pub mod harness;
 pub mod hil;
 pub mod jitter;
 pub mod multibunch;
 pub mod ramploop;
 pub mod recorder;
-pub mod sweep;
 pub mod scenario;
 pub mod signalgen;
+pub mod sweep;
 pub mod trace;
 
 pub use control::BeamPhaseController;
+pub use engine::{BeamEngine, EngineKind, EngineStep};
+pub use harness::{LoopHarness, LoopTrace};
 pub use hil::{SignalLevelLoop, TurnLevelLoop};
+pub use multibunch::MultiBunchLoop;
 pub use ramploop::RampLoop;
 pub use scenario::MdeScenario;
 pub use trace::TimeSeries;

@@ -7,15 +7,13 @@
 //! independently, and the beam-phase controller acts on the *average* bunch
 //! phase, as a single-pickup LLRF does. The per-bunch traces expose both
 //! the common (controlled) dipole mode and the counter-phase modes the loop
-//! cannot see.
+//! cannot see. A thin adapter: [`crate::engine::CgraEngine`] carries the
+//! beam, [`crate::harness::LoopHarness`] closes the loop.
 
-use crate::control::BeamPhaseController;
+use crate::engine::CgraEngine;
+use crate::harness::LoopHarness;
 use crate::scenario::MdeScenario;
 use crate::trace::TimeSeries;
-use cil_cgra::exec::{CgraExecutor, SensorBus};
-use cil_cgra::kernels::{build_beam_kernel, ACT_DT_BASE, PORT_GAP_BUF, PORT_PERIOD, PORT_REF_BUF};
-use cil_cgra::sched::ListScheduler;
-use cil_physics::constants::TWO_PI;
 
 /// Result of a multi-bunch run.
 #[derive(Debug, Clone)]
@@ -25,34 +23,6 @@ pub struct MultiBunchResult {
     pub bunch_phase_deg: Vec<TimeSeries>,
     /// The pickup-average phase the controller acted on.
     pub mean_phase_deg: TimeSeries,
-}
-
-/// Analytic bus for the multi-bunch kernel (ideal DDS waveforms).
-struct Bus {
-    f_rev: f64,
-    f_rf: f64,
-    sample_rate: f64,
-    amp: f64,
-    gap_phase_rad: f64,
-    dt_out: Vec<f64>,
-}
-
-impl SensorBus for Bus {
-    fn read(&mut self, port: u16, addr: f64) -> f64 {
-        let t = addr / self.sample_rate;
-        match port {
-            PORT_PERIOD => 1.0 / self.f_rev,
-            PORT_REF_BUF => self.amp * (TWO_PI * self.f_rev * t).sin(),
-            PORT_GAP_BUF => self.amp * (TWO_PI * self.f_rf * t + self.gap_phase_rad).sin(),
-            _ => 0.0,
-        }
-    }
-    fn write(&mut self, port: u16, value: f64) {
-        let b = (port - ACT_DT_BASE) as usize;
-        if b < self.dt_out.len() {
-            self.dt_out[b] = value;
-        }
-    }
 }
 
 /// Turn-level multi-bunch executive on the CGRA.
@@ -71,89 +41,27 @@ impl MultiBunchLoop {
             initial_offsets_deg.len() <= scenario.harmonic() as usize,
             "at most one bunch per bucket"
         );
-        Self { scenario, initial_offsets_deg }
+        Self {
+            scenario,
+            initial_offsets_deg,
+        }
     }
 
     /// Run closed- or open-loop for the scenario duration.
     pub fn run(&self, control_enabled: bool) -> MultiBunchResult {
         let s = &self.scenario;
         let bunches = self.initial_offsets_deg.len();
-        let op = s.operating_point();
-        let f_rf = op.f_rf();
         let t_rev = 1.0 / s.f_rev;
-        let turns = s.revolutions();
-
-        let bk = build_beam_kernel(&s.kernel_params(), bunches, s.pipelined);
-        let sched = ListScheduler::new(s.grid).schedule(&bk.kernel.dfg);
-        let mut ex = CgraExecutor::new(bk.kernel.dfg.clone(), sched);
-        for &(r, v) in &bk.kernel.reg_inits {
-            ex.set_reg(r, v);
-        }
-        // Displace each bunch.
-        for (b, &deg) in self.initial_offsets_deg.iter().enumerate() {
-            let reg = bk
-                .kernel
-                .statics
-                .iter()
-                .find(|(n, _)| *n == format!("dt_{b}"))
-                .map(|(_, r)| *r)
-                .expect("bunch state register");
-            ex.set_reg(reg, deg / 360.0 / f_rf);
-        }
-        let mut bus = Bus {
-            f_rev: s.f_rev,
-            f_rf,
-            sample_rate: 250e6,
-            amp: s.adc_amplitude,
-            gap_phase_rad: 0.0,
-            dt_out: vec![0.0; bunches],
-        };
-        if s.pipelined {
-            // Warm the stage bridges, then restore inits + displacements.
-            let mut restore = bk.kernel.reg_inits.clone();
-            for (b, &deg) in self.initial_offsets_deg.iter().enumerate() {
-                let reg = bk
-                    .kernel
-                    .statics
-                    .iter()
-                    .find(|(n, _)| *n == format!("dt_{b}"))
-                    .unwrap()
-                    .1;
-                restore.push((reg, deg / 360.0 / f_rf));
-            }
-            ex.warmup(&mut bus, &[], &restore);
-        }
-
-        let mut controller = BeamPhaseController::new(s.controller, s.f_rev);
-        controller.enabled = control_enabled;
-        let mut ctrl_phase_rad = 0.0f64;
-        let mut per_bunch: Vec<Vec<f64>> = vec![Vec::with_capacity(turns); bunches];
-        let mut mean = Vec::with_capacity(turns);
-
-        for n in 0..turns {
-            let t = n as f64 * t_rev;
-            let jump = s.jumps.offset_deg_at(t).to_radians();
-            bus.gap_phase_rad = jump + ctrl_phase_rad;
-            ex.run_iteration(&mut bus, &[]);
-            let mut acc = 0.0;
-            for (b, trace) in per_bunch.iter_mut().enumerate() {
-                let deg = bus.dt_out[b] * f_rf * 360.0;
-                trace.push(deg);
-                acc += deg;
-            }
-            let avg = acc / bunches as f64;
-            mean.push(avg);
-            if let Some(u) = controller.push_measurement(avg) {
-                ctrl_phase_rad += TWO_PI * u * t_rev * f64::from(s.controller.decimation);
-            }
-        }
-
+        let mut engine = CgraEngine::from_scenario(s, bunches, &self.initial_offsets_deg);
+        let mut harness = LoopHarness::for_scenario(s, control_enabled);
+        let trace = harness.run(&mut engine, s.duration_s);
         MultiBunchResult {
-            bunch_phase_deg: per_bunch
+            bunch_phase_deg: trace
+                .bunch_phase_deg
                 .into_iter()
                 .map(|v| TimeSeries::new(0.0, t_rev, v))
                 .collect(),
-            mean_phase_deg: TimeSeries::new(0.0, t_rev, mean),
+            mean_phase_deg: TimeSeries::new(0.0, t_rev, trace.mean_phase_deg),
         }
     }
 }
@@ -167,7 +75,11 @@ mod tests {
         let mut s = MdeScenario::nov24_2023();
         s.duration_s = duration;
         s.instrument_offset_deg = 0.0;
-        s.jumps = PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 1e9, path_latency_s: 0.0 };
+        s.jumps = PhaseJumpProgram {
+            amplitude_deg: 0.0,
+            interval_s: 1e9,
+            path_latency_s: 0.0,
+        };
         s
     }
 

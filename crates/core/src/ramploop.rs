@@ -5,14 +5,18 @@
 //!
 //! [`RampLoop`] runs the two-particle model along a ramp program with the
 //! beam-phase controller closed and optional phase jumps injected — i.e.
-//! the Fig. 5 experiment during acceleration instead of at flat top.
+//! the Fig. 5 experiment during acceleration instead of at flat top. A thin
+//! adapter: [`crate::engine::RampEngine`] carries the beam,
+//! [`crate::harness::LoopHarness`] closes the loop, and γ_R / φ_s telemetry
+//! rides along through the harness observer hook.
 
 use crate::control::BeamPhaseController;
+use crate::engine::RampEngine;
+use crate::harness::LoopHarness;
 use crate::signalgen::PhaseJumpProgram;
 use crate::trace::TimeSeries;
-use cil_physics::constants::TWO_PI;
 use cil_physics::machine::MachineParams;
-use cil_physics::ramp::{RampProgram, RampTracker};
+use cil_physics::ramp::RampProgram;
 use cil_physics::IonSpecies;
 
 /// Result of a ramp-loop run.
@@ -62,48 +66,43 @@ impl RampLoop {
             ion,
             program,
             controller,
-            jumps: PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 1e9, path_latency_s: 0.0 },
+            jumps: PhaseJumpProgram {
+                amplitude_deg: 0.0,
+                interval_s: 1e9,
+                path_latency_s: 0.0,
+            },
             output_dt: 5e-4,
         }
     }
 
     /// Run until `t_end` seconds (closed loop if `control_enabled`).
     pub fn run(&self, t_end: f64, control_enabled: bool) -> RampLoopResult {
-        let mut tracker = RampTracker::new(self.machine, self.ion, self.program.clone());
+        let mut engine = RampEngine::new(self.machine, self.ion, self.program.clone());
         let f0 = self.program.f_rev.at(0.0);
         let mut controller = BeamPhaseController::new(self.controller, f0);
         controller.enabled = control_enabled;
+        // No instrumentation offset on the ramp: the phase here is the raw
+        // model observable.
+        let mut harness = LoopHarness::new(controller, self.jumps, 0.0);
 
+        let mut gammas = Vec::new();
+        let mut phis = Vec::new();
+        let trace = harness.run_with(&mut engine, t_end, |e: &RampEngine| {
+            gammas.push(e.gamma_r());
+            phis.push(e.phi_s_deg());
+        });
+
+        // Forward-hold the per-turn rows onto the uniform output grid.
         let n_out = (t_end / self.output_dt) as usize;
         let mut phase = Vec::with_capacity(n_out);
         let mut gamma = Vec::with_capacity(n_out);
         let mut phi_s = Vec::with_capacity(n_out);
         let mut next_out = 0.0f64;
-        let mut ctrl_phase_rad = 0.0f64;
-        let mut survived = true;
-
-        while tracker.time < t_end {
-            let jump_rad = self.jumps.offset_deg_at(tracker.time).to_radians();
-            let Some(sample) = tracker.step_with_phase_offset(jump_rad + ctrl_phase_rad)
-            else {
-                survived = false;
-                break;
-            };
-            let f_rev = self.machine.revolution_frequency(sample.gamma_r);
-            let f_rf = self.machine.rf_frequency(f_rev);
-            let phase_deg = sample.dt * f_rf * 360.0;
-            if phase_deg.abs() > 180.0 {
-                // Left the bucket: count as beam loss.
-                survived = false;
-                break;
-            }
-            if let Some(u) = controller.push_measurement(phase_deg) {
-                ctrl_phase_rad += TWO_PI * u / f_rev * f64::from(self.controller.decimation);
-            }
-            while tracker.time >= next_out && phase.len() < n_out {
-                phase.push(phase_deg);
-                gamma.push(sample.gamma_r);
-                phi_s.push(sample.phi_s.to_degrees());
+        for (i, &t) in trace.times.iter().enumerate() {
+            while t >= next_out && phase.len() < n_out {
+                phase.push(trace.mean_phase_deg[i]);
+                gamma.push(gammas[i]);
+                phi_s.push(phis[i]);
                 next_out += self.output_dt;
             }
         }
@@ -112,7 +111,7 @@ impl RampLoop {
             phase_deg: TimeSeries::new(0.0, self.output_dt, phase),
             gamma_r: TimeSeries::new(0.0, self.output_dt, gamma),
             phi_s_deg: TimeSeries::new(0.0, self.output_dt, phi_s),
-            survived,
+            survived: trace.survived,
         }
     }
 }
@@ -145,11 +144,18 @@ mod tests {
         assert!(result.survived);
         // γ reached the flat-top value.
         let g_final = *result.gamma_r.values.last().unwrap();
-        let g_target =
-            cil_physics::relativity::gamma_from_revolution(800e3, 216.72);
-        assert!((g_final - g_target).abs() < 2e-4, "gamma {g_final} vs {g_target}");
+        let g_target = cil_physics::relativity::gamma_from_revolution(800e3, 216.72);
+        assert!(
+            (g_final - g_target).abs() < 2e-4,
+            "gamma {g_final} vs {g_target}"
+        );
         // Synchronous phase went positive during the ramp and back to ~0.
-        let max_phi = result.phi_s_deg.values.iter().cloned().fold(f64::MIN, f64::max);
+        let max_phi = result
+            .phi_s_deg
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
         assert!(max_phi > 0.1, "acceleration used a positive phi_s");
         assert!(result.phi_s_deg.values.last().unwrap().abs() < 0.05);
     }
@@ -166,8 +172,11 @@ mod tests {
             f_rev: Curve::linear(0.05, 700e3, 0.4, 800e3),
             v_hat: Curve::constant(4.8e3),
         };
-        looped.jumps =
-            PhaseJumpProgram { amplitude_deg: 8.0, interval_s: 0.1, path_latency_s: 0.0 };
+        looped.jumps = PhaseJumpProgram {
+            amplitude_deg: 8.0,
+            interval_s: 0.1,
+            path_latency_s: 0.0,
+        };
         let closed = looped.run(0.2, true);
         let open = looped.run(0.2, false);
         assert!(closed.survived && open.survived);

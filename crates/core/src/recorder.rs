@@ -19,8 +19,7 @@ pub const MAGIC: [u8; 4] = *b"CIL\x01";
 /// All records must have the same bunch count.
 pub fn encode(records: &[RevolutionRecord]) -> Bytes {
     let bunches = records.first().map_or(0, |r| r.dt.len());
-    let mut buf =
-        BytesMut::with_capacity(16 + records.len() * (16 + 8 * bunches));
+    let mut buf = BytesMut::with_capacity(16 + records.len() * (16 + 8 * bunches));
     buf.put_slice(&MAGIC);
     buf.put_u32_le(bunches as u32);
     buf.put_u64_le(records.len() as u64);
@@ -85,7 +84,11 @@ pub fn decode(mut data: Bytes) -> Result<Vec<RevolutionRecord>, DecodeError> {
         for _ in 0..bunches {
             dt.push(data.get_f64_le());
         }
-        out.push(RevolutionRecord { crossing_sample, period_s, dt });
+        out.push(RevolutionRecord {
+            crossing_sample,
+            period_s,
+            dt,
+        });
     }
     Ok(out)
 }

@@ -96,12 +96,7 @@ impl MdeScenario {
 
     /// The derived operating point.
     pub fn operating_point(&self) -> OperatingPoint {
-        OperatingPoint::from_revolution_frequency(
-            self.machine,
-            self.ion,
-            self.f_rev,
-            self.v_hat(),
-        )
+        OperatingPoint::from_revolution_frequency(self.machine, self.ion, self.f_rev, self.v_hat())
     }
 
     /// Kernel generation parameters (scales map ADC volts → gap volts).
@@ -122,7 +117,10 @@ impl MdeScenario {
     pub fn framework_config(&self) -> FrameworkConfig {
         FrameworkConfig {
             sample_rate: 250e6,
-            adc: AdcModel { noise_rms: self.adc_noise_rms, ..AdcModel::fmc151() },
+            adc: AdcModel {
+                noise_rms: self.adc_noise_rms,
+                ..AdcModel::fmc151()
+            },
             dac: DacModel::fmc151(),
             buffer_depth: 8192,
             period_avg: 4,

@@ -25,7 +25,11 @@ pub struct PhaseJumpProgram {
 impl PhaseJumpProgram {
     /// The evaluation's program: 8° every 0.05 s, ~200 ns optical path.
     pub fn evaluation_default() -> Self {
-        Self { amplitude_deg: 8.0, interval_s: 0.05, path_latency_s: 200e-9 }
+        Self {
+            amplitude_deg: 8.0,
+            interval_s: 0.05,
+            path_latency_s: 200e-9,
+        }
     }
 
     /// Phase offset (degrees) in effect at time `t` (seconds).
@@ -149,7 +153,11 @@ mod tests {
 
     #[test]
     fn jump_program_toggles_every_interval() {
-        let p = PhaseJumpProgram { amplitude_deg: 8.0, interval_s: 0.05, path_latency_s: 0.0 };
+        let p = PhaseJumpProgram {
+            amplitude_deg: 8.0,
+            interval_s: 0.05,
+            path_latency_s: 0.0,
+        };
         assert_eq!(p.offset_deg_at(0.01), 0.0);
         assert_eq!(p.offset_deg_at(0.06), 8.0);
         assert_eq!(p.offset_deg_at(0.11), 0.0);
@@ -158,7 +166,11 @@ mod tests {
 
     #[test]
     fn path_latency_delays_effect() {
-        let p = PhaseJumpProgram { amplitude_deg: 8.0, interval_s: 0.05, path_latency_s: 1e-3 };
+        let p = PhaseJumpProgram {
+            amplitude_deg: 8.0,
+            interval_s: 0.05,
+            path_latency_s: 1e-3,
+        };
         assert_eq!(p.offset_deg_at(0.0505), 0.0, "before optical path delivers");
         assert_eq!(p.offset_deg_at(0.052), 8.0);
     }
@@ -180,7 +192,11 @@ mod tests {
             4,
             0.5,
             0.5,
-            PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 1.0, path_latency_s: 0.0 },
+            PhaseJumpProgram {
+                amplitude_deg: 0.0,
+                interval_s: 1.0,
+                path_latency_s: 0.0,
+            },
         );
         // Count zero crossings over 1 ms.
         let (mut cr, mut cg) = (0, 0);
@@ -208,7 +224,11 @@ mod tests {
             4,
             1.0,
             1.0,
-            PhaseJumpProgram { amplitude_deg: 8.0, interval_s: 1e-4, path_latency_s: 0.0 },
+            PhaseJumpProgram {
+                amplitude_deg: 8.0,
+                interval_s: 1e-4,
+                path_latency_s: 0.0,
+            },
         );
         // Cross two toggle boundaries; applied offset alternates 0/8.
         let mut seen = Vec::new();
@@ -229,7 +249,11 @@ mod tests {
             4,
             1.0,
             1.0,
-            PhaseJumpProgram { amplitude_deg: 0.0, interval_s: 1.0, path_latency_s: 0.0 },
+            PhaseJumpProgram {
+                amplitude_deg: 0.0,
+                interval_s: 1.0,
+                path_latency_s: 0.0,
+            },
         );
         bench.set_control_frequency_offset(1e3);
         // 3.201 MHz over 1 ms -> 3201 crossings.

@@ -2,46 +2,66 @@
 //!
 //! The ablations (A3, A5, …) evaluate many independent scenario variants;
 //! each variant is seconds of simulation, so running them across cores is
-//! the difference between an interactive sweep and a coffee break. The
-//! sweep fans variants out over scoped threads and collects results in
-//! input order (a `parking_lot::Mutex` guards the shared result store; the
-//! per-variant work is read-only over the inputs).
+//! the difference between an interactive sweep and a coffee break. Inputs
+//! are split into contiguous chunks, one scoped thread per chunk, and every
+//! worker writes its results into its own disjoint `&mut` slice of the
+//! output — no locks anywhere. [`parallel_sweep_with`] additionally hands
+//! each worker a reusable per-thread state arena (e.g. a warm
+//! engine/trace allocation, or a handle that keeps compiled-kernel cache
+//! entries alive) built once per thread instead of once per item.
 
-use parking_lot::Mutex;
+/// Run `f` over every item of `inputs` on up to `threads` worker threads,
+/// giving each worker a private state value built by `init` (once per
+/// thread). Results come back in input order; `f` must be deterministic per
+/// input for the sweep to be reproducible (all our simulations are).
+///
+/// Chunking is contiguous, so for a fixed input list the (input, worker)
+/// assignment — and therefore any per-thread state reuse — is itself
+/// deterministic for a given thread count, and the *results* are identical
+/// across thread counts.
+pub fn parallel_sweep_with<I, O, S, G, F>(inputs: &[I], threads: usize, init: G, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, &I) -> O + Sync,
+{
+    assert!(threads >= 1);
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
 
-/// Run `f` over every item of `inputs` on up to `threads` worker threads;
-/// results come back in input order. `f` must be deterministic per input
-/// for the sweep to be reproducible (all our simulations are).
+    let init = &init;
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
+            scope.spawn(move || {
+                let mut state = init();
+                for (slot, input) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(&mut state, input));
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|o| o.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Stateless sweep: run `f` over every item on up to `threads` workers;
+/// results in input order.
 pub fn parallel_sweep<I, O, F>(inputs: &[I], threads: usize, f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    assert!(threads >= 1);
-    let n = inputs.len();
-    let results: Mutex<Vec<Option<O>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                results.lock()[i] = Some(out);
-            });
-        }
-    });
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("worker filled every slot"))
-        .collect()
+    parallel_sweep_with(inputs, threads, || (), |(), input| f(input))
 }
 
 /// Convenience: sweep with one thread per available core.
@@ -58,7 +78,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hil::{TurnEngine, TurnLevelLoop};
+    use crate::engine::EngineKind;
+    use crate::hil::TurnLevelLoop;
     use crate::scenario::MdeScenario;
 
     #[test]
@@ -85,6 +106,33 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_items_is_fine() {
+        let inputs = [1u32, 2, 3];
+        let out = parallel_sweep(&inputs, 64, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_thread() {
+        // One worker, stateful counter: proves `init` ran once and the
+        // arena persisted across items of the chunk.
+        let inputs: Vec<u32> = (0..10).collect();
+        let out = parallel_sweep_with(
+            &inputs,
+            1,
+            || 0u32,
+            |seen, &x| {
+                *seen += 1;
+                (x, *seen)
+            },
+        );
+        for (i, &(x, seen)) in out.iter().enumerate() {
+            assert_eq!(x, i as u32);
+            assert_eq!(seen, i as u32 + 1, "state carried across items");
+        }
+    }
+
+    #[test]
     fn gain_sweep_over_threads_is_deterministic() {
         // A real use: damping-residual vs controller gain, in parallel.
         let gains = [-2.0, -5.0, -8.0];
@@ -93,9 +141,12 @@ mod tests {
             s.duration_s = 0.02;
             s.bunches = 1;
             s.controller.gain = *gain;
-            let r = TurnLevelLoop::new(s, TurnEngine::Map).run(true);
+            let r = TurnLevelLoop::new(s, EngineKind::Map).run(true);
             // Hashable summary: sum of |phase| over the tail.
-            r.phase_deg.values[10_000..].iter().map(|v| v.abs()).sum::<f64>()
+            r.phase_deg.values[10_000..]
+                .iter()
+                .map(|v| v.abs())
+                .sum::<f64>()
         };
         let a = parallel_sweep(&gains, 3, run);
         let b = parallel_sweep(&gains, 1, run);

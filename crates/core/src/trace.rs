@@ -52,7 +52,11 @@ impl TimeSeries {
     /// applied").
     pub fn averaged(&self, width: usize) -> TimeSeries {
         let mut f = FirFilter::moving_average(width);
-        TimeSeries { t0: self.t0, dt: self.dt, values: f.filter(&self.values) }
+        TimeSeries {
+            t0: self.t0,
+            dt: self.dt,
+            values: f.filter(&self.values),
+        }
     }
 
     /// Slice between two times (inclusive start, exclusive end).
@@ -135,7 +139,11 @@ impl TimeSeries {
         if dt <= 0.0 {
             return Err("non-increasing time column".into());
         }
-        Ok(Self { t0: times[0], dt, values })
+        Ok(Self {
+            t0: times[0],
+            dt,
+            values,
+        })
     }
 }
 
@@ -193,8 +201,7 @@ pub fn score_jump_response(
         values: post.values[post.len() - quarter.max(2)..].to_vec(),
     };
     let residual = tail.peak_to_peak() / 2.0;
-    let damping = cil_physics::modes::damping_time_turns(&post.values)
-        .map(|turns| turns * post.dt);
+    let damping = cil_physics::modes::damping_time_turns(&post.values).map(|turns| turns * post.dt);
     JumpResponse {
         baseline_deg: baseline,
         first_peak_deg: first_peak,
@@ -246,7 +253,10 @@ mod tests {
     #[test]
     fn csv_rejects_garbage() {
         assert!(TimeSeries::from_csv("time,value\nx,y\n").is_err());
-        assert!(TimeSeries::from_csv("time,value\n1.0,2.0\n").is_err(), "one sample");
+        assert!(
+            TimeSeries::from_csv("time,value\n1.0,2.0\n").is_err(),
+            "one sample"
+        );
     }
 
     #[test]
@@ -257,7 +267,10 @@ mod tests {
         }
         let s = TimeSeries::new(0.0, 1.0, values);
         let a = s.averaged(2);
-        let tail_max = a.values[2..].iter().cloned().fold(0.0f64, |m, v| m.max(v.abs()));
+        let tail_max = a.values[2..]
+            .iter()
+            .cloned()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(tail_max < 1e-12);
     }
 
@@ -265,8 +278,9 @@ mod tests {
     fn dominant_frequency_in_hz() {
         let fs = 1000.0;
         let f = 37.0;
-        let values: Vec<f64> =
-            (0..4096).map(|i| (std::f64::consts::TAU * f * i as f64 / fs).sin()).collect();
+        let values: Vec<f64> = (0..4096)
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / fs).sin())
+            .collect();
         let s = TimeSeries::new(0.0, 1.0 / fs, values);
         let (fm, am) = s.dominant_frequency(10.0, 100.0);
         assert!((fm - f).abs() < 0.5, "f = {fm}");
@@ -287,9 +301,7 @@ mod tests {
                 } else {
                     let tau = t - 0.05;
                     3.0 - jump
-                        + jump
-                            * (std::f64::consts::TAU * f_s * tau).cos()
-                            * (-tau / damping).exp()
+                        + jump * (std::f64::consts::TAU * f_s * tau).cos() * (-tau / damping).exp()
                 }
             })
             .collect();
@@ -302,7 +314,11 @@ mod tests {
         let r = score_jump_response(&s, 0.05, 0.1, 8.0);
         assert!((r.baseline_deg - 3.0).abs() < 0.01);
         // First extremum is -2*jump relative to baseline.
-        assert!((r.first_peak_ratio - 2.0).abs() < 0.15, "ratio {}", r.first_peak_ratio);
+        assert!(
+            (r.first_peak_ratio - 2.0).abs() < 0.15,
+            "ratio {}",
+            r.first_peak_ratio
+        );
         assert!(r.first_peak_deg < 0.0);
         assert!(r.residual_ratio < 0.05, "well damped tail");
         let tau = r.damping_time_s.expect("damped");

@@ -27,7 +27,12 @@ pub struct AdcModel {
 impl AdcModel {
     /// Ideal converter with the given resolution.
     pub fn ideal(bits: u32, full_scale: f64) -> Self {
-        Self { bits, full_scale, noise_rms: 0.0, aperture_jitter_s: 0.0 }
+        Self {
+            bits,
+            full_scale,
+            noise_rms: 0.0,
+            aperture_jitter_s: 0.0,
+        }
     }
 
     /// The FMC151 ADC: 14 bits, ±1 V.
@@ -86,7 +91,10 @@ pub struct DacModel {
 impl DacModel {
     /// The FMC151 DAC: 16 bits, ±1 V.
     pub fn fmc151() -> Self {
-        Self { bits: 16, full_scale: 1.0 }
+        Self {
+            bits: 16,
+            full_scale: 1.0,
+        }
     }
 
     /// Convert a code to the output voltage.
@@ -94,7 +102,11 @@ impl DacModel {
     pub fn code_to_volts(&self, code: i32) -> f64 {
         let max = (1i64 << (self.bits - 1)) - 1;
         let min = -(1i64 << (self.bits - 1));
-        fixed::dequantize((i64::from(code)).clamp(min, max) as i32, self.full_scale, self.bits)
+        fixed::dequantize(
+            (i64::from(code)).clamp(min, max) as i32,
+            self.full_scale,
+            self.bits,
+        )
     }
 
     /// Quantise a desired voltage to the nearest producible output voltage
@@ -151,7 +163,10 @@ mod tests {
 
     #[test]
     fn noise_model_produces_requested_rms() {
-        let adc = AdcModel { noise_rms: 0.01, ..AdcModel::fmc151() };
+        let adc = AdcModel {
+            noise_rms: 0.01,
+            ..AdcModel::fmc151()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let n = 100_000;
         let mut sum_sq = 0.0;
@@ -168,7 +183,10 @@ mod tests {
     fn aperture_jitter_blurs_fast_edge() {
         // Sampling a 10 MHz sine at its zero crossing with 1 ns jitter gives
         // voltage spread ≈ 2π·10 MHz·1 ns ≈ 0.063 V RMS.
-        let adc = AdcModel { aperture_jitter_s: 1e-9, ..AdcModel::fmc151() };
+        let adc = AdcModel {
+            aperture_jitter_s: 1e-9,
+            ..AdcModel::fmc151()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let f = |t: f64| (std::f64::consts::TAU * 10e6 * t).sin();
         let n = 50_000;

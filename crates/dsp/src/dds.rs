@@ -22,12 +22,18 @@ impl Dds {
     /// New DDS with a 32-bit phase accumulator and a `2^lut_bits`-entry sine
     /// table, clocked at `f_clk` Hz.
     pub fn new(f_clk: f64, lut_bits: u32) -> Self {
-        assert!(lut_bits >= 4 && lut_bits <= 20, "LUT size out of range");
+        assert!((4..=20).contains(&lut_bits), "LUT size out of range");
         let n = 1usize << lut_bits;
         let lut: Box<[f64]> = (0..n)
             .map(|i| (std::f64::consts::TAU * i as f64 / n as f64).sin())
             .collect();
-        Self { accumulator: PhaseAccumulator::new(32), lut, lut_bits, amplitude: 1.0, f_clk }
+        Self {
+            accumulator: PhaseAccumulator::new(32),
+            lut,
+            lut_bits,
+            amplitude: 1.0,
+            f_clk,
+        }
     }
 
     /// Standard instance for the paper's setup: 250 MHz clock, 4096-entry
@@ -107,7 +113,10 @@ mod tests {
             }
             last = s;
         }
-        assert!((crossings as i64 - 800).abs() <= 1, "crossings = {crossings}");
+        assert!(
+            (crossings as i64 - 800).abs() <= 1,
+            "crossings = {crossings}"
+        );
     }
 
     #[test]
@@ -168,9 +177,12 @@ mod tests {
             b.tick();
         }
         let ap = a.phase_turns();
-        assert!(ap < 1e-5 || ap > 1.0 - 1e-5, "reference DDS phase = {ap}");
+        assert!(
+            !(1e-5..=1.0 - 1e-5).contains(&ap),
+            "reference DDS phase = {ap}"
+        );
         let bp = b.phase_turns();
-        assert!(bp < 1e-4 || bp > 1.0 - 1e-4, "gap DDS phase = {bp}");
+        assert!(!(1e-4..=1.0 - 1e-4).contains(&bp), "gap DDS phase = {bp}");
     }
 
     #[test]

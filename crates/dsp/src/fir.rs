@@ -20,7 +20,11 @@ impl FirFilter {
     pub fn from_taps(taps: Vec<f64>) -> Self {
         assert!(!taps.is_empty(), "FIR needs at least one tap");
         let n = taps.len();
-        Self { taps, delay: vec![0.0; n], cursor: 0 }
+        Self {
+            taps,
+            delay: vec![0.0; n],
+            cursor: 0,
+        }
     }
 
     /// Moving-average filter of `width` samples (the Fig. 5a display filter
@@ -144,7 +148,9 @@ mod tests {
     use super::*;
 
     fn tone(f: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (std::f64::consts::TAU * f * i as f64).sin()).collect()
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * f * i as f64).sin())
+            .collect()
     }
 
     fn steady_rms(filtered: &[f64]) -> f64 {
@@ -155,14 +161,16 @@ mod tests {
     #[test]
     fn moving_average_of_constant_is_identity() {
         let mut f = FirFilter::moving_average(5);
-        let out = f.filter(&vec![3.0; 20]);
+        let out = f.filter(&[3.0; 20]);
         assert!((out[19] - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn moving_average_smooths_alternating() {
         let mut f = FirFilter::moving_average(2);
-        let x: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = f.filter(&x);
         for &v in &out[2..] {
             assert!(v.abs() < 1e-12);
@@ -194,7 +202,10 @@ mod tests {
     fn bandpass_selects_band() {
         let bp = FirFilter::bandpass(0.05, 0.15, 201);
         assert!(bp.magnitude_at(0.0) < 1e-6, "DC blocked");
-        assert!((bp.magnitude_at(0.10) - 1.0).abs() < 0.05, "band centre passes");
+        assert!(
+            (bp.magnitude_at(0.10) - 1.0).abs() < 0.05,
+            "band centre passes"
+        );
         assert!(bp.magnitude_at(0.35) < 1e-3, "high stopband");
     }
 

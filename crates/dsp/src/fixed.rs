@@ -9,7 +9,7 @@
 /// `bits` bits, saturating at the rails (converter-style clipping).
 #[inline]
 pub fn quantize(value: f64, full_scale: f64, bits: u32) -> i32 {
-    debug_assert!(bits >= 2 && bits <= 31);
+    debug_assert!((2..=31).contains(&bits));
     debug_assert!(full_scale > 0.0);
     let max_code = (1i64 << (bits - 1)) - 1;
     let min_code = -(1i64 << (bits - 1));
@@ -20,7 +20,7 @@ pub fn quantize(value: f64, full_scale: f64, bits: u32) -> i32 {
 /// Reconstruct a real value from a signed `bits`-bit code (ideal DAC).
 #[inline]
 pub fn dequantize(code: i32, full_scale: f64, bits: u32) -> f64 {
-    debug_assert!(bits >= 2 && bits <= 31);
+    debug_assert!((2..=31).contains(&bits));
     let denom = (1i64 << (bits - 1)) as f64;
     f64::from(code) / denom * full_scale
 }
@@ -48,13 +48,20 @@ pub struct PhaseAccumulator {
 impl PhaseAccumulator {
     /// New accumulator with the given width in bits (≤ 63).
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 8 && bits <= 63, "accumulator width out of range");
-        Self { acc: 0, increment: 0, bits }
+        assert!((8..=63).contains(&bits), "accumulator width out of range");
+        Self {
+            acc: 0,
+            increment: 0,
+            bits,
+        }
     }
 
     /// Set the frequency tuning word for `freq` Hz at clock `f_clk` Hz.
     pub fn set_frequency(&mut self, freq: f64, f_clk: f64) {
-        assert!(freq >= 0.0 && freq < f_clk / 2.0, "frequency out of Nyquist range");
+        assert!(
+            freq >= 0.0 && freq < f_clk / 2.0,
+            "frequency out of Nyquist range"
+        );
         let span = (1u128 << self.bits) as f64;
         self.increment = (freq / f_clk * span).round() as u64 & self.mask();
     }

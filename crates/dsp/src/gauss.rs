@@ -74,7 +74,11 @@ impl GaussPulseGenerator {
         match self.playing {
             Some(pos) => {
                 let v = self.table[pos] * self.amplitude;
-                self.playing = if pos + 1 < self.table.len() { Some(pos + 1) } else { None };
+                self.playing = if pos + 1 < self.table.len() {
+                    Some(pos + 1)
+                } else {
+                    None
+                };
                 v
             }
             None => 0.0,

@@ -62,7 +62,11 @@ impl DcBlocker {
     /// New blocker with pole radius `r`.
     pub fn new(r: f64) -> Self {
         assert!((0.0..1.0).contains(&r), "r must be in [0, 1)");
-        Self { r, x1: 0.0, y1: 0.0 }
+        Self {
+            r,
+            x1: 0.0,
+            y1: 0.0,
+        }
     }
 
     /// Process one sample.
@@ -100,7 +104,13 @@ impl CombResonator {
     pub fn new(n: usize, r: f64) -> Self {
         assert!(n >= 1);
         assert!((0.0..1.0).contains(&r));
-        Self { delay: n, r, x_hist: vec![0.0; n], y_hist: vec![0.0; n], cursor: 0 }
+        Self {
+            delay: n,
+            r,
+            x_hist: vec![0.0; n],
+            y_hist: vec![0.0; n],
+            cursor: 0,
+        }
     }
 
     /// Process one sample.
@@ -148,7 +158,10 @@ mod tests {
             out.push(li.push(x));
         }
         let tail_max = out[5000..].iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
-        assert!(tail_max < 0.02, "alternating input almost cancelled: {tail_max}");
+        assert!(
+            tail_max < 0.02,
+            "alternating input almost cancelled: {tail_max}"
+        );
     }
 
     #[test]
@@ -161,9 +174,13 @@ mod tests {
         }
         let tail = &out[10_000..];
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        let rms = (tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / tail.len() as f64).sqrt();
+        let rms =
+            (tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / tail.len() as f64).sqrt();
         assert!(mean.abs() < 1e-3, "DC removed: {mean}");
-        assert!((rms - 1.0 / 2.0_f64.sqrt()).abs() < 0.05, "AC passed: {rms}");
+        assert!(
+            (rms - 1.0 / 2.0_f64.sqrt()).abs() < 0.05,
+            "AC passed: {rms}"
+        );
     }
 
     #[test]
@@ -187,7 +204,10 @@ mod tests {
         let rms = (tail.iter().map(|v| v * v).sum::<f64>() / tail.len() as f64).sqrt();
         let gain = rms * 2.0_f64.sqrt();
         let expect = comb.magnitude_at(f);
-        assert!((gain - expect).abs() / expect < 0.02, "gain {gain} vs {expect}");
+        assert!(
+            (gain - expect).abs() / expect < 0.02,
+            "gain {gain} vs {expect}"
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ mod tests {
     #[test]
     fn exact_on_integer_positions() {
         let s = [1.0, 2.0, 3.0, 4.0, 5.0];
-        for interp in [Interpolation::NearestNeighbor, Interpolation::Linear, Interpolation::CatmullRom] {
+        for interp in [
+            Interpolation::NearestNeighbor,
+            Interpolation::Linear,
+            Interpolation::CatmullRom,
+        ] {
             assert_eq!(interp.at(&s, 2.0), Some(3.0), "{interp:?}");
         }
     }
@@ -123,7 +127,11 @@ mod tests {
         let s = [1.0, 2.0];
         assert_eq!(Interpolation::Linear.at(&s, 1.5), None);
         assert_eq!(Interpolation::Linear.at(&s, -0.1), None);
-        assert_eq!(Interpolation::CatmullRom.at(&s, 0.5), None, "stencil needs i-1");
+        assert_eq!(
+            Interpolation::CatmullRom.at(&s, 0.5),
+            None,
+            "stencil needs i-1"
+        );
     }
 
     #[test]

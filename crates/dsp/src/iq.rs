@@ -27,8 +27,14 @@ impl IqDemodulator {
     /// sets the lowpass (and thus the measurement response time ≈
     /// 1/(2π·BW)).
     pub fn new(f_hz: f64, fs_hz: f64, bandwidth_hz: f64) -> Self {
-        assert!(f_hz > 0.0 && f_hz < fs_hz / 2.0, "analysis frequency out of band");
-        assert!(bandwidth_hz > 0.0 && bandwidth_hz < f_hz, "bandwidth must sit below f");
+        assert!(
+            f_hz > 0.0 && f_hz < fs_hz / 2.0,
+            "analysis frequency out of band"
+        );
+        assert!(
+            bandwidth_hz > 0.0 && bandwidth_hz < f_hz,
+            "bandwidth must sit below f"
+        );
         // One-pole lowpass: r = 1 - 2π·BW/fs.
         let r = (1.0 - std::f64::consts::TAU * bandwidth_hz / fs_hz).clamp(0.0, 0.999_999);
         let settle = (fs_hz / bandwidth_hz * 3.0) as u64;
@@ -114,9 +120,7 @@ mod tests {
 
     fn tone(f: f64, fs: f64, phase_deg: f64, n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| {
-                (std::f64::consts::TAU * f * i as f64 / fs + phase_deg.to_radians()).sin()
-            })
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / fs + phase_deg.to_radians()).sin())
             .collect()
     }
 
@@ -147,7 +151,11 @@ mod tests {
             demod.push(x);
         }
         // Mixer halves the amplitude: |IQ| = A/2.
-        assert!((demod.magnitude() - 0.5).abs() < 0.02, "{}", demod.magnitude());
+        assert!(
+            (demod.magnitude() - 0.5).abs() < 0.02,
+            "{}",
+            demod.magnitude()
+        );
     }
 
     #[test]
@@ -228,6 +236,9 @@ mod tests {
         // Later pulses lag in phase: delay t0 shifts the fundamental by
         // −ω·t0, so the difference is negative.
         let expected = -4.0 / period * 360.0; // 4 samples at the RF harmonic
-        assert!((delta - expected).abs() < 1.0, "delta {delta} vs {expected}");
+        assert!(
+            (delta - expected).abs() < 1.0,
+            "delta {delta} vs {expected}"
+        );
     }
 }

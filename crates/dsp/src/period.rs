@@ -64,7 +64,13 @@ impl PeriodLengthDetector {
         if self.filled == 0 {
             return None;
         }
-        Some(self.history[..self.filled.max(1)].iter().take(self.filled).sum::<f64>() / self.filled as f64)
+        Some(
+            self.history[..self.filled.max(1)]
+                .iter()
+                .take(self.filled)
+                .sum::<f64>()
+                / self.filled as f64,
+        )
     }
 
     /// Measured frequency in Hz given the sample rate.
@@ -117,7 +123,10 @@ mod tests {
             assert!(pushed < 2000, "did not warm up in time");
         }
         let periods = pushed as f64 / (fs / f);
-        assert!(periods > 4.5 && periods < 6.5, "warmed up after {periods} periods");
+        assert!(
+            periods > 4.5 && periods < 6.5,
+            "warmed up after {periods} periods"
+        );
     }
 
     #[test]
@@ -147,7 +156,10 @@ mod tests {
         // Skip the warm-up region of the wide filter.
         let nw = mean(&narrow_errs[8..]);
         let ww = mean(&wide_errs[8..]);
-        assert!(ww < nw, "averaging must reduce error: narrow {nw} vs wide {ww}");
+        assert!(
+            ww < nw,
+            "averaging must reduce error: narrow {nw} vs wide {ww}"
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ impl CaptureRingBuffer {
     /// hardware address space).
     pub fn new(depth: usize) -> Self {
         assert!(depth.is_power_of_two(), "depth must be a power of two");
-        Self { data: vec![0.0; depth].into_boxed_slice(), head: 0, written: 0 }
+        Self {
+            data: vec![0.0; depth].into_boxed_slice(),
+            head: 0,
+            written: 0,
+        }
     }
 
     /// The paper's 8192-sample configuration.
@@ -155,7 +159,7 @@ mod tests {
         let mut buf = CaptureRingBuffer::new(8);
         buf.push(10.0); // back=1 after next push
         buf.push(20.0); // back=0
-        // back=0.25: 25% of the way from newest (20) toward older (10) = 17.5.
+                        // back=0.25: 25% of the way from newest (20) toward older (10) = 17.5.
         let v = buf.read_back_interpolated(0.25).unwrap();
         assert!((v - 17.5).abs() < 1e-12);
     }

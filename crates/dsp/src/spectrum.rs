@@ -28,7 +28,11 @@ pub fn goertzel(samples: &[f64], f_norm: f64) -> (f64, f64) {
     // n = 0 cosine reference; compensate so that a pure cos(w·n) reads
     // phase 0 when the window spans an integer number of periods.
     let phase = (im.atan2(re) + w).rem_euclid(std::f64::consts::TAU);
-    let phase = if phase > std::f64::consts::PI { phase - std::f64::consts::TAU } else { phase };
+    let phase = if phase > std::f64::consts::PI {
+        phase - std::f64::consts::TAU
+    } else {
+        phase
+    };
     ((re * re + im * im).sqrt() * 2.0 / n, phase)
 }
 
@@ -64,7 +68,11 @@ pub fn dominant_frequency(samples: &[f64], f_lo: f64, f_hi: f64) -> (f64, f64) {
     }
     let (a0, a1, a2) = (scan[k - 1].1, scan[k].1, scan[k + 1].1);
     let denom = a0 - 2.0 * a1 + a2;
-    let delta = if denom.abs() > 1e-30 { (0.5 * (a0 - a2) / denom).clamp(-0.5, 0.5) } else { 0.0 };
+    let delta = if denom.abs() > 1e-30 {
+        (0.5 * (a0 - a2) / denom).clamp(-0.5, 0.5)
+    } else {
+        0.0
+    };
     let df = (f_hi - f_lo) / (bins - 1) as f64;
     (f_pk + delta * df, a1)
 }
@@ -79,7 +87,9 @@ mod tests {
     use super::*;
 
     fn tone(f: f64, amp: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| amp * (std::f64::consts::TAU * f * i as f64).sin()).collect()
+        (0..n)
+            .map(|i| amp * (std::f64::consts::TAU * f * i as f64).sin())
+            .collect()
     }
 
     #[test]
@@ -99,7 +109,9 @@ mod tests {
     #[test]
     fn goertzel_phase_of_cosine() {
         let n = 1000;
-        let s: Vec<f64> = (0..n).map(|i| (std::f64::consts::TAU * 0.05 * i as f64).cos()).collect();
+        let s: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * 0.05 * i as f64).cos())
+            .collect();
         let (_, ph) = goertzel(&s, 0.05);
         // Phase convention: 0 for cosine.
         assert!(ph.abs() < 0.05, "phase = {ph}");

@@ -27,7 +27,11 @@ impl ZeroCrossingDetector {
     /// New detector with a given noise-hysteresis threshold (volts).
     pub fn new(threshold: f64) -> Self {
         assert!(threshold >= 0.0);
-        Self { threshold, armed: false, ..Default::default() }
+        Self {
+            threshold,
+            armed: false,
+            ..Default::default()
+        }
     }
 
     /// Process one sample. Returns `Some(sample_time)` at the instant a
@@ -49,7 +53,11 @@ impl ZeroCrossingDetector {
         if self.armed && prev < 0.0 && sample >= 0.0 {
             self.armed = false;
             // Linear sub-sample refinement between prev (at idx-1) and sample.
-            let frac = if sample - prev > 0.0 { -prev / (sample - prev) } else { 0.0 };
+            let frac = if sample - prev > 0.0 {
+                -prev / (sample - prev)
+            } else {
+                0.0
+            };
             self.last_crossing = Some(idx);
             self.last_crossing_frac = frac;
             self.crossings_seen += 1;
@@ -60,13 +68,15 @@ impl ZeroCrossingDetector {
 
     /// Fractional sample time of the last positive crossing.
     pub fn last_crossing_time(&self) -> Option<f64> {
-        self.last_crossing.map(|i| (i - 1) as f64 + self.last_crossing_frac)
+        self.last_crossing
+            .map(|i| (i - 1) as f64 + self.last_crossing_frac)
     }
 
     /// How many samples ago the last positive crossing was (fractional);
     /// this is the address offset the ring-buffer lookups are based on.
     pub fn samples_since_crossing(&self) -> Option<f64> {
-        self.last_crossing_time().map(|t| self.sample_index as f64 - 1.0 - t)
+        self.last_crossing_time()
+            .map(|t| self.sample_index as f64 - 1.0 - t)
     }
 
     /// Total crossings detected (the kernel waits for four before
@@ -94,8 +104,8 @@ mod tests {
     fn detects_crossings_of_clean_sine() {
         let mut det = ZeroCrossingDetector::new(0.01);
         let times = feed_sine(&mut det, 800e3, 250e6, 250_000); // 1 ms
-        // 800 periods in 1 ms; the first crossing at t=0 is not counted
-        // (needs a preceding negative excursion).
+                                                                // 800 periods in 1 ms; the first crossing at t=0 is not counted
+                                                                // (needs a preceding negative excursion).
         assert!((times.len() as i64 - 799).abs() <= 1, "n = {}", times.len());
         assert_eq!(det.crossings_seen(), times.len() as u64);
     }

@@ -36,12 +36,18 @@ pub struct BunchSpec {
 impl BunchSpec {
     /// Gaussian bunch with the given RMS length.
     pub fn gaussian(sigma_t: f64) -> Self {
-        Self { shape: BunchShape::Gaussian, sigma_t }
+        Self {
+            shape: BunchShape::Gaussian,
+            sigma_t,
+        }
     }
 
     /// Parabolic bunch with the given RMS length.
     pub fn parabolic(sigma_t: f64) -> Self {
-        Self { shape: BunchShape::Parabolic, sigma_t }
+        Self {
+            shape: BunchShape::Parabolic,
+            sigma_t,
+        }
     }
 
     /// Sample `n` particles matched to the bucket at `op`, returning
@@ -149,7 +155,10 @@ pub fn stats(xs: &[f64]) -> EnsembleStats {
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
     let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    EnsembleStats { mean, std: var.sqrt() }
+    EnsembleStats {
+        mean,
+        std: var.sqrt(),
+    }
 }
 
 #[cfg(test)]
@@ -163,7 +172,9 @@ mod tests {
     fn op() -> OperatingPoint {
         let m = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v = SynchrotronCalc::new(m, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
     }
 
@@ -173,7 +184,11 @@ mod tests {
         let spec = BunchSpec::gaussian(50e-9);
         let (dts, dgs) = spec.sample(200_000, &op(), &mut rng).unwrap();
         let st = stats(&dts);
-        assert!((st.std - 50e-9).abs() / 50e-9 < 0.02, "sigma_t = {}", st.std);
+        assert!(
+            (st.std - 50e-9).abs() / 50e-9 < 0.02,
+            "sigma_t = {}",
+            st.std
+        );
         assert!(st.mean.abs() < 2e-9);
         let sg = stats(&dgs);
         assert!(sg.std > 0.0);
@@ -231,8 +246,9 @@ mod tests {
         // is exactly what cil-reftrack studies).
         let op = op();
         let mut rng = StdRng::seed_from_u64(3);
-        let (mut dts, mut dgs) =
-            BunchSpec::gaussian(10e-9).sample(20_000, &op, &mut rng).unwrap();
+        let (mut dts, mut dgs) = BunchSpec::gaussian(10e-9)
+            .sample(20_000, &op, &mut rng)
+            .unwrap();
         let turns = (800e3 / 1.28e3 / 2.0) as usize;
         let template = TwoParticleMap::at_operating_point(&op);
         let sigma0 = stats(&dts).std;

@@ -32,12 +32,22 @@ pub struct DualHarmonicRf {
 impl DualHarmonicRf {
     /// Single-harmonic configuration (reduces to the paper's model).
     pub fn single(v1: f64) -> Self {
-        Self { v1, ratio: 0.0, multiple: 2, phase_error: 0.0 }
+        Self {
+            v1,
+            ratio: 0.0,
+            multiple: 2,
+            phase_error: 0.0,
+        }
     }
 
     /// The SIS18 bunch-lengthening mode: V₂ = V₁/2 in counter-phase.
     pub fn bunch_lengthening(v1: f64) -> Self {
-        Self { v1, ratio: 0.5, multiple: 2, phase_error: 0.0 }
+        Self {
+            v1,
+            ratio: 0.5,
+            multiple: 2,
+            phase_error: 0.0,
+        }
     }
 
     /// Gap voltage at RF phase φ (radians at the fundamental):
@@ -45,16 +55,14 @@ impl DualHarmonicRf {
     #[inline]
     pub fn voltage_at_phase(&self, phi: f64) -> f64 {
         self.v1
-            * (phi.sin()
-                - self.ratio * (f64::from(self.multiple) * phi + self.phase_error).sin())
+            * (phi.sin() - self.ratio * (f64::from(self.multiple) * phi + self.phase_error).sin())
     }
 
     /// Restoring-force slope at the stationary point (∂V/∂φ at φ = 0):
     /// `V₁·(1 − r·m·cos ε)`. Zero for the ideally flattened bucket with
     /// r = 1/m — small oscillations become anharmonic.
     pub fn slope_at_center(&self) -> f64 {
-        self.v1
-            * (1.0 - self.ratio * f64::from(self.multiple) * self.phase_error.cos())
+        self.v1 * (1.0 - self.ratio * f64::from(self.multiple) * self.phase_error.cos())
     }
 
     /// Advance a two-particle map one revolution in the stationary case
@@ -110,7 +118,9 @@ mod tests {
     fn op() -> OperatingPoint {
         let m = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v = SynchrotronCalc::new(m, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
     }
 

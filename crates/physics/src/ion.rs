@@ -40,7 +40,12 @@ impl IonSpecies {
         charge_number: u32,
     ) -> Self {
         let rest = atomic_mass_u * AMU_EV - f64::from(charge_number) * ELECTRON_REST_EV;
-        Self { name, mass_number, charge_number, rest_energy_ev: rest }
+        Self {
+            name,
+            mass_number,
+            charge_number,
+            rest_energy_ev: rest,
+        }
     }
 
     /// ¹⁴N⁷⁺ — fully stripped nitrogen, the species of the Nov 24 2023 MDE
@@ -61,7 +66,12 @@ impl IonSpecies {
 
     /// A bare proton.
     pub fn proton() -> Self {
-        Self { name: "p", mass_number: 1, charge_number: 1, rest_energy_ev: PROTON_REST_EV }
+        Self {
+            name: "p",
+            mass_number: 1,
+            charge_number: 1,
+            rest_energy_ev: PROTON_REST_EV,
+        }
     }
 
     /// The paper's Q/(m c²) factor of Eqs. (2) and (3): multiplying a gap
@@ -92,7 +102,11 @@ mod tests {
     fn n14_rest_energy_plausible() {
         let ion = IonSpecies::n14_7plus();
         // 14.003074 u * 931.494 MeV/u - 7 * 0.511 MeV ≈ 13040.2 MeV
-        assert!((ion.rest_energy_ev - 13.0402e9).abs() < 5e6, "{}", ion.rest_energy_ev);
+        assert!(
+            (ion.rest_energy_ev - 13.0402e9).abs() < 5e6,
+            "{}",
+            ion.rest_energy_ev
+        );
         assert_eq!(ion.charge_number, 7);
     }
 

@@ -113,7 +113,12 @@ impl OperatingPoint {
         v_gap_volts: f64,
     ) -> Self {
         let gamma_r = relativity::gamma_from_revolution(f_rev, machine.orbit_length_m);
-        Self { machine, ion, gamma_r, v_gap_volts }
+        Self {
+            machine,
+            ion,
+            gamma_r,
+            v_gap_volts,
+        }
     }
 
     /// Revolution frequency of the reference particle, Hz.

@@ -86,12 +86,20 @@ pub fn analyze_mode(series: &[f64], f_min: f64, f_max: f64) -> ModeAnalysis {
     let f_peak = if k > 0 && k < grid - 1 {
         let (a0, a1, a2) = (amps[k - 1], amps[k], amps[k + 1]);
         let denom = a0 - 2.0 * a1 + a2;
-        let delta = if denom.abs() > 1e-30 { 0.5 * (a0 - a2) / denom } else { 0.0 };
+        let delta = if denom.abs() > 1e-30 {
+            0.5 * (a0 - a2) / denom
+        } else {
+            0.0
+        };
         f_min + (k as f64 + delta.clamp(-0.5, 0.5)) * df
     } else {
         f_min + k as f64 * df
     };
-    ModeAnalysis { frequency_per_turn: f_peak, amplitude: best.1, mean }
+    ModeAnalysis {
+        frequency_per_turn: f_peak,
+        amplitude: best.1,
+        mean,
+    }
 }
 
 /// Exponential-decay fit of the envelope of an oscillating series:
@@ -149,7 +157,11 @@ mod tests {
     fn analyze_recovers_frequency_and_amplitude() {
         let s = synth(4096, 0.0123, 2.5, 10.0, f64::INFINITY);
         let m = analyze_mode(&s, 0.001, 0.05);
-        assert!((m.frequency_per_turn - 0.0123).abs() < 1e-4, "f = {}", m.frequency_per_turn);
+        assert!(
+            (m.frequency_per_turn - 0.0123).abs() < 1e-4,
+            "f = {}",
+            m.frequency_per_turn
+        );
         assert!((m.amplitude - 2.5).abs() < 0.05, "A = {}", m.amplitude);
         // Mean over a non-integer number of periods carries a small O(A/N)
         // leakage term.

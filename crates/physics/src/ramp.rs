@@ -24,13 +24,17 @@ pub struct Curve {
 impl Curve {
     /// A constant curve.
     pub fn constant(value: f64) -> Self {
-        Self { points: vec![(0.0, value)] }
+        Self {
+            points: vec![(0.0, value)],
+        }
     }
 
     /// A linear ramp from `(t0, v0)` to `(t1, v1)`, constant outside.
     pub fn linear(t0: f64, v0: f64, t1: f64, v1: f64) -> Self {
         assert!(t1 > t0, "ramp must have positive duration");
-        Self { points: vec![(t0, v0), (t1, v1)] }
+        Self {
+            points: vec![(t0, v0), (t1, v1)],
+        }
     }
 
     /// Build from explicit breakpoints.
@@ -73,7 +77,10 @@ pub struct RampProgram {
 impl RampProgram {
     /// A stationary (flat-top) program.
     pub fn stationary(f_rev: f64, v_hat: f64) -> Self {
-        Self { f_rev: Curve::constant(f_rev), v_hat: Curve::constant(v_hat) }
+        Self {
+            f_rev: Curve::constant(f_rev),
+            v_hat: Curve::constant(v_hat),
+        }
     }
 
     /// SIS18-like injection-to-flattop ramp: 100 kHz → 800 kHz revolution
@@ -136,7 +143,12 @@ impl RampTracker {
             f0,
             program.v_hat.at(0.0),
         );
-        Self { map: TwoParticleMap::at_operating_point(&op), program, time: 0.0, turn: 0 }
+        Self {
+            map: TwoParticleMap::at_operating_point(&op),
+            program,
+            time: 0.0,
+            turn: 0,
+        }
     }
 
     /// The synchronous phase demanded by the programmed frequency slope at
@@ -176,14 +188,16 @@ impl RampTracker {
         let t = self.time;
         let phi_s = self.required_phi_s(t)?;
         let v_hat = self.program.v_hat.at(t);
-        let f_rev = self.map.machine.revolution_frequency(self.map.reference.gamma);
+        let f_rev = self
+            .map
+            .machine
+            .revolution_frequency(self.map.reference.gamma);
         let f_rf = self.map.machine.rf_frequency(f_rev);
 
         // Reference particle crosses at φ_s; the asynchronous particle at
         // φ_s + ω_RF·Δt (+ the injected offset).
         let v_ref = v_hat * phi_s.sin();
-        let v_async =
-            v_hat * (phi_s + TWO_PI * f_rf * self.map.particle.dt + offset_rad).sin();
+        let v_async = v_hat * (phi_s + TWO_PI * f_rf * self.map.particle.dt + offset_rad).sin();
         self.map.step_with_voltages(v_ref, v_async);
 
         self.time += 1.0 / f_rev;
@@ -204,7 +218,7 @@ impl RampTracker {
         while self.time < t_end {
             match self.step() {
                 Some(s) => {
-                    if n % stride.max(1) == 0 {
+                    if n.is_multiple_of(stride.max(1)) {
                         out.push(s);
                     }
                     n += 1;

@@ -35,7 +35,10 @@ pub enum SynchrotronError {
 impl std::fmt::Display for SynchrotronError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::Unstable => write!(f, "no stable synchrotron oscillation at this operating point"),
+            Self::Unstable => write!(
+                f,
+                "no stable synchrotron oscillation at this operating point"
+            ),
         }
     }
 }
@@ -63,12 +66,7 @@ impl SynchrotronCalc {
 
     /// Small-amplitude synchrotron frequency (Hz) about a synchronous phase
     /// `phi_s` (radians). Below transition stability requires cos φ_s > 0.
-    pub fn fs_at_phase(
-        &self,
-        f_rev: f64,
-        v_hat: f64,
-        phi_s: f64,
-    ) -> Result<f64, SynchrotronError> {
+    pub fn fs_at_phase(&self, f_rev: f64, v_hat: f64, phi_s: f64) -> Result<f64, SynchrotronError> {
         let gamma = relativity::gamma_from_revolution(f_rev, self.machine.orbit_length_m);
         let beta2 = 1.0 - 1.0 / (gamma * gamma);
         let eta = self.machine.phase_slip(gamma);
@@ -111,7 +109,11 @@ impl SynchrotronCalc {
     /// deviation still inside the separatrix,
     /// `Δγ_max = sqrt( 2·Q·V̂·β²·γ / (π·h·|η|·mc²) ) · γ` — expressed via the
     /// map coefficients so it is consistent with the tracker.
-    pub fn bucket_half_height_dgamma(&self, f_rev: f64, v_hat: f64) -> Result<f64, SynchrotronError> {
+    pub fn bucket_half_height_dgamma(
+        &self,
+        f_rev: f64,
+        v_hat: f64,
+    ) -> Result<f64, SynchrotronError> {
         let gamma = relativity::gamma_from_revolution(f_rev, self.machine.orbit_length_m);
         let eta = self.machine.phase_slip(gamma);
         if eta >= 0.0 {
@@ -123,7 +125,8 @@ impl SynchrotronCalc {
         // Standard stationary-bucket height: ΔE_max = β·sqrt(2·Q·V̂·E/(π·h·|η|)),
         // converted to Δγ = ΔE / mc².
         let e_total = gamma * self.ion.rest_energy_ev;
-        let de_max = beta2.sqrt() * (2.0 * q_v * e_total / (std::f64::consts::PI * h * eta.abs())).sqrt();
+        let de_max =
+            beta2.sqrt() * (2.0 * q_v * e_total / (std::f64::consts::PI * h * eta.abs())).sqrt();
         Ok(de_max / self.ion.rest_energy_ev)
     }
 
@@ -194,7 +197,7 @@ mod tests {
         );
         let mut map = TwoParticleMap::at_operating_point(&op);
         map.particle = MacroParticle::from_phase_offset_deg(1.0, &op); // small amplitude
-        // Count turns for 4 full periods via positive-going zero crossings.
+                                                                       // Count turns for 4 full periods via positive-going zero crossings.
         let mut crossings = Vec::new();
         let mut last = map.particle.dt;
         for n in 0..(800e3 / 1.28e3 * 5.0) as usize {
@@ -218,7 +221,10 @@ mod tests {
         let beta = relativity::beta_from_gamma(6.0);
         let f_rev = beta * crate::constants::C / m.orbit_length_m;
         let c = SynchrotronCalc::new(m, IonSpecies::n14_7plus());
-        assert_eq!(c.voltage_for_fs(f_rev, 1e3), Err(SynchrotronError::Unstable));
+        assert_eq!(
+            c.voltage_for_fs(f_rev, 1e3),
+            Err(SynchrotronError::Unstable)
+        );
         assert_eq!(c.fs_stationary(f_rev, 1e3), Err(SynchrotronError::Unstable));
     }
 
@@ -257,12 +263,18 @@ mod tests {
             v,
         );
         let mut map = TwoParticleMap::at_operating_point(&op);
-        map.particle = MacroParticle { dgamma: sigma_dg, dt: 0.0 };
+        map.particle = MacroParticle {
+            dgamma: sigma_dg,
+            dt: 0.0,
+        };
         let mut max_dt: f64 = 0.0;
         for _ in 0..(800e3 / 1.28e3) as usize {
             let dt = map.step_stationary(op.v_gap_volts, 0.0);
             max_dt = max_dt.max(dt.abs());
         }
-        assert!((max_dt - sigma_t).abs() / sigma_t < 0.02, "max_dt = {max_dt}");
+        assert!(
+            (max_dt - sigma_t).abs() / sigma_t < 0.02,
+            "max_dt = {max_dt}"
+        );
     }
 }

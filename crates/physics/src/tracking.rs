@@ -32,7 +32,9 @@ impl ReferenceParticle {
     /// Initialise from a measured revolution frequency (the period-length
     /// detector path of Section IV-B).
     pub fn from_revolution_frequency(f_rev: f64, machine: &MachineParams) -> Self {
-        Self { gamma: relativity::gamma_from_revolution(f_rev, machine.orbit_length_m) }
+        Self {
+            gamma: relativity::gamma_from_revolution(f_rev, machine.orbit_length_m),
+        }
     }
 
     /// Apply the energy kick of one gap passage (Eq. 2).
@@ -63,7 +65,10 @@ impl MacroParticle {
     /// harmonic h) and no energy error — the state right after an RF phase
     /// jump of that size.
     pub fn from_phase_offset_deg(phase_deg: f64, op: &OperatingPoint) -> Self {
-        Self { dgamma: 0.0, dt: phase_deg / 360.0 / op.f_rf() }
+        Self {
+            dgamma: 0.0,
+            dt: phase_deg / 360.0 / op.f_rf(),
+        }
     }
 
     /// Phase deviation in degrees at the RF harmonic, the quantity the DSP
@@ -132,9 +137,10 @@ impl TwoParticleMap {
     /// it, with the first peak at twice the jump (the Fig. 5 signature).
     #[inline]
     pub fn step_stationary(&mut self, v_hat: f64, rf_phase_offset_rad: f64) -> f64 {
-        let f_rf = self.machine.rf_frequency(self.machine.revolution_frequency(self.reference.gamma));
-        let v_async =
-            v_hat * (TWO_PI * f_rf * self.particle.dt + rf_phase_offset_rad).sin();
+        let f_rf = self
+            .machine
+            .rf_frequency(self.machine.revolution_frequency(self.reference.gamma));
+        let v_async = v_hat * (TWO_PI * f_rf * self.particle.dt + rf_phase_offset_rad).sin();
         self.step_with_voltages(0.0, v_async)
     }
 
@@ -311,7 +317,10 @@ mod tests {
         let mut early = TwoParticleMap::at_operating_point(&op);
         early.particle.dt = -10e-9;
         early.step_stationary(op.v_gap_volts, 0.0);
-        assert!(early.particle.dgamma < 0.0, "early particle must lose energy");
+        assert!(
+            early.particle.dgamma < 0.0,
+            "early particle must lose energy"
+        );
     }
 
     #[test]

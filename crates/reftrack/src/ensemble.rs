@@ -37,7 +37,10 @@ impl Ensemble {
     /// An ensemble with every particle at the same phase-space point — n
     /// copies of the paper's single macro particle, for convergence checks.
     pub fn monoparticle(n: usize, dt: f64, dgamma: f64) -> Self {
-        Self { dt: vec![dt; n], dgamma: vec![dgamma; n] }
+        Self {
+            dt: vec![dt; n],
+            dgamma: vec![dgamma; n],
+        }
     }
 
     /// Number of macro particles.
@@ -99,7 +102,9 @@ mod tests {
     fn op() -> OperatingPoint {
         let m = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v = SynchrotronCalc::new(m, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
     }
 
@@ -115,7 +120,10 @@ mod tests {
 
     #[test]
     fn centroid_and_rms() {
-        let e = Ensemble { dt: vec![-1.0, 1.0, 3.0], dgamma: vec![0.0; 3] };
+        let e = Ensemble {
+            dt: vec![-1.0, 1.0, 3.0],
+            dgamma: vec![0.0; 3],
+        };
         assert!((e.centroid_dt() - 1.0).abs() < 1e-12);
         let expected_rms = (8.0f64 / 3.0).sqrt();
         assert!((e.rms_dt() - expected_rms).abs() < 1e-12);

@@ -61,7 +61,9 @@ mod tests {
     fn op() -> OperatingPoint {
         let m = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v = SynchrotronCalc::new(m, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
     }
 
@@ -84,8 +86,9 @@ mod tests {
     #[test]
     fn undamped_trace_reports_no_damping() {
         let period = 64;
-        let trace: Vec<f64> =
-            (0..640).map(|i| (std::f64::consts::TAU * i as f64 / period as f64).sin()).collect();
+        let trace: Vec<f64> = (0..640)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period as f64).sin())
+            .collect();
         let d = analyze_decoherence(&trace, period);
         assert!((d.initial_amplitude - d.final_amplitude).abs() < 0.05);
     }

@@ -13,7 +13,7 @@
 //!
 //! The tracker is deliberately *not* real-time — that is the paper's point —
 //! and instead optimises for throughput: structure-of-arrays storage and
-//! crossbeam scoped-thread parallelism over fixed particle chunks, with a
+//! scoped-thread parallelism over fixed particle chunks, with a
 //! deterministic merge so a given seed always produces the same trajectory
 //! regardless of thread count.
 

@@ -47,7 +47,10 @@ pub fn parametric_pulse(ensemble: &Ensemble, span: f64, points: usize) -> Vec<f6
     let hist = ensemble.profile(c - span, c + span, points);
     let max = hist.iter().copied().max().unwrap_or(1).max(1);
     // Light 3-bin smoothing to stand in for pickup bandwidth.
-    let raw: Vec<f64> = hist.iter().map(|&h| f64::from(h) / f64::from(max)).collect();
+    let raw: Vec<f64> = hist
+        .iter()
+        .map(|&h| f64::from(h) / f64::from(max))
+        .collect();
     let mut out = vec![0.0; points];
     for i in 0..points {
         let a = raw[i.saturating_sub(1)];
@@ -74,7 +77,9 @@ mod tests {
     fn op() -> OperatingPoint {
         let m = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v = SynchrotronCalc::new(m, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
     }
 
@@ -112,7 +117,10 @@ mod tests {
         let narrow = Ensemble::matched(&BunchSpec::gaussian(5e-9), 50_000, &op(), 4).unwrap();
         let wide = Ensemble::matched(&BunchSpec::gaussian(20e-9), 50_000, &op(), 4).unwrap();
         let count_above_half = |e: &Ensemble| {
-            parametric_pulse(e, 60e-9, 128).iter().filter(|&&v| v > 0.5).count()
+            parametric_pulse(e, 60e-9, 128)
+                .iter()
+                .filter(|&&v| v > 0.5)
+                .count()
         };
         assert!(
             count_above_half(&wide) > 2 * count_above_half(&narrow),

@@ -3,7 +3,7 @@
 //! Per revolution, every macro particle gets the full *nonlinear* RF kick
 //! (no small-amplitude expansion) followed by the phase-slip drift — the
 //! same physics as `cil_physics::tracking` but vectorised over the bunch and
-//! parallelised with crossbeam scoped threads over fixed chunks.
+//! parallelised with scoped threads over fixed chunks.
 //!
 //! Determinism: the per-particle update is embarrassingly parallel and each
 //! particle is written by exactly one thread, so results are bit-identical
@@ -26,7 +26,10 @@ pub struct TrackerConfig {
 
 impl Default for TrackerConfig {
     fn default() -> Self {
-        Self { threads: std::thread::available_parallelism().map_or(1, |n| n.get()), min_chunk: 4096 }
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            min_chunk: 4096,
+        }
     }
 }
 
@@ -46,7 +49,12 @@ pub struct MultiParticleTracker {
 impl MultiParticleTracker {
     /// New tracker over an ensemble.
     pub fn new(op: OperatingPoint, ensemble: Ensemble, config: TrackerConfig) -> Self {
-        Self { op, config, ensemble, turn: 0 }
+        Self {
+            op,
+            config,
+            ensemble,
+            turn: 0,
+        }
     }
 
     /// Advance one revolution with the gap RF phase offset by
@@ -81,12 +89,12 @@ impl MultiParticleTracker {
         if threads == 1 || n <= chunk {
             kick_drift(dts, dgs);
         } else {
-            crossbeam::thread::scope(|s| {
+            let kick_drift = &kick_drift;
+            std::thread::scope(|s| {
                 for (dt_chunk, dg_chunk) in dts.chunks_mut(chunk).zip(dgs.chunks_mut(chunk)) {
-                    s.spawn(move |_| kick_drift(dt_chunk, dg_chunk));
+                    s.spawn(move || kick_drift(dt_chunk, dg_chunk));
                 }
-            })
-            .expect("tracking worker panicked");
+            });
         }
         self.turn += 1;
     }
@@ -121,7 +129,9 @@ mod tests {
     fn op() -> OperatingPoint {
         let m = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v = SynchrotronCalc::new(m, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
     }
 
@@ -134,7 +144,10 @@ mod tests {
         let mut tracker = MultiParticleTracker::new(
             op,
             Ensemble::monoparticle(1, dt0, 0.0),
-            TrackerConfig { threads: 1, min_chunk: 1 },
+            TrackerConfig {
+                threads: 1,
+                min_chunk: 1,
+            },
         );
         let mut map = TwoParticleMap::at_operating_point(&op);
         map.particle.dt = dt0;
@@ -155,14 +168,30 @@ mod tests {
     fn thread_count_does_not_change_results() {
         let op = op();
         let e = Ensemble::matched(&BunchSpec::gaussian(15e-9), 20_000, &op, 11).unwrap();
-        let mut seq = MultiParticleTracker::new(op, e.clone(), TrackerConfig { threads: 1, min_chunk: 1 });
-        let mut par =
-            MultiParticleTracker::new(op, e, TrackerConfig { threads: 8, min_chunk: 128 });
+        let mut seq = MultiParticleTracker::new(
+            op,
+            e.clone(),
+            TrackerConfig {
+                threads: 1,
+                min_chunk: 1,
+            },
+        );
+        let mut par = MultiParticleTracker::new(
+            op,
+            e,
+            TrackerConfig {
+                threads: 8,
+                min_chunk: 128,
+            },
+        );
         for _ in 0..50 {
             seq.step(0.1);
             par.step(0.1);
         }
-        assert_eq!(seq.ensemble.dt, par.ensemble.dt, "bit-identical across threads");
+        assert_eq!(
+            seq.ensemble.dt, par.ensemble.dt,
+            "bit-identical across threads"
+        );
         assert_eq!(seq.ensemble.dgamma, par.ensemble.dgamma);
     }
 
@@ -173,7 +202,14 @@ mod tests {
         // the new equilibrium — the paper's key qualitative signature.
         let op = op();
         let e = Ensemble::matched(&BunchSpec::gaussian(10e-9), 5_000, &op, 5).unwrap();
-        let mut tracker = MultiParticleTracker::new(op, e, TrackerConfig { threads: 4, min_chunk: 512 });
+        let mut tracker = MultiParticleTracker::new(
+            op,
+            e,
+            TrackerConfig {
+                threads: 4,
+                min_chunk: 512,
+            },
+        );
         let jump = 8.0_f64.to_radians();
         let turns = (op.f_rev() / 1.28e3) as usize; // one synchrotron period
         let trace = tracker.run(turns, |_| jump);
@@ -196,8 +232,14 @@ mod tests {
         let mut tracker = MultiParticleTracker::new(op, e, TrackerConfig::default());
         let period = (op.f_rev() / 1.28e3) as usize;
         let trace = tracker.run(period * 12, |_| 0.0);
-        let early_peak = trace[..period].iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
-        let late_peak = trace[period * 10..].iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        let early_peak = trace[..period]
+            .iter()
+            .cloned()
+            .fold(0.0f64, |a, b| a.max(b.abs()));
+        let late_peak = trace[period * 10..]
+            .iter()
+            .cloned()
+            .fold(0.0f64, |a, b| a.max(b.abs()));
         assert!(
             late_peak < early_peak * 0.8,
             "decoherence: early {early_peak}, late {late_peak}"
@@ -215,11 +257,17 @@ mod tests {
             let mut tr = MultiParticleTracker::new(op, e, TrackerConfig::default());
             let period = (op.f_rev() / 1.28e3) as usize;
             let trace = tr.run(period * 8, |_| 0.0);
-            trace[period * 7..].iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()))
+            trace[period * 7..]
+                .iter()
+                .cloned()
+                .fold(0.0f64, |a, b| a.max(b.abs()))
         };
         let tight = run(5e-9);
         let wide = run(45e-9);
-        assert!(tight > wide, "tight bunch stays coherent: {tight} vs {wide}");
+        assert!(
+            tight > wide,
+            "tight bunch stays coherent: {tight} vs {wide}"
+        );
     }
 
     #[test]

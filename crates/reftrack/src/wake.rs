@@ -37,7 +37,11 @@ pub struct Resonator {
 impl Resonator {
     /// An SIS18-like ferrite-cavity resonator tuned near the RF harmonic.
     pub fn sis18_like(f_rf: f64) -> Self {
-        Self { shunt_ohms: 2e3, quality: 20.0, f_res: f_rf }
+        Self {
+            shunt_ohms: 2e3,
+            quality: 20.0,
+            f_res: f_rf,
+        }
     }
 
     /// Fundamental theorem of beam loading: the charge sees half its own
@@ -68,7 +72,10 @@ impl BeamLoading {
     /// New quiet cavity.
     pub fn new(resonator: Resonator, bunch_charge_c: f64, macros: usize) -> Self {
         assert!(macros > 0);
-        assert!(resonator.quality >= 0.5, "overdamped resonators not supported");
+        assert!(
+            resonator.quality >= 0.5,
+            "overdamped resonators not supported"
+        );
         Self {
             resonator,
             charge_per_macro: bunch_charge_c / macros as f64,
@@ -117,7 +124,9 @@ impl BeamLoading {
         self.order.extend(0..n as u32);
         let dts = &ensemble.dt;
         self.order.sort_by(|&a, &b| {
-            dts[a as usize].partial_cmp(&dts[b as usize]).expect("finite dt")
+            dts[a as usize]
+                .partial_cmp(&dts[b as usize])
+                .expect("finite dt")
         });
 
         let k = self.resonator.loss_factor();
@@ -153,13 +162,19 @@ mod tests {
     fn op() -> OperatingPoint {
         let m = MachineParams::sis18();
         let ion = IonSpecies::n14_7plus();
-        let v = SynchrotronCalc::new(m, ion).voltage_for_fs(800e3, 1.28e3).unwrap();
+        let v = SynchrotronCalc::new(m, ion)
+            .voltage_for_fs(800e3, 1.28e3)
+            .unwrap();
         OperatingPoint::from_revolution_frequency(m, ion, 800e3, v)
     }
 
     #[test]
     fn loss_factor_formula() {
-        let r = Resonator { shunt_ohms: 1e3, quality: 10.0, f_res: 3.2e6 };
+        let r = Resonator {
+            shunt_ohms: 1e3,
+            quality: 10.0,
+            f_res: 3.2e6,
+        };
         let expect = std::f64::consts::TAU * 3.2e6 * 1e3 / 20.0;
         assert!((r.loss_factor() - expect).abs() < 1.0);
     }
@@ -171,27 +186,45 @@ mod tests {
         let e = Ensemble::monoparticle(1, 0.0, 0.0);
         let v = bl.passage(&e, 0.0);
         let dv = 2.0 * r.loss_factor() * 1e-9;
-        assert!((v[0] + 0.5 * dv).abs() < 1e-12, "fundamental theorem: {}", v[0]);
+        assert!(
+            (v[0] + 0.5 * dv).abs() < 1e-12,
+            "fundamental theorem: {}",
+            v[0]
+        );
         assert!((bl.stored_voltage() - dv).abs() < 1e-12);
     }
 
     #[test]
     fn trailing_particle_sees_the_leaders_wake() {
-        let r = Resonator { shunt_ohms: 1e3, quality: 1e6, f_res: 3.2e6 };
+        let r = Resonator {
+            shunt_ohms: 1e3,
+            quality: 1e6,
+            f_res: 3.2e6,
+        };
         let mut bl = BeamLoading::new(r, 2e-9, 2);
         // Two particles, the second exactly one resonator period behind:
         // it sees the leader's full (decelerating) wake in phase.
         let period = 1.0 / 3.2e6;
-        let e = Ensemble { dt: vec![0.0, period], dgamma: vec![0.0; 2] };
+        let e = Ensemble {
+            dt: vec![0.0, period],
+            dgamma: vec![0.0; 2],
+        };
         let v = bl.passage(&e, 0.0);
         let dv = 2.0 * r.loss_factor() * 1e-9;
         assert!(v[1] < v[0], "trailing particle decelerated more");
-        assert!((v[1] - (v[0] - dv)).abs() < dv * 1e-3, "full wake at one period");
+        assert!(
+            (v[1] - (v[0] - dv)).abs() < dv * 1e-3,
+            "full wake at one period"
+        );
     }
 
     #[test]
     fn wake_decays_between_turns() {
-        let r = Resonator { shunt_ohms: 2e3, quality: 5.0, f_res: 3.2e6 };
+        let r = Resonator {
+            shunt_ohms: 2e3,
+            quality: 5.0,
+            f_res: 3.2e6,
+        };
         let mut bl = BeamLoading::new(r, 1e-9, 1);
         let e = Ensemble::monoparticle(1, 0.0, 0.0);
         bl.passage(&e, 0.0);
@@ -226,13 +259,15 @@ mod tests {
         let f_rf = op.f_rf();
         let run = |bunch_charge: f64| {
             let e = Ensemble::matched(&BunchSpec::gaussian(12e-9), 2000, &op, 17).unwrap();
-            let mut tracker =
-                MultiParticleTracker::new(op, e, TrackerConfig { threads: 1, min_chunk: 1 << 30 });
-            let mut bl = BeamLoading::new(
-                Resonator::sis18_like(f_rf),
-                bunch_charge,
-                2000,
+            let mut tracker = MultiParticleTracker::new(
+                op,
+                e,
+                TrackerConfig {
+                    threads: 1,
+                    min_chunk: 1 << 30,
+                },
             );
+            let mut bl = BeamLoading::new(Resonator::sis18_like(f_rf), bunch_charge, 2000);
             let turns = (op.f_rev() / 1.28e3 * 8.0) as usize;
             let mut tail_mean = 0.0;
             let tail_start = turns * 3 / 4;

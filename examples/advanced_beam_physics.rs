@@ -22,7 +22,10 @@ fn main() {
     println!("== dual-harmonic RF (SIS18 bunch-lengthening mode) ==\n");
     let single = DualHarmonicRf::single(op.v_gap_volts);
     let dual = DualHarmonicRf::bunch_lengthening(op.v_gap_volts);
-    println!("{:>12} {:>18} {:>18}", "amplitude", "fs single [Hz]", "fs dual [Hz]");
+    println!(
+        "{:>12} {:>18} {:>18}",
+        "amplitude", "fs single [Hz]", "fs dual [Hz]"
+    );
     for amp_deg in [2.0, 5.0, 10.0, 20.0, 40.0] {
         let fs_s = single.fs_at_amplitude(&op, amp_deg, 400_000);
         let fs_d = dual.fs_at_amplitude(&op, amp_deg, 400_000);
@@ -59,12 +62,14 @@ fn main() {
     // ---- beam loading: intensity-dependent equilibrium shift
     println!("== beam loading (resonator gap impedance) ==\n");
     let f_rf = op.f_rf();
-    println!("{:>14} {:>22} {:>18}", "bunch charge", "equilibrium shift [ns]", "stored V [V]");
+    println!(
+        "{:>14} {:>22} {:>18}",
+        "bunch charge", "equilibrium shift [ns]", "stored V [V]"
+    );
     for charge in [1e-10, 1e-9, 1e-8, 5e-8] {
         let particles = 2000;
         let e = Ensemble::matched(&BunchSpec::gaussian(12e-9), particles, &op, 7).unwrap();
-        let mut tracker =
-            MultiParticleTracker::new(op, e, TrackerConfig::default());
+        let mut tracker = MultiParticleTracker::new(op, e, TrackerConfig::default());
         let mut bl = BeamLoading::new(Resonator::sis18_like(f_rf), charge, particles);
         let turns = (op.f_rev() / scenario.fs_target * 8.0) as usize;
         let q_over_mc2 = op.ion.gamma_per_volt();

@@ -9,8 +9,8 @@
 //! ```
 
 use cavity_in_the_loop::control::BeamPhaseController;
-use cavity_in_the_loop::physics::distribution::BunchSpec;
 use cavity_in_the_loop::physics::constants::TWO_PI;
+use cavity_in_the_loop::physics::distribution::BunchSpec;
 use cavity_in_the_loop::reftrack::ensemble::Ensemble;
 use cavity_in_the_loop::reftrack::landau::analyze_decoherence;
 use cavity_in_the_loop::reftrack::observables::parametric_pulse;
@@ -24,8 +24,11 @@ fn main() {
     let period_turns = (op.f_rev() / scenario.fs_target) as usize;
     let turns = period_turns * 12;
 
-    println!("multi-bunch beam: {particles} macro particles, {} turns (~{:.0} ms)\n",
-        turns, turns as f64 / op.f_rev() * 1e3);
+    println!(
+        "multi-bunch beam: {particles} macro particles, {} turns (~{:.0} ms)\n",
+        turns,
+        turns as f64 / op.f_rev() * 1e3
+    );
 
     // A displaced wide bunch, loop OFF: filamentation damps the centroid.
     let run = |closed: bool| -> Vec<f64> {
@@ -40,24 +43,33 @@ fn main() {
             tracker.step(ctrl_phase);
             let phase_deg = tracker.centroid_phase_deg();
             if let Some(u) = ctrl.push_measurement(phase_deg) {
-                ctrl_phase += TWO_PI * u / op.f_rev()
-                    * f64::from(scenario.controller.decimation);
+                ctrl_phase += TWO_PI * u / op.f_rev() * f64::from(scenario.controller.decimation);
             }
             trace.push(tracker.ensemble.centroid_dt());
         }
         trace
     };
 
-    for (label, closed) in [("Landau/filamentation only (loop open)", false),
-                            ("control loop closed", true)] {
+    for (label, closed) in [
+        ("Landau/filamentation only (loop open)", false),
+        ("control loop closed", true),
+    ] {
         let trace = run(closed);
         let d = analyze_decoherence(&trace, period_turns);
         println!("{label}:");
-        println!("  initial coherent amplitude : {:.1} ns", d.initial_amplitude * 1e9);
-        println!("  after 12 periods           : {:.1} ns", d.final_amplitude * 1e9);
+        println!(
+            "  initial coherent amplitude : {:.1} ns",
+            d.initial_amplitude * 1e9
+        );
+        println!(
+            "  after 12 periods           : {:.1} ns",
+            d.final_amplitude * 1e9
+        );
         match d.damping_turns {
-            Some(tau) => println!("  damping time               : {:.1} ms\n",
-                tau / op.f_rev() * 1e3),
+            Some(tau) => println!(
+                "  damping time               : {:.1} ms\n",
+                tau / op.f_rev() * 1e3
+            ),
             None => println!("  damping time               : (no clean exponential)\n"),
         }
     }

@@ -6,7 +6,7 @@
 //! cargo run --release --example phase_jump_damping
 //! ```
 
-use cavity_in_the_loop::hil::{TurnEngine, TurnLevelLoop};
+use cavity_in_the_loop::hil::{EngineKind, TurnLevelLoop};
 use cavity_in_the_loop::scenario::MdeScenario;
 use cavity_in_the_loop::trace::score_jump_response;
 use std::fs;
@@ -16,15 +16,17 @@ fn main() {
     scenario.duration_s = 0.2;
     scenario.bunches = 1;
 
-    println!("phase-jump damping: {} deg jumps every {} ms, fs = {:.2} kHz\n",
+    println!(
+        "phase-jump damping: {} deg jumps every {} ms, fs = {:.2} kHz\n",
         scenario.jumps.amplitude_deg,
         scenario.jumps.interval_s * 1e3,
-        scenario.fs_target / 1e3);
+        scenario.fs_target / 1e3
+    );
 
     fs::create_dir_all("results").expect("create results dir");
 
     for (label, closed) in [("open", false), ("closed", true)] {
-        let result = TurnLevelLoop::new(scenario.clone(), TurnEngine::Map).run(closed);
+        let result = TurnLevelLoop::new(scenario.clone(), EngineKind::Map).run(closed);
         let display = result.display_trace();
         let path = format!("results/example_phase_jump_{label}.csv");
         fs::write(&path, display.to_csv()).expect("write trace");

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cavity_in_the_loop::hil::{TurnEngine, TurnLevelLoop};
+use cavity_in_the_loop::hil::{EngineKind, TurnLevelLoop};
 use cavity_in_the_loop::scenario::MdeScenario;
 use cavity_in_the_loop::trace::score_jump_response;
 
@@ -17,17 +17,23 @@ fn main() {
     scenario.duration_s = 0.15; // three jump events
     scenario.bunches = 1;
 
-    println!("scenario: {} at {:.0} kHz (h = {}), V_gap = {:.0} V",
+    println!(
+        "scenario: {} at {:.0} kHz (h = {}), V_gap = {:.0} V",
         scenario.ion.name,
         scenario.f_rev / 1e3,
         scenario.harmonic(),
-        scenario.v_hat());
+        scenario.v_hat()
+    );
 
     // Run the closed loop with the beam model executing on the simulated
     // CGRA (the cavity in the loop).
-    let result = TurnLevelLoop::new(scenario.clone(), TurnEngine::Cgra).run(true);
+    let result = TurnLevelLoop::new(scenario.clone(), EngineKind::Cgra).run(true);
 
-    println!("simulated {} revolutions, {} phase jumps", result.phase_deg.len(), result.jump_times.len());
+    println!(
+        "simulated {} revolutions, {} phase jumps",
+        result.phase_deg.len(),
+        result.jump_times.len()
+    );
 
     // Score the first jump response like the paper reads Fig. 5.
     let t_jump = result.jump_times[0];
@@ -38,12 +44,21 @@ fn main() {
         scenario.jumps.amplitude_deg,
     );
     println!();
-    println!("first peak after the jump : {:.2} x the jump amplitude (paper: ~2x)", r.first_peak_ratio);
-    println!("residual oscillation      : {:.1} % of initial (loop damps it)", r.residual_ratio * 100.0);
+    println!(
+        "first peak after the jump : {:.2} x the jump amplitude (paper: ~2x)",
+        r.first_peak_ratio
+    );
+    println!(
+        "residual oscillation      : {:.1} % of initial (loop damps it)",
+        r.residual_ratio * 100.0
+    );
     if let Some(tau) = r.damping_time_s {
         println!("damping time constant     : {:.1} ms", tau * 1e3);
     }
     let w = result.phase_deg.window(t_jump + 1e-4, t_jump + 0.045);
     let (fs, _) = w.dominant_frequency(600.0, 3000.0);
-    println!("synchrotron frequency     : {:.2} kHz (target 1.28 kHz)", fs / 1e3);
+    println!(
+        "synchrotron frequency     : {:.2} kHz (target 1.28 kHz)",
+        fs / 1e3
+    );
 }

@@ -14,8 +14,8 @@
 use cavity_in_the_loop::physics::machine::MachineParams;
 use cavity_in_the_loop::physics::ramp::{Curve, RampProgram, RampTracker};
 use cavity_in_the_loop::physics::IonSpecies;
-use std::fs;
 use std::fmt::Write as _;
+use std::fs;
 
 fn main() {
     let machine = MachineParams::sis18();
@@ -30,24 +30,31 @@ fn main() {
     // Launch the bunch slightly off the synchronous phase.
     tracker.map.particle.dt = 50e-9;
 
-    println!("ramp-up: {} in SIS18, f_rev 100 kHz -> 800 kHz over 1.9 s\n", ion.name);
-    println!("{:>8} {:>12} {:>10} {:>12} {:>12} {:>10}",
-        "t [ms]", "f_rev [kHz]", "gamma_R", "phi_s [deg]", "dt [ns]", "E [MeV/u]");
+    println!(
+        "ramp-up: {} in SIS18, f_rev 100 kHz -> 800 kHz over 1.9 s\n",
+        ion.name
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "t [ms]", "f_rev [kHz]", "gamma_R", "phi_s [deg]", "dt [ns]", "E [MeV/u]"
+    );
 
     let mut csv = String::from("t_s,f_rev_hz,gamma_r,phi_s_deg,dt_s\n");
     let mut next_print = 0.0f64;
     let mut max_dt: f64 = 0.0;
     while tracker.time < 2.1 {
         let Some(sample) = tracker.step() else {
-            println!("!! ramp over-demanded the bucket at t = {:.3} s", tracker.time);
+            println!(
+                "!! ramp over-demanded the bucket at t = {:.3} s",
+                tracker.time
+            );
             std::process::exit(1);
         };
         max_dt = max_dt.max(sample.dt.abs());
         if sample.time >= next_print {
             let f_rev = tracker.map.machine.revolution_frequency(sample.gamma_r);
-            let e_per_u = (sample.gamma_r - 1.0) * ion.rest_energy_ev
-                / f64::from(ion.mass_number)
-                / 1e6;
+            let e_per_u =
+                (sample.gamma_r - 1.0) * ion.rest_energy_ev / f64::from(ion.mass_number) / 1e6;
             println!(
                 "{:8.1} {:12.1} {:10.5} {:12.2} {:12.2} {:10.1}",
                 sample.time * 1e3,
@@ -57,16 +64,34 @@ fn main() {
                 sample.dt * 1e9,
                 e_per_u
             );
-            writeln!(csv, "{:.6},{:.1},{:.8},{:.4},{:.4e}",
-                sample.time, f_rev, sample.gamma_r, sample.phi_s.to_degrees(), sample.dt).unwrap();
+            writeln!(
+                csv,
+                "{:.6},{:.1},{:.8},{:.4},{:.4e}",
+                sample.time,
+                f_rev,
+                sample.gamma_r,
+                sample.phi_s.to_degrees(),
+                sample.dt
+            )
+            .unwrap();
             next_print += 0.1;
         }
     }
 
     fs::create_dir_all("results").unwrap();
     fs::write("results/example_ramp_up.csv", csv).unwrap();
-    let f_final = tracker.map.machine.revolution_frequency(tracker.map.reference.gamma);
-    println!("\nreached f_rev = {:.1} kHz after {} revolutions", f_final / 1e3, tracker.turn);
-    println!("max |dt| during the ramp: {:.1} ns (bunch stayed captured)", max_dt * 1e9);
+    let f_final = tracker
+        .map
+        .machine
+        .revolution_frequency(tracker.map.reference.gamma);
+    println!(
+        "\nreached f_rev = {:.1} kHz after {} revolutions",
+        f_final / 1e3,
+        tracker.turn
+    );
+    println!(
+        "max |dt| during the ramp: {:.1} ns (bunch stayed captured)",
+        max_dt * 1e9
+    );
     println!("trace -> results/example_ramp_up.csv");
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, release build, full test suite.
+# Run from the repo root; CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace --all-targets
+cargo test -q --workspace

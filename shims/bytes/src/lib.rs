@@ -1,0 +1,213 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the little-endian cursor API the recorder wire format uses
+//! ([`Buf`]/[`BufMut`] plus owned [`Bytes`]/[`BytesMut`]). Unlike the real
+//! crate there is no refcounted zero-copy sharing — `Bytes` owns a `Vec` and
+//! `slice` copies — which is irrelevant at the recording sizes involved and
+//! keeps the shim trivial to audit.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Read cursor over a byte stream.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copy exactly `dst.len()` bytes out, advancing the cursor.
+    /// Panics on underflow (callers guard with [`Buf::remaining`]).
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one `u8`.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write sink for a byte stream.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Copy of the sub-range `range` of the unread bytes.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[self.pos + range.start..self.pos + range.end].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "bytes: buffer underflow");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_slice(b"HDR!");
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        w.put_f64_le(-1.25e-6);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 4 + 4 + 8 + 8);
+        let mut hdr = [0u8; 4];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR!");
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_f64_le(), -1.25e-6);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slice_copies_subrange() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(b.len(), 6, "source untouched");
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench targets compiling and runnable without the registry.
+//! Each `Bencher::iter` body runs a small fixed number of iterations and
+//! reports wall-clock per-iteration time — enough to eyeball regressions
+//! and to keep `cargo bench` fast, with none of criterion's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-exported hint preventing the optimiser from deleting bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Iterations per `Bencher::iter` call (fixed; no warmup or sampling).
+const ITERS: u32 = 10;
+
+/// Measures one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `f` [`ITERS`] times and record the mean wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.last_ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / f64::from(ITERS);
+    }
+}
+
+/// Throughput annotation (accepted, unused).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id, as in real criterion.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Record the group's throughput (no-op in the shim).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    fn run(&mut self, id: &str, b: &mut Bencher) {
+        println!(
+            "bench {}/{}: {:.1} ns/iter",
+            self.name, id, b.last_ns_per_iter
+        );
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.run(&id, &mut b);
+        self
+    }
+
+    /// Run one benchmark over an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.run(&id.id, &mut b);
+        self
+    }
+
+    /// End the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body() {
+        let mut count = 0u32;
+        let mut b = Bencher::default();
+        b.iter(|| count += 1);
+        assert_eq!(count, ITERS);
+        assert!(b.last_ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn group_api_flows() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("g", 4), &4u32, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+}

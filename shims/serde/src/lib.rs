@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as a *capability marker*: types derive
+//! `Serialize`/`Deserialize` so later PRs can wire real wire formats, but no
+//! code path serialises anything yet. With the registry unreachable, this
+//! shim supplies the two trait names plus derive macros that emit empty
+//! impls, so every `#[derive(Serialize, Deserialize)]` and generic bound in
+//! the tree keeps compiling unchanged. Swapping back to real serde is a
+//! one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialised (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised (no methods in the shim).
+pub trait Deserialize<'de>: Sized {}

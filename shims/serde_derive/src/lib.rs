@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty `impl ::serde::Serialize`/`Deserialize` blocks for the
+//! derived type. Built without `syn`/`quote` (registry unreachable): the
+//! type name is extracted by scanning the item's top-level tokens for the
+//! ident following `struct`/`enum`/`union`. Every derived type in this
+//! workspace is non-generic, which the extraction asserts.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type a derive was applied to.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "serde shim derive does not support generic types",
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: no struct/enum/union found in input");
+}
+
+/// Derive an (empty) `Serialize` impl. Accepts and ignores `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derive an (empty) `Deserialize` impl. Accepts and ignores `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

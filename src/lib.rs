@@ -19,19 +19,19 @@
 //! * [`reftrack`] (`cil-reftrack`) — the parallel multi-macro-particle
 //!   tracker standing in for the real beam (Fig. 5b);
 //! * the HIL framework itself (`cil-core`), whose modules are re-exported
-//!   at the top level: [`framework`], [`control`], [`hil`], [`scenario`],
-//!   [`signalgen`], [`jitter`], [`clock`], [`trace`].
+//!   at the top level: [`framework`], [`control`], [`engine`], [`harness`],
+//!   [`hil`], [`scenario`], [`signalgen`], [`jitter`], [`clock`], [`trace`].
 //!
 //! ## Quick start
 //!
 //! ```
-//! use cavity_in_the_loop::hil::{TurnEngine, TurnLevelLoop};
+//! use cavity_in_the_loop::hil::{EngineKind, TurnLevelLoop};
 //! use cavity_in_the_loop::scenario::MdeScenario;
 //!
 //! let mut scenario = MdeScenario::nov24_2023();
 //! scenario.duration_s = 0.02; // keep the doctest fast
 //! scenario.bunches = 1;
-//! let result = TurnLevelLoop::new(scenario, TurnEngine::Map).run(true);
+//! let result = TurnLevelLoop::new(scenario, EngineKind::Map).run(true);
 //! assert!(result.phase_deg.len() > 10_000);
 //! ```
 //!
@@ -45,7 +45,9 @@ pub use cil_reftrack as reftrack;
 
 pub use cil_core::clock;
 pub use cil_core::control;
+pub use cil_core::engine;
 pub use cil_core::framework;
+pub use cil_core::harness;
 pub use cil_core::hil;
 pub use cil_core::jitter;
 pub use cil_core::multibunch;

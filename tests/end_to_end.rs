@@ -1,7 +1,7 @@
 //! End-to-end integration: the complete Fig. 5 experiment through the
 //! public API, at both fidelities, scored against the paper's claims.
 
-use cavity_in_the_loop::hil::{SignalLevelLoop, TurnEngine, TurnLevelLoop};
+use cavity_in_the_loop::hil::{EngineKind, SignalLevelLoop, TurnLevelLoop};
 use cavity_in_the_loop::scenario::MdeScenario;
 use cavity_in_the_loop::trace::score_jump_response;
 
@@ -15,7 +15,7 @@ fn scenario() -> MdeScenario {
 #[test]
 fn fig5_turn_level_cgra_full_story() {
     let s = scenario();
-    let result = TurnLevelLoop::new(s.clone(), TurnEngine::Cgra).run(true);
+    let result = TurnLevelLoop::new(s.clone(), EngineKind::Cgra).run(true);
 
     // One jump event in 0.1 s (at ~0.05 s).
     assert_eq!(result.jump_times.len(), 1);
@@ -59,8 +59,8 @@ fn fig5_signal_level_oscillates_at_fs() {
 #[test]
 fn open_vs_closed_loop_distinction() {
     let s = scenario();
-    let open = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(false);
-    let closed = TurnLevelLoop::new(s.clone(), TurnEngine::Map).run(true);
+    let open = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(false);
+    let closed = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(true);
     let t_jump = open.jump_times[0];
     let score = |r: &cavity_in_the_loop::hil::HilResult| {
         score_jump_response(&r.display_trace(), t_jump, t_jump + 0.045, 8.0).residual_ratio
@@ -86,7 +86,7 @@ fn controller_parameters_match_paper() {
 fn traces_export_and_reimport() {
     let mut s = scenario();
     s.duration_s = 0.02;
-    let result = TurnLevelLoop::new(s, TurnEngine::Map).run(true);
+    let result = TurnLevelLoop::new(s, EngineKind::Map).run(true);
     let csv = result.phase_deg.to_csv();
     let back = cavity_in_the_loop::trace::TimeSeries::from_csv(&csv).unwrap();
     assert_eq!(back.len(), result.phase_deg.len());
