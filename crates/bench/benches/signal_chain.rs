@@ -75,7 +75,7 @@ fn bench_framework(c: &mut Criterion) {
 
     let mut s = MdeScenario::nov24_2023();
     s.bunches = 1;
-    let mut fw = SimulatorFramework::new(s.framework_config(), s.kernel_params());
+    let mut fw = SimulatorFramework::new(s.framework_config(), s.kernel_params().unwrap());
     let mut bench = SignalBench::new(
         250e6,
         s.f_rev,

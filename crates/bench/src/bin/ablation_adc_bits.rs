@@ -17,7 +17,7 @@ fn run(bits: u32) -> (f64, f64) {
     s.pipelined = false;
     let mut cfg = s.framework_config();
     cfg.adc.bits = bits;
-    let mut fw = SimulatorFramework::new(cfg, s.kernel_params());
+    let mut fw = SimulatorFramework::new(cfg, s.kernel_params().unwrap());
     let mut bench = SignalBench::new(
         250e6,
         s.f_rev,

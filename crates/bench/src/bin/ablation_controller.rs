@@ -30,7 +30,9 @@ fn run(p: &Point) -> (f64, f64, Option<f64>) {
     s.controller.gain = p.gain;
     s.controller.f_pass = p.f_pass;
     s.controller.recursion = p.recursion;
-    let result = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(true);
+    let result = TurnLevelLoop::new(s.clone(), EngineKind::Map)
+        .run(true)
+        .unwrap();
     let t_jump = result.jump_times[0];
     let r = score_jump_response(
         &result.phase_deg,

@@ -71,7 +71,7 @@ fn main() {
     s.bunches = 1;
     s.pipelined = false;
     let f_rf = s.f_rev * f64::from(s.harmonic());
-    let mut fw = SimulatorFramework::new(s.framework_config(), s.kernel_params());
+    let mut fw = SimulatorFramework::new(s.framework_config(), s.kernel_params().unwrap());
     let mut bench = SignalBench::new(
         250e6,
         s.f_rev,

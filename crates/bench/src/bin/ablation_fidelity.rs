@@ -48,16 +48,20 @@ fn main() {
 
     let s1 = s.clone();
     measure("turn-level, two-particle map", &move || {
-        TurnLevelLoop::new(s1.clone(), EngineKind::Map).run(false)
+        TurnLevelLoop::new(s1.clone(), EngineKind::Map)
+            .run(false)
+            .unwrap()
     });
     let s2 = s.clone();
     measure("turn-level, CGRA executor", &move || {
-        TurnLevelLoop::new(s2.clone(), EngineKind::Cgra).run(false)
+        TurnLevelLoop::new(s2.clone(), EngineKind::Cgra)
+            .run(false)
+            .unwrap()
     });
     let s3 = s.clone();
     let dur = s.duration_s;
     measure("signal-level, full 250 MS/s chain", &move || {
-        SignalLevelLoop::new(s3.clone()).run(dur, false)
+        SignalLevelLoop::new(s3.clone()).run(dur, false).unwrap()
     });
 
     t.print();

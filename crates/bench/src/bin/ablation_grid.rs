@@ -14,7 +14,7 @@ use cil_core::scenario::MdeScenario;
 use std::fmt::Write as _;
 
 fn main() {
-    let params: KernelParams = MdeScenario::nov24_2023().kernel_params();
+    let params: KernelParams = MdeScenario::nov24_2023().kernel_params().unwrap();
     let kernel = build_beam_kernel(&params, 8, true);
     let (_, critical_path) = kernel.kernel.dfg.critical_path();
     let f_clk = 111e6;

@@ -18,7 +18,7 @@ fn end_to_end(interpolate: bool) -> (f64, f64) {
     s.pipelined = false;
     let mut cfg = s.framework_config();
     cfg.interpolate = interpolate;
-    let mut fw = SimulatorFramework::new(cfg, s.kernel_params());
+    let mut fw = SimulatorFramework::new(cfg, s.kernel_params().unwrap());
     let mut bench = SignalBench::new(
         250e6,
         s.f_rev,

@@ -22,7 +22,7 @@ fn run(noise_fraction: f64) -> Outcome {
     s.bunches = 1;
     s.jumps.interval_s = 16e-3;
     s.adc_noise_rms = noise_fraction * s.adc_amplitude;
-    let result = SignalLevelLoop::new(s).run(0.045, true);
+    let result = SignalLevelLoop::new(s).run(0.045, true).unwrap();
     let t_jump = result.jump_times[0];
     let display = result.display_trace();
     let r = score_jump_response(&display, t_jump, t_jump + 15e-3, 8.0);

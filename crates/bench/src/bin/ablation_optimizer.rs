@@ -14,7 +14,7 @@ use cil_core::scenario::MdeScenario;
 use std::fmt::Write as _;
 
 fn main() {
-    let params: KernelParams = MdeScenario::nov24_2023().kernel_params();
+    let params: KernelParams = MdeScenario::nov24_2023().kernel_params().unwrap();
     let sched = ListScheduler::new(GridConfig::mesh_5x5());
     let f_clk = 111e6;
 

@@ -15,7 +15,10 @@ use std::fmt::Write as _;
 fn main() {
     let mut scenario = MdeScenario::harmonic_two_snapshot();
     scenario.bunches = 2;
-    let mut fw = SimulatorFramework::new(scenario.framework_config(), scenario.kernel_params());
+    let mut fw = SimulatorFramework::new(
+        scenario.framework_config(),
+        scenario.kernel_params().unwrap(),
+    );
     let mut bench = SignalBench::new(
         250e6,
         scenario.f_rev,

@@ -54,8 +54,10 @@ fn run_sim(duration: f64, fidelity: &str) -> SideResult {
     s.duration_s = duration;
     s.bunches = 1; // the phase trace follows one bunch, as in Fig. 5a
     let result = match fidelity {
-        "turn" => TurnLevelLoop::new(s.clone(), EngineKind::Cgra).run(true),
-        "signal" => SignalLevelLoop::new(s.clone()).run(duration, true),
+        "turn" => TurnLevelLoop::new(s.clone(), EngineKind::Cgra)
+            .run(true)
+            .unwrap(),
+        "signal" => SignalLevelLoop::new(s.clone()).run(duration, true).unwrap(),
         other => panic!("unknown fidelity '{other}' (use signal|turn)"),
     };
     let display = result.display_trace(); // the paper's 5-sample averaging
@@ -73,7 +75,7 @@ fn run_mde_standin(duration: f64, particles: usize) -> SideResult {
     let mut s = MdeScenario::nov24_2023();
     s.fs_target = 1.2e3;
     s.jumps.amplitude_deg = 10.0;
-    let mut engine = RefTrackEngine::from_scenario(&s, particles, 20231124, 15e-9, 1e-9);
+    let mut engine = RefTrackEngine::from_scenario(&s, particles, 20231124, 15e-9, 1e-9).unwrap();
     let mut harness = LoopHarness::for_scenario(&s, true);
     let trace = harness.run(&mut engine, duration);
     let series = TimeSeries::new(0.0, 1.0 / s.f_rev, trace.mean_phase_deg).averaged(5);

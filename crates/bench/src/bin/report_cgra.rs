@@ -21,7 +21,7 @@ fn main() {
     let pipelined = !arg_flag(&args, "--sequential");
     let n: u16 = arg_value(&args, "--grid").map_or(5, |v| v.parse().expect("bad --grid"));
 
-    let params: KernelParams = MdeScenario::nov24_2023().kernel_params();
+    let params: KernelParams = MdeScenario::nov24_2023().kernel_params().unwrap();
     let bk = build_beam_kernel(&params, bunches, pipelined);
     if arg_flag(&args, "--source") {
         println!("{}", bk.source);

@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 
 fn main() {
     let scenario = MdeScenario::nov24_2023();
-    let params: KernelParams = scenario.kernel_params();
+    let params: KernelParams = scenario.kernel_params().unwrap();
     let f_clk = 111e6;
     let grid = GridConfig::mesh_5x5();
 

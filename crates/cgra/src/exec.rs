@@ -15,6 +15,30 @@ use crate::isa::OpKind;
 use crate::sched::Schedule;
 use std::sync::Arc;
 
+/// A typed executor failure — what used to be a panic inside the replay
+/// loop. The HIL layer surfaces these as beam-loss / engine-fault events
+/// instead of aborting the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// An `Input(p)` node fired but the caller supplied no value for port
+    /// `p`.
+    MissingInput(u16),
+    /// A pure op could not be evaluated (malformed operand count — a
+    /// compiler bug, not a data fault).
+    PureOpFailed(NodeId),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingInput(p) => write!(f, "missing input port {p}"),
+            Self::PureOpFailed(id) => write!(f, "pure op at node {} failed to evaluate", id.0),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// The SensorAccess module interface: "a SensorAccess module was implemented
 /// to act as memory. This allows the simulation model to both read input
 /// signal data and set the output timing for the next Gauss pulse."
@@ -126,14 +150,36 @@ impl CgraExecutor {
     /// fires at its cycle; sensor reads/writes hit `bus`; register writes
     /// become visible to the *next* iteration. `inputs[i]` feeds
     /// `OpKind::Input(i)`. Returns the values written to `Output` ports.
+    ///
+    /// Panicking wrapper around [`Self::try_run_iteration`] for callers that
+    /// treat executor faults as unrecoverable (tests, exploratory tools).
     pub fn run_iteration<B: SensorBus>(&mut self, bus: &mut B, inputs: &[f64]) -> Vec<(u16, f64)> {
+        match self.try_run_iteration(bus, inputs) {
+            Ok(outputs) => outputs,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::run_iteration`]: executor faults come
+    /// back as [`ExecError`] with all register state untouched by the failed
+    /// iteration (writes only commit on success), so a supervisor can
+    /// degrade gracefully instead of unwinding through the loop.
+    pub fn try_run_iteration<B: SensorBus>(
+        &mut self,
+        bus: &mut B,
+        inputs: &[f64],
+    ) -> Result<Vec<(u16, f64)>, ExecError> {
         let mut outputs = Vec::new();
         for &id in &self.order {
             let node = self.dfg.node(id);
             let v = match node.op {
-                OpKind::Input(p) => *inputs
-                    .get(p as usize)
-                    .unwrap_or_else(|| panic!("missing input port {p}")),
+                OpKind::Input(p) => match inputs.get(p as usize) {
+                    Some(&v) => v,
+                    None => {
+                        self.regs_next.copy_from_slice(&self.regs_current);
+                        return Err(ExecError::MissingInput(p));
+                    }
+                },
                 OpKind::Output(p) => {
                     let v = self.values[node.operands[0].0 as usize];
                     outputs.push((p, v));
@@ -160,8 +206,15 @@ impl CgraExecutor {
                     for (i, &o) in node.operands.iter().enumerate() {
                         args[i] = self.values[o.0 as usize];
                     }
-                    pure.eval_pure(&args[..node.operands.len()])
-                        .expect("pure op")
+                    match pure.eval_pure(&args[..node.operands.len()]) {
+                        Some(v) => v,
+                        None => {
+                            // Roll partially-written next-iteration register
+                            // state back so a retry starts clean.
+                            self.regs_next.copy_from_slice(&self.regs_current);
+                            return Err(ExecError::PureOpFailed(id));
+                        }
+                    }
                 }
             };
             self.values[id.0 as usize] = v;
@@ -169,7 +222,7 @@ impl CgraExecutor {
         // Commit loop-carried registers.
         self.regs_current.copy_from_slice(&self.regs_next);
         self.iterations += 1;
-        outputs
+        Ok(outputs)
     }
 
     /// Warm-up for pipelined kernels: the stage-bridging registers start at

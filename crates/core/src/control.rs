@@ -68,6 +68,20 @@ impl ControllerParams {
     }
 }
 
+/// One decimated controller step under a supervisor-imposed limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LimitedControl {
+    /// Actuation after clamping and the enable gate, Hz.
+    pub actuation_hz: f64,
+    /// Unclamped controller output, Hz.
+    pub raw_hz: f64,
+    /// The limit in force (tightest of supervisor and saturation), Hz.
+    pub limit_hz: f64,
+    /// True when the limit engaged (and anti-windup rolled the DC stage
+    /// back).
+    pub clamped: bool,
+}
+
 /// The streaming beam-phase controller.
 #[derive(Debug, Clone)]
 pub struct BeamPhaseController {
@@ -125,6 +139,46 @@ impl BeamPhaseController {
         );
         self.last_output = if self.enabled { clamped } else { 0.0 };
         Some(self.last_output)
+    }
+
+    /// Like [`Self::push_measurement`], with a supervisor-imposed actuation
+    /// limit (tightest of `limit_hz` and the configured saturation) and
+    /// anti-windup: when the limit engages, the recursive DC-rejection
+    /// stage is rolled back to its pre-sample state (conditional
+    /// integration), so a long clamped stretch cannot wind the infinite
+    /// -memory pole up. The FIR stage has finite memory and needs no
+    /// rollback. Returns one [`LimitedControl`] per decimated step.
+    pub fn push_measurement_limited(
+        &mut self,
+        phase_deg: f64,
+        limit_hz: f64,
+    ) -> Option<LimitedControl> {
+        self.acc += phase_deg;
+        self.acc_n += 1;
+        if self.acc_n < self.params.decimation {
+            return None;
+        }
+        let avg = self.acc / f64::from(self.acc_n);
+        self.acc = 0.0;
+        self.acc_n = 0;
+
+        let dc_snapshot = self.dc;
+        let ac = self.dc.push(avg);
+        let filtered = self.fir.push(ac);
+        let raw = self.params.effective_gain_hz_per_deg() * filtered;
+        let lim = limit_hz.min(self.params.max_freq_offset_hz).max(0.0);
+        let clamped_flag = raw.abs() > lim;
+        if clamped_flag {
+            self.dc = dc_snapshot;
+        }
+        let clamped = raw.clamp(-lim, lim);
+        self.last_output = if self.enabled { clamped } else { 0.0 };
+        Some(LimitedControl {
+            actuation_hz: self.last_output,
+            raw_hz: raw,
+            limit_hz: lim,
+            clamped: clamped_flag,
+        })
     }
 
     /// Most recent actuation value, Hz.

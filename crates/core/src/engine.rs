@@ -17,6 +17,8 @@
 //!
 //! plus [`RampEngine`], the acceleration-ramp variant of the map.
 
+use crate::error::{CilError, Result};
+use crate::fault::{FaultProgram, LossCause};
 use crate::scenario::MdeScenario;
 use crate::signalgen::{PhaseJumpProgram, SignalBench};
 use cil_cgra::cache::CompiledKernel;
@@ -39,8 +41,9 @@ pub enum EngineStep {
     Measured,
     /// Time advanced but no measurement yet (signal-level warm-up).
     Idle,
-    /// The beam was lost; the run should stop.
-    Lost,
+    /// The beam was lost for the given reason; the run should stop (or the
+    /// supervisor should degrade).
+    Lost(LossCause),
 }
 
 /// A beam model the [`crate::harness::LoopHarness`] can close the loop
@@ -71,6 +74,15 @@ pub trait BeamEngine {
     /// Jump-program offset currently applied to the gap, degrees — the
     /// harness watches this edge to record jump times.
     fn applied_jump_deg(&self) -> f64;
+
+    /// Seed the engine's clock and accumulated control phase — used when a
+    /// supervisor swaps a freshly built engine in mid-run so the loop's
+    /// time base and actuation history carry over. The beam's oscillation
+    /// state restarts matched (on-reference); engines without a turn-level
+    /// state (the signal-level chain) ignore this.
+    fn seed_state(&mut self, time_s: f64, ctrl_phase_rad: f64) {
+        let _ = (time_s, ctrl_phase_rad);
+    }
 }
 
 /// Which beam-model engine a turn-level executive uses.
@@ -94,13 +106,24 @@ pub enum EngineKind {
 impl EngineKind {
     /// Build the engine for a scenario (single bunch, launched
     /// on-reference).
-    pub fn build(&self, scenario: &MdeScenario) -> Box<dyn BeamEngine> {
-        match *self {
-            EngineKind::Map => Box::new(MapEngine::from_scenario(scenario)),
-            EngineKind::Cgra => Box::new(CgraEngine::from_scenario(scenario, 1, &[])),
+    pub fn build(&self, scenario: &MdeScenario) -> Result<Box<dyn BeamEngine>> {
+        Ok(match *self {
+            EngineKind::Map => Box::new(MapEngine::from_scenario(scenario)?),
+            EngineKind::Cgra => Box::new(CgraEngine::from_scenario(scenario, 1, &[])?),
             EngineKind::RefTrack { particles, seed } => Box::new(RefTrackEngine::from_scenario(
                 scenario, particles, seed, 15e-9, 0.0,
-            )),
+            )?),
+        })
+    }
+
+    /// The graceful-degradation ladder: the fidelity to fall back to when
+    /// this engine cannot hold its deadline (or produces garbage). The
+    /// analytic map is the floor — nothing is cheaper while still closing
+    /// the loop.
+    pub fn demote(&self) -> Option<EngineKind> {
+        match *self {
+            EngineKind::Cgra | EngineKind::RefTrack { .. } => Some(EngineKind::Map),
+            EngineKind::Map => None,
         }
     }
 }
@@ -134,15 +157,15 @@ pub struct MapEngine {
 
 impl MapEngine {
     /// Engine at the scenario's operating point.
-    pub fn from_scenario(s: &MdeScenario) -> Self {
-        let op = s.operating_point();
-        Self {
+    pub fn from_scenario(s: &MdeScenario) -> Result<Self> {
+        let op = s.operating_point()?;
+        Ok(Self {
             map: TwoParticleMap::at_operating_point(&op),
             v_hat: op.v_gap_volts,
             f_rf: op.f_rf(),
             t_rev: 1.0 / s.f_rev,
             state: TurnState::default(),
-        }
+        })
     }
 }
 
@@ -170,6 +193,11 @@ impl BeamEngine for MapEngine {
     fn applied_jump_deg(&self) -> f64 {
         self.state.applied_jump_deg
     }
+
+    fn seed_state(&mut self, time_s: f64, ctrl_phase_rad: f64) {
+        self.state.time = time_s;
+        self.state.ctrl_phase_rad = ctrl_phase_rad;
+    }
 }
 
 /// Analytic SensorBus for the turn-level CGRA engines: serves ideal DDS
@@ -181,6 +209,8 @@ struct AnalyticBus {
     /// ADC-side amplitudes (the kernel multiplies by its scale factors).
     amp: f64,
     gap_phase_rad: f64,
+    /// Injected gap-DDS dropout: the gap port reads 0 V while set.
+    gap_dropout: bool,
     dt_out: Vec<f64>,
 }
 
@@ -190,6 +220,7 @@ impl SensorBus for AnalyticBus {
         match port {
             PORT_PERIOD => 1.0 / self.f_rev,
             PORT_REF_BUF => self.amp * (TWO_PI * self.f_rev * t).sin(),
+            PORT_GAP_BUF if self.gap_dropout => 0.0,
             PORT_GAP_BUF => self.amp * (TWO_PI * self.f_rf * t + self.gap_phase_rad).sin(),
             _ => 0.0,
         }
@@ -212,17 +243,22 @@ pub struct CgraEngine {
     f_rf: f64,
     t_rev: f64,
     state: TurnState,
+    faults: FaultProgram,
 }
 
 impl CgraEngine {
     /// Engine for a scenario with `bunches` bunches; bunch `b` launches
     /// displaced by `initial_offsets_deg[b]` (missing entries → 0°). The
     /// kernel schedule comes from the process-wide compile cache.
-    pub fn from_scenario(s: &MdeScenario, bunches: usize, initial_offsets_deg: &[f64]) -> Self {
-        let op = s.operating_point();
+    pub fn from_scenario(
+        s: &MdeScenario,
+        bunches: usize,
+        initial_offsets_deg: &[f64],
+    ) -> Result<Self> {
+        let op = s.operating_point()?;
         let f_rf = op.f_rf();
         let compiled = cil_cgra::cache::global().get_or_compile(
-            &s.kernel_params(),
+            &s.kernel_params()?,
             bunches,
             s.pipelined,
             true,
@@ -231,9 +267,10 @@ impl CgraEngine {
         let mut executor = compiled.executor();
         let mut displacements = Vec::new();
         for (b, &deg) in initial_offsets_deg.iter().enumerate().take(bunches) {
+            let name = format!("dt_{b}");
             let reg = compiled
-                .static_reg(&format!("dt_{b}"))
-                .expect("bunch state register");
+                .static_reg(&name)
+                .ok_or(CilError::MissingKernelRegister(name))?;
             displacements.push((reg, deg / 360.0 / f_rf));
         }
         for &(reg, dt) in &displacements {
@@ -245,6 +282,7 @@ impl CgraEngine {
             sample_rate: 250e6,
             amp: s.adc_amplitude,
             gap_phase_rad: 0.0,
+            gap_dropout: false,
             dt_out: vec![0.0; bunches],
         };
         if s.pipelined {
@@ -253,7 +291,7 @@ impl CgraEngine {
             restore.extend_from_slice(&displacements);
             executor.warmup(&mut bus, &[], &restore);
         }
-        Self {
+        Ok(Self {
             compiled,
             executor,
             bus,
@@ -261,7 +299,8 @@ impl CgraEngine {
             f_rf,
             t_rev: 1.0 / s.f_rev,
             state: TurnState::default(),
-        }
+            faults: s.faults.clone(),
+        })
     }
 
     /// The cached compilation artifact this engine runs.
@@ -281,11 +320,19 @@ impl BeamEngine for CgraEngine {
 
     fn step(&mut self, jumps: &PhaseJumpProgram, phase_out: &mut [f64]) -> EngineStep {
         self.bus.gap_phase_rad = self.state.gap_phase_rad(jumps);
-        self.executor.run_iteration(&mut self.bus, &[]);
+        if !self.faults.is_empty() {
+            self.bus.gap_dropout = self.faults.sample_faults_at(self.state.time).dds_dropout;
+        }
+        if self.executor.try_run_iteration(&mut self.bus, &[]).is_err() {
+            return EngineStep::Lost(LossCause::NonFinitePhase);
+        }
         for (out, &dt) in phase_out.iter_mut().zip(&self.bus.dt_out) {
             *out = dt * self.f_rf * 360.0;
         }
         self.state.time += self.t_rev;
+        if phase_out.iter().any(|p| !p.is_finite()) {
+            return EngineStep::Lost(LossCause::NonFinitePhase);
+        }
         EngineStep::Measured
     }
 
@@ -295,6 +342,11 @@ impl BeamEngine for CgraEngine {
 
     fn applied_jump_deg(&self) -> f64 {
         self.state.applied_jump_deg
+    }
+
+    fn seed_state(&mut self, time_s: f64, ctrl_phase_rad: f64) {
+        self.state.time = time_s;
+        self.state.ctrl_phase_rad = ctrl_phase_rad;
     }
 }
 
@@ -316,17 +368,16 @@ impl RefTrackEngine {
         seed: u64,
         sigma_s: f64,
         displace_dt: f64,
-    ) -> Self {
-        let op = s.operating_point();
+    ) -> Result<Self> {
+        let op = s.operating_point()?;
         let spec = cil_physics::distribution::BunchSpec::gaussian(sigma_s);
-        let mut ensemble =
-            Ensemble::matched(&spec, particles, &op, seed).expect("scenario below transition");
+        let mut ensemble = Ensemble::matched(&spec, particles, &op, seed)?;
         ensemble.displace_dt(displace_dt);
-        Self {
+        Ok(Self {
             tracker: MultiParticleTracker::new(op, ensemble, TrackerConfig::default()),
             t_rev: 1.0 / s.f_rev,
             state: TurnState::default(),
-        }
+        })
     }
 
     /// The tracked ensemble (inspection).
@@ -358,6 +409,11 @@ impl BeamEngine for RefTrackEngine {
 
     fn applied_jump_deg(&self) -> f64 {
         self.state.applied_jump_deg
+    }
+
+    fn seed_state(&mut self, time_s: f64, ctrl_phase_rad: f64) {
+        self.state.time = time_s;
+        self.state.ctrl_phase_rad = ctrl_phase_rad;
     }
 }
 
@@ -416,14 +472,14 @@ impl BeamEngine for RampEngine {
         self.applied_jump_deg = jumps.offset_deg_at(self.tracker.time);
         let offset = self.applied_jump_deg.to_radians() + self.ctrl_phase_rad;
         let Some(sample) = self.tracker.step_with_phase_offset(offset) else {
-            return EngineStep::Lost;
+            return EngineStep::Lost(LossCause::BucketOverdemand);
         };
         let f_rev = self.machine.revolution_frequency(sample.gamma_r);
         let f_rf = self.machine.rf_frequency(f_rev);
         let phase_deg = sample.dt * f_rf * 360.0;
         if phase_deg.abs() > 180.0 {
             // Left the bucket: count as beam loss.
-            return EngineStep::Lost;
+            return EngineStep::Lost(LossCause::OutOfBucket);
         }
         self.last_f_rev = f_rev;
         self.last_gamma_r = sample.gamma_r;
@@ -455,11 +511,12 @@ pub struct SignalLevelEngine {
     period_samples: f64,
     sample_rate: f64,
     sample: u64,
+    faults: FaultProgram,
 }
 
 impl SignalLevelEngine {
     /// The scenario's Fig. 4 bench (jump program included).
-    pub fn from_scenario(s: &MdeScenario) -> Self {
+    pub fn from_scenario(s: &MdeScenario) -> Result<Self> {
         let sample_rate = 250e6;
         let bench = SignalBench::new(
             sample_rate,
@@ -469,7 +526,8 @@ impl SignalLevelEngine {
             s.adc_amplitude,
             s.jumps,
         );
-        let fw = crate::framework::SimulatorFramework::new(s.framework_config(), s.kernel_params());
+        let fw =
+            crate::framework::SimulatorFramework::new(s.framework_config(), s.kernel_params()?);
         let period_samples = sample_rate / s.f_rev;
         let detector = PhaseDetector::with_zc_threshold(
             fw.config.pulse_amplitude * 0.25,
@@ -477,14 +535,15 @@ impl SignalLevelEngine {
             period_samples,
             fw.config.zc_threshold,
         );
-        Self {
+        Ok(Self {
             bench,
             fw,
             detector,
             period_samples,
             sample_rate,
             sample: 0,
-        }
+            faults: s.faults.clone(),
+        })
     }
 
     /// The underlying framework (inspection: records, kernel statics, …).
@@ -503,6 +562,13 @@ impl BeamEngine for SignalLevelEngine {
     }
 
     fn step(&mut self, _jumps: &PhaseJumpProgram, phase_out: &mut [f64]) -> EngineStep {
+        // Signal-chain fault injection, refreshed once per step (~2 µs of
+        // bench time — far finer than any scheduled fault window).
+        if !self.faults.is_empty() {
+            let sf = self.faults.sample_faults_at(self.time());
+            self.fw.set_adc_fault(sf.adc);
+            self.bench.gap.set_dropout(sf.dds_dropout);
+        }
         // At most two revolutions per step: during detector warm-up no
         // measurement fires, and the harness must still observe time moving.
         let cap = (self.period_samples * 2.0) as usize;
@@ -548,7 +614,7 @@ mod tests {
     #[test]
     fn map_engine_steps_one_turn() {
         let s = scenario();
-        let mut e = MapEngine::from_scenario(&s);
+        let mut e = MapEngine::from_scenario(&s).unwrap();
         let mut out = [0.0];
         assert_eq!(e.time(), 0.0);
         assert_eq!(e.step(&s.jumps, &mut out), EngineStep::Measured);
@@ -558,7 +624,7 @@ mod tests {
     #[test]
     fn turn_engines_report_the_jump() {
         let s = scenario();
-        let mut e = MapEngine::from_scenario(&s);
+        let mut e = MapEngine::from_scenario(&s).unwrap();
         let mut out = [0.0];
         // Jump program displaced so the very first turn already sees it.
         let jumps = PhaseJumpProgram {
@@ -574,8 +640,8 @@ mod tests {
     fn cgra_engine_uses_the_compile_cache() {
         let s = scenario();
         let before = cil_cgra::cache::global().misses();
-        let a = CgraEngine::from_scenario(&s, 1, &[]);
-        let _b = CgraEngine::from_scenario(&s, 1, &[]);
+        let a = CgraEngine::from_scenario(&s, 1, &[]).unwrap();
+        let _b = CgraEngine::from_scenario(&s, 1, &[]).unwrap();
         let after_misses = cil_cgra::cache::global().misses();
         // Building the same engine twice compiles at most once.
         assert!(
@@ -588,7 +654,7 @@ mod tests {
     #[test]
     fn engine_kind_is_object_safe() {
         let s = scenario();
-        let mut e: Box<dyn BeamEngine> = EngineKind::Map.build(&s);
+        let mut e: Box<dyn BeamEngine> = EngineKind::Map.build(&s).unwrap();
         let mut out = vec![0.0; e.bunches()];
         assert_eq!(e.step(&s.jumps, &mut out), EngineStep::Measured);
         e.apply_control(10.0, 4);
@@ -610,7 +676,7 @@ mod tests {
         let mut out = [0.0];
         let mut lost = false;
         for _ in 0..200_000 {
-            if e.step(&jumps, &mut out) == EngineStep::Lost {
+            if matches!(e.step(&jumps, &mut out), EngineStep::Lost(_)) {
                 lost = true;
                 break;
             }

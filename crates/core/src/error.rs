@@ -1,0 +1,69 @@
+//! Typed errors for the run path.
+//!
+//! Injected faults and invalid configurations must surface as values a
+//! supervisor can react to, not as aborts: a loop service that panics on the
+//! first bad scenario knob is exactly the failure mode the fault layer
+//! exists to exercise. Everything on the executive run path returns
+//! [`CilError`] through [`Result`].
+
+use cil_physics::synchrotron::SynchrotronError;
+
+/// Error type of the cil-core run path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CilError {
+    /// A physics derivation failed (e.g. operating point above transition).
+    Physics(SynchrotronError),
+    /// A compiled kernel is missing an expected state register.
+    MissingKernelRegister(String),
+    /// A scenario or component configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for CilError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Physics(e) => write!(f, "physics error: {e}"),
+            Self::MissingKernelRegister(name) => {
+                write!(f, "compiled kernel has no register named {name:?}")
+            }
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CilError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Physics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SynchrotronError> for CilError {
+    fn from(e: SynchrotronError) -> Self {
+        Self::Physics(e)
+    }
+}
+
+/// Run-path result alias.
+pub type Result<T> = std::result::Result<T, CilError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physics_errors_convert_and_chain() {
+        let e: CilError = SynchrotronError::Unstable.into();
+        assert!(matches!(e, CilError::Physics(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("physics"));
+    }
+
+    #[test]
+    fn display_names_the_register() {
+        let e = CilError::MissingKernelRegister("dt_3".into());
+        assert!(e.to_string().contains("dt_3"));
+    }
+}

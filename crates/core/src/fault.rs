@@ -1,0 +1,737 @@
+//! Fault injection and loop supervision.
+//!
+//! The paper's rig exists to stress the beam-phase control system against
+//! misbehaving hardware — glitching converters, muted DDS outputs, detector
+//! outliers, missed real-time deadlines. This module is the simulation
+//! substitute for that physical noise environment:
+//!
+//! * [`FaultProgram`] — a deterministic, seed-driven schedule of
+//!   [`FaultEvent`]s that corrupt the signal chain at defined points (ADC
+//!   codes, DDS output, detector rows, engine wall-clock, beam survival).
+//!   Declared per-scenario in [`crate::scenario::MdeScenario`] and honoured
+//!   by every executive.
+//! * [`FaultInjector`] — the run-time state of a program inside one loop:
+//!   draws the per-row corruption from its own [`StdRng`] so the same seed
+//!   replays the same fault trace bit-for-bit.
+//! * [`LoopSupervisor`] — wraps the harness step with a per-revolution
+//!   deadline budget (wall-clock model fed by [`crate::jitter`]), outlier
+//!   rejection with hold-last-good, actuation clamping with anti-windup,
+//!   and a watchdog that demotes the engine fidelity
+//!   ([`crate::engine::EngineKind::demote`]) instead of aborting the run.
+//!
+//! Everything notable that happens lands in [`LoopEvent`]s on the trace, so
+//! a run is auditable after the fact. The `strict-faults` feature turns the
+//! supervisor's silent recoveries into panics for test triage.
+
+use crate::engine::EngineKind;
+use crate::jitter::{Implementation, JitterModel};
+use crate::scenario::MdeScenario;
+use cil_dsp::converter::AdcFault;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// ADC input stage driven to the rail (both channels).
+    AdcSaturation,
+    /// ADC output latched at a fixed code.
+    AdcStuckCode {
+        /// The stuck code (clamped to the converter range on application).
+        code: i32,
+    },
+    /// One ADC data line toggling.
+    AdcBitFlip {
+        /// Bit index (wrapped to the converter resolution).
+        bit: u32,
+    },
+    /// Gap-DDS output stage mutes (phase accumulator keeps running).
+    DdsDropout,
+    /// Phase-detector outlier spikes: each row element is displaced by
+    /// ±`amplitude_deg` with `probability` per element.
+    DetectorOutlier {
+        /// Per-element corruption probability.
+        probability: f64,
+        /// Spike magnitude, degrees (sign drawn per spike).
+        amplitude_deg: f64,
+    },
+    /// Engine output rows turn NaN with `probability` per element.
+    NanBurst {
+        /// Per-element corruption probability.
+        probability: f64,
+    },
+    /// The beam is lost outright while the event is active.
+    BeamLoss,
+    /// The engine's modelled step wall-clock is stretched by `factor`
+    /// (forces deadline overruns in the supervisor).
+    DeadlineOverrun {
+        /// Multiplier on the modelled step cost (1.0 = no effect).
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// True when this fault, at its configured amplitude, cannot change any
+    /// observable — the injector skips it without drawing randomness, so a
+    /// zero-amplitude program is bit-identical to a fault-free run.
+    pub fn is_noop(&self) -> bool {
+        match *self {
+            Self::DetectorOutlier {
+                probability,
+                amplitude_deg,
+            } => probability <= 0.0 || amplitude_deg == 0.0,
+            Self::NanBurst { probability } => probability <= 0.0,
+            Self::DeadlineOverrun { factor } => factor == 1.0,
+            _ => false,
+        }
+    }
+}
+
+/// One scheduled fault: `kind` is active on `[start_s, end_s)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Activation time, seconds.
+    pub start_s: f64,
+    /// Deactivation time, seconds (exclusive).
+    pub end_s: f64,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether the event is active at time `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s
+    }
+}
+
+/// Signal-chain faults in effect at one instant (engine-side sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleFaults {
+    /// ADC fault to apply to converted codes, if any.
+    pub adc: Option<AdcFault>,
+    /// Gap-DDS output dropout.
+    pub dds_dropout: bool,
+}
+
+/// A deterministic schedule of fault events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProgram {
+    /// Seed for every random draw the injector makes (spike signs, per-row
+    /// corruption). Same seed ⇒ same fault trace.
+    pub seed: u64,
+    /// The scheduled events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultProgram {
+    /// The empty program: nothing ever goes wrong.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the program schedules any events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A detector-outlier storm on `[start_s, end_s)`: each measured row
+    /// element is displaced by ±`amplitude_deg` with `probability`.
+    pub fn detector_outlier_storm(
+        start_s: f64,
+        end_s: f64,
+        probability: f64,
+        amplitude_deg: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            seed,
+            events: vec![FaultEvent {
+                start_s,
+                end_s,
+                kind: FaultKind::DetectorOutlier {
+                    probability,
+                    amplitude_deg,
+                },
+            }],
+        }
+    }
+
+    /// Signal-chain faults (ADC, DDS) in effect at time `t`. Deterministic —
+    /// no randomness is involved in *whether* these apply, only the schedule.
+    pub fn sample_faults_at(&self, t: f64) -> SampleFaults {
+        let mut sf = SampleFaults::default();
+        for ev in &self.events {
+            if !ev.active_at(t) {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::AdcSaturation => sf.adc = Some(AdcFault::Saturated),
+                FaultKind::AdcStuckCode { code } => sf.adc = Some(AdcFault::StuckCode(code)),
+                FaultKind::AdcBitFlip { bit } => sf.adc = Some(AdcFault::BitFlip(bit)),
+                FaultKind::DdsDropout => sf.dds_dropout = true,
+                _ => {}
+            }
+        }
+        sf
+    }
+}
+
+/// Why a run lost the beam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// A scheduled [`FaultKind::BeamLoss`] event fired.
+    Injected,
+    /// The engine produced a non-finite phase.
+    NonFinitePhase,
+    /// The ramp over-demanded the bucket (voltage below the required one).
+    BucketOverdemand,
+    /// The phase left ±180° — outside the bucket.
+    OutOfBucket,
+    /// The supervisor's watchdog gave up (bad-step streak with no demotion
+    /// target left).
+    Watchdog,
+}
+
+impl std::fmt::Display for LossCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Injected => write!(f, "injected beam-loss fault"),
+            Self::NonFinitePhase => write!(f, "non-finite phase output"),
+            Self::BucketOverdemand => write!(f, "bucket over-demanded"),
+            Self::OutOfBucket => write!(f, "phase left the bucket"),
+            Self::Watchdog => write!(f, "supervisor watchdog exhausted"),
+        }
+    }
+}
+
+/// How a closed-loop run ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoopOutcome {
+    /// The loop ran to its scheduled end time.
+    Survived,
+    /// The beam was lost.
+    Lost {
+        /// Row index at which the loss was detected.
+        turn: usize,
+        /// Simulated time of the loss, seconds.
+        time_s: f64,
+        /// Why.
+        cause: LossCause,
+    },
+}
+
+impl LoopOutcome {
+    /// True when the run reached its scheduled end.
+    pub fn survived(&self) -> bool {
+        matches!(self, Self::Survived)
+    }
+}
+
+/// One notable thing that happened during a supervised (or fault-injected)
+/// run — the audit channel on [`crate::harness::LoopTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoopEvent {
+    /// A scheduled fault became active (logged once per event).
+    FaultActive {
+        /// Row index.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+        /// The fault.
+        kind: FaultKind,
+    },
+    /// At least one element of this row was corrupted by the injector.
+    RowCorrupted {
+        /// Row index.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+    },
+    /// The supervisor rejected a measured phase and held the last good one.
+    OutlierRejected {
+        /// Row index.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+        /// The rejected measurement, degrees.
+        measured_deg: f64,
+        /// The value fed to the controller instead, degrees.
+        held_deg: f64,
+    },
+    /// The supervisor clamped the controller actuation (anti-windup held
+    /// the filter state back).
+    ActuationClamped {
+        /// Row index.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+        /// Unclamped controller output, Hz.
+        raw_hz: f64,
+        /// The limit applied, Hz.
+        limit_hz: f64,
+    },
+    /// The modelled step wall-clock exceeded the per-revolution budget.
+    DeadlineOverrun {
+        /// Row index.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+        /// The budget, seconds.
+        budget_s: f64,
+        /// The modelled step cost, seconds.
+        modeled_s: f64,
+    },
+    /// The supervisor demoted the engine fidelity mid-run.
+    EngineDemoted {
+        /// Row index at which the demotion took effect.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+        /// Fidelity before.
+        from: EngineKind,
+        /// Fidelity after.
+        to: EngineKind,
+    },
+    /// The beam was lost.
+    BeamLost {
+        /// Row index.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+        /// Why.
+        cause: LossCause,
+    },
+}
+
+/// Run-time state of a [`FaultProgram`] inside one loop execution.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// The schedule being executed.
+    pub program: FaultProgram,
+    rng: StdRng,
+    /// Per-event "already logged as active" latch.
+    activated: Vec<bool>,
+    /// Rows in which at least one element was corrupted.
+    corrupted_rows: usize,
+}
+
+impl FaultInjector {
+    /// Injector executing `program` (randomness derived from its seed).
+    pub fn new(program: FaultProgram) -> Self {
+        let rng = StdRng::seed_from_u64(program.seed);
+        let activated = vec![false; program.events.len()];
+        Self {
+            program,
+            rng,
+            activated,
+            corrupted_rows: 0,
+        }
+    }
+
+    /// Injector of the empty program.
+    pub fn none() -> Self {
+        Self::new(FaultProgram::none())
+    }
+
+    /// Number of rows this injector corrupted so far.
+    pub fn corrupted_rows(&self) -> usize {
+        self.corrupted_rows
+    }
+
+    /// Apply row-level faults (detector outliers, NaN bursts) to a measured
+    /// phase row at time `t`, appending audit events. Noop-amplitude faults
+    /// are skipped without drawing randomness, so a zero-amplitude program
+    /// leaves the run bit-identical to a fault-free one.
+    pub fn apply_row(
+        &mut self,
+        turn: usize,
+        t: f64,
+        phase: &mut [f64],
+        events: &mut Vec<LoopEvent>,
+    ) {
+        if self.program.events.is_empty() {
+            return;
+        }
+        let mut corrupted = false;
+        for (i, ev) in self.program.events.iter().enumerate() {
+            if !ev.active_at(t) || ev.kind.is_noop() {
+                continue;
+            }
+            if !self.activated[i] {
+                self.activated[i] = true;
+                events.push(LoopEvent::FaultActive {
+                    turn,
+                    time_s: t,
+                    kind: ev.kind,
+                });
+            }
+            match ev.kind {
+                FaultKind::DetectorOutlier {
+                    probability,
+                    amplitude_deg,
+                } => {
+                    for p in phase.iter_mut() {
+                        if self.rng.gen::<f64>() < probability {
+                            let sign = if self.rng.gen::<f64>() < 0.5 {
+                                -1.0
+                            } else {
+                                1.0
+                            };
+                            *p += sign * amplitude_deg;
+                            corrupted = true;
+                        }
+                    }
+                }
+                FaultKind::NanBurst { probability } => {
+                    for p in phase.iter_mut() {
+                        if self.rng.gen::<f64>() < probability {
+                            *p = f64::NAN;
+                            corrupted = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if corrupted {
+            self.corrupted_rows += 1;
+            events.push(LoopEvent::RowCorrupted { turn, time_s: t });
+        }
+    }
+
+    /// Whether a scheduled beam-loss fault is active at `t`.
+    pub fn forced_loss_at(&self, t: f64) -> bool {
+        self.program
+            .events
+            .iter()
+            .any(|ev| ev.active_at(t) && ev.kind == FaultKind::BeamLoss)
+    }
+
+    /// Combined wall-clock stretch factor of all active deadline-overrun
+    /// faults at `t` (1.0 when none).
+    pub fn overrun_factor_at(&self, t: f64) -> f64 {
+        let mut factor = 1.0;
+        for ev in &self.program.events {
+            if let FaultKind::DeadlineOverrun { factor: f } = ev.kind {
+                if ev.active_at(t) {
+                    factor *= f;
+                }
+            }
+        }
+        factor
+    }
+}
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Per-revolution wall-clock budget, seconds (the hard real-time
+    /// requirement: the step must finish within one revolution).
+    pub deadline_s: f64,
+    /// Reject a measurement when it departs from the last good one by more
+    /// than this, degrees.
+    pub outlier_threshold_deg: f64,
+    /// Consecutive bad steps (overrun or rejected row) before the watchdog
+    /// demotes the engine.
+    pub max_consecutive_bad: u32,
+    /// Actuation clamp applied on top of the controller's own saturation,
+    /// Hz.
+    pub max_actuation_hz: f64,
+    /// Allow mid-run engine demotion (false = watchdog loss instead).
+    pub allow_demotion: bool,
+    /// Seed of the wall-clock jitter model draws.
+    pub seed: u64,
+}
+
+impl SupervisorConfig {
+    /// Policy for a scenario: deadline = one revolution period, outlier
+    /// gate at 45° (half the linear bucket), watchdog after 8 bad steps.
+    pub fn for_scenario(s: &MdeScenario) -> Self {
+        Self {
+            deadline_s: 1.0 / s.f_rev,
+            outlier_threshold_deg: 45.0,
+            max_consecutive_bad: 8,
+            max_actuation_hz: s.controller.max_freq_offset_hz,
+            allow_demotion: true,
+            seed: 0x5AFE,
+        }
+    }
+}
+
+/// Admission verdict for one measured row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission {
+    /// The value to feed the controller, degrees.
+    pub value_deg: f64,
+    /// True when the raw measurement was rejected and `value_deg` is the
+    /// held last-good value.
+    pub rejected: bool,
+}
+
+/// The loop supervisor: deadline accounting, outlier gate, watchdog.
+#[derive(Debug, Clone)]
+pub struct LoopSupervisor {
+    /// Policy in force.
+    pub config: SupervisorConfig,
+    rng: StdRng,
+    last_good: Option<f64>,
+    bad_streak: u32,
+}
+
+impl LoopSupervisor {
+    /// Supervisor with the given policy.
+    pub fn new(config: SupervisorConfig) -> Self {
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            last_good: None,
+            bad_streak: 0,
+        }
+    }
+
+    /// Supervisor with the scenario's default policy.
+    pub fn for_scenario(s: &MdeScenario) -> Self {
+        Self::new(SupervisorConfig::for_scenario(s))
+    }
+
+    /// Model the wall-clock cost of one engine step: a nominal per-fidelity
+    /// compute time plus a draw from the implementation's jitter model,
+    /// stretched by any active deadline-overrun fault.
+    ///
+    /// The nominal costs encode the paper's motivation: the CGRA pipeline
+    /// fits the 1.25 µs revolution budget deterministically, the analytic
+    /// map is far below it, and a multi-particle tracker is inherently
+    /// above it at realistic ensemble sizes — so RefTrack demotes by
+    /// design under supervision.
+    pub fn model_step_seconds(&mut self, kind: EngineKind, overrun_factor: f64) -> f64 {
+        let (nominal, imp) = match kind {
+            EngineKind::Cgra => (1.0e-6, Implementation::CgraFpga),
+            EngineKind::Map => (5.0e-8, Implementation::RealtimeSoftware),
+            EngineKind::RefTrack { particles, .. } => {
+                (particles as f64 * 3.0e-9, Implementation::RealtimeSoftware)
+            }
+        };
+        let jitter = JitterModel::for_implementation(imp).sample(&mut self.rng);
+        ((nominal + jitter) * overrun_factor).max(0.0)
+    }
+
+    /// Gate one measured row: accept it (updating the hold value) or reject
+    /// it as an outlier / non-finite and hold the last good value.
+    pub fn admit(&mut self, measured_deg: f64) -> Admission {
+        let held = self.last_good.unwrap_or(0.0);
+        let bad = !measured_deg.is_finite()
+            || (self.last_good.is_some()
+                && (measured_deg - held).abs() > self.config.outlier_threshold_deg);
+        if bad {
+            if cfg!(feature = "strict-faults") {
+                panic!("strict-faults: rejected measurement {measured_deg} deg (held {held})");
+            }
+            Admission {
+                value_deg: held,
+                rejected: true,
+            }
+        } else {
+            self.last_good = Some(measured_deg);
+            Admission {
+                value_deg: measured_deg,
+                rejected: false,
+            }
+        }
+    }
+
+    /// Feed the watchdog one step verdict; returns true when the
+    /// consecutive-bad budget is exhausted (caller demotes or gives up).
+    pub fn note_step(&mut self, bad: bool) -> bool {
+        if bad {
+            self.bad_streak += 1;
+        } else {
+            self.bad_streak = 0;
+        }
+        self.bad_streak >= self.config.max_consecutive_bad
+    }
+
+    /// Reset the watchdog streak (after a demotion took effect).
+    pub fn reset_watchdog(&mut self) {
+        self.bad_streak = 0;
+    }
+
+    /// Current consecutive-bad count.
+    pub fn bad_streak(&self) -> u32 {
+        self.bad_streak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_program_injects_nothing() {
+        let mut inj = FaultInjector::none();
+        let mut row = [1.0, 2.0];
+        let mut events = Vec::new();
+        inj.apply_row(0, 0.0, &mut row, &mut events);
+        assert_eq!(row, [1.0, 2.0]);
+        assert!(events.is_empty());
+        assert!(!inj.forced_loss_at(0.0));
+        assert_eq!(inj.overrun_factor_at(0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_amplitude_faults_draw_no_randomness() {
+        // Two injectors with the same seed, one loaded with noop events:
+        // their RNG streams must stay aligned, proven by identical draws
+        // from a live outlier event afterwards.
+        let noop = FaultProgram {
+            seed: 7,
+            events: vec![
+                FaultEvent {
+                    start_s: 0.0,
+                    end_s: 1.0,
+                    kind: FaultKind::DetectorOutlier {
+                        probability: 0.5,
+                        amplitude_deg: 0.0,
+                    },
+                },
+                FaultEvent {
+                    start_s: 0.0,
+                    end_s: 1.0,
+                    kind: FaultKind::NanBurst { probability: 0.0 },
+                },
+            ],
+        };
+        let mut a = FaultInjector::new(noop);
+        let mut b = FaultInjector::new(FaultProgram {
+            seed: 7,
+            events: Vec::new(),
+        });
+        let mut row_a = [3.0];
+        let mut row_b = [3.0];
+        let mut ev = Vec::new();
+        for turn in 0..100 {
+            a.apply_row(turn, turn as f64 * 1e-3, &mut row_a, &mut ev);
+            b.apply_row(turn, turn as f64 * 1e-3, &mut row_b, &mut ev);
+            assert_eq!(row_a[0].to_bits(), row_b[0].to_bits());
+        }
+        assert!(ev.is_empty());
+        assert_eq!(a.corrupted_rows(), 0);
+    }
+
+    #[test]
+    fn outlier_storm_corrupts_and_logs() {
+        let program = FaultProgram::detector_outlier_storm(0.0, 1.0, 1.0, 90.0, 3);
+        let mut inj = FaultInjector::new(program);
+        let mut row = [0.0];
+        let mut events = Vec::new();
+        inj.apply_row(0, 0.5, &mut row, &mut events);
+        assert_eq!(row[0].abs(), 90.0);
+        assert!(matches!(events[0], LoopEvent::FaultActive { .. }));
+        assert!(matches!(events[1], LoopEvent::RowCorrupted { turn: 0, .. }));
+        assert_eq!(inj.corrupted_rows(), 1);
+    }
+
+    #[test]
+    fn injector_replay_is_deterministic() {
+        let program = FaultProgram::detector_outlier_storm(0.0, 1.0, 0.3, 45.0, 99);
+        let run = || {
+            let mut inj = FaultInjector::new(program.clone());
+            let mut events = Vec::new();
+            let mut rows = Vec::new();
+            for turn in 0..500 {
+                let mut row = [1.0, -1.0, 0.5];
+                inj.apply_row(turn, turn as f64 * 1e-4, &mut row, &mut events);
+                rows.push(row);
+            }
+            (rows, events)
+        };
+        let (rows_a, ev_a) = run();
+        let (rows_b, ev_b) = run();
+        assert_eq!(rows_a, rows_b);
+        assert_eq!(ev_a, ev_b);
+        assert!(!ev_a.is_empty());
+    }
+
+    #[test]
+    fn sample_faults_follow_the_schedule() {
+        let program = FaultProgram {
+            seed: 0,
+            events: vec![
+                FaultEvent {
+                    start_s: 1.0,
+                    end_s: 2.0,
+                    kind: FaultKind::AdcSaturation,
+                },
+                FaultEvent {
+                    start_s: 1.5,
+                    end_s: 3.0,
+                    kind: FaultKind::DdsDropout,
+                },
+            ],
+        };
+        assert_eq!(program.sample_faults_at(0.5), SampleFaults::default());
+        assert_eq!(program.sample_faults_at(1.2).adc, Some(AdcFault::Saturated));
+        assert!(!program.sample_faults_at(1.2).dds_dropout);
+        assert!(program.sample_faults_at(1.7).dds_dropout);
+        assert_eq!(program.sample_faults_at(2.5).adc, None);
+    }
+
+    #[cfg(not(feature = "strict-faults"))]
+    #[test]
+    fn admission_gate_holds_last_good() {
+        let s = MdeScenario::nov24_2023();
+        let mut sup = LoopSupervisor::for_scenario(&s);
+        // First value is always admitted (nothing to compare against).
+        assert!(!sup.admit(300.0).rejected);
+        // A jump beyond the threshold is rejected, holding 300.
+        let a = sup.admit(0.0);
+        assert!(a.rejected);
+        assert_eq!(a.value_deg, 300.0);
+        // NaN is rejected too.
+        assert!(sup.admit(f64::NAN).rejected);
+        // A value near the held one is admitted again.
+        assert!(!sup.admit(290.0).rejected);
+    }
+
+    #[test]
+    fn watchdog_counts_consecutive_bad_steps() {
+        let s = MdeScenario::nov24_2023();
+        let mut sup = LoopSupervisor::for_scenario(&s);
+        for _ in 0..7 {
+            assert!(!sup.note_step(true));
+        }
+        // A good step resets the streak.
+        assert!(!sup.note_step(false));
+        for i in 0..8 {
+            let fired = sup.note_step(true);
+            assert_eq!(fired, i == 7, "fires exactly at the 8th bad step");
+        }
+        sup.reset_watchdog();
+        assert_eq!(sup.bad_streak(), 0);
+    }
+
+    #[test]
+    fn step_cost_model_orders_fidelities() {
+        let s = MdeScenario::nov24_2023();
+        let mut sup = LoopSupervisor::for_scenario(&s);
+        let budget = 1.0 / s.f_rev;
+        // CGRA fits the budget deterministically; the big tracker never does.
+        for _ in 0..1000 {
+            assert!(sup.model_step_seconds(EngineKind::Cgra, 1.0) < budget);
+            assert!(
+                sup.model_step_seconds(
+                    EngineKind::RefTrack {
+                        particles: 1500,
+                        seed: 0
+                    },
+                    1.0
+                ) > budget
+            );
+        }
+        // A 3x overrun fault pushes the CGRA over.
+        assert!(sup.model_step_seconds(EngineKind::Cgra, 3.0) > budget);
+    }
+}

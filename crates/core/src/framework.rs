@@ -6,13 +6,14 @@
 //! generators and the DAC outputs, plus the monitoring mux, the
 //! SpartanMC-style parameter interface and the DRAM recorder.
 
+use crate::error::{CilError, Result};
 use cil_cgra::cache::CompiledKernel;
 use cil_cgra::exec::{CgraExecutor, SensorBus};
 use cil_cgra::grid::GridConfig;
 use cil_cgra::kernels::{
     BeamKernel, KernelParams, ACT_DT_BASE, ACT_MONITOR, PORT_GAP_BUF, PORT_PERIOD, PORT_REF_BUF,
 };
-use cil_dsp::converter::{AdcModel, DacModel};
+use cil_dsp::converter::{AdcFault, AdcModel, DacModel};
 use cil_dsp::gauss::GaussPulseGenerator;
 use cil_dsp::period::PeriodLengthDetector;
 use cil_dsp::ring_buffer::CaptureRingBuffer;
@@ -166,6 +167,8 @@ pub struct SimulatorFramework {
     /// Deterministic RNG for the ADC noise model (seeded per framework so
     /// runs are exactly reproducible).
     adc_rng: StdRng,
+    /// Active ADC fault applied to both channel codes (fault injection).
+    adc_fault: Option<AdcFault>,
 }
 
 impl SimulatorFramework {
@@ -209,6 +212,7 @@ impl SimulatorFramework {
             recording: true,
             revolutions: 0,
             adc_rng: StdRng::seed_from_u64(0x05EE_DC11),
+            adc_fault: None,
             compiled,
             executor,
             config,
@@ -237,29 +241,34 @@ impl SimulatorFramework {
         }
     }
 
+    /// Set (or clear) the ADC fault applied to both channel codes — the
+    /// injection point of `cil_core::fault` into the converter front-end.
+    pub fn set_adc_fault(&mut self, fault: Option<AdcFault>) {
+        self.adc_fault = fault;
+    }
+
     /// Process one sample of the two analogue inputs (volts at the ADC
     /// pins); returns the DAC output voltages.
     pub fn push_sample(&mut self, v_ref: f64, v_gap: f64) -> FrameworkOutput {
-        // ADC conversion (quantisation + optional input noise) and capture.
-        let (ref_q, gap_q) = if self.config.adc.noise_rms > 0.0 {
+        // ADC conversion (quantisation + optional input noise), fault
+        // corruption at the code level, and capture.
+        let (mut ref_code, mut gap_code) = if self.config.adc.noise_rms > 0.0 {
             (
-                self.config
-                    .adc
-                    .code_to_volts(self.config.adc.convert(v_ref, &mut self.adc_rng)),
-                self.config
-                    .adc
-                    .code_to_volts(self.config.adc.convert(v_gap, &mut self.adc_rng)),
+                self.config.adc.convert(v_ref, &mut self.adc_rng),
+                self.config.adc.convert(v_gap, &mut self.adc_rng),
             )
         } else {
             (
-                self.config
-                    .adc
-                    .code_to_volts(self.config.adc.quantize(v_ref)),
-                self.config
-                    .adc
-                    .code_to_volts(self.config.adc.quantize(v_gap)),
+                self.config.adc.quantize(v_ref),
+                self.config.adc.quantize(v_gap),
             )
         };
+        if let Some(fault) = self.adc_fault {
+            ref_code = self.config.adc.apply_fault(ref_code, fault);
+            gap_code = self.config.adc.apply_fault(gap_code, fault);
+        }
+        let ref_q = self.config.adc.code_to_volts(ref_code);
+        let gap_q = self.config.adc.code_to_volts(gap_code);
         self.ref_buffer.push(ref_q);
         self.gap_buffer.push(gap_q);
 
@@ -270,15 +279,15 @@ impl SimulatorFramework {
             // Rounding — not flooring — the refined crossing time keeps the
             // addressing bias zero-mean; a systematic half-sample offset
             // would slowly walk γ_R through the Eq. (2) feedback.
-            let crossing = self
-                .period
-                .zero_crossing()
-                .last_crossing_time()
-                .expect("crossing just fired")
-                .round() as u64;
-            self.prev_crossing_sample = self.last_crossing_sample.replace(crossing);
-            if let Some(prev) = self.prev_crossing_sample {
-                self.run_kernel(crossing, prev);
+            // Faults on the reference channel can starve the crossing
+            // detector of the refined timestamp; skip the revolution rather
+            // than abort the loop service.
+            if let Some(crossing_time) = self.period.zero_crossing().last_crossing_time() {
+                let crossing = crossing_time.round() as u64;
+                self.prev_crossing_sample = self.last_crossing_sample.replace(crossing);
+                if let Some(prev) = self.prev_crossing_sample {
+                    self.run_kernel(crossing, prev);
+                }
             }
         }
 
@@ -300,7 +309,11 @@ impl SimulatorFramework {
     }
 
     fn run_kernel(&mut self, crossing: u64, prev_crossing: u64) {
-        let period_samples = self.period.average_period().expect("warmed up");
+        // Only reachable after `warmed_up()`, but the average can still be
+        // absent if a fault resets the detector between check and use.
+        let Some(period_samples) = self.period.average_period() else {
+            return;
+        };
         let period_s = period_samples / self.config.sample_rate;
         let orbit_length = self.kernel_orbit_length();
 
@@ -426,12 +439,17 @@ impl SimulatorFramework {
     /// Section VI parametric-pulse path: e.g. feed in
     /// `cil_reftrack::observables::parametric_pulse` of a tracked ensemble
     /// so the synthetic beam adapts to the actual bunch shape.
-    pub fn set_pulse_table(&mut self, table: Vec<f64>) {
-        assert!(!table.is_empty(), "pulse table must not be empty");
+    pub fn set_pulse_table(&mut self, table: Vec<f64>) -> Result<()> {
+        if table.is_empty() {
+            return Err(CilError::InvalidConfig(
+                "pulse table must not be empty".into(),
+            ));
+        }
         for p in &mut self.pulses {
             p.set_table(table.clone());
         }
         self.config.pulse_table = Some(table);
+        Ok(())
     }
 }
 
@@ -706,7 +724,7 @@ mod tests {
         let mut bench = quiet_bench();
         run_bench(&mut fw, &mut bench, 100e-6);
         // Adapt the pulse to a wider flat shape mid-run.
-        fw.set_pulse_table(vec![1.0; 25]);
+        fw.set_pulse_table(vec![1.0; 25]).unwrap();
         let out = run_bench(&mut fw, &mut bench, 100e-6);
         let top = out[out.len() / 2..]
             .iter()

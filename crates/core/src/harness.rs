@@ -7,11 +7,22 @@
 //! the executives in [`crate::hil`], [`crate::ramploop`] and
 //! [`crate::multibunch`] reduce to scenario adapters that pick an engine,
 //! run the harness, and reshape the [`LoopTrace`] into their result type.
+//!
+//! The harness also hosts the fault layer: a [`FaultInjector`] corrupts
+//! measured rows per the scenario's schedule, and
+//! [`LoopHarness::run_supervised`] wraps the loop in a [`LoopSupervisor`] —
+//! deadline watchdog, outlier gate, actuation clamp and graceful engine
+//! degradation through [`EngineKind::demote`].
 
 use crate::control::BeamPhaseController;
-use crate::engine::{BeamEngine, EngineStep};
+use crate::engine::{BeamEngine, EngineKind, EngineStep};
+use crate::error::Result;
+use crate::fault::{
+    FaultInjector, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor, LossCause,
+};
 use crate::scenario::MdeScenario;
 use crate::signalgen::PhaseJumpProgram;
+use cil_physics::constants::TWO_PI;
 
 /// Everything one closed-loop run records.
 #[derive(Debug, Clone)]
@@ -21,9 +32,12 @@ pub struct LoopTrace {
     /// ramp-varying for [`crate::engine::RampEngine`]).
     pub times: Vec<f64>,
     /// Per-bunch phase rows, degrees at the RF harmonic (instrumentation
-    /// offset included), indexed `[bunch][row]`.
+    /// offset included), indexed `[bunch][row]`. Rows carry the *raw*
+    /// (possibly fault-corrupted) measurements; supervision acts on the
+    /// admitted mean.
     pub bunch_phase_deg: Vec<Vec<f64>>,
-    /// Pickup-average phase per row — what the controller acted on.
+    /// Pickup-average phase per row — what the controller acted on (the
+    /// supervisor's held value when a row was rejected).
     pub mean_phase_deg: Vec<f64>,
     /// Controller actuation after each row, Hz.
     pub control_hz: Vec<f64>,
@@ -31,12 +45,35 @@ pub struct LoopTrace {
     /// starts displaced (negative path latency) records its first event at
     /// t = 0.
     pub jump_times: Vec<f64>,
-    /// False if the engine reported beam loss before the end time.
-    pub survived: bool,
+    /// Audit channel: every fault activation, rejection, clamp, overrun,
+    /// demotion and loss, in order.
+    pub events: Vec<LoopEvent>,
+    /// How the run ended (loss carries turn index, time and cause).
+    pub outcome: LoopOutcome,
+}
+
+impl LoopTrace {
+    fn empty(bunches: usize) -> Self {
+        Self {
+            times: Vec::new(),
+            bunch_phase_deg: vec![Vec::new(); bunches],
+            mean_phase_deg: Vec::new(),
+            control_hz: Vec::new(),
+            jump_times: Vec::new(),
+            events: Vec::new(),
+            outcome: LoopOutcome::Survived,
+        }
+    }
+
+    /// True when the run reached its scheduled end time.
+    pub fn survived(&self) -> bool {
+        self.outcome.survived()
+    }
 }
 
 /// The closed-loop skeleton: controller + jump program + instrumentation
-/// offset + trace recording, generic over the [`BeamEngine`] fidelity.
+/// offset + fault injector + trace recording, generic over the
+/// [`BeamEngine`] fidelity.
 pub struct LoopHarness {
     /// The beam-phase controller (owns the loop-enable flag).
     pub controller: BeamPhaseController,
@@ -45,10 +82,12 @@ pub struct LoopHarness {
     /// Constant instrumentation phase offset added to every measurement,
     /// degrees.
     pub instrument_offset_deg: f64,
+    /// Run-time state of the scenario's fault schedule (empty = clean run).
+    pub faults: FaultInjector,
 }
 
 impl LoopHarness {
-    /// Harness from parts.
+    /// Harness from parts (no faults scheduled).
     pub fn new(
         controller: BeamPhaseController,
         jumps: PhaseJumpProgram,
@@ -58,15 +97,25 @@ impl LoopHarness {
             controller,
             jumps,
             instrument_offset_deg,
+            faults: FaultInjector::none(),
         }
     }
 
     /// The scenario's turn-level harness: controller at the revolution
-    /// frequency, the scenario's jump program and instrumentation offset.
+    /// frequency, the scenario's jump program, instrumentation offset and
+    /// fault schedule.
     pub fn for_scenario(s: &MdeScenario, control_enabled: bool) -> Self {
         let mut controller = BeamPhaseController::new(s.controller, s.f_rev);
         controller.enabled = control_enabled;
-        Self::new(controller, s.jumps, s.instrument_offset_deg)
+        let mut harness = Self::new(controller, s.jumps, s.instrument_offset_deg);
+        harness.faults = FaultInjector::new(s.faults.clone());
+        harness
+    }
+
+    /// Replace the fault schedule (builder style).
+    pub fn with_fault_program(mut self, program: FaultProgram) -> Self {
+        self.faults = FaultInjector::new(program);
+        self
     }
 
     /// Run the loop until the engine's time reaches `duration_s`.
@@ -84,18 +133,25 @@ impl LoopHarness {
     {
         let bunches = engine.bunches();
         let mut phase = vec![0.0; bunches];
-        let mut trace = LoopTrace {
-            times: Vec::new(),
-            bunch_phase_deg: vec![Vec::new(); bunches],
-            mean_phase_deg: Vec::new(),
-            control_hz: Vec::new(),
-            jump_times: Vec::new(),
-            survived: true,
-        };
+        let mut trace = LoopTrace::empty(bunches);
         let mut last_jump = 0.0f64;
 
         while engine.time() < duration_s {
             let t_pre = engine.time();
+            let turn = trace.times.len();
+            if self.faults.forced_loss_at(t_pre) {
+                trace.outcome = LoopOutcome::Lost {
+                    turn,
+                    time_s: t_pre,
+                    cause: LossCause::Injected,
+                };
+                trace.events.push(LoopEvent::BeamLost {
+                    turn,
+                    time_s: t_pre,
+                    cause: LossCause::Injected,
+                });
+                break;
+            }
             let step = engine.step(&self.jumps, &mut phase);
             // The engine evaluated the jump program for this step at its
             // pre-step time, so an edge is stamped there — a program that
@@ -106,12 +162,24 @@ impl LoopHarness {
                 last_jump = applied;
             }
             match step {
-                EngineStep::Lost => {
-                    trace.survived = false;
+                EngineStep::Lost(cause) => {
+                    let time_s = engine.time();
+                    trace.outcome = LoopOutcome::Lost {
+                        turn,
+                        time_s,
+                        cause,
+                    };
+                    trace.events.push(LoopEvent::BeamLost {
+                        turn,
+                        time_s,
+                        cause,
+                    });
                     break;
                 }
                 EngineStep::Idle => continue,
                 EngineStep::Measured => {
+                    self.faults
+                        .apply_row(turn, engine.time(), &mut phase, &mut trace.events);
                     let mut acc = 0.0;
                     for (row, &p) in trace.bunch_phase_deg.iter_mut().zip(&phase) {
                         let deg = p + self.instrument_offset_deg;
@@ -131,12 +199,193 @@ impl LoopHarness {
         }
         trace
     }
+
+    /// Run the loop under a [`LoopSupervisor`]: a per-revolution deadline
+    /// budget (wall-clock modelled per fidelity, stretched by scheduled
+    /// overrun faults), outlier rejection with hold-last-good, actuation
+    /// clamping with anti-windup, and a watchdog that demotes the engine
+    /// fidelity through [`EngineKind::demote`] instead of aborting — the
+    /// loop stays closed across the swap, carrying the accumulated control
+    /// phase into the fresh engine via [`BeamEngine::seed_state`].
+    ///
+    /// Owns engine construction (it may rebuild mid-run), so it takes the
+    /// [`EngineKind`] rather than a built engine.
+    pub fn run_supervised(
+        &mut self,
+        scenario: &MdeScenario,
+        kind: EngineKind,
+        duration_s: f64,
+        supervisor: &mut LoopSupervisor,
+    ) -> Result<LoopTrace> {
+        let mut kind = kind;
+        let mut engine = kind.build(scenario)?;
+        let bunches = engine.bunches();
+        let mut phase = vec![0.0; bunches];
+        let mut trace = LoopTrace::empty(bunches);
+        let mut last_jump = 0.0f64;
+        // Mirror of the engine's accumulated control phase, so a freshly
+        // built engine can be seeded mid-run after a demotion.
+        let t_rev = 1.0 / scenario.f_rev;
+        let mut ctrl_phase_rad = 0.0f64;
+
+        while engine.time() < duration_s {
+            let t_pre = engine.time();
+            let turn = trace.times.len();
+            if self.faults.forced_loss_at(t_pre) {
+                trace.outcome = LoopOutcome::Lost {
+                    turn,
+                    time_s: t_pre,
+                    cause: LossCause::Injected,
+                };
+                trace.events.push(LoopEvent::BeamLost {
+                    turn,
+                    time_s: t_pre,
+                    cause: LossCause::Injected,
+                });
+                break;
+            }
+            let step = engine.step(&self.jumps, &mut phase);
+            let applied = engine.applied_jump_deg();
+            if applied != last_jump {
+                trace.jump_times.push(t_pre);
+                last_jump = applied;
+            }
+            match step {
+                EngineStep::Lost(cause) => {
+                    let time_s = engine.time();
+                    // A garbage-producing engine is demotable; injected or
+                    // physical losses are not.
+                    if cause == LossCause::NonFinitePhase && supervisor.config.allow_demotion {
+                        if let Some(to) = kind.demote() {
+                            trace.events.push(LoopEvent::EngineDemoted {
+                                turn,
+                                time_s,
+                                from: kind,
+                                to,
+                            });
+                            engine = to.build(scenario)?;
+                            engine.seed_state(time_s, ctrl_phase_rad);
+                            kind = to;
+                            supervisor.reset_watchdog();
+                            continue;
+                        }
+                    }
+                    trace.outcome = LoopOutcome::Lost {
+                        turn,
+                        time_s,
+                        cause,
+                    };
+                    trace.events.push(LoopEvent::BeamLost {
+                        turn,
+                        time_s,
+                        cause,
+                    });
+                    break;
+                }
+                EngineStep::Idle => continue,
+                EngineStep::Measured => {
+                    let time_s = engine.time();
+                    // Deadline accounting: one measured row = one
+                    // revolution of wall-clock budget.
+                    let modeled =
+                        supervisor.model_step_seconds(kind, self.faults.overrun_factor_at(t_pre));
+                    let overrun = modeled > supervisor.config.deadline_s;
+                    if overrun {
+                        trace.events.push(LoopEvent::DeadlineOverrun {
+                            turn,
+                            time_s,
+                            budget_s: supervisor.config.deadline_s,
+                            modeled_s: modeled,
+                        });
+                    }
+
+                    self.faults
+                        .apply_row(turn, time_s, &mut phase, &mut trace.events);
+                    let mut acc = 0.0;
+                    for (row, &p) in trace.bunch_phase_deg.iter_mut().zip(&phase) {
+                        let deg = p + self.instrument_offset_deg;
+                        row.push(deg);
+                        acc += deg;
+                    }
+                    let raw_mean = acc / bunches as f64;
+                    let admission = supervisor.admit(raw_mean);
+                    if admission.rejected {
+                        trace.events.push(LoopEvent::OutlierRejected {
+                            turn,
+                            time_s,
+                            measured_deg: raw_mean,
+                            held_deg: admission.value_deg,
+                        });
+                    }
+                    trace.times.push(time_s);
+                    trace.mean_phase_deg.push(admission.value_deg);
+                    if let Some(ctrl) = self.controller.push_measurement_limited(
+                        admission.value_deg,
+                        supervisor.config.max_actuation_hz,
+                    ) {
+                        if ctrl.clamped {
+                            trace.events.push(LoopEvent::ActuationClamped {
+                                turn,
+                                time_s,
+                                raw_hz: ctrl.raw_hz,
+                                limit_hz: ctrl.limit_hz,
+                            });
+                        }
+                        let decimation = self.controller.params.decimation;
+                        engine.apply_control(ctrl.actuation_hz, decimation);
+                        ctrl_phase_rad +=
+                            TWO_PI * ctrl.actuation_hz * t_rev * f64::from(decimation);
+                    }
+                    trace.control_hz.push(self.controller.output());
+
+                    // Watchdog: consecutive bad steps demote (or, with no
+                    // fidelity left, lose the beam).
+                    if supervisor.note_step(overrun || admission.rejected) {
+                        let demoted = if supervisor.config.allow_demotion {
+                            kind.demote()
+                        } else {
+                            None
+                        };
+                        match demoted {
+                            Some(to) => {
+                                trace.events.push(LoopEvent::EngineDemoted {
+                                    turn,
+                                    time_s,
+                                    from: kind,
+                                    to,
+                                });
+                                engine = to.build(scenario)?;
+                                engine.seed_state(time_s, ctrl_phase_rad);
+                                kind = to;
+                                supervisor.reset_watchdog();
+                            }
+                            None => {
+                                trace.outcome = LoopOutcome::Lost {
+                                    turn,
+                                    time_s,
+                                    cause: LossCause::Watchdog,
+                                };
+                                trace.events.push(LoopEvent::BeamLost {
+                                    turn,
+                                    time_s,
+                                    cause: LossCause::Watchdog,
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(trace)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{EngineKind, MapEngine};
+    use crate::fault::{FaultEvent, FaultKind};
 
     fn scenario() -> MdeScenario {
         let mut s = MdeScenario::nov24_2023();
@@ -148,13 +397,14 @@ mod tests {
     #[test]
     fn records_one_row_per_turn() {
         let s = scenario();
-        let mut engine = MapEngine::from_scenario(&s);
+        let mut engine = MapEngine::from_scenario(&s).unwrap();
         let mut harness = LoopHarness::for_scenario(&s, true);
         let trace = harness.run(&mut engine, s.duration_s);
         assert_eq!(trace.times.len(), s.revolutions());
         assert_eq!(trace.mean_phase_deg.len(), trace.control_hz.len());
         assert_eq!(trace.bunch_phase_deg.len(), 1);
-        assert!(trace.survived);
+        assert!(trace.survived());
+        assert!(trace.events.is_empty());
     }
 
     #[test]
@@ -169,7 +419,7 @@ mod tests {
             interval_s: 0.05,
             path_latency_s: -0.06,
         };
-        let mut engine = MapEngine::from_scenario(&s);
+        let mut engine = MapEngine::from_scenario(&s).unwrap();
         let mut harness = LoopHarness::for_scenario(&s, true);
         let trace = harness.run(&mut engine, s.duration_s);
         assert_eq!(trace.jump_times.first().copied(), Some(0.0));
@@ -178,7 +428,7 @@ mod tests {
     #[test]
     fn open_loop_never_actuates() {
         let s = scenario();
-        let mut engine = MapEngine::from_scenario(&s);
+        let mut engine = MapEngine::from_scenario(&s).unwrap();
         let mut harness = LoopHarness::for_scenario(&s, false);
         let trace = harness.run(&mut engine, s.duration_s);
         assert!(trace.control_hz.iter().all(|&u| u == 0.0));
@@ -187,7 +437,7 @@ mod tests {
     #[test]
     fn observer_sees_every_row() {
         let s = scenario();
-        let mut engine = MapEngine::from_scenario(&s);
+        let mut engine = MapEngine::from_scenario(&s).unwrap();
         let mut harness = LoopHarness::for_scenario(&s, true);
         let mut rows = 0usize;
         let trace = harness.run_with(&mut engine, s.duration_s, |_| rows += 1);
@@ -197,9 +447,60 @@ mod tests {
     #[test]
     fn boxed_engine_runs_through_the_harness() {
         let s = scenario();
-        let mut engine = EngineKind::Map.build(&s);
+        let mut engine = EngineKind::Map.build(&s).unwrap();
         let mut harness = LoopHarness::for_scenario(&s, true);
         let trace = harness.run(engine.as_mut(), s.duration_s);
         assert_eq!(trace.times.len(), s.revolutions());
+    }
+
+    #[test]
+    fn injected_beam_loss_stamps_turn_and_cause() {
+        let mut s = scenario();
+        s.faults = FaultProgram {
+            seed: 0,
+            events: vec![FaultEvent {
+                start_s: 0.01,
+                end_s: 0.02,
+                kind: FaultKind::BeamLoss,
+            }],
+        };
+        let mut engine = MapEngine::from_scenario(&s).unwrap();
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let trace = harness.run(&mut engine, s.duration_s);
+        assert!(!trace.survived());
+        let LoopOutcome::Lost {
+            turn,
+            time_s,
+            cause,
+        } = trace.outcome
+        else {
+            panic!("expected loss");
+        };
+        assert_eq!(cause, LossCause::Injected);
+        assert!((time_s - 0.01).abs() < 2.0 / s.f_rev, "loss at {time_s}");
+        assert_eq!(turn, trace.times.len());
+        assert!(matches!(
+            trace.events.last(),
+            Some(LoopEvent::BeamLost { .. })
+        ));
+    }
+
+    #[test]
+    fn supervised_clean_run_matches_plain_loop_length() {
+        let s = scenario();
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let mut sup = LoopSupervisor::for_scenario(&s);
+        let trace = harness
+            .run_supervised(&s, EngineKind::Map, s.duration_s, &mut sup)
+            .unwrap();
+        assert!(trace.survived());
+        assert_eq!(trace.times.len(), s.revolutions());
+        assert!(
+            !trace
+                .events
+                .iter()
+                .any(|e| matches!(e, LoopEvent::EngineDemoted { .. })),
+            "clean run must not demote"
+        );
     }
 }

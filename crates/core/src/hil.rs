@@ -16,6 +16,8 @@
 
 use crate::control::BeamPhaseController;
 use crate::engine::SignalLevelEngine;
+use crate::error::Result;
+use crate::fault::{LoopEvent, LoopOutcome, LoopSupervisor};
 use crate::harness::LoopHarness;
 use crate::scenario::MdeScenario;
 use crate::trace::TimeSeries;
@@ -33,6 +35,10 @@ pub struct HilResult {
     pub control_hz: TimeSeries,
     /// Times at which the jump program toggled, seconds.
     pub jump_times: Vec<f64>,
+    /// Audit channel: fault activations, rejections, demotions, losses.
+    pub events: Vec<LoopEvent>,
+    /// How the run ended.
+    pub outcome: LoopOutcome,
 }
 
 impl HilResult {
@@ -56,17 +62,40 @@ impl TurnLevelLoop {
 
     /// Run the experiment for the scenario duration. `control_enabled`
     /// opens/closes the loop (Fig. 5 runs closed).
-    pub fn run(&self, control_enabled: bool) -> HilResult {
+    pub fn run(&self, control_enabled: bool) -> Result<HilResult> {
         let s = &self.scenario;
         let t_rev = 1.0 / s.f_rev;
-        let mut engine = self.engine.build(s);
+        let mut engine = self.engine.build(s)?;
         let mut harness = LoopHarness::for_scenario(s, control_enabled);
         let trace = harness.run(engine.as_mut(), s.duration_s);
-        HilResult {
+        Ok(HilResult {
             phase_deg: TimeSeries::new(0.0, t_rev, trace.mean_phase_deg),
             control_hz: TimeSeries::new(0.0, t_rev, trace.control_hz),
             jump_times: trace.jump_times,
-        }
+            events: trace.events,
+            outcome: trace.outcome,
+        })
+    }
+
+    /// Run the experiment under a [`LoopSupervisor`]: deadline watchdog,
+    /// outlier rejection, actuation clamping and graceful engine
+    /// degradation (see [`LoopHarness::run_supervised`]).
+    pub fn run_supervised(
+        &self,
+        control_enabled: bool,
+        supervisor: &mut LoopSupervisor,
+    ) -> Result<HilResult> {
+        let s = &self.scenario;
+        let t_rev = 1.0 / s.f_rev;
+        let mut harness = LoopHarness::for_scenario(s, control_enabled);
+        let trace = harness.run_supervised(s, self.engine, s.duration_s, supervisor)?;
+        Ok(HilResult {
+            phase_deg: TimeSeries::new(0.0, t_rev, trace.mean_phase_deg),
+            control_hz: TimeSeries::new(0.0, t_rev, trace.control_hz),
+            jump_times: trace.jump_times,
+            events: trace.events,
+            outcome: trace.outcome,
+        })
     }
 }
 
@@ -84,9 +113,9 @@ impl SignalLevelLoop {
     /// Run for `duration_s` seconds of bench time (may be shorter than the
     /// scenario duration — the signal-level loop processes 250 M samples
     /// per simulated second).
-    pub fn run(&self, duration_s: f64, control_enabled: bool) -> HilResult {
+    pub fn run(&self, duration_s: f64, control_enabled: bool) -> Result<HilResult> {
         let s = &self.scenario;
-        let mut engine = SignalLevelEngine::from_scenario(s);
+        let mut engine = SignalLevelEngine::from_scenario(s)?;
         // The detector measures once per bunch passage, so the controller's
         // decimated rate derives from f_rev × bunches, not f_rev.
         let mut controller = BeamPhaseController::new(s.controller, s.f_rev * s.bunches as f64);
@@ -103,11 +132,13 @@ impl SignalLevelLoop {
             .collect();
         let control_events: Vec<(f64, f64)> =
             trace.times.iter().copied().zip(trace.control_hz).collect();
-        HilResult {
+        Ok(HilResult {
             phase_deg: resample(&phase_events, t_rev, duration_s),
             control_hz: resample(&control_events, t_rev, duration_s),
             jump_times: trace.jump_times,
-        }
+            events: trace.events,
+            outcome: trace.outcome,
+        })
     }
 }
 
@@ -145,7 +176,9 @@ mod tests {
     #[test]
     fn turn_level_map_reproduces_fig5_shape() {
         let s = fast_scenario();
-        let result = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(true);
+        let result = TurnLevelLoop::new(s.clone(), EngineKind::Map)
+            .run(true)
+            .unwrap();
         assert!(!result.jump_times.is_empty(), "at least one jump in 0.1 s");
         let t_jump = result.jump_times[0];
         let r = score_jump_response(
@@ -177,8 +210,10 @@ mod tests {
     fn turn_level_cgra_matches_map_engine() {
         let mut s = fast_scenario();
         s.duration_s = 0.06;
-        let a = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(true);
-        let b = TurnLevelLoop::new(s, EngineKind::Cgra).run(true);
+        let a = TurnLevelLoop::new(s.clone(), EngineKind::Map)
+            .run(true)
+            .unwrap();
+        let b = TurnLevelLoop::new(s, EngineKind::Cgra).run(true).unwrap();
         assert_eq!(a.phase_deg.len(), b.phase_deg.len());
         // The engines see slightly different sampled voltages (the CGRA
         // kernel does its own ΔT bookkeeping), but the traces must agree to
@@ -195,7 +230,9 @@ mod tests {
     fn open_loop_does_not_damp() {
         let mut s = fast_scenario();
         s.duration_s = 0.1;
-        let result = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(false);
+        let result = TurnLevelLoop::new(s.clone(), EngineKind::Map)
+            .run(false)
+            .unwrap();
         let t_jump = result.jump_times[0];
         let r = score_jump_response(
             &result.phase_deg,
@@ -213,7 +250,7 @@ mod tests {
     #[test]
     fn display_trace_is_smoothed() {
         let s = fast_scenario();
-        let result = TurnLevelLoop::new(s, EngineKind::Map).run(true);
+        let result = TurnLevelLoop::new(s, EngineKind::Map).run(true).unwrap();
         let raw = &result.phase_deg;
         let disp = result.display_trace();
         assert_eq!(raw.len(), disp.len());
@@ -226,7 +263,7 @@ mod tests {
         // averaging) — the raw trace carries the ±4.6° quantisation of the
         // 4 ns pulse-trigger grid.
         let s = fast_scenario();
-        let result = SignalLevelLoop::new(s).run(0.076, true);
+        let result = SignalLevelLoop::new(s).run(0.076, true).unwrap();
         assert!(!result.jump_times.is_empty());
         let t_jump = result.jump_times[0];
         let display = result.display_trace();
@@ -252,10 +289,14 @@ mod tests {
         s.jumps.interval_s = 4e-3;
         s.instrument_offset_deg = 0.0;
         let duration = 0.012;
-        let sig = SignalLevelLoop::new(s.clone()).run(duration, false);
+        let sig = SignalLevelLoop::new(s.clone())
+            .run(duration, false)
+            .unwrap();
         let mut s_turn = s.clone();
         s_turn.duration_s = duration;
-        let turn = TurnLevelLoop::new(s_turn, EngineKind::Map).run(false);
+        let turn = TurnLevelLoop::new(s_turn, EngineKind::Map)
+            .run(false)
+            .unwrap();
 
         // Compare over the window after the first signal-level jump.
         let t0 = sig.jump_times[0].max(turn.jump_times[0]) + 1e-4;

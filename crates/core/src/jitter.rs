@@ -105,7 +105,7 @@ impl JitterModel {
     pub fn summarize<R: Rng>(&self, n: usize, rng: &mut R) -> JitterSummary {
         assert!(n >= 1000);
         let mut errs: Vec<f64> = (0..n).map(|_| self.sample(rng).abs()).collect();
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         let rms = (errs.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
         JitterSummary {
             implementation: self.implementation,

@@ -28,12 +28,19 @@
 //! * [`jitter`] — output-timing jitter models comparing an OS-scheduled
 //!   software simulator against the CGRA pipeline (the Section I
 //!   motivation);
+//! * [`fault`] — the fault-injection + loop-supervision layer: scheduled
+//!   hardware faults (ADC, DDS, detector, engine), the per-revolution
+//!   deadline watchdog and graceful engine degradation;
+//! * [`error`] — the typed [`error::CilError`] every run-path constructor
+//!   returns instead of panicking;
 //! * [`trace`] — time-series recording, CSV export and the Fig. 5 summary
 //!   statistics (measured f_s, first-peak ratio, damping time).
 
 pub mod clock;
 pub mod control;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod framework;
 pub mod harness;
 pub mod hil;
@@ -48,6 +55,11 @@ pub mod trace;
 
 pub use control::BeamPhaseController;
 pub use engine::{BeamEngine, EngineKind, EngineStep};
+pub use error::CilError;
+pub use fault::{
+    FaultEvent, FaultInjector, FaultKind, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor,
+    LossCause, SupervisorConfig,
+};
 pub use harness::{LoopHarness, LoopTrace};
 pub use hil::{SignalLevelLoop, TurnLevelLoop};
 pub use multibunch::MultiBunchLoop;

@@ -11,6 +11,7 @@
 //! beam, [`crate::harness::LoopHarness`] closes the loop.
 
 use crate::engine::CgraEngine;
+use crate::error::{CilError, Result};
 use crate::harness::LoopHarness;
 use crate::scenario::MdeScenario;
 use crate::trace::TimeSeries;
@@ -35,34 +36,39 @@ pub struct MultiBunchLoop {
 impl MultiBunchLoop {
     /// New loop; `initial_offsets_deg.len()` sets the bunch count (≤ the
     /// scenario's harmonic number, like real buckets).
-    pub fn new(scenario: MdeScenario, initial_offsets_deg: Vec<f64>) -> Self {
-        assert!(!initial_offsets_deg.is_empty());
-        assert!(
-            initial_offsets_deg.len() <= scenario.harmonic() as usize,
-            "at most one bunch per bucket"
-        );
-        Self {
+    pub fn new(scenario: MdeScenario, initial_offsets_deg: Vec<f64>) -> Result<Self> {
+        if initial_offsets_deg.is_empty() {
+            return Err(CilError::InvalidConfig(
+                "at least one bunch is required".into(),
+            ));
+        }
+        if initial_offsets_deg.len() > scenario.harmonic() as usize {
+            return Err(CilError::InvalidConfig(
+                "at most one bunch per bucket".into(),
+            ));
+        }
+        Ok(Self {
             scenario,
             initial_offsets_deg,
-        }
+        })
     }
 
     /// Run closed- or open-loop for the scenario duration.
-    pub fn run(&self, control_enabled: bool) -> MultiBunchResult {
+    pub fn run(&self, control_enabled: bool) -> Result<MultiBunchResult> {
         let s = &self.scenario;
         let bunches = self.initial_offsets_deg.len();
         let t_rev = 1.0 / s.f_rev;
-        let mut engine = CgraEngine::from_scenario(s, bunches, &self.initial_offsets_deg);
+        let mut engine = CgraEngine::from_scenario(s, bunches, &self.initial_offsets_deg)?;
         let mut harness = LoopHarness::for_scenario(s, control_enabled);
         let trace = harness.run(&mut engine, s.duration_s);
-        MultiBunchResult {
+        Ok(MultiBunchResult {
             bunch_phase_deg: trace
                 .bunch_phase_deg
                 .into_iter()
                 .map(|v| TimeSeries::new(0.0, t_rev, v))
                 .collect(),
             mean_phase_deg: TimeSeries::new(0.0, t_rev, trace.mean_phase_deg),
-        }
+        })
     }
 }
 
@@ -87,8 +93,8 @@ mod tests {
     fn common_mode_is_damped() {
         // All four bunches displaced identically: pure common mode — the
         // loop sees it and damps it.
-        let looped = MultiBunchLoop::new(scenario(0.05), vec![6.0; 4]);
-        let r = looped.run(true);
+        let looped = MultiBunchLoop::new(scenario(0.05), vec![6.0; 4]).unwrap();
+        let r = looped.run(true).unwrap();
         assert_eq!(r.bunch_phase_deg.len(), 4);
         let head = r.mean_phase_deg.window(0.0, 0.01).peak_to_peak();
         let tail = r.mean_phase_deg.window(0.04, 0.05).peak_to_peak();
@@ -100,8 +106,8 @@ mod tests {
         // Bunches displaced in opposite directions: the pickup average is
         // ~zero, so the loop cannot damp the relative motion (a known
         // limitation of average-phase feedback).
-        let looped = MultiBunchLoop::new(scenario(0.04), vec![6.0, -6.0]);
-        let r = looped.run(true);
+        let looped = MultiBunchLoop::new(scenario(0.04), vec![6.0, -6.0]).unwrap();
+        let r = looped.run(true).unwrap();
         let mean_amp = r.mean_phase_deg.peak_to_peak() / 2.0;
         assert!(mean_amp < 1.0, "common signal ~ 0, got {mean_amp}");
         // Each bunch keeps ringing at ~its initial amplitude.
@@ -113,8 +119,8 @@ mod tests {
 
     #[test]
     fn bunches_oscillate_independently_open_loop() {
-        let looped = MultiBunchLoop::new(scenario(0.01), vec![4.0, 8.0]);
-        let r = looped.run(false);
+        let looped = MultiBunchLoop::new(scenario(0.01), vec![4.0, 8.0]).unwrap();
+        let r = looped.run(false).unwrap();
         // Amplitudes stay proportional to the initial offsets.
         let a0 = r.bunch_phase_deg[0].peak_to_peak() / 2.0;
         let a1 = r.bunch_phase_deg[1].peak_to_peak() / 2.0;
@@ -122,8 +128,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most one bunch per bucket")]
     fn more_bunches_than_buckets_rejected() {
-        let _ = MultiBunchLoop::new(scenario(0.01), vec![0.0; 5]);
+        let err = match MultiBunchLoop::new(scenario(0.01), vec![0.0; 5]) {
+            Err(e) => e,
+            Ok(_) => panic!("over-filled ring must be rejected"),
+        };
+        assert!(err.to_string().contains("at most one bunch per bucket"));
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::control::BeamPhaseController;
 use crate::engine::RampEngine;
+use crate::fault::{FaultInjector, FaultProgram, LoopEvent, LoopOutcome};
 use crate::harness::LoopHarness;
 use crate::signalgen::PhaseJumpProgram;
 use crate::trace::TimeSeries;
@@ -30,9 +31,19 @@ pub struct RampLoopResult {
     pub gamma_r: TimeSeries,
     /// Synchronous phase over the same grid, degrees.
     pub phi_s_deg: TimeSeries,
+    /// Audit channel: fault activations and losses, in order.
+    pub events: Vec<LoopEvent>,
+    /// How the ramp ended (loss carries turn index, time and cause: bucket
+    /// over-demanded, phase left the bucket, or an injected fault).
+    pub outcome: LoopOutcome,
+}
+
+impl RampLoopResult {
     /// True if the beam survived the whole ramp (bucket never over-demanded
     /// and |Δt| stayed within half an RF period).
-    pub survived: bool,
+    pub fn survived(&self) -> bool {
+        self.outcome.survived()
+    }
 }
 
 /// Closed-loop executive for the ramp-up case.
@@ -49,6 +60,8 @@ pub struct RampLoop {
     pub controller: crate::control::ControllerParams,
     /// Optional phase jumps during the ramp.
     pub jumps: PhaseJumpProgram,
+    /// Scheduled fault injection along the ramp.
+    pub faults: FaultProgram,
     /// Output sample spacing, seconds.
     pub output_dt: f64,
 }
@@ -71,6 +84,7 @@ impl RampLoop {
                 interval_s: 1e9,
                 path_latency_s: 0.0,
             },
+            faults: FaultProgram::none(),
             output_dt: 5e-4,
         }
     }
@@ -84,6 +98,7 @@ impl RampLoop {
         // No instrumentation offset on the ramp: the phase here is the raw
         // model observable.
         let mut harness = LoopHarness::new(controller, self.jumps, 0.0);
+        harness.faults = FaultInjector::new(self.faults.clone());
 
         let mut gammas = Vec::new();
         let mut phis = Vec::new();
@@ -111,7 +126,8 @@ impl RampLoop {
             phase_deg: TimeSeries::new(0.0, self.output_dt, phase),
             gamma_r: TimeSeries::new(0.0, self.output_dt, gamma),
             phi_s_deg: TimeSeries::new(0.0, self.output_dt, phi_s),
-            survived: trace.survived,
+            events: trace.events,
+            outcome: trace.outcome,
         }
     }
 }
@@ -141,7 +157,7 @@ mod tests {
     #[test]
     fn beam_survives_gentle_ramp_closed_loop() {
         let result = lp().run(0.45, true);
-        assert!(result.survived);
+        assert!(result.survived());
         // γ reached the flat-top value.
         let g_final = *result.gamma_r.values.last().unwrap();
         let g_target = cil_physics::relativity::gamma_from_revolution(800e3, 216.72);
@@ -179,7 +195,7 @@ mod tests {
         };
         let closed = looped.run(0.2, true);
         let open = looped.run(0.2, false);
-        assert!(closed.survived && open.survived);
+        assert!(closed.survived() && open.survived());
         // After the jump at 0.1 s: closed-loop oscillation dies down, open
         // keeps ringing. Compare tail windows.
         let tail = |r: &RampLoopResult| {
@@ -202,7 +218,7 @@ mod tests {
             v_hat: Curve::constant(100.0),
         };
         let result = looped.run(0.02, true);
-        assert!(!result.survived);
+        assert!(!result.survived());
     }
 
     #[test]

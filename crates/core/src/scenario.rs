@@ -7,6 +7,8 @@
 //! multi-particle reference consistently.
 
 use crate::control::ControllerParams;
+use crate::error::Result;
+use crate::fault::FaultProgram;
 use crate::framework::{FrameworkConfig, MonitorMode};
 use crate::signalgen::PhaseJumpProgram;
 use cil_cgra::grid::GridConfig;
@@ -48,6 +50,8 @@ pub struct MdeScenario {
     pub pulse_sigma_s: f64,
     /// Additive ADC input noise, volts RMS (0 = clean front-end).
     pub adc_noise_rms: f64,
+    /// Scheduled fault injection (empty = nothing ever goes wrong).
+    pub faults: FaultProgram,
 }
 
 impl MdeScenario {
@@ -70,6 +74,7 @@ impl MdeScenario {
             instrument_offset_deg: 14.0,
             pulse_sigma_s: 20e-9,
             adc_noise_rms: 0.0,
+            faults: FaultProgram::none(),
         }
     }
 
@@ -88,29 +93,34 @@ impl MdeScenario {
     }
 
     /// Gap-voltage amplitude (volts at the gap) realising `fs_target`.
-    pub fn v_hat(&self) -> f64 {
-        SynchrotronCalc::new(self.machine, self.ion)
-            .voltage_for_fs(self.f_rev, self.fs_target)
-            .expect("scenario below transition")
+    /// Errs when the scenario sits above transition (no stable bucket).
+    pub fn v_hat(&self) -> Result<f64> {
+        Ok(SynchrotronCalc::new(self.machine, self.ion)
+            .voltage_for_fs(self.f_rev, self.fs_target)?)
     }
 
     /// The derived operating point.
-    pub fn operating_point(&self) -> OperatingPoint {
-        OperatingPoint::from_revolution_frequency(self.machine, self.ion, self.f_rev, self.v_hat())
+    pub fn operating_point(&self) -> Result<OperatingPoint> {
+        Ok(OperatingPoint::from_revolution_frequency(
+            self.machine,
+            self.ion,
+            self.f_rev,
+            self.v_hat()?,
+        ))
     }
 
     /// Kernel generation parameters (scales map ADC volts → gap volts).
-    pub fn kernel_params(&self) -> KernelParams {
-        let op = self.operating_point();
-        KernelParams {
+    pub fn kernel_params(&self) -> Result<KernelParams> {
+        let op = self.operating_point()?;
+        Ok(KernelParams {
             orbit_length_m: self.machine.orbit_length_m,
             momentum_compaction: self.machine.momentum_compaction,
             gamma_per_volt: self.ion.gamma_per_volt(),
             sample_rate: 250e6,
-            scale_ref: self.v_hat() / self.adc_amplitude,
-            scale_gap: self.v_hat() / self.adc_amplitude,
+            scale_ref: self.v_hat()? / self.adc_amplitude,
+            scale_gap: self.v_hat()? / self.adc_amplitude,
             gamma_r_init: op.gamma_r,
-        }
+        })
     }
 
     /// Framework configuration.
@@ -167,7 +177,7 @@ mod tests {
     fn v_hat_gives_target_fs() {
         let s = MdeScenario::nov24_2023();
         let fs = SynchrotronCalc::new(s.machine, s.ion)
-            .fs_stationary(s.f_rev, s.v_hat())
+            .fs_stationary(s.f_rev, s.v_hat().unwrap())
             .unwrap();
         assert!((fs - 1.28e3).abs() < 1e-6);
     }
@@ -177,8 +187,8 @@ mod tests {
         // "Gap and reference voltage are scaled down on the beam side … to
         // fit within the acceptable ADC ranges"; the kernel multiplies back.
         let s = MdeScenario::nov24_2023();
-        let k = s.kernel_params();
-        assert!((k.scale_gap * s.adc_amplitude - s.v_hat()).abs() < 1e-9);
+        let k = s.kernel_params().unwrap();
+        assert!((k.scale_gap * s.adc_amplitude - s.v_hat().unwrap()).abs() < 1e-9);
     }
 
     #[test]

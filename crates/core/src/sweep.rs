@@ -32,25 +32,33 @@ where
         return Vec::new();
     }
     let chunk = n.div_ceil(threads.min(n));
-    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
 
     let init = &init;
     let f = &f;
+    // Each worker returns its chunk's results through the join handle;
+    // joining in spawn order reassembles the input order without ever
+    // holding partially-filled slots.
     std::thread::scope(|scope| {
-        for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
-            scope.spawn(move || {
-                let mut state = init();
-                for (slot, input) in out_chunk.iter_mut().zip(in_chunk) {
-                    *slot = Some(f(&mut state, input));
-                }
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|o| o.expect("worker filled every slot"))
-        .collect()
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|in_chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    in_chunk
+                        .iter()
+                        .map(|input| f(&mut state, input))
+                        .collect::<Vec<O>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(chunk_out) => chunk_out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
 }
 
 /// Stateless sweep: run `f` over every item on up to `threads` workers;
@@ -141,7 +149,7 @@ mod tests {
             s.duration_s = 0.02;
             s.bunches = 1;
             s.controller.gain = *gain;
-            let r = TurnLevelLoop::new(s, EngineKind::Map).run(true);
+            let r = TurnLevelLoop::new(s, EngineKind::Map).run(true).unwrap();
             // Hashable summary: sum of |phase| over the tail.
             r.phase_deg.values[10_000..]
                 .iter()

@@ -9,6 +9,21 @@
 use crate::fixed;
 use rand::Rng;
 
+/// An injectable converter fault — the hardware failure modes LLRF
+/// commissioning fights: rail saturation, a stuck output word, a flaky
+/// data-line bit. Applied to the produced code by [`AdcModel::apply_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdcFault {
+    /// The input stage is driven to the rail: the code pins at full scale
+    /// with the sign of the (otherwise converted) sample.
+    Saturated,
+    /// The converter output is stuck at a fixed code (e.g. a latched data
+    /// bus).
+    StuckCode(i32),
+    /// A single data line toggles: XOR the given bit into every code.
+    BitFlip(u32),
+}
+
 /// ADC model: samples a continuous-time signal (provided by the caller as a
 /// function of time) into signed codes, or quantises already-discrete
 /// samples.
@@ -76,6 +91,37 @@ impl AdcModel {
     /// One least-significant bit in volts.
     pub fn lsb(&self) -> f64 {
         fixed::lsb(self.full_scale, self.bits)
+    }
+
+    /// Largest positive code this converter can produce.
+    pub fn max_code(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Most negative code this converter can produce.
+    pub fn min_code(&self) -> i32 {
+        -(1i32 << (self.bits - 1))
+    }
+
+    /// Corrupt a converted code with an injected hardware fault. The result
+    /// stays inside the code range (real hardware cannot emit out-of-range
+    /// words either).
+    #[inline]
+    pub fn apply_fault(&self, code: i32, fault: AdcFault) -> i32 {
+        match fault {
+            AdcFault::Saturated => {
+                if code < 0 {
+                    self.min_code()
+                } else {
+                    self.max_code()
+                }
+            }
+            AdcFault::StuckCode(c) => c.clamp(self.min_code(), self.max_code()),
+            AdcFault::BitFlip(bit) => {
+                let flipped = code ^ (1i32 << (bit % self.bits));
+                flipped.clamp(self.min_code(), self.max_code())
+            }
+        }
     }
 }
 
@@ -197,6 +243,33 @@ mod tests {
         }
         let rms = (sum_sq / n as f64).sqrt();
         assert!((rms - 0.0628).abs() < 0.005, "rms = {rms}");
+    }
+
+    #[test]
+    fn saturation_fault_pins_to_rail() {
+        let adc = AdcModel::fmc151();
+        assert_eq!(adc.apply_fault(123, AdcFault::Saturated), 8191);
+        assert_eq!(adc.apply_fault(-123, AdcFault::Saturated), -8192);
+    }
+
+    #[test]
+    fn stuck_code_fault_is_constant_and_clamped() {
+        let adc = AdcModel::fmc151();
+        assert_eq!(adc.apply_fault(5, AdcFault::StuckCode(77)), 77);
+        assert_eq!(adc.apply_fault(-900, AdcFault::StuckCode(77)), 77);
+        assert_eq!(adc.apply_fault(0, AdcFault::StuckCode(1 << 20)), 8191);
+    }
+
+    #[test]
+    fn bit_flip_fault_toggles_one_bit() {
+        let adc = AdcModel::fmc151();
+        assert_eq!(adc.apply_fault(0, AdcFault::BitFlip(3)), 8);
+        assert_eq!(adc.apply_fault(8, AdcFault::BitFlip(3)), 0);
+        // Bit index wraps at the resolution, so it always hits a data line.
+        assert_eq!(
+            adc.apply_fault(0, AdcFault::BitFlip(14)),
+            adc.apply_fault(0, AdcFault::BitFlip(0))
+        );
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct Dds {
     lut_bits: u32,
     amplitude: f64,
     f_clk: f64,
+    /// Output mute (injected fault): the accumulator keeps running — as a
+    /// real DDS with a failed output stage would — but the analogue output
+    /// is zero.
+    dropout: bool,
 }
 
 impl Dds {
@@ -33,6 +37,7 @@ impl Dds {
             lut_bits,
             amplitude: 1.0,
             f_clk,
+            dropout: false,
         }
     }
 
@@ -75,9 +80,25 @@ impl Dds {
         self.accumulator.acc as f64 / 2.0_f64.powi(32)
     }
 
+    /// Inject or clear an output dropout. While set, [`Self::tick`] returns
+    /// 0 V but the phase accumulator keeps advancing, so clearing the fault
+    /// resumes the waveform phase-continuously.
+    pub fn set_dropout(&mut self, dropout: bool) {
+        self.dropout = dropout;
+    }
+
+    /// Whether an output dropout is currently injected.
+    pub fn dropout(&self) -> bool {
+        self.dropout
+    }
+
     /// Produce the next sample (volts) and advance one clock.
     #[inline]
     pub fn tick(&mut self) -> f64 {
+        if self.dropout {
+            self.accumulator.tick();
+            return 0.0;
+        }
         let phase = self.accumulator.tick();
         let idx_f = phase * (1u64 << self.lut_bits) as f64;
         let idx = idx_f as usize & ((1usize << self.lut_bits) - 1);
@@ -192,6 +213,25 @@ mod tests {
         dds.jump_phase_deg(-90.0);
         let s = dds.tick();
         assert!((s + 1.0).abs() < 1e-6, "sin(-90°) = -1, got {s}");
+    }
+
+    #[test]
+    fn dropout_mutes_but_keeps_phase() {
+        let mut with_fault = Dds::standard(250e6);
+        let mut clean = Dds::standard(250e6);
+        with_fault.set_frequency(1e6);
+        clean.set_frequency(1e6);
+        // Mute for 100 samples: output is zero, accumulator still runs.
+        with_fault.set_dropout(true);
+        for _ in 0..100 {
+            assert_eq!(with_fault.tick(), 0.0);
+            clean.tick();
+        }
+        with_fault.set_dropout(false);
+        // Phase-continuous resume: both modules agree exactly.
+        for _ in 0..100 {
+            assert_eq!(with_fault.tick(), clean.tick());
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use cavity_in_the_loop::scenario::MdeScenario;
 
 fn main() {
     let scenario = MdeScenario::nov24_2023();
-    let op = scenario.operating_point();
+    let op = scenario.operating_point().unwrap();
 
     // ---- dual-harmonic bucket: amplitude-dependent synchrotron frequency
     println!("== dual-harmonic RF (SIS18 bunch-lengthening mode) ==\n");

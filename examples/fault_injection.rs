@@ -1,0 +1,108 @@
+//! Fault injection and loop supervision demo.
+//!
+//! Runs the Fig. 5 experiment twice under a detector-outlier storm — once
+//! with the bare loop, once under the [`LoopSupervisor`] — and then forces
+//! deadline overruns on the CGRA engine to show graceful degradation to the
+//! analytic map. Prints the audit trail a real machine shift would read.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+
+use cil_core::fault::{FaultEvent, FaultKind, LoopEvent};
+use cil_core::harness::{LoopHarness, LoopTrace};
+use cil_core::hil::EngineKind;
+use cil_core::signalgen::PhaseJumpProgram;
+use cil_core::{FaultProgram, LoopSupervisor, MdeScenario};
+
+fn tail_residual_deg(trace: &LoopTrace, t_from: f64) -> f64 {
+    let tail: Vec<f64> = trace
+        .times
+        .iter()
+        .zip(&trace.mean_phase_deg)
+        .filter(|(&t, _)| t >= t_from)
+        .map(|(_, &v)| v)
+        .collect();
+    let lo = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (hi - lo) / 2.0
+}
+
+fn count<F: Fn(&LoopEvent) -> bool>(trace: &LoopTrace, f: F) -> usize {
+    trace.events.iter().filter(|e| f(e)).count()
+}
+
+fn main() {
+    // A persistent 15 deg RF phase jump at 60 ms, with a detector-outlier
+    // storm (8% of rows spiked by +/-120 deg) raging from 50 ms on.
+    let mut s = MdeScenario::nov24_2023();
+    s.duration_s = 0.2;
+    s.bunches = 1;
+    s.jumps = PhaseJumpProgram {
+        amplitude_deg: 15.0,
+        interval_s: 10.0,
+        path_latency_s: -(10.0 - 0.06),
+    };
+    s.faults = FaultProgram::detector_outlier_storm(0.05, 0.2, 0.08, 120.0, 0xBAD5EED);
+
+    println!("== detector-outlier storm: 8% of rows spiked +/-120 deg ==");
+
+    let mut harness = LoopHarness::for_scenario(&s, true);
+    let mut engine = EngineKind::Map.build(&s).expect("map engine builds");
+    let bare = harness.run(engine.as_mut(), s.duration_s);
+    println!(
+        "bare loop:       {} corrupted rows, tail residual {:7.2} deg",
+        count(&bare, |e| matches!(e, LoopEvent::RowCorrupted { .. })),
+        tail_residual_deg(&bare, 0.15),
+    );
+
+    let mut harness = LoopHarness::for_scenario(&s, true);
+    let mut sup = LoopSupervisor::for_scenario(&s);
+    let supervised = harness
+        .run_supervised(&s, EngineKind::Map, s.duration_s, &mut sup)
+        .expect("supervised run completes");
+    println!(
+        "supervised loop: {} rejected rows,  tail residual {:7.2} deg",
+        count(&supervised, |e| matches!(
+            e,
+            LoopEvent::OutlierRejected { .. }
+        )),
+        tail_residual_deg(&supervised, 0.15),
+    );
+
+    // Force the modelled CGRA step wall-clock past the revolution budget:
+    // the watchdog demotes to the analytic map and keeps the loop closed.
+    println!("\n== forced deadline overruns on the CGRA engine ==");
+    let mut s2 = MdeScenario::nov24_2023();
+    s2.duration_s = 0.05;
+    s2.bunches = 1;
+    s2.faults = FaultProgram {
+        seed: 0,
+        events: vec![FaultEvent {
+            start_s: 0.01,
+            end_s: s2.duration_s,
+            kind: FaultKind::DeadlineOverrun { factor: 3.0 },
+        }],
+    };
+    let mut harness = LoopHarness::for_scenario(&s2, true);
+    let mut sup = LoopSupervisor::for_scenario(&s2);
+    let trace = harness
+        .run_supervised(&s2, EngineKind::Cgra, s2.duration_s, &mut sup)
+        .expect("supervised run completes");
+    println!(
+        "overruns logged: {}, survived to scheduled end: {}",
+        count(&trace, |e| matches!(e, LoopEvent::DeadlineOverrun { .. })),
+        trace.survived(),
+    );
+    for e in &trace.events {
+        if let LoopEvent::EngineDemoted {
+            turn,
+            time_s,
+            from,
+            to,
+        } = e
+        {
+            println!("demotion: {from:?} -> {to:?} at turn {turn} (t = {time_s:.4} s)");
+        }
+    }
+}

@@ -19,7 +19,7 @@ use cavity_in_the_loop::scenario::MdeScenario;
 
 fn main() {
     let scenario = MdeScenario::nov24_2023();
-    let op = scenario.operating_point();
+    let op = scenario.operating_point().unwrap();
     let particles = 20_000;
     let period_turns = (op.f_rev() / scenario.fs_target) as usize;
     let turns = period_turns * 12;

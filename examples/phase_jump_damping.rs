@@ -26,7 +26,9 @@ fn main() {
     fs::create_dir_all("results").expect("create results dir");
 
     for (label, closed) in [("open", false), ("closed", true)] {
-        let result = TurnLevelLoop::new(scenario.clone(), EngineKind::Map).run(closed);
+        let result = TurnLevelLoop::new(scenario.clone(), EngineKind::Map)
+            .run(closed)
+            .expect("run completes");
         let display = result.display_trace();
         let path = format!("results/example_phase_jump_{label}.csv");
         fs::write(&path, display.to_csv()).expect("write trace");

@@ -22,12 +22,14 @@ fn main() {
         scenario.ion.name,
         scenario.f_rev / 1e3,
         scenario.harmonic(),
-        scenario.v_hat()
+        scenario.v_hat().unwrap()
     );
 
     // Run the closed loop with the beam model executing on the simulated
     // CGRA (the cavity in the loop).
-    let result = TurnLevelLoop::new(scenario.clone(), EngineKind::Cgra).run(true);
+    let result = TurnLevelLoop::new(scenario.clone(), EngineKind::Cgra)
+        .run(true)
+        .unwrap();
 
     println!(
         "simulated {} revolutions, {} phase jumps",

@@ -7,4 +7,13 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace --all-targets
+# The fault/supervision crates must stay warning-free even where clippy has
+# no lint (e.g. future rustc warnings on new code paths).
+RUSTFLAGS="-D warnings" cargo build -q -p cil-core -p cil-dsp -p cil-cgra
+# The strict-faults gate (supervisor recoveries become panics) must keep
+# compiling; it is a debugging configuration, not part of the test run.
+cargo build -q -p cil-core --features strict-faults
 cargo test -q --workspace
+# Headline robustness claims: storm recovery, deterministic replay,
+# graceful engine degradation.
+cargo test -q --test fault_injection

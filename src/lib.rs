@@ -31,7 +31,7 @@
 //! let mut scenario = MdeScenario::nov24_2023();
 //! scenario.duration_s = 0.02; // keep the doctest fast
 //! scenario.bunches = 1;
-//! let result = TurnLevelLoop::new(scenario, EngineKind::Map).run(true);
+//! let result = TurnLevelLoop::new(scenario, EngineKind::Map).run(true).unwrap();
 //! assert!(result.phase_deg.len() > 10_000);
 //! ```
 //!

@@ -15,7 +15,9 @@ fn scenario() -> MdeScenario {
 #[test]
 fn fig5_turn_level_cgra_full_story() {
     let s = scenario();
-    let result = TurnLevelLoop::new(s.clone(), EngineKind::Cgra).run(true);
+    let result = TurnLevelLoop::new(s.clone(), EngineKind::Cgra)
+        .run(true)
+        .unwrap();
 
     // One jump event in 0.1 s (at ~0.05 s).
     assert_eq!(result.jump_times.len(), 1);
@@ -48,7 +50,7 @@ fn fig5_signal_level_oscillates_at_fs() {
     let mut s = scenario();
     s.jumps.interval_s = 4e-3;
     s.instrument_offset_deg = 0.0;
-    let result = SignalLevelLoop::new(s).run(0.016, false);
+    let result = SignalLevelLoop::new(s).run(0.016, false).unwrap();
     assert!(result.jump_times.len() >= 3);
     let w = result.phase_deg.window(result.jump_times[0] + 1e-4, 0.016);
     let (fs, amp) = w.dominant_frequency(600.0, 3000.0);
@@ -59,8 +61,12 @@ fn fig5_signal_level_oscillates_at_fs() {
 #[test]
 fn open_vs_closed_loop_distinction() {
     let s = scenario();
-    let open = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(false);
-    let closed = TurnLevelLoop::new(s.clone(), EngineKind::Map).run(true);
+    let open = TurnLevelLoop::new(s.clone(), EngineKind::Map)
+        .run(false)
+        .unwrap();
+    let closed = TurnLevelLoop::new(s.clone(), EngineKind::Map)
+        .run(true)
+        .unwrap();
     let t_jump = open.jump_times[0];
     let score = |r: &cavity_in_the_loop::hil::HilResult| {
         score_jump_response(&r.display_trace(), t_jump, t_jump + 0.045, 8.0).residual_ratio
@@ -86,7 +92,7 @@ fn controller_parameters_match_paper() {
 fn traces_export_and_reimport() {
     let mut s = scenario();
     s.duration_s = 0.02;
-    let result = TurnLevelLoop::new(s, EngineKind::Map).run(true);
+    let result = TurnLevelLoop::new(s, EngineKind::Map).run(true).unwrap();
     let csv = result.phase_deg.to_csv();
     let back = cavity_in_the_loop::trace::TimeSeries::from_csv(&csv).unwrap();
     assert_eq!(back.len(), result.phase_deg.len());

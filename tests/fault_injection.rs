@@ -1,0 +1,289 @@
+//! Fault-injection and loop-supervision acceptance tests.
+//!
+//! The headline claims: (1) a zero-amplitude fault program is bit-identical
+//! to a fault-free run, (2) fault traces replay deterministically from the
+//! seed, (3) under a detector-outlier storm the *supervised* loop damps a
+//! persistent 15° jump to below 1° residual while the unsupervised loop
+//! demonstrably fails, and (4) forced deadline overruns demote the engine
+//! fidelity mid-run instead of killing the experiment.
+
+use cil_core::engine::MapEngine;
+use cil_core::fault::{FaultEvent, FaultKind, FaultProgram, LoopEvent, LossCause};
+use cil_core::framework::SimulatorFramework;
+use cil_core::harness::{LoopHarness, LoopTrace};
+use cil_core::hil::{EngineKind, SignalLevelLoop, TurnLevelLoop};
+use cil_core::signalgen::PhaseJumpProgram;
+use cil_core::{CilError, LoopSupervisor, MdeScenario};
+use proptest::prelude::*;
+
+/// A persistent (non-toggling within the run) 15° jump at `t0`: the
+/// displaced-latency trick parks the first toggle of a long-interval
+/// program exactly at `t0`.
+fn persistent_jump(amplitude_deg: f64, t0: f64) -> PhaseJumpProgram {
+    PhaseJumpProgram {
+        amplitude_deg,
+        interval_s: 10.0,
+        path_latency_s: -(10.0 - t0),
+    }
+}
+
+fn storm_scenario() -> MdeScenario {
+    let mut s = MdeScenario::nov24_2023();
+    s.duration_s = 0.2;
+    s.bunches = 1;
+    s.jumps = persistent_jump(15.0, 0.06);
+    // Storm begins after the loop has settled; ~8% of the rows in
+    // [0.05, 0.2) take a ±120° detector spike (= 6% of all rows, above the
+    // 5% bar), covering the jump and the whole measurement tail.
+    s.faults = FaultProgram::detector_outlier_storm(0.05, 0.2, 0.08, 120.0, 0xBAD5EED);
+    s
+}
+
+/// Half the peak-to-peak of the trace tail — constant offsets (instrument,
+/// controller start-up) cancel, residual oscillation and spikes do not.
+fn tail_residual_deg(trace: &LoopTrace, t_from: f64) -> f64 {
+    let tail: Vec<f64> = trace
+        .times
+        .iter()
+        .zip(&trace.mean_phase_deg)
+        .filter(|(&t, _)| t >= t_from)
+        .map(|(_, &v)| v)
+        .collect();
+    assert!(tail.len() > 1000, "tail window populated");
+    let lo = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (hi - lo) / 2.0
+}
+
+#[test]
+fn supervised_loop_rides_out_detector_outlier_storm() {
+    let s = storm_scenario();
+
+    // Unsupervised: the raw spikes reach the controller and the trace.
+    let mut engine = MapEngine::from_scenario(&s).unwrap();
+    let mut harness = LoopHarness::for_scenario(&s, true);
+    let unsupervised = harness.run(&mut engine, s.duration_s);
+    assert!(unsupervised.survived());
+    let corrupted = unsupervised
+        .events
+        .iter()
+        .filter(|e| matches!(e, LoopEvent::RowCorrupted { .. }))
+        .count();
+    let frac = corrupted as f64 / unsupervised.times.len() as f64;
+    assert!(frac >= 0.05, "storm corrupts >= 5% of rows, got {frac:.3}");
+    let res_unsup = tail_residual_deg(&unsupervised, 0.15);
+    assert!(
+        res_unsup > 2.0,
+        "unsupervised loop fails under the storm, residual {res_unsup:.2} deg"
+    );
+
+    // Supervised: outlier gate + hold-last-good keep the controller on the
+    // real beam; the persistent 15 deg jump damps below 1 deg residual.
+    let mut harness = LoopHarness::for_scenario(&s, true);
+    let mut sup = LoopSupervisor::for_scenario(&s);
+    let supervised = harness
+        .run_supervised(&s, EngineKind::Map, s.duration_s, &mut sup)
+        .unwrap();
+    assert!(supervised.survived());
+    assert!(
+        supervised
+            .events
+            .iter()
+            .any(|e| matches!(e, LoopEvent::OutlierRejected { .. })),
+        "the gate rejected spikes"
+    );
+    let res_sup = tail_residual_deg(&supervised, 0.15);
+    assert!(
+        res_sup < 1.0,
+        "supervised loop damps the jump under the storm, residual {res_sup:.2} deg"
+    );
+}
+
+#[test]
+fn forced_deadline_overruns_demote_cgra_to_map_and_finish() {
+    let mut s = MdeScenario::nov24_2023();
+    s.duration_s = 0.05;
+    s.bunches = 1;
+    // From 10 ms on, the modelled CGRA step cost is stretched 3x past the
+    // revolution budget; the watchdog must demote to the analytic map and
+    // keep the loop closed to the scheduled end.
+    s.faults = FaultProgram {
+        seed: 0,
+        events: vec![FaultEvent {
+            start_s: 0.01,
+            end_s: s.duration_s,
+            kind: FaultKind::DeadlineOverrun { factor: 3.0 },
+        }],
+    };
+    let mut harness = LoopHarness::for_scenario(&s, true);
+    let mut sup = LoopSupervisor::for_scenario(&s);
+    let trace = harness
+        .run_supervised(&s, EngineKind::Cgra, s.duration_s, &mut sup)
+        .unwrap();
+    assert!(trace.survived(), "demotion keeps the loop running");
+    assert_eq!(trace.times.len(), s.revolutions(), "ran to scheduled end");
+
+    let demotion = trace
+        .events
+        .iter()
+        .find_map(|e| match *e {
+            LoopEvent::EngineDemoted { turn, from, to, .. } => Some((turn, from, to)),
+            _ => None,
+        })
+        .expect("a demotion event was logged");
+    let (turn, from, to) = demotion;
+    assert_eq!(from, EngineKind::Cgra);
+    assert_eq!(to, EngineKind::Map);
+    // The watchdog needs max_consecutive_bad overruns after the fault
+    // activates at 10 ms.
+    let turn_fault_start = (0.01 * s.f_rev) as usize;
+    assert!(
+        turn >= turn_fault_start
+            && turn <= turn_fault_start + 2 * sup.config.max_consecutive_bad as usize,
+        "demotion at turn {turn}, fault from turn {turn_fault_start}"
+    );
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| matches!(e, LoopEvent::DeadlineOverrun { .. })),
+        "overruns were logged before the demotion"
+    );
+}
+
+#[test]
+fn supervised_fault_trace_replays_deterministically() {
+    let s = storm_scenario();
+    let run = || {
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let mut sup = LoopSupervisor::for_scenario(&s);
+        harness
+            .run_supervised(&s, EngineKind::Map, s.duration_s, &mut sup)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.events, b.events, "same seed, same event log");
+    assert_eq!(a.mean_phase_deg, b.mean_phase_deg);
+    assert_eq!(a.control_hz, b.control_hz);
+    assert!(!a.events.is_empty());
+}
+
+#[test]
+fn injected_beam_loss_is_reported_with_turn_and_cause() {
+    let mut s = MdeScenario::nov24_2023();
+    s.duration_s = 0.03;
+    s.bunches = 1;
+    s.faults = FaultProgram {
+        seed: 0,
+        events: vec![FaultEvent {
+            start_s: 0.02,
+            end_s: 0.03,
+            kind: FaultKind::BeamLoss,
+        }],
+    };
+    let result = TurnLevelLoop::new(s.clone(), EngineKind::Map)
+        .run(true)
+        .unwrap();
+    assert!(!result.outcome.survived());
+    match result.outcome {
+        cil_core::LoopOutcome::Lost {
+            turn,
+            time_s,
+            cause,
+        } => {
+            assert_eq!(cause, LossCause::Injected);
+            assert!((time_s - 0.02).abs() < 2.0 / s.f_rev);
+            assert_eq!(turn, (0.02 * s.f_rev).round() as usize);
+        }
+        cil_core::LoopOutcome::Survived => unreachable!(),
+    }
+}
+
+#[test]
+fn dds_dropout_signal_level_loop_keeps_running() {
+    let mut s = MdeScenario::nov24_2023();
+    s.bunches = 1;
+    s.faults = FaultProgram {
+        seed: 1,
+        events: vec![FaultEvent {
+            start_s: 1.0e-3,
+            end_s: 1.5e-3,
+            kind: FaultKind::DdsDropout,
+        }],
+    };
+    let result = SignalLevelLoop::new(s).run(3e-3, true).unwrap();
+    assert!(result.outcome.survived(), "dropout does not kill the chain");
+    assert!(result.phase_deg.len() > 1000);
+}
+
+#[test]
+fn invalid_config_surfaces_as_typed_error() {
+    let s = MdeScenario::nov24_2023();
+    let mut fw = SimulatorFramework::new(s.framework_config(), s.kernel_params().unwrap());
+    let err = fw.set_pulse_table(Vec::new()).unwrap_err();
+    assert!(matches!(err, CilError::InvalidConfig(_)));
+    assert!(err.to_string().contains("pulse table"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A program whose every event is a noop at its configured amplitude
+    /// must leave the closed-loop run bit-identical to a fault-free one:
+    /// the injector may not draw a single random number for it.
+    #[test]
+    fn zero_amplitude_program_is_bit_identical(
+        seed in 0u64..u64::MAX / 2,
+        probability in 0.0f64..1.0,
+        start_ms in 0.0f64..10.0,
+    ) {
+        let mut base = MdeScenario::nov24_2023();
+        base.duration_s = 0.02;
+        base.bunches = 1;
+
+        let mut faulty = base.clone();
+        faulty.faults = FaultProgram {
+            seed,
+            events: vec![
+                FaultEvent {
+                    start_s: start_ms * 1e-3,
+                    end_s: 0.02,
+                    kind: FaultKind::DetectorOutlier { probability, amplitude_deg: 0.0 },
+                },
+                FaultEvent {
+                    start_s: 0.0,
+                    end_s: 0.02,
+                    kind: FaultKind::NanBurst { probability: 0.0 },
+                },
+                FaultEvent {
+                    start_s: 0.0,
+                    end_s: 0.02,
+                    kind: FaultKind::DeadlineOverrun { factor: 1.0 },
+                },
+            ],
+        };
+
+        let run = |s: &MdeScenario| {
+            let mut engine = MapEngine::from_scenario(s).unwrap();
+            let mut harness = LoopHarness::for_scenario(s, true);
+            harness.run(&mut engine, s.duration_s)
+        };
+        let clean = run(&base);
+        let noop = run(&faulty);
+
+        prop_assert_eq!(clean.times.len(), noop.times.len());
+        prop_assert!(noop.events.is_empty(), "noop faults log nothing");
+        for (a, b) in clean.mean_phase_deg.iter().zip(&noop.mean_phase_deg) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in clean.control_hz.iter().zip(&noop.control_hz) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (row_a, row_b) in clean.bunch_phase_deg.iter().zip(&noop.bunch_phase_deg) {
+            for (a, b) in row_a.iter().zip(row_b) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
