@@ -5,13 +5,16 @@
 //! and pass frequency around that point (turn-level loop, one 8° jump) and
 //! reports first-peak ratio, residual and damping time — showing the
 //! chosen point is indeed a good one. The variants run in parallel through
-//! [`cil_core::sweep::parallel_sweep_auto`]; results come back in input
-//! order, so the table stays deterministic.
+//! [`cil_core::sweep::parallel_sweep_telemetry`]; results come back in
+//! input order, so the table stays deterministic, and each worker's
+//! metrics registry is merged lock-free into a root registry at join —
+//! pass `--telemetry` to print the merged snapshot after the table.
 
 use cil_bench::{write_csv, Table};
 use cil_core::hil::{EngineKind, TurnLevelLoop};
 use cil_core::scenario::MdeScenario;
-use cil_core::sweep::parallel_sweep_auto;
+use cil_core::sweep::parallel_sweep_telemetry;
+use cil_core::telemetry::TelemetryRegistry;
 use cil_core::trace::score_jump_response;
 use std::fmt::Write as _;
 
@@ -23,7 +26,7 @@ struct Point {
     paper: bool,
 }
 
-fn run(p: &Point) -> (f64, f64, Option<f64>) {
+fn run(reg: &TelemetryRegistry, p: &Point) -> (f64, f64, Option<f64>) {
     let mut s = MdeScenario::nov24_2023();
     s.duration_s = 0.1;
     s.bunches = 1;
@@ -31,6 +34,7 @@ fn run(p: &Point) -> (f64, f64, Option<f64>) {
     s.controller.f_pass = p.f_pass;
     s.controller.recursion = p.recursion;
     let result = TurnLevelLoop::new(s.clone(), EngineKind::Map)
+        .with_telemetry(reg)
         .run(true)
         .unwrap();
     let t_jump = result.jump_times[0];
@@ -44,6 +48,7 @@ fn run(p: &Point) -> (f64, f64, Option<f64>) {
 }
 
 fn main() {
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
     println!("Ablation A5 — beam-phase controller parameter sweep");
     println!("(turn-level loop, 8 deg jump, 45 ms scoring window)\n");
 
@@ -76,7 +81,9 @@ fn main() {
         });
     }
 
-    let results = parallel_sweep_auto(&points, run);
+    let threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let registry = TelemetryRegistry::new();
+    let results = parallel_sweep_telemetry(&points, threads, &registry, run);
 
     let mut t = Table::new(&[
         "gain",
@@ -111,4 +118,9 @@ fn main() {
     println!("and risks saturation, lower f_pass slows the loop response.");
     let path = write_csv("ablation_controller.csv", &csv);
     println!("\ndata -> {}", path.display());
+
+    if telemetry {
+        println!("\n--- telemetry (merged across sweep workers) ---");
+        print!("{}", registry.snapshot().to_prometheus());
+    }
 }

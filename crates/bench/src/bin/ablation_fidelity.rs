@@ -5,14 +5,20 @@
 //! the full 250 MS/s signal chain. Open loop, one jump: the oscillation
 //! frequency and amplitude must agree — and the table quantifies what each
 //! modelling layer adds (staleness, quantisation) and costs (wall time).
+//!
+//! Wall time is read back from the telemetry registry's per-run histogram
+//! spans rather than ad-hoc `Instant` bookkeeping; pass `--telemetry` to
+//! dump the full metrics snapshot (Prometheus text format) after the table.
 
 use cil_bench::{write_csv, Table};
 use cil_core::hil::{EngineKind, SignalLevelLoop, TurnLevelLoop};
 use cil_core::scenario::MdeScenario;
+use cil_core::telemetry::{sample_global_kernel_cache, TelemetryRegistry};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 fn main() {
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
+    let registry = TelemetryRegistry::new();
     let mut s = MdeScenario::nov24_2023();
     s.duration_s = 0.012;
     s.bunches = 1;
@@ -29,10 +35,14 @@ fn main() {
         "sim slowdown vs real time",
     ]);
     let mut csv = String::from("fidelity,fs_hz,amp_deg,wall_ms\n");
-    let mut measure = |label: &str, runner: &dyn Fn() -> cil_core::hil::HilResult| {
-        let t0 = Instant::now();
-        let result = runner();
-        let wall = t0.elapsed().as_secs_f64();
+    let reg = registry.clone();
+    let mut measure = |label: &str, metric: &str, runner: &dyn Fn() -> cil_core::hil::HilResult| {
+        let hist = reg.histogram(metric);
+        let result = {
+            let _span = hist.time();
+            runner()
+        };
+        let wall = hist.sum();
         let start = result.jump_times[0] + 1e-4;
         let w = result.phase_deg.window(start, s.duration_s);
         let (fs, amp) = w.dominant_frequency(600.0, 3000.0);
@@ -47,22 +57,42 @@ fn main() {
     };
 
     let s1 = s.clone();
-    measure("turn-level, two-particle map", &move || {
-        TurnLevelLoop::new(s1.clone(), EngineKind::Map)
-            .run(false)
-            .unwrap()
-    });
+    let r1 = registry.clone();
+    measure(
+        "turn-level, two-particle map",
+        "cil_bench_fidelity_run_wall_seconds{fidelity=\"map\"}",
+        &move || {
+            TurnLevelLoop::new(s1.clone(), EngineKind::Map)
+                .with_telemetry(&r1)
+                .run(false)
+                .unwrap()
+        },
+    );
     let s2 = s.clone();
-    measure("turn-level, CGRA executor", &move || {
-        TurnLevelLoop::new(s2.clone(), EngineKind::Cgra)
-            .run(false)
-            .unwrap()
-    });
+    let r2 = registry.clone();
+    measure(
+        "turn-level, CGRA executor",
+        "cil_bench_fidelity_run_wall_seconds{fidelity=\"cgra\"}",
+        &move || {
+            TurnLevelLoop::new(s2.clone(), EngineKind::Cgra)
+                .with_telemetry(&r2)
+                .run(false)
+                .unwrap()
+        },
+    );
     let s3 = s.clone();
+    let r3 = registry.clone();
     let dur = s.duration_s;
-    measure("signal-level, full 250 MS/s chain", &move || {
-        SignalLevelLoop::new(s3.clone()).run(dur, false).unwrap()
-    });
+    measure(
+        "signal-level, full 250 MS/s chain",
+        "cil_bench_fidelity_run_wall_seconds{fidelity=\"signal\"}",
+        &move || {
+            SignalLevelLoop::new(s3.clone())
+                .with_telemetry(&r3)
+                .run(dur, false)
+                .unwrap()
+        },
+    );
 
     t.print();
     println!("\nreading: all three agree on the synchrotron frequency and the");
@@ -72,4 +102,10 @@ fn main() {
     println!("do this in hard real time.");
     let path = write_csv("ablation_fidelity.csv", &csv);
     println!("\ndata -> {}", path.display());
+
+    if telemetry {
+        sample_global_kernel_cache(&registry);
+        println!("\n--- telemetry (Prometheus text format) ---");
+        print!("{}", registry.snapshot().to_prometheus());
+    }
 }

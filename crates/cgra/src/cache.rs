@@ -104,6 +104,8 @@ pub struct CompiledKernelCache {
     map: Mutex<HashMap<KernelKey, Arc<CompiledKernel>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Wall-clock spent in cold compiles, nanoseconds.
+    compile_nanos: AtomicU64,
 }
 
 impl CompiledKernelCache {
@@ -134,9 +136,12 @@ impl CompiledKernelCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
 
+        let t0 = std::time::Instant::now();
         let kernel = build_beam_kernel_opts(params, bunches, pipelined, interpolate);
         let dfg = Arc::new(kernel.kernel.dfg.clone());
         let schedule = Arc::new(ListScheduler::new(grid).schedule(&dfg));
+        self.compile_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let compiled = Arc::new(CompiledKernel {
             kernel,
             dfg,
@@ -157,6 +162,12 @@ impl CompiledKernelCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Total wall-clock spent in cold compiles (source generation through
+    /// scheduling), seconds.
+    pub fn compile_seconds(&self) -> f64 {
+        self.compile_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
     /// Distinct configurations currently cached.
     pub fn len(&self) -> usize {
         self.map.lock().unwrap().len()
@@ -172,6 +183,7 @@ impl CompiledKernelCache {
         self.map.lock().unwrap().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.compile_nanos.store(0, Ordering::Relaxed);
     }
 }
 

@@ -83,6 +83,15 @@ pub trait BeamEngine {
     fn seed_state(&mut self, time_s: f64, ctrl_phase_rad: f64) {
         let _ = (time_s, ctrl_phase_rad);
     }
+
+    /// Export engine-internal statistics into `telemetry` (called by the
+    /// harness when a run finishes). Default: nothing to report. Engines
+    /// with internal DSP state (the signal-level chain) override this to
+    /// publish detector drop counts, period-guard admissions and ring-buffer
+    /// occupancy without the DSP crates ever depending on the registry.
+    fn sample_telemetry(&self, telemetry: &crate::telemetry::TelemetryRegistry) {
+        let _ = telemetry;
+    }
 }
 
 /// Which beam-model engine a turn-level executive uses.
@@ -124,6 +133,15 @@ impl EngineKind {
         match *self {
             EngineKind::Cgra | EngineKind::RefTrack { .. } => Some(EngineKind::Map),
             EngineKind::Map => None,
+        }
+    }
+
+    /// Stable label for metric names (`fidelity="..."`).
+    pub fn fidelity_label(&self) -> &'static str {
+        match *self {
+            EngineKind::Map => "map",
+            EngineKind::Cgra => "cgra",
+            EngineKind::RefTrack { .. } => "reftrack",
         }
     }
 }
@@ -512,6 +530,10 @@ pub struct SignalLevelEngine {
     sample_rate: f64,
     sample: u64,
     faults: FaultProgram,
+    /// Period-guard verdicts: detector-period updates admitted vs rejected
+    /// as transient mis-measurements (exported via `sample_telemetry`).
+    period_admitted: u64,
+    period_rejected: u64,
 }
 
 impl SignalLevelEngine {
@@ -543,6 +565,8 @@ impl SignalLevelEngine {
             sample_rate,
             sample: 0,
             faults: s.faults.clone(),
+            period_admitted: 0,
+            period_rejected: 0,
         })
     }
 
@@ -580,7 +604,10 @@ impl BeamEngine for SignalLevelEngine {
                 let samples = p * self.sample_rate;
                 // Guard against transient mis-measurements under heavy noise.
                 if samples > self.period_samples * 0.5 && samples < self.period_samples * 2.0 {
+                    self.period_admitted += 1;
                     self.detector.set_period_samples(samples);
+                } else {
+                    self.period_rejected += 1;
                 }
             }
             if let Some(m) = self.detector.push(v_ref, out.beam) {
@@ -597,6 +624,24 @@ impl BeamEngine for SignalLevelEngine {
 
     fn applied_jump_deg(&self) -> f64 {
         self.bench.applied_jump_deg()
+    }
+
+    fn sample_telemetry(&self, telemetry: &crate::telemetry::TelemetryRegistry) {
+        telemetry
+            .counter("cil_detector_dropped_samples_total")
+            .add(self.detector.dropped_samples());
+        telemetry
+            .counter("cil_detector_period_admissions_total")
+            .add(self.period_admitted);
+        telemetry
+            .counter("cil_detector_period_rejections_total")
+            .add(self.period_rejected);
+        telemetry
+            .gauge("cil_ring_buffer_occupancy_samples{channel=\"ref\"}")
+            .set(self.fw.ref_buffer_occupancy() as f64);
+        telemetry
+            .gauge("cil_ring_buffer_occupancy_samples{channel=\"gap\"}")
+            .set(self.fw.gap_buffer_occupancy() as f64);
     }
 }
 

@@ -445,6 +445,12 @@ pub struct SupervisorConfig {
     pub allow_demotion: bool,
     /// Seed of the wall-clock jitter model draws.
     pub seed: u64,
+    /// Use the measured warmup-step calibration (when available for the
+    /// running fidelity) as the nominal step cost instead of the hard-coded
+    /// per-fidelity figure. Defaults to `false`: measured wall-clock in the
+    /// deadline model would make supervised runs non-replayable, so the
+    /// calibration is recorded and exported but only *applied* on request.
+    pub use_measured_step: bool,
 }
 
 impl SupervisorConfig {
@@ -458,8 +464,20 @@ impl SupervisorConfig {
             max_actuation_hz: s.controller.max_freq_offset_hz,
             allow_demotion: true,
             seed: 0x5AFE,
+            use_measured_step: false,
         }
     }
+}
+
+/// Measured per-step wall-clock for one engine fidelity, taken from warmup
+/// steps on a scratch engine at harness startup (satellite fix for the
+/// hard-coded per-fidelity step model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepCalibration {
+    /// Fidelity the measurement was taken at.
+    pub kind: EngineKind,
+    /// Median measured step wall-clock, seconds.
+    pub step_seconds: f64,
 }
 
 /// Admission verdict for one measured row.
@@ -480,6 +498,7 @@ pub struct LoopSupervisor {
     rng: StdRng,
     last_good: Option<f64>,
     bad_streak: u32,
+    calibration: Option<StepCalibration>,
 }
 
 impl LoopSupervisor {
@@ -490,6 +509,7 @@ impl LoopSupervisor {
             rng: StdRng::seed_from_u64(config.seed),
             last_good: None,
             bad_streak: 0,
+            calibration: None,
         }
     }
 
@@ -507,16 +527,38 @@ impl LoopSupervisor {
     /// map is far below it, and a multi-particle tracker is inherently
     /// above it at realistic ensemble sizes — so RefTrack demotes by
     /// design under supervision.
+    /// With [`SupervisorConfig::use_measured_step`] set and a
+    /// [`StepCalibration`] recorded for the running fidelity, the measured
+    /// median replaces the hard-coded nominal (jitter and overrun faults
+    /// still apply on top).
     pub fn model_step_seconds(&mut self, kind: EngineKind, overrun_factor: f64) -> f64 {
-        let (nominal, imp) = match kind {
+        let (mut nominal, imp) = match kind {
             EngineKind::Cgra => (1.0e-6, Implementation::CgraFpga),
             EngineKind::Map => (5.0e-8, Implementation::RealtimeSoftware),
             EngineKind::RefTrack { particles, .. } => {
                 (particles as f64 * 3.0e-9, Implementation::RealtimeSoftware)
             }
         };
+        if self.config.use_measured_step {
+            if let Some(cal) = self.calibration {
+                if cal.kind == kind {
+                    nominal = cal.step_seconds;
+                }
+            }
+        }
         let jitter = JitterModel::for_implementation(imp).sample(&mut self.rng);
         ((nominal + jitter) * overrun_factor).max(0.0)
+    }
+
+    /// Warmup-step calibration recorded by the harness, if any.
+    pub fn calibration(&self) -> Option<StepCalibration> {
+        self.calibration
+    }
+
+    /// Record a warmup-step calibration (done by
+    /// [`crate::harness::LoopHarness::run_supervised`] at startup).
+    pub fn set_calibration(&mut self, calibration: StepCalibration) {
+        self.calibration = Some(calibration);
     }
 
     /// Gate one measured row: accept it (updating the hold value) or reject

@@ -397,6 +397,16 @@ impl SimulatorFramework {
         &self.last_dt
     }
 
+    /// Valid samples currently held in the reference capture buffer.
+    pub fn ref_buffer_occupancy(&self) -> usize {
+        self.ref_buffer.occupancy()
+    }
+
+    /// Valid samples currently held in the gap capture buffer.
+    pub fn gap_buffer_occupancy(&self) -> usize {
+        self.gap_buffer.occupancy()
+    }
+
     /// Last value the kernel wrote to the monitoring actuator.
     pub fn monitor_value(&self) -> f64 {
         self.monitor_value

@@ -13,16 +13,26 @@
 //! [`LoopHarness::run_supervised`] wraps the loop in a [`LoopSupervisor`] —
 //! deadline watchdog, outlier gate, actuation clamp and graceful engine
 //! degradation through [`EngineKind::demote`].
+//!
+//! Telemetry is opt-in via [`LoopHarness::with_telemetry`]: the harness
+//! resolves all metric handles up front ([`LoopMetrics`]), records
+//! per-revolution wall-clock (sampled in blocks of
+//! [`crate::telemetry::WALL_SAMPLE_ROWS`] rows to keep `Instant::now` off
+//! the per-row path), modelled step cost and deadline headroom, and folds
+//! the finished trace's event log into the counters so the exported numbers
+//! always agree with the audit channel.
 
 use crate::control::BeamPhaseController;
 use crate::engine::{BeamEngine, EngineKind, EngineStep};
 use crate::error::Result;
 use crate::fault::{
-    FaultInjector, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor, LossCause,
+    FaultInjector, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor, LossCause, StepCalibration,
 };
 use crate::scenario::MdeScenario;
 use crate::signalgen::PhaseJumpProgram;
+use crate::telemetry::{LoopMetrics, TelemetryRegistry, WALL_SAMPLE_ROWS};
 use cil_physics::constants::TWO_PI;
+use std::time::Instant;
 
 /// Everything one closed-loop run records.
 #[derive(Debug, Clone)]
@@ -84,6 +94,40 @@ pub struct LoopHarness {
     pub instrument_offset_deg: f64,
     /// Run-time state of the scenario's fault schedule (empty = clean run).
     pub faults: FaultInjector,
+    /// Resolved metric handles when telemetry is enabled (None = zero-cost).
+    telemetry: Option<LoopMetrics>,
+}
+
+/// Wall-clock sampler for the hot loop: reads `Instant::now` once per
+/// [`WALL_SAMPLE_ROWS`] measured rows and records the per-row average, so
+/// the clock read never rivals the cost of a Map-fidelity step.
+struct WallSampler {
+    histogram: crate::telemetry::Histogram,
+    block_start: Instant,
+    rows_in_block: u64,
+}
+
+impl WallSampler {
+    fn new(metrics: &LoopMetrics) -> Self {
+        Self {
+            histogram: metrics.revolution_wall.clone(),
+            block_start: Instant::now(),
+            rows_in_block: 0,
+        }
+    }
+
+    #[inline]
+    fn row(&mut self) {
+        self.rows_in_block += 1;
+        if self.rows_in_block >= WALL_SAMPLE_ROWS {
+            let now = Instant::now();
+            let per_row =
+                now.duration_since(self.block_start).as_secs_f64() / self.rows_in_block as f64;
+            self.histogram.observe(per_row);
+            self.block_start = now;
+            self.rows_in_block = 0;
+        }
+    }
 }
 
 impl LoopHarness {
@@ -98,6 +142,7 @@ impl LoopHarness {
             jumps,
             instrument_offset_deg,
             faults: FaultInjector::none(),
+            telemetry: None,
         }
     }
 
@@ -118,6 +163,13 @@ impl LoopHarness {
         self
     }
 
+    /// Record run metrics into `registry` (builder style). All handles are
+    /// resolved here, once — the run loops only touch atomics.
+    pub fn with_telemetry(mut self, registry: &TelemetryRegistry) -> Self {
+        self.telemetry = Some(LoopMetrics::register(registry));
+        self
+    }
+
     /// Run the loop until the engine's time reaches `duration_s`.
     pub fn run<E: BeamEngine + ?Sized>(&mut self, engine: &mut E, duration_s: f64) -> LoopTrace {
         self.run_with(engine, duration_s, |_| {})
@@ -135,6 +187,7 @@ impl LoopHarness {
         let mut phase = vec![0.0; bunches];
         let mut trace = LoopTrace::empty(bunches);
         let mut last_jump = 0.0f64;
+        let mut wall = self.telemetry.as_ref().map(WallSampler::new);
 
         while engine.time() < duration_s {
             let t_pre = engine.time();
@@ -176,7 +229,12 @@ impl LoopHarness {
                     });
                     break;
                 }
-                EngineStep::Idle => continue,
+                EngineStep::Idle => {
+                    if let Some(m) = &self.telemetry {
+                        m.idle_steps.inc();
+                    }
+                    continue;
+                }
                 EngineStep::Measured => {
                     self.faults
                         .apply_row(turn, engine.time(), &mut phase, &mut trace.events);
@@ -194,8 +252,15 @@ impl LoopHarness {
                     }
                     trace.control_hz.push(self.controller.output());
                     observer(engine);
+                    if let Some(w) = &mut wall {
+                        w.row();
+                    }
                 }
             }
+        }
+        if let Some(m) = &self.telemetry {
+            m.note_trace(&trace);
+            engine.sample_telemetry(&m.registry);
         }
         trace
     }
@@ -218,11 +283,29 @@ impl LoopHarness {
         supervisor: &mut LoopSupervisor,
     ) -> Result<LoopTrace> {
         let mut kind = kind;
+        // Startup calibration (satellite fix): measure the real per-step
+        // wall-clock on a *scratch* engine that is discarded afterwards, so
+        // the run itself stays bit-identical whether or not it happened.
+        // The measured figure replaces the hard-coded nominal only when the
+        // policy opts in (`use_measured_step`); it is always exported.
+        if supervisor.calibration().is_none_or(|cal| cal.kind != kind) {
+            let cal = measure_step_seconds(scenario, kind)?;
+            supervisor.set_calibration(cal);
+        }
+        if let (Some(m), Some(cal)) = (&self.telemetry, supervisor.calibration()) {
+            m.registry
+                .gauge(&format!(
+                    "cil_supervisor_calibrated_step_wall_seconds{{fidelity=\"{}\"}}",
+                    cal.kind.fidelity_label()
+                ))
+                .set(cal.step_seconds);
+        }
         let mut engine = kind.build(scenario)?;
         let bunches = engine.bunches();
         let mut phase = vec![0.0; bunches];
         let mut trace = LoopTrace::empty(bunches);
         let mut last_jump = 0.0f64;
+        let mut wall = self.telemetry.as_ref().map(WallSampler::new);
         // Mirror of the engine's accumulated control phase, so a freshly
         // built engine can be seeded mid-run after a demotion.
         let t_rev = 1.0 / scenario.f_rev;
@@ -282,7 +365,12 @@ impl LoopHarness {
                     });
                     break;
                 }
-                EngineStep::Idle => continue,
+                EngineStep::Idle => {
+                    if let Some(m) = &self.telemetry {
+                        m.idle_steps.inc();
+                    }
+                    continue;
+                }
                 EngineStep::Measured => {
                     let time_s = engine.time();
                     // Deadline accounting: one measured row = one
@@ -290,6 +378,11 @@ impl LoopHarness {
                     let modeled =
                         supervisor.model_step_seconds(kind, self.faults.overrun_factor_at(t_pre));
                     let overrun = modeled > supervisor.config.deadline_s;
+                    if let Some(m) = &self.telemetry {
+                        m.step_modeled.observe(modeled);
+                        m.deadline_headroom
+                            .observe((supervisor.config.deadline_s - modeled).max(0.0));
+                    }
                     if overrun {
                         trace.events.push(LoopEvent::DeadlineOverrun {
                             turn,
@@ -374,11 +467,37 @@ impl LoopHarness {
                             }
                         }
                     }
+                    if let Some(w) = &mut wall {
+                        w.row();
+                    }
                 }
             }
         }
+        if let Some(m) = &self.telemetry {
+            m.note_trace(&trace);
+            engine.sample_telemetry(&m.registry);
+        }
         Ok(trace)
     }
+}
+
+/// Measure the median per-step wall-clock of `kind` over three warmup steps
+/// on a scratch engine (discarded afterwards, so the caller's run is
+/// unaffected by the measurement ever having happened).
+fn measure_step_seconds(scenario: &MdeScenario, kind: EngineKind) -> Result<StepCalibration> {
+    let mut engine = kind.build(scenario)?;
+    let mut phase = vec![0.0; engine.bunches()];
+    let mut samples = [0.0f64; 3];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        let _ = engine.step(&scenario.jumps, &mut phase);
+        *s = t0.elapsed().as_secs_f64();
+    }
+    samples.sort_by(f64::total_cmp);
+    Ok(StepCalibration {
+        kind,
+        step_seconds: samples[1],
+    })
 }
 
 #[cfg(test)]

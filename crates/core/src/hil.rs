@@ -20,6 +20,7 @@ use crate::error::Result;
 use crate::fault::{LoopEvent, LoopOutcome, LoopSupervisor};
 use crate::harness::LoopHarness;
 use crate::scenario::MdeScenario;
+use crate::telemetry::TelemetryRegistry;
 use crate::trace::TimeSeries;
 
 pub use crate::engine::EngineKind;
@@ -52,12 +53,23 @@ impl HilResult {
 pub struct TurnLevelLoop {
     scenario: MdeScenario,
     engine: EngineKind,
+    telemetry: Option<TelemetryRegistry>,
 }
 
 impl TurnLevelLoop {
     /// New loop for a scenario.
     pub fn new(scenario: MdeScenario, engine: EngineKind) -> Self {
-        Self { scenario, engine }
+        Self {
+            scenario,
+            engine,
+            telemetry: None,
+        }
+    }
+
+    /// Record run metrics into `registry` (builder style).
+    pub fn with_telemetry(mut self, registry: &TelemetryRegistry) -> Self {
+        self.telemetry = Some(registry.clone());
+        self
     }
 
     /// Run the experiment for the scenario duration. `control_enabled`
@@ -67,6 +79,9 @@ impl TurnLevelLoop {
         let t_rev = 1.0 / s.f_rev;
         let mut engine = self.engine.build(s)?;
         let mut harness = LoopHarness::for_scenario(s, control_enabled);
+        if let Some(reg) = &self.telemetry {
+            harness = harness.with_telemetry(reg);
+        }
         let trace = harness.run(engine.as_mut(), s.duration_s);
         Ok(HilResult {
             phase_deg: TimeSeries::new(0.0, t_rev, trace.mean_phase_deg),
@@ -88,6 +103,9 @@ impl TurnLevelLoop {
         let s = &self.scenario;
         let t_rev = 1.0 / s.f_rev;
         let mut harness = LoopHarness::for_scenario(s, control_enabled);
+        if let Some(reg) = &self.telemetry {
+            harness = harness.with_telemetry(reg);
+        }
         let trace = harness.run_supervised(s, self.engine, s.duration_s, supervisor)?;
         Ok(HilResult {
             phase_deg: TimeSeries::new(0.0, t_rev, trace.mean_phase_deg),
@@ -102,12 +120,22 @@ impl TurnLevelLoop {
 /// Signal-level closed-loop executive: the full test bench of Fig. 4.
 pub struct SignalLevelLoop {
     scenario: MdeScenario,
+    telemetry: Option<TelemetryRegistry>,
 }
 
 impl SignalLevelLoop {
     /// New loop for a scenario.
     pub fn new(scenario: MdeScenario) -> Self {
-        Self { scenario }
+        Self {
+            scenario,
+            telemetry: None,
+        }
+    }
+
+    /// Record run metrics into `registry` (builder style).
+    pub fn with_telemetry(mut self, registry: &TelemetryRegistry) -> Self {
+        self.telemetry = Some(registry.clone());
+        self
     }
 
     /// Run for `duration_s` seconds of bench time (may be shorter than the
@@ -121,6 +149,9 @@ impl SignalLevelLoop {
         let mut controller = BeamPhaseController::new(s.controller, s.f_rev * s.bunches as f64);
         controller.enabled = control_enabled;
         let mut harness = LoopHarness::new(controller, s.jumps, s.instrument_offset_deg);
+        if let Some(reg) = &self.telemetry {
+            harness = harness.with_telemetry(reg);
+        }
         let trace = harness.run(&mut engine, duration_s);
 
         let t_rev = 1.0 / s.f_rev;

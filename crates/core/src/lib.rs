@@ -33,6 +33,9 @@
 //!   deadline watchdog and graceful engine degradation;
 //! * [`error`] — the typed [`error::CilError`] every run-path constructor
 //!   returns instead of panicking;
+//! * [`telemetry`] — the zero-allocation-on-hot-path metrics registry
+//!   (counters, gauges, log2-bucket histograms), span timing, registry
+//!   merging for parallel sweeps, and Prometheus/JSON export;
 //! * [`trace`] — time-series recording, CSV export and the Fig. 5 summary
 //!   statistics (measured f_s, first-peak ratio, damping time).
 
@@ -51,6 +54,7 @@ pub mod recorder;
 pub mod scenario;
 pub mod signalgen;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 
 pub use control::BeamPhaseController;
@@ -58,11 +62,12 @@ pub use engine::{BeamEngine, EngineKind, EngineStep};
 pub use error::CilError;
 pub use fault::{
     FaultEvent, FaultInjector, FaultKind, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor,
-    LossCause, SupervisorConfig,
+    LossCause, StepCalibration, SupervisorConfig,
 };
 pub use harness::{LoopHarness, LoopTrace};
 pub use hil::{SignalLevelLoop, TurnLevelLoop};
 pub use multibunch::MultiBunchLoop;
 pub use ramploop::RampLoop;
 pub use scenario::MdeScenario;
+pub use telemetry::{TelemetryRegistry, TelemetrySnapshot};
 pub use trace::TimeSeries;

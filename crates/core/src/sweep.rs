@@ -9,6 +9,11 @@
 //! each worker a reusable per-thread state arena (e.g. a warm
 //! engine/trace allocation, or a handle that keeps compiled-kernel cache
 //! entries alive) built once per thread instead of once per item.
+//! [`parallel_sweep_telemetry`] specialises the state arena to a per-worker
+//! [`TelemetryRegistry`] merged into a root registry at join — each worker
+//! records into private atomics, so the sweep hot path takes no shared lock.
+
+use crate::telemetry::TelemetryRegistry;
 
 /// Run `f` over every item of `inputs` on up to `threads` worker threads,
 /// giving each worker a private state value built by `init` (once per
@@ -26,6 +31,28 @@ where
     G: Fn() -> S + Sync,
     F: Fn(&mut S, &I) -> O + Sync,
 {
+    parallel_sweep_with_merge(inputs, threads, init, f, |_| {})
+}
+
+/// [`parallel_sweep_with`] plus a `merge` hook: each worker calls
+/// `merge(state)` on its own thread after finishing its chunk, before
+/// joining. `merge` observes every worker's final state exactly once
+/// regardless of thread count — the primitive behind
+/// [`parallel_sweep_telemetry`]'s lossless registry merging.
+pub fn parallel_sweep_with_merge<I, O, S, G, F, M>(
+    inputs: &[I],
+    threads: usize,
+    init: G,
+    f: F,
+    merge: M,
+) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, &I) -> O + Sync,
+    M: Fn(S) + Sync,
+{
     assert!(threads >= 1);
     let n = inputs.len();
     if n == 0 {
@@ -35,6 +62,7 @@ where
 
     let init = &init;
     let f = &f;
+    let merge = &merge;
     // Each worker returns its chunk's results through the join handle;
     // joining in spawn order reassembles the input order without ever
     // holding partially-filled slots.
@@ -44,10 +72,12 @@ where
             .map(|in_chunk| {
                 scope.spawn(move || {
                     let mut state = init();
-                    in_chunk
+                    let out = in_chunk
                         .iter()
                         .map(|input| f(&mut state, input))
-                        .collect::<Vec<O>>()
+                        .collect::<Vec<O>>();
+                    merge(state);
+                    out
                 })
             })
             .collect();
@@ -59,6 +89,33 @@ where
             })
             .collect()
     })
+}
+
+/// Telemetry-carrying sweep: each worker gets a private
+/// [`TelemetryRegistry`] to record into (passed to `f` alongside the input),
+/// absorbed into `root` when the worker finishes its chunk. Recording is
+/// per-worker atomics — no shared lock on the hot path; the only
+/// synchronisation is one absorb per worker at join. Counter and
+/// histogram-bucket totals in `root` are exact sums over all items,
+/// independent of thread count.
+pub fn parallel_sweep_telemetry<I, O, F>(
+    inputs: &[I],
+    threads: usize,
+    root: &TelemetryRegistry,
+    f: F,
+) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&TelemetryRegistry, &I) -> O + Sync,
+{
+    parallel_sweep_with_merge(
+        inputs,
+        threads,
+        TelemetryRegistry::new,
+        |reg, input| f(reg, input),
+        |reg| root.absorb(&reg),
+    )
 }
 
 /// Stateless sweep: run `f` over every item on up to `threads` workers;
@@ -138,6 +195,21 @@ mod tests {
             assert_eq!(x, i as u32);
             assert_eq!(seen, i as u32 + 1, "state carried across items");
         }
+    }
+
+    #[test]
+    fn telemetry_sweep_counts_every_item_once() {
+        let inputs: Vec<u32> = (0..40).collect();
+        let root = TelemetryRegistry::new();
+        let out = parallel_sweep_telemetry(&inputs, 4, &root, |reg, &x| {
+            reg.counter("items_total").inc();
+            reg.histogram("value_hist").observe(f64::from(x));
+            x
+        });
+        assert_eq!(out.len(), 40);
+        let snap = root.snapshot();
+        assert_eq!(snap.counter("items_total"), Some(40));
+        assert_eq!(snap.histogram("value_hist").unwrap().count, 40);
     }
 
     #[test]

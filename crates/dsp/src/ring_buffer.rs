@@ -92,6 +92,13 @@ impl CaptureRingBuffer {
         self.written
     }
 
+    /// Valid samples currently held: `samples_written` until the buffer
+    /// fills, then the capacity. Telemetry layers sample this as the
+    /// occupancy gauge.
+    pub fn occupancy(&self) -> usize {
+        self.written.min(self.data.len() as u64) as usize
+    }
+
     /// Whether the buffer can hold two full periods of `period_samples`.
     /// The paper sizes buffers so this holds for f_rev ≥ 100 kHz.
     pub fn holds_two_periods(&self, period_samples: usize) -> bool {

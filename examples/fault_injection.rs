@@ -7,13 +7,17 @@
 //!
 //! ```text
 //! cargo run --release --example fault_injection
+//! cargo run --release --example fault_injection -- --telemetry
 //! ```
+//!
+//! `--telemetry` accumulates both supervised runs into one metrics registry
+//! and prints the snapshot in Prometheus text format and JSON.
 
 use cil_core::fault::{FaultEvent, FaultKind, LoopEvent};
 use cil_core::harness::{LoopHarness, LoopTrace};
 use cil_core::hil::EngineKind;
 use cil_core::signalgen::PhaseJumpProgram;
-use cil_core::{FaultProgram, LoopSupervisor, MdeScenario};
+use cil_core::{FaultProgram, LoopSupervisor, MdeScenario, TelemetryRegistry};
 
 fn tail_residual_deg(trace: &LoopTrace, t_from: f64) -> f64 {
     let tail: Vec<f64> = trace
@@ -33,6 +37,9 @@ fn count<F: Fn(&LoopEvent) -> bool>(trace: &LoopTrace, f: F) -> usize {
 }
 
 fn main() {
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
+    let registry = TelemetryRegistry::new();
+
     // A persistent 15 deg RF phase jump at 60 ms, with a detector-outlier
     // storm (8% of rows spiked by +/-120 deg) raging from 50 ms on.
     let mut s = MdeScenario::nov24_2023();
@@ -57,6 +64,9 @@ fn main() {
     );
 
     let mut harness = LoopHarness::for_scenario(&s, true);
+    if telemetry {
+        harness = harness.with_telemetry(&registry);
+    }
     let mut sup = LoopSupervisor::for_scenario(&s);
     let supervised = harness
         .run_supervised(&s, EngineKind::Map, s.duration_s, &mut sup)
@@ -85,6 +95,9 @@ fn main() {
         }],
     };
     let mut harness = LoopHarness::for_scenario(&s2, true);
+    if telemetry {
+        harness = harness.with_telemetry(&registry);
+    }
     let mut sup = LoopSupervisor::for_scenario(&s2);
     let trace = harness
         .run_supervised(&s2, EngineKind::Cgra, s2.duration_s, &mut sup)
@@ -104,5 +117,14 @@ fn main() {
         {
             println!("demotion: {from:?} -> {to:?} at turn {turn} (t = {time_s:.4} s)");
         }
+    }
+
+    if telemetry {
+        cil_core::telemetry::sample_global_kernel_cache(&registry);
+        let snap = registry.snapshot();
+        println!("\n--- telemetry (Prometheus text format) ---");
+        print!("{}", snap.to_prometheus());
+        println!("\n--- telemetry (JSON) ---");
+        println!("{}", snap.to_json());
     }
 }

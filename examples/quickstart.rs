@@ -3,13 +3,19 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --telemetry
 //! ```
+//!
+//! `--telemetry` attaches a metrics registry to the run and prints the
+//! snapshot in Prometheus text format after the physics summary.
 
 use cavity_in_the_loop::hil::{EngineKind, TurnLevelLoop};
 use cavity_in_the_loop::scenario::MdeScenario;
+use cavity_in_the_loop::telemetry::{sample_global_kernel_cache, TelemetryRegistry};
 use cavity_in_the_loop::trace::score_jump_response;
 
 fn main() {
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
     // The evaluation scenario: SIS18, 14N7+, 800 kHz / h=4, fs = 1.28 kHz,
     // 8 degree phase jumps every 0.05 s, beam-phase controller at the
     // paper's settings (f_pass 1.4 kHz, gain -5, recursion 0.99).
@@ -27,9 +33,12 @@ fn main() {
 
     // Run the closed loop with the beam model executing on the simulated
     // CGRA (the cavity in the loop).
-    let result = TurnLevelLoop::new(scenario.clone(), EngineKind::Cgra)
-        .run(true)
-        .unwrap();
+    let registry = TelemetryRegistry::new();
+    let mut hil = TurnLevelLoop::new(scenario.clone(), EngineKind::Cgra);
+    if telemetry {
+        hil = hil.with_telemetry(&registry);
+    }
+    let result = hil.run(true).unwrap();
 
     println!(
         "simulated {} revolutions, {} phase jumps",
@@ -63,4 +72,11 @@ fn main() {
         "synchrotron frequency     : {:.2} kHz (target 1.28 kHz)",
         fs / 1e3
     );
+
+    if telemetry {
+        sample_global_kernel_cache(&registry);
+        println!();
+        println!("--- telemetry (Prometheus text format) ---");
+        print!("{}", registry.snapshot().to_prometheus());
+    }
 }

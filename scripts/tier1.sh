@@ -17,3 +17,8 @@ cargo test -q --workspace
 # Headline robustness claims: storm recovery, deterministic replay,
 # graceful engine degradation.
 cargo test -q --test fault_injection
+# Telemetry golden traces, merge proptest and exports; the release pass
+# also runs the #[ignore]d throughput guard (telemetry-on <= 1.10x off)
+# and writes results/BENCH_telemetry.json.
+cargo test -q --test telemetry
+cargo test --release -q --test telemetry -- --include-ignored

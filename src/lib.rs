@@ -20,7 +20,8 @@
 //!   tracker standing in for the real beam (Fig. 5b);
 //! * the HIL framework itself (`cil-core`), whose modules are re-exported
 //!   at the top level: [`framework`], [`control`], [`engine`], [`harness`],
-//!   [`hil`], [`scenario`], [`signalgen`], [`jitter`], [`clock`], [`trace`].
+//!   [`hil`], [`scenario`], [`signalgen`], [`jitter`], [`clock`],
+//!   [`telemetry`], [`trace`].
 //!
 //! ## Quick start
 //!
@@ -56,4 +57,5 @@ pub use cil_core::recorder;
 pub use cil_core::scenario;
 pub use cil_core::signalgen;
 pub use cil_core::sweep;
+pub use cil_core::telemetry;
 pub use cil_core::trace;

@@ -13,8 +13,35 @@ use cil_core::framework::SimulatorFramework;
 use cil_core::harness::{LoopHarness, LoopTrace};
 use cil_core::hil::{EngineKind, SignalLevelLoop, TurnLevelLoop};
 use cil_core::signalgen::PhaseJumpProgram;
-use cil_core::{CilError, LoopSupervisor, MdeScenario};
+use cil_core::telemetry::TelemetrySnapshot;
+use cil_core::{CilError, LoopSupervisor, MdeScenario, TelemetryRegistry};
 use proptest::prelude::*;
+
+/// Everything in a snapshot except wall-clock-derived metrics (names
+/// containing `wall`), which are the only values allowed to differ between
+/// two otherwise identical runs.
+fn deterministic_part(snap: &TelemetrySnapshot) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        counters: snap
+            .counters
+            .iter()
+            .filter(|(n, _)| !n.contains("wall"))
+            .cloned()
+            .collect(),
+        gauges: snap
+            .gauges
+            .iter()
+            .filter(|(n, _)| !n.contains("wall"))
+            .cloned()
+            .collect(),
+        histograms: snap
+            .histograms
+            .iter()
+            .filter(|(n, _)| !n.contains("wall"))
+            .cloned()
+            .collect(),
+    }
+}
 
 /// A persistent (non-toggling within the run) 15° jump at `t0`: the
 /// displaced-latency trick parks the first toggle of a long-interval
@@ -265,12 +292,22 @@ proptest! {
         };
 
         let run = |s: &MdeScenario| {
+            let registry = TelemetryRegistry::new();
             let mut engine = MapEngine::from_scenario(s).unwrap();
-            let mut harness = LoopHarness::for_scenario(s, true);
-            harness.run(&mut engine, s.duration_s)
+            let mut harness = LoopHarness::for_scenario(s, true).with_telemetry(&registry);
+            let trace = harness.run(&mut engine, s.duration_s);
+            (trace, registry.snapshot())
         };
-        let clean = run(&base);
-        let noop = run(&faulty);
+        let (clean, clean_snap) = run(&base);
+        let (noop, noop_snap) = run(&faulty);
+
+        // Telemetry regression: the exported metrics (wall-clock aside)
+        // must be bit-identical between the noop-fault and fault-free runs.
+        prop_assert_eq!(
+            deterministic_part(&clean_snap),
+            deterministic_part(&noop_snap)
+        );
+        prop_assert_eq!(clean_snap.counter("cil_fault_activations_total"), Some(0));
 
         prop_assert_eq!(clean.times.len(), noop.times.len());
         prop_assert!(noop.events.is_empty(), "noop faults log nothing");
