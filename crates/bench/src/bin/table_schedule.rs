@@ -30,7 +30,8 @@ fn main() {
         (1, true, 93, 1.19),
     ];
     let configs: Vec<(usize, bool)> = rows.iter().map(|r| (r.0, r.1)).collect();
-    let ours = schedule_table(&params, grid, f_clk, &configs);
+    let ours = schedule_table(&params, grid, f_clk, &configs)
+        .unwrap_or_else(|e| panic!("schedule table failed: {e}"));
 
     let mut t = Table::new(&[
         "bunches",

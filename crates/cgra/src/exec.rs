@@ -253,6 +253,29 @@ impl CgraExecutor {
         self.iterations
     }
 
+    /// Snapshot the architectural run state for checkpointing. Only the
+    /// committed register file and the iteration counter are captured: after
+    /// a committed iteration `regs_next == regs_current`, and the scratch
+    /// value store carries nothing across iterations.
+    pub fn state(&self) -> ExecutorState {
+        ExecutorState {
+            regs: self.regs_current.clone(),
+            iterations: self.iterations,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`]. Fails (returns `false`)
+    /// when the register-file size does not match this executor's kernel.
+    pub fn restore(&mut self, state: &ExecutorState) -> bool {
+        if state.regs.len() != self.regs_current.len() {
+            return false;
+        }
+        self.regs_current.copy_from_slice(&state.regs);
+        self.regs_next.copy_from_slice(&state.regs);
+        self.iterations = state.iterations;
+        true
+    }
+
     /// The configured context memories (the bitstream-patch artifact).
     pub fn contexts(&self) -> &ContextMemories {
         &self.contexts
@@ -267,6 +290,15 @@ impl CgraExecutor {
     pub fn dfg(&self) -> &Dfg {
         &self.dfg
     }
+}
+
+/// Checkpointable architectural state of a [`CgraExecutor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorState {
+    /// Committed loop-carried register file.
+    pub regs: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: u64,
 }
 
 /// Reference interpretation of a DFG for one iteration: definition order

@@ -8,10 +8,42 @@
 //! Δt write-back pushed into the first half so all I/O happens in stage 0).
 //! Scheduling these variants reproduces the Section IV-B tick-count table.
 
-use crate::frontend::{compile, Kernel};
+use crate::frontend::{compile, Kernel, ParseError};
 use crate::grid::GridConfig;
-use crate::sched::{ListScheduler, Schedule};
+use crate::sched::{ListScheduler, Schedule, ScheduleError};
 use std::fmt::Write as _;
+
+/// Why a beam kernel could not be generated, compiled or scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelBuildError {
+    /// Bunch count outside the supported 1..=64 range (the generated
+    /// per-bunch statics and actuator ports are sized for it).
+    BadBunchCount(usize),
+    /// The generated C source failed to compile — only reachable if the
+    /// generator itself regresses, but surfaced rather than asserted so
+    /// callers embedding user-tweaked sources get a diagnostic.
+    Compile(ParseError),
+    /// The compiled DFG could not be scheduled on the requested grid.
+    Schedule(ScheduleError),
+    /// The schedule failed post-validation (a scheduler bug surfaced as
+    /// data, carrying the human-readable violation).
+    InvalidSchedule(String),
+}
+
+impl std::fmt::Display for KernelBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadBunchCount(b) => {
+                write!(f, "bunch count {b} outside the supported range 1..=64")
+            }
+            Self::Compile(e) => write!(f, "generated kernel source failed to compile: {e}"),
+            Self::Schedule(e) => write!(f, "kernel DFG unschedulable: {e}"),
+            Self::InvalidSchedule(msg) => write!(f, "kernel schedule invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelBuildError {}
 
 /// Sensor port: measured revolution period (seconds). Address ignored.
 pub const PORT_PERIOD: u16 = 0;
@@ -80,13 +112,32 @@ pub fn beam_kernel_source(params: &KernelParams, bunches: usize, pipelined: bool
 /// [`beam_kernel_source`] with the linear interpolation made optional
 /// (ablation A1: "a second value is requested from the buffer to perform
 /// linear interpolation to increase the accuracy" — what if it were not?).
+///
+/// Panics on a bunch count outside 1..=64; use
+/// [`try_beam_kernel_source_opts`] to get that as a typed error instead.
 pub fn beam_kernel_source_opts(
     params: &KernelParams,
     bunches: usize,
     pipelined: bool,
     interpolate: bool,
 ) -> String {
-    assert!((1..=64).contains(&bunches));
+    try_beam_kernel_source_opts(params, bunches, pipelined, interpolate)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`beam_kernel_source_opts`] with the bunch-count check reported as a
+/// typed [`KernelBuildError`] instead of a panic.
+pub fn try_beam_kernel_source_opts(
+    params: &KernelParams,
+    bunches: usize,
+    pipelined: bool,
+    interpolate: bool,
+) -> Result<String, KernelBuildError> {
+    if !(1..=64).contains(&bunches) {
+        return Err(KernelBuildError::BadBunchCount(bunches));
+    }
+    // All the `.unwrap()`s below are `writeln!` into a `String`, whose
+    // `fmt::Write` impl is infallible.
     let mut s = String::new();
     let p = params;
     let c_light = 299_792_458.0_f64;
@@ -198,7 +249,7 @@ pub fn beam_kernel_source_opts(
     }
     writeln!(s, "  gamma_r = g2;").unwrap();
     writeln!(s, "}}").unwrap();
-    s
+    Ok(s)
 }
 
 /// Build (compile and optionally pipeline-split) the beam kernel.
@@ -207,23 +258,38 @@ pub fn build_beam_kernel(params: &KernelParams, bunches: usize, pipelined: bool)
 }
 
 /// [`build_beam_kernel`] with optional interpolation (ablation A1).
+///
+/// Panics on a bad bunch count or a generator regression; use
+/// [`try_build_beam_kernel_opts`] for the typed-error form.
 pub fn build_beam_kernel_opts(
     params: &KernelParams,
     bunches: usize,
     pipelined: bool,
     interpolate: bool,
 ) -> BeamKernel {
-    let source = beam_kernel_source_opts(params, bunches, pipelined, interpolate);
-    let mut kernel = compile(&source).unwrap_or_else(|e| panic!("kernel source invalid: {e}"));
+    try_build_beam_kernel_opts(params, bunches, pipelined, interpolate)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Generate, compile and (optionally) pipeline-split the beam kernel,
+/// reporting every failure mode as a typed [`KernelBuildError`].
+pub fn try_build_beam_kernel_opts(
+    params: &KernelParams,
+    bunches: usize,
+    pipelined: bool,
+    interpolate: bool,
+) -> Result<BeamKernel, KernelBuildError> {
+    let source = try_beam_kernel_source_opts(params, bunches, pipelined, interpolate)?;
+    let mut kernel = compile(&source).map_err(KernelBuildError::Compile)?;
     if pipelined {
         kernel.dfg = kernel.dfg.pipeline_split();
     }
-    BeamKernel {
+    Ok(BeamKernel {
         kernel,
         source,
         bunches,
         pipelined,
-    }
+    })
 }
 
 /// One row of the Section IV-B schedule-length table.
@@ -241,28 +307,33 @@ pub struct ScheduleRow {
 
 /// Reproduce the Section IV-B table on a given grid and CGRA clock:
 /// schedule the kernel for each (bunches, pipelined) configuration.
+///
+/// Fails with a typed [`KernelBuildError`] on an unsupported bunch count,
+/// an unschedulable grid, or a schedule that does not validate.
 pub fn schedule_table(
     params: &KernelParams,
     grid: GridConfig,
     f_clk: f64,
     configs: &[(usize, bool)],
-) -> Vec<(ScheduleRow, Schedule)> {
+) -> Result<Vec<(ScheduleRow, Schedule)>, KernelBuildError> {
     let sched = ListScheduler::new(grid);
     configs
         .iter()
         .map(|&(bunches, pipelined)| {
-            let bk = build_beam_kernel(params, bunches, pipelined);
-            let schedule = sched.schedule(&bk.kernel.dfg);
+            let bk = try_build_beam_kernel_opts(params, bunches, pipelined, true)?;
+            let schedule = sched
+                .try_schedule(&bk.kernel.dfg)
+                .map_err(KernelBuildError::Schedule)?;
             schedule
                 .validate(&bk.kernel.dfg)
-                .expect("beam kernel schedule must validate");
+                .map_err(KernelBuildError::InvalidSchedule)?;
             let row = ScheduleRow {
                 bunches,
                 pipelined,
                 ticks: schedule.makespan,
                 max_f_rev: schedule.max_revolution_frequency(f_clk),
             };
-            (row, schedule)
+            Ok((row, schedule))
         })
         .collect()
 }
@@ -341,7 +412,8 @@ mod tests {
             GridConfig::mesh_5x5(),
             111e6,
             &[(8, false), (8, true), (4, true), (1, true)],
-        );
+        )
+        .unwrap();
         let ticks: Vec<u32> = rows.iter().map(|(r, _)| r.ticks).collect();
         let (t8np, t8p, t4p, t1p) = (ticks[0], ticks[1], ticks[2], ticks[3]);
         assert!(t8p < t8np, "pipelining must shorten: {t8p} !< {t8np}");
@@ -495,6 +567,28 @@ mod tests {
             min_dt < -dt0 * 0.8,
             "oscillates to the other side, min {min_dt}"
         );
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        let (p, _) = mde_params();
+        for bunches in [0, 65, 1000] {
+            assert_eq!(
+                try_beam_kernel_source_opts(&p, bunches, false, true),
+                Err(KernelBuildError::BadBunchCount(bunches))
+            );
+            assert!(matches!(
+                try_build_beam_kernel_opts(&p, bunches, true, true),
+                Err(KernelBuildError::BadBunchCount(_))
+            ));
+        }
+        // An I/O-less grid cannot host the kernel's sensor reads.
+        let mut grid = GridConfig::mesh_5x5();
+        grid.io_columns = 0;
+        assert!(matches!(
+            schedule_table(&p, grid, 111e6, &[(1, false)]),
+            Err(KernelBuildError::Schedule(_))
+        ));
     }
 
     #[test]

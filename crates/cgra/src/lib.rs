@@ -37,7 +37,7 @@ pub mod sched;
 
 pub use cache::{CompiledKernel, CompiledKernelCache, KernelKey};
 pub use dfg::{Dfg, NodeId};
-pub use exec::{CgraExecutor, ExecError, SensorBus};
+pub use exec::{CgraExecutor, ExecError, ExecutorState, SensorBus};
 pub use grid::{GridConfig, Topology};
 pub use isa::OpKind;
 pub use sched::{ListScheduler, Schedule};

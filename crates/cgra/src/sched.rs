@@ -19,6 +19,38 @@ use crate::dfg::{Dfg, NodeId};
 use crate::grid::{GridConfig, PeId};
 use serde::{Deserialize, Serialize};
 
+/// Why a DFG could not be scheduled on a grid. These are input problems
+/// (the DFG/grid combination is unusable), not scheduler bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The DFG contains sensor/actuator ops but the grid has no
+    /// I/O-capable PEs to bind them to.
+    NoIoCapablePe,
+    /// The grid has no PEs at all.
+    EmptyGrid,
+    /// Some nodes never became ready — their operand edges form a cycle,
+    /// which a dataflow graph for a feed-forward kernel iteration must not.
+    DependencyCycle {
+        /// How many nodes were left unscheduled.
+        unscheduled: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoIoCapablePe => write!(f, "DFG has I/O ops but grid has no I/O-capable PEs"),
+            Self::EmptyGrid => write!(f, "grid has no PEs"),
+            Self::DependencyCycle { unscheduled } => write!(
+                f,
+                "{unscheduled} node(s) never became ready: the DFG has a dependency cycle"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// Placement of one DFG node in space and time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Placement {
@@ -175,10 +207,25 @@ impl ListScheduler {
         }
     }
 
-    /// Schedule a DFG. Panics if the DFG contains I/O ops but the grid has
-    /// no I/O-capable PEs.
+    /// Schedule a DFG, panicking on an unschedulable input.
+    ///
+    /// Convenience wrapper over [`ListScheduler::try_schedule`] for the
+    /// common case where the DFG comes from the kernel generator and the
+    /// grid from a validated configuration, so the error cases are
+    /// unreachable by construction.
     pub fn schedule(&self, dfg: &Dfg) -> Schedule {
+        self.try_schedule(dfg)
+            .unwrap_or_else(|e| panic!("unschedulable DFG: {e}"))
+    }
+
+    /// Schedule a DFG, reporting unschedulable inputs as a typed
+    /// [`ScheduleError`] (I/O ops with no I/O-capable PE, an empty grid, a
+    /// dependency cycle) instead of panicking.
+    pub fn try_schedule(&self, dfg: &Dfg) -> Result<Schedule, ScheduleError> {
         let n = dfg.len();
+        if self.grid.pe_count() == 0 && n > 0 {
+            return Err(ScheduleError::EmptyGrid);
+        }
         let heights = self.priorities(dfg);
 
         // users count for ready-set maintenance.
@@ -217,7 +264,9 @@ impl ListScheduler {
 
             // Candidate PEs.
             let candidates: &[PeId] = if node.op.needs_io() {
-                assert!(!io_pes.is_empty(), "grid has no I/O-capable PEs");
+                if io_pes.is_empty() {
+                    return Err(ScheduleError::NoIoCapablePe);
+                }
                 &io_pes
             } else {
                 // All PEs; allocate a scratch list lazily only once.
@@ -228,7 +277,9 @@ impl ListScheduler {
             let mut best: Option<(u32, u32, PeId)> = None; // (start, load, pe)
             let consider =
                 |pe: PeId, busy: &mut Vec<Vec<bool>>, best: &mut Option<(u32, u32, PeId)>| {
-                    // Earliest data-ready cycle on this PE.
+                    // Earliest data-ready cycle on this PE. A node enters
+                    // the ready list only once every operand is placed, so
+                    // the lookup cannot miss.
                     let mut earliest = 0u32;
                     for &o in &node.operands {
                         let po = placements[o.0 as usize].expect("operand scheduled");
@@ -259,6 +310,8 @@ impl ListScheduler {
                 }
             }
 
+            // The grid was checked non-empty (and the I/O PE list non-empty
+            // for I/O ops) above, so some candidate was considered.
             let (start, _, pe) = best.expect("at least one candidate PE");
             let lane = &mut busy[pe.0 as usize];
             if lane.len() <= start as usize {
@@ -279,15 +332,18 @@ impl ListScheduler {
             }
         }
 
-        let placements: Vec<Placement> = placements
-            .into_iter()
-            .map(|p| p.expect("all nodes scheduled"))
-            .collect();
-        Schedule {
+        // Nodes on an operand cycle never enter the ready list and stay
+        // unplaced — surface that as a typed error, not a corrupt schedule.
+        let unscheduled = placements.iter().filter(|p| p.is_none()).count();
+        if unscheduled > 0 {
+            return Err(ScheduleError::DependencyCycle { unscheduled });
+        }
+        let placements: Vec<Placement> = placements.into_iter().flatten().collect();
+        Ok(Schedule {
             grid: self.grid,
             placements,
             makespan,
-        }
+        })
     }
 }
 
@@ -495,6 +551,37 @@ mod tests {
         let get = |p: SchedulerPolicy| spans.iter().find(|(q, _)| *q == p).unwrap().1;
         assert!(get(SchedulerPolicy::CriticalPath) <= get(SchedulerPolicy::SourceOrder));
         assert!(get(SchedulerPolicy::Mobility) <= get(SchedulerPolicy::SourceOrder) + 2);
+    }
+
+    #[test]
+    fn unschedulable_inputs_are_typed_errors() {
+        // I/O op on a grid whose I/O column has been configured away.
+        let mut g = Dfg::new();
+        let a = g.konst(0.0);
+        let r = g.add(OpKind::SensorRead(0), &[a]);
+        g.add(OpKind::ActuatorWrite(0), &[r]);
+        let mut grid = GridConfig::mesh_3x3();
+        grid.io_columns = 0;
+        assert!(matches!(
+            ListScheduler::new(grid).try_schedule(&g),
+            Err(ScheduleError::NoIoCapablePe)
+        ));
+        // A grid with no PEs at all (constructible via the public fields
+        // or deserialization, which skip the mesh() constructor's check).
+        let empty = GridConfig {
+            rows: 0,
+            cols: 0,
+            ..GridConfig::mesh_3x3()
+        };
+        assert!(matches!(
+            ListScheduler::new(empty).try_schedule(&chain(1)),
+            Err(ScheduleError::EmptyGrid)
+        ));
+        // The happy path through try_schedule matches schedule().
+        let ok = ListScheduler::new(GridConfig::mesh_3x3())
+            .try_schedule(&chain(3))
+            .unwrap();
+        ok.validate(&chain(3)).unwrap();
     }
 
     #[test]

@@ -1,0 +1,1690 @@
+//! Versioned, CRC-checksummed binary checkpoints of the complete
+//! closed-loop state.
+//!
+//! A loop service that dies mid-ramp must come back *bit-identical*: the
+//! resumed run has to reproduce the same trace rows, the same audit events
+//! and the same deterministic telemetry as an uninterrupted one, or every
+//! replay-based analysis downstream silently diverges. This module provides
+//! the snapshot format and the write-ahead trace log that make that
+//! possible.
+//!
+//! # On-disk layout
+//!
+//! A checkpoint directory holds two kinds of files:
+//!
+//! * `trace.log` — an append-only write-ahead log of *delta blocks*. Once
+//!   per checkpoint cadence the rows, audit events and jump edges produced
+//!   since the previous checkpoint are appended as one framed block. The
+//!   log is never rewritten, so total trace I/O over a run is O(rows), not
+//!   O(rows²) as embedding the full partial trace in every snapshot would
+//!   be.
+//! * `ckpt_<turn>.cil` — small rolling state snapshots. Each records the
+//!   complete mutable loop state (engine, controller, fault injector,
+//!   supervisor, telemetry counters) plus a *consistent cut* into the
+//!   trace log: the row/event/jump totals and the byte length of
+//!   `trace.log` at the instant the snapshot was taken.
+//!
+//! Snapshots are written atomically (temp file + rename) and framed with a
+//! magic, a version, an explicit payload length and a CRC-32, so a torn or
+//! corrupted file is *detected*, never silently applied. Recovery walks
+//! snapshots newest-first, rejects bad ones (auditing each rejection as
+//! [`LoopEvent::CheckpointRejected`]) and falls back to the next older
+//! good one; the trace log is truncated to the chosen snapshot's cut, which
+//! also discards any torn tail block.
+//!
+//! What is *not* captured: configuration. Scenario, fault program, kernel
+//! programs, filter taps, LUTs and the [`crate::engine::CompiledKernelCache`]
+//! are all rebuilt from the scenario on resume — the checkpoint carries
+//! only state that evolves at run time.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::control::ControllerState;
+use crate::engine::{
+    CgraEngineState, EngineKind, EngineState, MapEngineState, RampEngineState, RefTrackEngineState,
+    SignalLevelEngineState, TurnStateSnapshot,
+};
+use crate::fault::{
+    FaultInjectorState, FaultKind, LoopEvent, LossCause, StepCalibration, SupervisorState,
+};
+use crate::framework::FrameworkState;
+use crate::harness::LoopTrace;
+use crate::signalgen::SignalBenchState;
+use crate::telemetry::HistogramSnapshot;
+use cil_cgra::ExecutorState;
+use cil_dsp::converter::AdcFault;
+use cil_dsp::dds::DdsState;
+use cil_dsp::fir::FirState;
+use cil_dsp::gauss::GaussPulseState;
+use cil_dsp::period::PeriodDetectorState;
+use cil_dsp::phase_detector::PhaseDetectorState;
+use cil_dsp::ring_buffer::RingBufferState;
+use cil_dsp::zero_crossing::ZeroCrossingState;
+
+/// Snapshot file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CILCKPT\0";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Trace-log block magic ("TRCB").
+const BLOCK_MAGIC: u32 = 0x5452_4342;
+/// Name of the write-ahead trace log inside a checkpoint directory.
+pub const TRACE_LOG_NAME: &str = "trace.log";
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE, reflected) — no external dependency.
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Error type
+// ---------------------------------------------------------------------------
+
+/// Why a checkpoint could not be written, decoded or applied.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure while reading or writing checkpoint files.
+    Io(std::io::Error),
+    /// The file is shorter than the fixed header.
+    TooShort,
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file's format version is not one this build can decode.
+    UnsupportedVersion(u32),
+    /// The declared payload length disagrees with the file size (torn
+    /// write).
+    LengthMismatch,
+    /// The payload checksum does not match (bit rot or torn write).
+    CrcMismatch,
+    /// The payload is structurally invalid.
+    Malformed(&'static str),
+    /// The snapshot decoded but cannot be applied to this run
+    /// configuration.
+    Incompatible(&'static str),
+    /// No usable checkpoint was found in the directory.
+    NoCheckpoint,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O failure: {e}"),
+            Self::TooShort => write!(f, "file shorter than the checkpoint header"),
+            Self::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {SNAPSHOT_VERSION})"
+                )
+            }
+            Self::LengthMismatch => write!(f, "declared payload length disagrees with file size"),
+            Self::CrcMismatch => write!(f, "payload CRC mismatch"),
+            Self::Malformed(what) => write!(f, "malformed checkpoint payload: {what}"),
+            Self::Incompatible(what) => write!(f, "checkpoint incompatible with this run: {what}"),
+            Self::NoCheckpoint => write!(f, "no usable checkpoint found"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+type R<T> = std::result::Result<T, CheckpointError>;
+
+// ---------------------------------------------------------------------------
+// Little-endian encoder / decoder
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn opt<T>(&mut self, v: &Option<T>, mut enc: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(inner) => {
+                self.u8(1);
+                enc(self, inner);
+            }
+        }
+    }
+    fn f64s(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn u64s(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+    fn bools(&mut self, v: &[bool]) {
+        self.usize(v.len());
+        for &x in v {
+            self.bool(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    fn bytes(&mut self, n: usize) -> R<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Malformed("unexpected end of payload"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> R<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u32(&mut self) -> R<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> R<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> R<i64> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> R<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> R<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Malformed("boolean byte out of range")),
+        }
+    }
+    fn usize(&mut self) -> R<usize> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| CheckpointError::Malformed("length exceeds platform usize"))
+    }
+    /// Decode a collection length, capped against the bytes actually left
+    /// in the payload so a corrupted length can never trigger a huge
+    /// allocation.
+    fn len_capped(&mut self, elem_bytes: usize) -> R<usize> {
+        let n = self.usize()?;
+        if n.saturating_mul(elem_bytes.max(1)) > self.remaining() {
+            return Err(CheckpointError::Malformed(
+                "collection length exceeds payload",
+            ));
+        }
+        Ok(n)
+    }
+    fn opt<T>(&mut self, mut dec: impl FnMut(&mut Self) -> R<T>) -> R<Option<T>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(dec(self)?)),
+            _ => Err(CheckpointError::Malformed("option tag out of range")),
+        }
+    }
+    fn f64s(&mut self) -> R<Vec<f64>> {
+        let n = self.len_capped(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn u64s(&mut self) -> R<Vec<u64>> {
+        let n = self.len_capped(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn bools(&mut self) -> R<Vec<bool>> {
+        let n = self.len_capped(1)?;
+        (0..n).map(|_| self.bool()).collect()
+    }
+    fn finish(&self) -> R<()> {
+        if self.remaining() != 0 {
+            return Err(CheckpointError::Malformed("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-type codecs
+// ---------------------------------------------------------------------------
+
+fn enc_engine_kind(e: &mut Enc, k: &EngineKind) {
+    match *k {
+        EngineKind::Map => e.u8(0),
+        EngineKind::Cgra => e.u8(1),
+        EngineKind::RefTrack { particles, seed } => {
+            e.u8(2);
+            e.usize(particles);
+            e.u64(seed);
+        }
+    }
+}
+
+fn dec_engine_kind(d: &mut Dec) -> R<EngineKind> {
+    Ok(match d.u8()? {
+        0 => EngineKind::Map,
+        1 => EngineKind::Cgra,
+        2 => EngineKind::RefTrack {
+            particles: d.usize()?,
+            seed: d.u64()?,
+        },
+        _ => return Err(CheckpointError::Malformed("engine kind tag out of range")),
+    })
+}
+
+fn enc_turn(e: &mut Enc, t: &TurnStateSnapshot) {
+    e.f64(t.time);
+    e.f64(t.ctrl_phase_rad);
+    e.f64(t.applied_jump_deg);
+}
+
+fn dec_turn(d: &mut Dec) -> R<TurnStateSnapshot> {
+    Ok(TurnStateSnapshot {
+        time: d.f64()?,
+        ctrl_phase_rad: d.f64()?,
+        applied_jump_deg: d.f64()?,
+    })
+}
+
+fn enc_executor(e: &mut Enc, s: &ExecutorState) {
+    e.f64s(&s.regs);
+    e.u64(s.iterations);
+}
+
+fn dec_executor(d: &mut Dec) -> R<ExecutorState> {
+    Ok(ExecutorState {
+        regs: d.f64s()?,
+        iterations: d.u64()?,
+    })
+}
+
+fn enc_dds(e: &mut Enc, s: &DdsState) {
+    e.u64(s.acc);
+    e.u64(s.increment);
+    e.f64(s.amplitude);
+    e.bool(s.dropout);
+}
+
+fn dec_dds(d: &mut Dec) -> R<DdsState> {
+    Ok(DdsState {
+        acc: d.u64()?,
+        increment: d.u64()?,
+        amplitude: d.f64()?,
+        dropout: d.bool()?,
+    })
+}
+
+fn enc_ring(e: &mut Enc, s: &RingBufferState) {
+    e.f64s(&s.data);
+    e.usize(s.head);
+    e.u64(s.written);
+}
+
+fn dec_ring(d: &mut Dec) -> R<RingBufferState> {
+    Ok(RingBufferState {
+        data: d.f64s()?,
+        head: d.usize()?,
+        written: d.u64()?,
+    })
+}
+
+fn enc_zcd(e: &mut Enc, s: &ZeroCrossingState) {
+    e.f64(s.last_sample);
+    e.u64(s.sample_index);
+    e.opt(&s.last_crossing, |e, &v| e.u64(v));
+    e.f64(s.last_crossing_frac);
+    e.bool(s.armed);
+    e.u64(s.crossings_seen);
+}
+
+fn dec_zcd(d: &mut Dec) -> R<ZeroCrossingState> {
+    Ok(ZeroCrossingState {
+        last_sample: d.f64()?,
+        sample_index: d.u64()?,
+        last_crossing: d.opt(Dec::u64)?,
+        last_crossing_frac: d.f64()?,
+        armed: d.bool()?,
+        crossings_seen: d.u64()?,
+    })
+}
+
+fn enc_period(e: &mut Enc, s: &PeriodDetectorState) {
+    enc_zcd(e, &s.zcd);
+    e.f64s(&s.history);
+    e.usize(s.cursor);
+    e.usize(s.filled);
+    e.opt(&s.last_crossing, |e, &v| e.f64(v));
+}
+
+fn dec_period(d: &mut Dec) -> R<PeriodDetectorState> {
+    Ok(PeriodDetectorState {
+        zcd: dec_zcd(d)?,
+        history: d.f64s()?,
+        cursor: d.usize()?,
+        filled: d.usize()?,
+        last_crossing: d.opt(Dec::f64)?,
+    })
+}
+
+fn enc_gauss(e: &mut Enc, s: &GaussPulseState) {
+    e.opt(&s.playing, |e, &v| e.usize(v));
+    e.u64s(&s.armed_at);
+    e.u64(s.now);
+    e.f64(s.amplitude);
+}
+
+fn dec_gauss(d: &mut Dec) -> R<GaussPulseState> {
+    Ok(GaussPulseState {
+        playing: d.opt(Dec::usize)?,
+        armed_at: d.u64s()?,
+        now: d.u64()?,
+        amplitude: d.f64()?,
+    })
+}
+
+fn enc_fir(e: &mut Enc, s: &FirState) {
+    e.f64s(&s.delay);
+    e.usize(s.cursor);
+}
+
+fn dec_fir(d: &mut Dec) -> R<FirState> {
+    Ok(FirState {
+        delay: d.f64s()?,
+        cursor: d.usize()?,
+    })
+}
+
+fn enc_phase_detector(e: &mut Enc, s: &PhaseDetectorState) {
+    enc_zcd(e, &s.zcd);
+    e.f64(s.period_samples);
+    e.bool(s.in_pulse);
+    e.f64(s.acc_weight);
+    e.f64(s.acc_moment);
+    e.u64(s.pulse_start);
+    e.u64(s.sample_index);
+    e.opt(&s.last_ref_crossing, |e, &v| e.f64(v));
+    e.u64(s.dropped);
+    e.bool(s.resync);
+    e.bool(s.suppress_pulse);
+}
+
+fn dec_phase_detector(d: &mut Dec) -> R<PhaseDetectorState> {
+    Ok(PhaseDetectorState {
+        zcd: dec_zcd(d)?,
+        period_samples: d.f64()?,
+        in_pulse: d.bool()?,
+        acc_weight: d.f64()?,
+        acc_moment: d.f64()?,
+        pulse_start: d.u64()?,
+        sample_index: d.u64()?,
+        last_ref_crossing: d.opt(Dec::f64)?,
+        dropped: d.u64()?,
+        resync: d.bool()?,
+        suppress_pulse: d.bool()?,
+    })
+}
+
+fn enc_adc_fault(e: &mut Enc, f: &AdcFault) {
+    match *f {
+        AdcFault::Saturated => e.u8(0),
+        AdcFault::StuckCode(code) => {
+            e.u8(1);
+            e.i64(i64::from(code));
+        }
+        AdcFault::BitFlip(bit) => {
+            e.u8(2);
+            e.u32(bit);
+        }
+    }
+}
+
+fn dec_adc_fault(d: &mut Dec) -> R<AdcFault> {
+    Ok(match d.u8()? {
+        0 => AdcFault::Saturated,
+        1 => {
+            let code = d.i64()?;
+            AdcFault::StuckCode(
+                i32::try_from(code)
+                    .map_err(|_| CheckpointError::Malformed("stuck code exceeds i32"))?,
+            )
+        }
+        2 => AdcFault::BitFlip(d.u32()?),
+        _ => return Err(CheckpointError::Malformed("ADC fault tag out of range")),
+    })
+}
+
+fn enc_bench(e: &mut Enc, s: &SignalBenchState) {
+    enc_dds(e, &s.reference);
+    enc_dds(e, &s.gap);
+    e.u64(s.sample);
+    e.f64(s.applied_jump_deg);
+    e.f64(s.ctrl_freq_offset);
+}
+
+fn dec_bench(d: &mut Dec) -> R<SignalBenchState> {
+    Ok(SignalBenchState {
+        reference: dec_dds(d)?,
+        gap: dec_dds(d)?,
+        sample: d.u64()?,
+        applied_jump_deg: d.f64()?,
+        ctrl_freq_offset: d.f64()?,
+    })
+}
+
+fn enc_framework(e: &mut Enc, s: &FrameworkState) {
+    enc_executor(e, &s.executor);
+    enc_ring(e, &s.ref_buffer);
+    enc_ring(e, &s.gap_buffer);
+    enc_period(e, &s.period);
+    e.usize(s.pulses.len());
+    for p in &s.pulses {
+        enc_gauss(e, p);
+    }
+    e.u64(s.sample);
+    e.opt(&s.last_crossing_sample, |e, &v| e.u64(v));
+    e.opt(&s.prev_crossing_sample, |e, &v| e.u64(v));
+    e.f64s(&s.last_dt);
+    e.f64(s.monitor_value);
+    e.bool(s.warmed_up);
+    e.bool(s.recording);
+    e.u64(s.revolutions);
+    e.u64(s.adc_rng);
+    e.opt(&s.adc_fault, enc_adc_fault);
+}
+
+fn dec_framework(d: &mut Dec) -> R<FrameworkState> {
+    let executor = dec_executor(d)?;
+    let ref_buffer = dec_ring(d)?;
+    let gap_buffer = dec_ring(d)?;
+    let period = dec_period(d)?;
+    let n_pulses = d.len_capped(8)?;
+    let pulses = (0..n_pulses).map(|_| dec_gauss(d)).collect::<R<Vec<_>>>()?;
+    Ok(FrameworkState {
+        executor,
+        ref_buffer,
+        gap_buffer,
+        period,
+        pulses,
+        sample: d.u64()?,
+        last_crossing_sample: d.opt(Dec::u64)?,
+        prev_crossing_sample: d.opt(Dec::u64)?,
+        last_dt: d.f64s()?,
+        monitor_value: d.f64()?,
+        warmed_up: d.bool()?,
+        recording: d.bool()?,
+        revolutions: d.u64()?,
+        adc_rng: d.u64()?,
+        adc_fault: d.opt(dec_adc_fault)?,
+    })
+}
+
+fn enc_engine_state(e: &mut Enc, s: &EngineState) {
+    match s {
+        EngineState::Map(m) => {
+            e.u8(0);
+            e.f64(m.gamma_r);
+            e.f64(m.dgamma);
+            e.f64(m.dt);
+            enc_turn(e, &m.turn);
+        }
+        EngineState::Cgra(c) => {
+            e.u8(1);
+            enc_executor(e, &c.executor);
+            e.f64(c.gap_phase_rad);
+            e.bool(c.gap_dropout);
+            e.f64s(&c.dt_out);
+            enc_turn(e, &c.turn);
+        }
+        EngineState::RefTrack(r) => {
+            e.u8(2);
+            e.f64s(&r.dt);
+            e.f64s(&r.dgamma);
+            e.u64(r.tracker_turn);
+            enc_turn(e, &r.turn);
+        }
+        EngineState::Ramp(r) => {
+            e.u8(3);
+            e.f64(r.gamma_r);
+            e.f64(r.dgamma);
+            e.f64(r.dt);
+            e.f64(r.time);
+            e.u64(r.tracker_turn);
+            e.f64(r.ctrl_phase_rad);
+            e.f64(r.applied_jump_deg);
+            e.f64(r.last_f_rev);
+            e.f64(r.last_gamma_r);
+            e.f64(r.last_phi_s_deg);
+        }
+        EngineState::SignalLevel(s) => {
+            e.u8(4);
+            enc_bench(e, &s.bench);
+            enc_framework(e, &s.fw);
+            enc_phase_detector(e, &s.detector);
+            e.f64(s.period_samples);
+            e.u64(s.sample);
+            e.u64(s.period_admitted);
+            e.u64(s.period_rejected);
+        }
+    }
+}
+
+fn dec_engine_state(d: &mut Dec) -> R<EngineState> {
+    Ok(match d.u8()? {
+        0 => EngineState::Map(MapEngineState {
+            gamma_r: d.f64()?,
+            dgamma: d.f64()?,
+            dt: d.f64()?,
+            turn: dec_turn(d)?,
+        }),
+        1 => EngineState::Cgra(CgraEngineState {
+            executor: dec_executor(d)?,
+            gap_phase_rad: d.f64()?,
+            gap_dropout: d.bool()?,
+            dt_out: d.f64s()?,
+            turn: dec_turn(d)?,
+        }),
+        2 => EngineState::RefTrack(RefTrackEngineState {
+            dt: d.f64s()?,
+            dgamma: d.f64s()?,
+            tracker_turn: d.u64()?,
+            turn: dec_turn(d)?,
+        }),
+        3 => EngineState::Ramp(RampEngineState {
+            gamma_r: d.f64()?,
+            dgamma: d.f64()?,
+            dt: d.f64()?,
+            time: d.f64()?,
+            tracker_turn: d.u64()?,
+            ctrl_phase_rad: d.f64()?,
+            applied_jump_deg: d.f64()?,
+            last_f_rev: d.f64()?,
+            last_gamma_r: d.f64()?,
+            last_phi_s_deg: d.f64()?,
+        }),
+        4 => EngineState::SignalLevel(Box::new(SignalLevelEngineState {
+            bench: dec_bench(d)?,
+            fw: dec_framework(d)?,
+            detector: dec_phase_detector(d)?,
+            period_samples: d.f64()?,
+            sample: d.u64()?,
+            period_admitted: d.u64()?,
+            period_rejected: d.u64()?,
+        })),
+        _ => return Err(CheckpointError::Malformed("engine state tag out of range")),
+    })
+}
+
+fn enc_controller(e: &mut Enc, s: &ControllerState) {
+    e.f64(s.dc_x1);
+    e.f64(s.dc_y1);
+    enc_fir(e, &s.fir);
+    e.f64(s.acc);
+    e.u32(s.acc_n);
+    e.f64(s.last_output);
+    e.bool(s.enabled);
+}
+
+fn dec_controller(d: &mut Dec) -> R<ControllerState> {
+    Ok(ControllerState {
+        dc_x1: d.f64()?,
+        dc_y1: d.f64()?,
+        fir: dec_fir(d)?,
+        acc: d.f64()?,
+        acc_n: d.u32()?,
+        last_output: d.f64()?,
+        enabled: d.bool()?,
+    })
+}
+
+fn enc_injector(e: &mut Enc, s: &FaultInjectorState) {
+    e.u64(s.rng);
+    e.bools(&s.activated);
+    e.usize(s.corrupted_rows);
+}
+
+fn dec_injector(d: &mut Dec) -> R<FaultInjectorState> {
+    Ok(FaultInjectorState {
+        rng: d.u64()?,
+        activated: d.bools()?,
+        corrupted_rows: d.usize()?,
+    })
+}
+
+fn enc_supervisor(e: &mut Enc, s: &SupervisorState) {
+    e.u64(s.rng);
+    e.opt(&s.last_good, |e, &v| e.f64(v));
+    e.u32(s.bad_streak);
+    e.opt(&s.calibration, |e, c| {
+        enc_engine_kind(e, &c.kind);
+        e.f64(c.step_seconds);
+    });
+}
+
+fn dec_supervisor(d: &mut Dec) -> R<SupervisorState> {
+    Ok(SupervisorState {
+        rng: d.u64()?,
+        last_good: d.opt(Dec::f64)?,
+        bad_streak: d.u32()?,
+        calibration: d.opt(|d| {
+            Ok(StepCalibration {
+                kind: dec_engine_kind(d)?,
+                step_seconds: d.f64()?,
+            })
+        })?,
+    })
+}
+
+fn enc_histogram(e: &mut Enc, s: &HistogramSnapshot) {
+    e.u64s(&s.buckets);
+    e.u64(s.count);
+    e.f64(s.sum);
+}
+
+fn dec_histogram(d: &mut Dec) -> R<HistogramSnapshot> {
+    Ok(HistogramSnapshot {
+        buckets: d.u64s()?,
+        count: d.u64()?,
+        sum: d.f64()?,
+    })
+}
+
+fn enc_fault_kind(e: &mut Enc, k: &FaultKind) {
+    match *k {
+        FaultKind::AdcSaturation => e.u8(0),
+        FaultKind::AdcStuckCode { code } => {
+            e.u8(1);
+            e.i64(i64::from(code));
+        }
+        FaultKind::AdcBitFlip { bit } => {
+            e.u8(2);
+            e.u32(bit);
+        }
+        FaultKind::DdsDropout => e.u8(3),
+        FaultKind::DetectorOutlier {
+            probability,
+            amplitude_deg,
+        } => {
+            e.u8(4);
+            e.f64(probability);
+            e.f64(amplitude_deg);
+        }
+        FaultKind::NanBurst { probability } => {
+            e.u8(5);
+            e.f64(probability);
+        }
+        FaultKind::BeamLoss => e.u8(6),
+        FaultKind::DeadlineOverrun { factor } => {
+            e.u8(7);
+            e.f64(factor);
+        }
+    }
+}
+
+fn dec_fault_kind(d: &mut Dec) -> R<FaultKind> {
+    Ok(match d.u8()? {
+        0 => FaultKind::AdcSaturation,
+        1 => {
+            let code = d.i64()?;
+            FaultKind::AdcStuckCode {
+                code: i32::try_from(code)
+                    .map_err(|_| CheckpointError::Malformed("stuck code exceeds i32"))?,
+            }
+        }
+        2 => FaultKind::AdcBitFlip { bit: d.u32()? },
+        3 => FaultKind::DdsDropout,
+        4 => FaultKind::DetectorOutlier {
+            probability: d.f64()?,
+            amplitude_deg: d.f64()?,
+        },
+        5 => FaultKind::NanBurst {
+            probability: d.f64()?,
+        },
+        6 => FaultKind::BeamLoss,
+        7 => FaultKind::DeadlineOverrun { factor: d.f64()? },
+        _ => return Err(CheckpointError::Malformed("fault kind tag out of range")),
+    })
+}
+
+fn enc_loss_cause(e: &mut Enc, c: &LossCause) {
+    e.u8(match c {
+        LossCause::Injected => 0,
+        LossCause::NonFinitePhase => 1,
+        LossCause::BucketOverdemand => 2,
+        LossCause::OutOfBucket => 3,
+        LossCause::Watchdog => 4,
+    });
+}
+
+fn dec_loss_cause(d: &mut Dec) -> R<LossCause> {
+    Ok(match d.u8()? {
+        0 => LossCause::Injected,
+        1 => LossCause::NonFinitePhase,
+        2 => LossCause::BucketOverdemand,
+        3 => LossCause::OutOfBucket,
+        4 => LossCause::Watchdog,
+        _ => return Err(CheckpointError::Malformed("loss cause tag out of range")),
+    })
+}
+
+fn enc_event(e: &mut Enc, ev: &LoopEvent) {
+    match *ev {
+        LoopEvent::FaultActive { turn, time_s, kind } => {
+            e.u8(0);
+            e.usize(turn);
+            e.f64(time_s);
+            enc_fault_kind(e, &kind);
+        }
+        LoopEvent::RowCorrupted { turn, time_s } => {
+            e.u8(1);
+            e.usize(turn);
+            e.f64(time_s);
+        }
+        LoopEvent::OutlierRejected {
+            turn,
+            time_s,
+            measured_deg,
+            held_deg,
+        } => {
+            e.u8(2);
+            e.usize(turn);
+            e.f64(time_s);
+            e.f64(measured_deg);
+            e.f64(held_deg);
+        }
+        LoopEvent::ActuationClamped {
+            turn,
+            time_s,
+            raw_hz,
+            limit_hz,
+        } => {
+            e.u8(3);
+            e.usize(turn);
+            e.f64(time_s);
+            e.f64(raw_hz);
+            e.f64(limit_hz);
+        }
+        LoopEvent::DeadlineOverrun {
+            turn,
+            time_s,
+            budget_s,
+            modeled_s,
+        } => {
+            e.u8(4);
+            e.usize(turn);
+            e.f64(time_s);
+            e.f64(budget_s);
+            e.f64(modeled_s);
+        }
+        LoopEvent::EngineDemoted {
+            turn,
+            time_s,
+            from,
+            to,
+        } => {
+            e.u8(5);
+            e.usize(turn);
+            e.f64(time_s);
+            enc_engine_kind(e, &from);
+            enc_engine_kind(e, &to);
+        }
+        LoopEvent::BeamLost {
+            turn,
+            time_s,
+            cause,
+        } => {
+            e.u8(6);
+            e.usize(turn);
+            e.f64(time_s);
+            enc_loss_cause(e, &cause);
+        }
+        LoopEvent::CheckpointRejected { turn, time_s } => {
+            e.u8(7);
+            e.usize(turn);
+            e.f64(time_s);
+        }
+    }
+}
+
+fn dec_event(d: &mut Dec) -> R<LoopEvent> {
+    Ok(match d.u8()? {
+        0 => LoopEvent::FaultActive {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+            kind: dec_fault_kind(d)?,
+        },
+        1 => LoopEvent::RowCorrupted {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+        },
+        2 => LoopEvent::OutlierRejected {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+            measured_deg: d.f64()?,
+            held_deg: d.f64()?,
+        },
+        3 => LoopEvent::ActuationClamped {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+            raw_hz: d.f64()?,
+            limit_hz: d.f64()?,
+        },
+        4 => LoopEvent::DeadlineOverrun {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+            budget_s: d.f64()?,
+            modeled_s: d.f64()?,
+        },
+        5 => LoopEvent::EngineDemoted {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+            from: dec_engine_kind(d)?,
+            to: dec_engine_kind(d)?,
+        },
+        6 => LoopEvent::BeamLost {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+            cause: dec_loss_cause(d)?,
+        },
+        7 => LoopEvent::CheckpointRejected {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+        },
+        _ => return Err(CheckpointError::Malformed("event tag out of range")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The snapshot itself
+// ---------------------------------------------------------------------------
+
+/// Deterministic telemetry carried across a resume: the counters and
+/// histograms the loop accumulates *mid-run* (everything else is derived
+/// from the trace at run end, or is wall-clock and excluded from
+/// determinism comparisons anyway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryCheckpoint {
+    /// Idle (non-measuring) engine steps so far.
+    pub idle_steps: u64,
+    /// Modelled step wall-clock histogram (supervised runs).
+    pub step_modeled: HistogramSnapshot,
+    /// Deadline headroom histogram (supervised runs).
+    pub deadline_headroom: HistogramSnapshot,
+}
+
+/// The complete mutable state of one closed-loop run at a row boundary.
+///
+/// Everything needed to continue the loop bit-identically, *except*
+/// configuration (scenario, fault program, kernel programs), which is
+/// rebuilt on resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Row index (trace rows emitted so far) at the cut.
+    pub turn: u64,
+    /// Engine time at the cut, seconds.
+    pub time_s: f64,
+    /// True when written by a supervised run.
+    pub supervised: bool,
+    /// The engine fidelity *currently running* (after any demotions).
+    pub kind: EngineKind,
+    /// Bunch count of the trace rows.
+    pub bunches: u32,
+    /// Full engine state.
+    pub engine: EngineState,
+    /// Controller + DC-blocker + FIR + decimation state.
+    pub controller: ControllerState,
+    /// Fault injector RNG cursor and activation latches.
+    pub injector: FaultInjectorState,
+    /// Supervisor state (supervised runs only).
+    pub supervisor: Option<SupervisorState>,
+    /// Supervised-loop accumulated control phase mirror, radians.
+    pub ctrl_phase_rad: f64,
+    /// Last applied jump offset seen by the edge detector, degrees.
+    pub last_jump_deg: f64,
+    /// Trace rows covered by the log cut.
+    pub rows: u64,
+    /// Audit events covered by the log cut.
+    pub events: u64,
+    /// Jump edges covered by the log cut.
+    pub jumps: u64,
+    /// Byte length of `trace.log` at the cut.
+    pub log_bytes: u64,
+    /// Mid-run deterministic telemetry, when telemetry is attached.
+    pub telemetry: Option<TelemetryCheckpoint>,
+}
+
+/// Encode a snapshot into the framed on-disk representation
+/// (magic + version + length + payload + CRC-32).
+pub fn encode_snapshot(ck: &Checkpoint) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u64(ck.turn);
+    e.f64(ck.time_s);
+    e.bool(ck.supervised);
+    enc_engine_kind(&mut e, &ck.kind);
+    e.u32(ck.bunches);
+    enc_engine_state(&mut e, &ck.engine);
+    enc_controller(&mut e, &ck.controller);
+    enc_injector(&mut e, &ck.injector);
+    e.opt(&ck.supervisor.clone(), enc_supervisor);
+    e.f64(ck.ctrl_phase_rad);
+    e.f64(ck.last_jump_deg);
+    e.u64(ck.rows);
+    e.u64(ck.events);
+    e.u64(ck.jumps);
+    e.u64(ck.log_bytes);
+    e.opt(&ck.telemetry.clone(), |e, t| {
+        e.u64(t.idle_steps);
+        enc_histogram(e, &t.step_modeled);
+        enc_histogram(e, &t.deadline_headroom);
+    });
+    let payload = e.buf;
+
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode a framed snapshot. Every failure mode of a torn, truncated,
+/// bit-rotted or hostile file maps to a typed [`CheckpointError`]; this
+/// function never panics on arbitrary input.
+pub fn decode_snapshot(data: &[u8]) -> R<Checkpoint> {
+    const HEADER: usize = 8 + 4 + 8;
+    if data.len() < HEADER + 4 {
+        return Err(CheckpointError::TooShort);
+    }
+    if data[..8] != SNAPSHOT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(data[12..20].try_into().unwrap());
+    let expected = (HEADER as u64)
+        .checked_add(payload_len)
+        .and_then(|v| v.checked_add(4));
+    if expected != Some(data.len() as u64) {
+        return Err(CheckpointError::LengthMismatch);
+    }
+    let payload = &data[HEADER..HEADER + payload_len as usize];
+    let crc = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    if crc32(payload) != crc {
+        return Err(CheckpointError::CrcMismatch);
+    }
+
+    let mut d = Dec::new(payload);
+    let ck = Checkpoint {
+        turn: d.u64()?,
+        time_s: d.f64()?,
+        supervised: d.bool()?,
+        kind: dec_engine_kind(&mut d)?,
+        bunches: d.u32()?,
+        engine: dec_engine_state(&mut d)?,
+        controller: dec_controller(&mut d)?,
+        injector: dec_injector(&mut d)?,
+        supervisor: d.opt(dec_supervisor)?,
+        ctrl_phase_rad: d.f64()?,
+        last_jump_deg: d.f64()?,
+        rows: d.u64()?,
+        events: d.u64()?,
+        jumps: d.u64()?,
+        log_bytes: d.u64()?,
+        telemetry: d.opt(|d| {
+            Ok(TelemetryCheckpoint {
+                idle_steps: d.u64()?,
+                step_modeled: dec_histogram(d)?,
+                deadline_headroom: dec_histogram(d)?,
+            })
+        })?,
+    };
+    d.finish()?;
+    Ok(ck)
+}
+
+// ---------------------------------------------------------------------------
+// Trace-log delta blocks
+// ---------------------------------------------------------------------------
+
+fn encode_trace_block(
+    trace: &LoopTrace,
+    rows_from: usize,
+    events_from: usize,
+    jumps_from: usize,
+) -> Vec<u8> {
+    let bunches = trace.bunch_phase_deg.len();
+    let rows_to = trace.times.len();
+    let mut e = Enc::default();
+    e.u32(bunches as u32);
+    e.u32((rows_to - rows_from) as u32);
+    for row in rows_from..rows_to {
+        e.f64(trace.times[row]);
+        for b in 0..bunches {
+            e.f64(trace.bunch_phase_deg[b][row]);
+        }
+        e.f64(trace.mean_phase_deg[row]);
+        e.f64(trace.control_hz[row]);
+    }
+    e.u32((trace.events.len() - events_from) as u32);
+    for ev in &trace.events[events_from..] {
+        enc_event(&mut e, ev);
+    }
+    e.u32((trace.jump_times.len() - jumps_from) as u32);
+    for &t in &trace.jump_times[jumps_from..] {
+        e.f64(t);
+    }
+    let payload = e.buf;
+
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Trace prefix reconstructed from the write-ahead log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecodedTrace {
+    /// Row times, seconds.
+    pub times: Vec<f64>,
+    /// Per-bunch phase series, `[bunch][row]`.
+    pub bunch_phase_deg: Vec<Vec<f64>>,
+    /// Pickup-average series.
+    pub mean_phase_deg: Vec<f64>,
+    /// Actuation series, Hz.
+    pub control_hz: Vec<f64>,
+    /// Jump-edge times.
+    pub jump_times: Vec<f64>,
+    /// Audit events.
+    pub events: Vec<LoopEvent>,
+}
+
+/// Decode the framed delta blocks in a trace-log prefix. Used by recovery
+/// (and directly by the fuzz tests).
+pub fn decode_trace_log(bytes: &[u8]) -> R<DecodedTrace> {
+    let mut out = DecodedTrace::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 12 {
+            return Err(CheckpointError::TooShort);
+        }
+        let magic = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if magic != BLOCK_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let payload_len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let payload_len =
+            usize::try_from(payload_len).map_err(|_| CheckpointError::LengthMismatch)?;
+        let body_start = pos + 12;
+        let body_end = body_start
+            .checked_add(payload_len)
+            .ok_or(CheckpointError::LengthMismatch)?;
+        if body_end + 4 > bytes.len() {
+            return Err(CheckpointError::LengthMismatch);
+        }
+        let payload = &bytes[body_start..body_end];
+        let crc = u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().unwrap());
+        if crc32(payload) != crc {
+            return Err(CheckpointError::CrcMismatch);
+        }
+        decode_trace_block(payload, &mut out)?;
+        pos = body_end + 4;
+    }
+    Ok(out)
+}
+
+fn decode_trace_block(payload: &[u8], out: &mut DecodedTrace) -> R<()> {
+    let mut d = Dec::new(payload);
+    let bunches = d.u32()? as usize;
+    if out.bunch_phase_deg.is_empty() {
+        out.bunch_phase_deg = vec![Vec::new(); bunches];
+    } else if out.bunch_phase_deg.len() != bunches {
+        return Err(CheckpointError::Malformed(
+            "bunch count changed across blocks",
+        ));
+    }
+    let n_rows = d.u32()? as usize;
+    let row_bytes = 8usize.saturating_mul(bunches + 3);
+    if n_rows.saturating_mul(row_bytes) > d.remaining() {
+        return Err(CheckpointError::Malformed("row count exceeds payload"));
+    }
+    for _ in 0..n_rows {
+        out.times.push(d.f64()?);
+        for series in out.bunch_phase_deg.iter_mut() {
+            series.push(d.f64()?);
+        }
+        out.mean_phase_deg.push(d.f64()?);
+        out.control_hz.push(d.f64()?);
+    }
+    let n_events = d.u32()? as usize;
+    if n_events.saturating_mul(9) > d.remaining() {
+        return Err(CheckpointError::Malformed("event count exceeds payload"));
+    }
+    for _ in 0..n_events {
+        out.events.push(dec_event(&mut d)?);
+    }
+    let n_jumps = d.u32()? as usize;
+    if n_jumps.saturating_mul(8) > d.remaining() {
+        return Err(CheckpointError::Malformed("jump count exceeds payload"));
+    }
+    for _ in 0..n_jumps {
+        out.jump_times.push(d.f64()?);
+    }
+    d.finish()
+}
+
+// ---------------------------------------------------------------------------
+// File-level helpers
+// ---------------------------------------------------------------------------
+
+/// Write a snapshot atomically: temp file in the same directory, then
+/// rename over the final name. A crash mid-write leaves either the old
+/// file set or a stray temp file — never a half-written `ckpt_*.cil`.
+pub fn write_snapshot_file(dir: &Path, ck: &Checkpoint) -> R<PathBuf> {
+    let bytes = encode_snapshot(ck);
+    let tmp = dir.join(".ckpt.tmp");
+    let path = dir.join(format!("ckpt_{:010}.cil", ck.turn));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Read and decode one snapshot file.
+pub fn read_snapshot_file(path: &Path) -> R<Checkpoint> {
+    let bytes = fs::read(path)?;
+    decode_snapshot(&bytes)
+}
+
+/// Turn indices of the snapshots present in a checkpoint directory,
+/// ascending. Files that do not match the `ckpt_<turn>.cil` pattern are
+/// ignored.
+pub fn snapshot_turns(dir: &Path) -> R<Vec<u64>> {
+    let mut turns = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name
+            .strip_prefix("ckpt_")
+            .and_then(|s| s.strip_suffix(".cil"))
+        {
+            if let Ok(turn) = stem.parse::<u64>() {
+                turns.push(turn);
+            }
+        }
+    }
+    turns.sort_unstable();
+    Ok(turns)
+}
+
+fn snapshot_path(dir: &Path, turn: u64) -> PathBuf {
+    dir.join(format!("ckpt_{turn:010}.cil"))
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint configuration + live session
+// ---------------------------------------------------------------------------
+
+/// Where and how often the harness checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Directory for `trace.log` and the rolling snapshots (created on
+    /// first use).
+    pub dir: PathBuf,
+    /// Snapshot cadence, trace rows. Default 256.
+    pub every_turns: usize,
+    /// Snapshots retained on disk. Default 2 — keeping at least two means
+    /// a corrupted newest snapshot still leaves a good fallback.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Default cadence (256 rows) and retention (2 snapshots) in `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every_turns: 256,
+            keep: 2,
+        }
+    }
+}
+
+/// What [`CheckpointSession::resume`] recovered from disk.
+pub(crate) struct ResumedState {
+    /// The live session, positioned to continue appending.
+    pub session: CheckpointSession,
+    /// The chosen (newest good) snapshot.
+    pub checkpoint: Checkpoint,
+    /// Trace prefix covered by the snapshot's cut.
+    pub trace: DecodedTrace,
+    /// Snapshots newer than the chosen one that were rejected as
+    /// corrupted/truncated/incompatible-with-their-log.
+    pub rejected: usize,
+}
+
+/// Live checkpoint writer for one run.
+pub(crate) struct CheckpointSession {
+    dir: PathBuf,
+    every_turns: usize,
+    keep: usize,
+    log: File,
+    log_bytes: u64,
+    rows_flushed: usize,
+    events_flushed: usize,
+    jumps_flushed: usize,
+    /// Turns of snapshots currently on disk, ascending.
+    snapshots: Vec<u64>,
+    /// First write failure; checkpointing is disabled once set and the
+    /// error is surfaced after the loop completes.
+    pub(crate) error: Option<CheckpointError>,
+}
+
+impl CheckpointSession {
+    /// Start a fresh session: create the directory, delete stale
+    /// snapshots, truncate the trace log.
+    pub(crate) fn begin(cfg: &CheckpointConfig) -> R<Self> {
+        fs::create_dir_all(&cfg.dir)?;
+        for turn in snapshot_turns(&cfg.dir)? {
+            let _ = fs::remove_file(snapshot_path(&cfg.dir, turn));
+        }
+        let _ = fs::remove_file(cfg.dir.join(".ckpt.tmp"));
+        let log = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(cfg.dir.join(TRACE_LOG_NAME))?;
+        Ok(Self {
+            dir: cfg.dir.clone(),
+            every_turns: cfg.every_turns.max(1),
+            keep: cfg.keep.max(1),
+            log,
+            log_bytes: 0,
+            rows_flushed: 0,
+            events_flushed: 0,
+            jumps_flushed: 0,
+            snapshots: Vec::new(),
+            error: None,
+        })
+    }
+
+    /// Recover from the newest usable snapshot in `cfg.dir`.
+    ///
+    /// Snapshots are tried newest-first. One that fails to decode, or
+    /// whose trace-log cut cannot be satisfied (log shorter than the cut,
+    /// or the prefix fails CRC / structural validation, or the decoded
+    /// prefix disagrees with the snapshot's row/event/jump totals), is
+    /// rejected and the next older one is tried. The trace log is then
+    /// truncated to the chosen cut, discarding any torn tail.
+    pub(crate) fn resume(cfg: &CheckpointConfig) -> R<ResumedState> {
+        let turns = snapshot_turns(&cfg.dir)?;
+        if turns.is_empty() {
+            return Err(CheckpointError::NoCheckpoint);
+        }
+        let log_path = cfg.dir.join(TRACE_LOG_NAME);
+        let log_all = fs::read(&log_path)?;
+
+        let mut rejected = 0usize;
+        let mut chosen: Option<(Checkpoint, DecodedTrace)> = None;
+        for &turn in turns.iter().rev() {
+            match Self::try_load(&cfg.dir, turn, &log_all) {
+                Ok(pair) => {
+                    chosen = Some(pair);
+                    break;
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        let Some((checkpoint, trace)) = chosen else {
+            return Err(CheckpointError::NoCheckpoint);
+        };
+
+        // Truncate the log to the chosen cut and position for appending.
+        let mut log = OpenOptions::new().write(true).open(&log_path)?;
+        log.set_len(checkpoint.log_bytes)?;
+        log.seek(SeekFrom::End(0))?;
+
+        // Drop snapshots newer than the chosen one: they are corrupt, and
+        // leaving them around would shadow the good one on the next
+        // resume.
+        let mut kept = Vec::new();
+        for &turn in &turns {
+            if turn > checkpoint.turn {
+                let _ = fs::remove_file(snapshot_path(&cfg.dir, turn));
+            } else {
+                kept.push(turn);
+            }
+        }
+
+        let session = Self {
+            dir: cfg.dir.clone(),
+            every_turns: cfg.every_turns.max(1),
+            keep: cfg.keep.max(1),
+            log,
+            log_bytes: checkpoint.log_bytes,
+            rows_flushed: checkpoint.rows as usize,
+            events_flushed: checkpoint.events as usize,
+            jumps_flushed: checkpoint.jumps as usize,
+            snapshots: kept,
+            error: None,
+        };
+        Ok(ResumedState {
+            session,
+            checkpoint,
+            trace,
+            rejected,
+        })
+    }
+
+    fn try_load(dir: &Path, turn: u64, log_all: &[u8]) -> R<(Checkpoint, DecodedTrace)> {
+        let ck = read_snapshot_file(&snapshot_path(dir, turn))?;
+        let cut = usize::try_from(ck.log_bytes).map_err(|_| CheckpointError::LengthMismatch)?;
+        if cut > log_all.len() {
+            return Err(CheckpointError::LengthMismatch);
+        }
+        let trace = decode_trace_log(&log_all[..cut])?;
+        if trace.times.len() as u64 != ck.rows
+            || trace.events.len() as u64 != ck.events
+            || trace.jump_times.len() as u64 != ck.jumps
+        {
+            return Err(CheckpointError::Malformed(
+                "log prefix disagrees with snapshot cut",
+            ));
+        }
+        Ok((ck, trace))
+    }
+
+    /// True when the current row count is on the cadence and a checkpoint
+    /// should be taken.
+    pub(crate) fn due(&self, rows: usize) -> bool {
+        self.error.is_none() && rows > self.rows_flushed && rows.is_multiple_of(self.every_turns)
+    }
+
+    /// Append the trace delta and write a rolling snapshot. `make` builds
+    /// the state snapshot; the session fills in the log-cut counters.
+    /// Errors are latched into `self.error` (checkpointing stops; the loop
+    /// itself continues and the error surfaces after the run).
+    pub(crate) fn checkpoint(&mut self, trace: &LoopTrace, make: impl FnOnce() -> Checkpoint) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.checkpoint_inner(trace, make) {
+            self.error = Some(e);
+        }
+    }
+
+    fn checkpoint_inner(&mut self, trace: &LoopTrace, make: impl FnOnce() -> Checkpoint) -> R<()> {
+        let block = encode_trace_block(
+            trace,
+            self.rows_flushed,
+            self.events_flushed,
+            self.jumps_flushed,
+        );
+        self.log.write_all(&block)?;
+        self.log_bytes += block.len() as u64;
+        self.rows_flushed = trace.times.len();
+        self.events_flushed = trace.events.len();
+        self.jumps_flushed = trace.jump_times.len();
+
+        let mut ck = make();
+        ck.turn = self.rows_flushed as u64;
+        ck.rows = self.rows_flushed as u64;
+        ck.events = self.events_flushed as u64;
+        ck.jumps = self.jumps_flushed as u64;
+        ck.log_bytes = self.log_bytes;
+        write_snapshot_file(&self.dir, &ck)?;
+        self.snapshots.push(ck.turn);
+
+        while self.snapshots.len() > self.keep {
+            let old = self.snapshots.remove(0);
+            let _ = fs::remove_file(snapshot_path(&self.dir, old));
+        }
+        Ok(())
+    }
+
+    /// Surface any latched write failure at the end of the run.
+    pub(crate) fn into_result(self) -> R<()> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            turn: 512,
+            time_s: 6.4e-4,
+            supervised: true,
+            kind: EngineKind::RefTrack {
+                particles: 64,
+                seed: 9,
+            },
+            bunches: 2,
+            engine: EngineState::RefTrack(RefTrackEngineState {
+                dt: vec![1e-9, -2e-9],
+                dgamma: vec![1e-6, -1e-6],
+                tracker_turn: 512,
+                turn: TurnStateSnapshot {
+                    time: 6.4e-4,
+                    ctrl_phase_rad: 0.25,
+                    applied_jump_deg: 8.0,
+                },
+            }),
+            controller: ControllerState {
+                dc_x1: 0.5,
+                dc_y1: -0.25,
+                fir: FirState {
+                    delay: vec![0.0, 1.0, 2.0],
+                    cursor: 1,
+                },
+                acc: 1.5,
+                acc_n: 3,
+                last_output: -120.0,
+                enabled: true,
+            },
+            injector: FaultInjectorState {
+                rng: 0xDEAD_BEEF,
+                activated: vec![true, false],
+                corrupted_rows: 7,
+            },
+            supervisor: Some(SupervisorState {
+                rng: 42,
+                last_good: Some(1.25),
+                bad_streak: 2,
+                calibration: Some(StepCalibration {
+                    kind: EngineKind::Cgra,
+                    step_seconds: 3.2e-6,
+                }),
+            }),
+            ctrl_phase_rad: 0.25,
+            last_jump_deg: 8.0,
+            rows: 512,
+            events: 3,
+            jumps: 1,
+            log_bytes: 9000,
+            telemetry: Some(TelemetryCheckpoint {
+                idle_steps: 11,
+                step_modeled: HistogramSnapshot {
+                    buckets: vec![0; crate::telemetry::HISTOGRAM_BUCKETS],
+                    count: 0,
+                    sum: 0.0,
+                },
+                deadline_headroom: HistogramSnapshot {
+                    buckets: vec![1; crate::telemetry::HISTOGRAM_BUCKETS],
+                    count: 64,
+                    sum: 0.125,
+                },
+            }),
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let ck = sample_checkpoint();
+        let bytes = encode_snapshot(&ck);
+        let back = decode_snapshot(&bytes).expect("roundtrip");
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let bytes = encode_snapshot(&sample_checkpoint());
+        for cut in [0, 7, 19, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_snapshot(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::TooShort | CheckpointError::LengthMismatch
+                ),
+                "cut {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_crc() {
+        let mut bytes = encode_snapshot(&sample_checkpoint());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode_snapshot(&bytes).unwrap_err(),
+            CheckpointError::CrcMismatch
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut bytes = encode_snapshot(&sample_checkpoint());
+        bytes[8] = 0xFE;
+        assert!(matches!(
+            decode_snapshot(&bytes).unwrap_err(),
+            CheckpointError::UnsupportedVersion(_)
+        ));
+    }
+
+    #[test]
+    fn trace_block_roundtrips() {
+        let trace = LoopTrace {
+            times: vec![0.0, 1.0, 2.0],
+            bunch_phase_deg: vec![vec![0.1, 0.2, 0.3], vec![-0.1, -0.2, -0.3]],
+            mean_phase_deg: vec![0.0, 0.0, 0.0],
+            control_hz: vec![5.0, -5.0, 0.0],
+            jump_times: vec![0.5],
+            events: vec![LoopEvent::RowCorrupted {
+                turn: 1,
+                time_s: 1.0,
+            }],
+            outcome: crate::fault::LoopOutcome::Survived,
+        };
+        let mut log = encode_trace_block(&trace, 0, 0, 0);
+        // Second delta: nothing new — an empty block must decode cleanly.
+        log.extend_from_slice(&encode_trace_block(&trace, 3, 1, 1));
+        let back = decode_trace_log(&log).expect("decode");
+        assert_eq!(back.times, trace.times);
+        assert_eq!(back.bunch_phase_deg, trace.bunch_phase_deg);
+        assert_eq!(back.events, trace.events);
+        assert_eq!(back.jump_times, trace.jump_times);
+    }
+
+    #[test]
+    fn huge_declared_length_does_not_allocate() {
+        // A payload declaring a 2^60-element vector must fail cleanly,
+        // not attempt the allocation.
+        let mut e = Enc::default();
+        e.u64(1u64 << 60);
+        let mut d = Dec::new(&e.buf);
+        assert!(d.f64s().is_err());
+    }
+}

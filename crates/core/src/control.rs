@@ -194,6 +194,56 @@ impl BeamPhaseController {
         self.acc_n = 0;
         self.last_output = 0.0;
     }
+
+    /// Snapshot all filter and accumulator state (DC-blocker registers, FIR
+    /// delay line, decimation accumulator, last output, enable gate). The
+    /// parameters and FIR taps are configuration and are rebuilt.
+    pub fn state(&self) -> ControllerState {
+        let (dc_x1, dc_y1) = self.dc.state();
+        ControllerState {
+            dc_x1,
+            dc_y1,
+            fir: self.fir.state(),
+            acc: self.acc,
+            acc_n: self.acc_n,
+            last_output: self.last_output,
+            enabled: self.enabled,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`]. Fails (returns `false`)
+    /// when the FIR delay-line length does not match this controller's tap
+    /// count.
+    pub fn restore(&mut self, state: &ControllerState) -> bool {
+        if !self.fir.restore(&state.fir) {
+            return false;
+        }
+        self.dc.restore(state.dc_x1, state.dc_y1);
+        self.acc = state.acc;
+        self.acc_n = state.acc_n;
+        self.last_output = state.last_output;
+        self.enabled = state.enabled;
+        true
+    }
+}
+
+/// Checkpointable state of a [`BeamPhaseController`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    /// DC-blocker previous input.
+    pub dc_x1: f64,
+    /// DC-blocker previous output.
+    pub dc_y1: f64,
+    /// FIR delay line + cursor.
+    pub fir: cil_dsp::fir::FirState,
+    /// Decimation accumulator.
+    pub acc: f64,
+    /// Samples accumulated toward the next decimated step.
+    pub acc_n: u32,
+    /// Last actuation output, Hz.
+    pub last_output: f64,
+    /// Loop-closed gate.
+    pub enabled: bool,
 }
 
 #[cfg(test)]

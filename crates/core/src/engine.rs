@@ -92,6 +92,131 @@ pub trait BeamEngine {
     fn sample_telemetry(&self, telemetry: &crate::telemetry::TelemetryRegistry) {
         let _ = telemetry;
     }
+
+    /// Capture the engine's *complete* dynamic state for checkpointing.
+    /// Static configuration (machine parameters, compiled kernels, LUTs,
+    /// filter taps) is not captured — a restore rebuilds the engine from the
+    /// scenario first and then patches the dynamic fields back in.
+    fn save_state(&self) -> EngineState;
+
+    /// Restore a state captured by [`Self::save_state`] onto an engine that
+    /// was freshly built from the *same scenario and kind*. Returns `false`
+    /// when the state belongs to a different engine kind or its shapes
+    /// (bunch count, ensemble size, buffer depth, …) do not match.
+    fn restore_state(&mut self, state: &EngineState) -> bool;
+}
+
+/// Checkpointable state of any [`BeamEngine`] — the variant identifies the
+/// engine fidelity it was captured from, and restores reject a mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineState {
+    /// [`MapEngine`] state.
+    Map(MapEngineState),
+    /// [`CgraEngine`] state.
+    Cgra(CgraEngineState),
+    /// [`RefTrackEngine`] state.
+    RefTrack(RefTrackEngineState),
+    /// [`RampEngine`] state.
+    Ramp(RampEngineState),
+    /// [`SignalLevelEngine`] state.
+    SignalLevel(Box<SignalLevelEngineState>),
+}
+
+/// Shared turn-level bookkeeping captured with every turn-level engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TurnStateSnapshot {
+    /// Elapsed simulated time, seconds.
+    pub time: f64,
+    /// Accumulated control phase, radians.
+    pub ctrl_phase_rad: f64,
+    /// Jump offset in force, degrees.
+    pub applied_jump_deg: f64,
+}
+
+/// Checkpointable state of a [`MapEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapEngineState {
+    /// Reference-particle Lorentz factor γ_R.
+    pub gamma_r: f64,
+    /// Macro-particle energy deviation Δγ.
+    pub dgamma: f64,
+    /// Macro-particle arrival-time deviation Δt, seconds.
+    pub dt: f64,
+    /// Turn-level bookkeeping.
+    pub turn: TurnStateSnapshot,
+}
+
+/// Checkpointable state of a [`CgraEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgraEngineState {
+    /// CGRA register file + iteration counter.
+    pub executor: cil_cgra::ExecutorState,
+    /// Gap-phase offset currently presented on the analytic bus, radians.
+    pub gap_phase_rad: f64,
+    /// Injected gap dropout in force.
+    pub gap_dropout: bool,
+    /// Last Δt written per bunch, seconds.
+    pub dt_out: Vec<f64>,
+    /// Turn-level bookkeeping.
+    pub turn: TurnStateSnapshot,
+}
+
+/// Checkpointable state of a [`RefTrackEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefTrackEngineState {
+    /// Ensemble arrival-time deviations, seconds.
+    pub dt: Vec<f64>,
+    /// Ensemble energy deviations Δγ.
+    pub dgamma: Vec<f64>,
+    /// Completed tracker revolutions.
+    pub tracker_turn: u64,
+    /// Turn-level bookkeeping.
+    pub turn: TurnStateSnapshot,
+}
+
+/// Checkpointable state of a [`RampEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampEngineState {
+    /// Reference-particle Lorentz factor γ_R.
+    pub gamma_r: f64,
+    /// Macro-particle energy deviation Δγ.
+    pub dgamma: f64,
+    /// Macro-particle arrival-time deviation Δt, seconds.
+    pub dt: f64,
+    /// Elapsed machine time, seconds.
+    pub time: f64,
+    /// Completed revolutions.
+    pub tracker_turn: u64,
+    /// Accumulated control phase, radians.
+    pub ctrl_phase_rad: f64,
+    /// Jump offset in force, degrees.
+    pub applied_jump_deg: f64,
+    /// Revolution frequency after the latest step, Hz.
+    pub last_f_rev: f64,
+    /// Reference γ after the latest step.
+    pub last_gamma_r: f64,
+    /// Synchronous phase of the latest step, degrees.
+    pub last_phi_s_deg: f64,
+}
+
+/// Checkpointable state of a [`SignalLevelEngine`] — the deep end: bench,
+/// framework and detector internals in full.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalLevelEngineState {
+    /// DDS bench state.
+    pub bench: crate::signalgen::SignalBenchState,
+    /// Framework state (CGRA, ring buffers, detectors, pulses, ADC RNG).
+    pub fw: crate::framework::FrameworkState,
+    /// Beam-phase detector state.
+    pub detector: cil_dsp::phase_detector::PhaseDetectorState,
+    /// Detector period setting, samples.
+    pub period_samples: f64,
+    /// Engine sample clock.
+    pub sample: u64,
+    /// Period-guard admissions.
+    pub period_admitted: u64,
+    /// Period-guard rejections.
+    pub period_rejected: u64,
 }
 
 /// Which beam-model engine a turn-level executive uses.
@@ -162,6 +287,20 @@ impl TurnState {
         self.applied_jump_deg = jumps.offset_deg_at(self.time);
         self.applied_jump_deg.to_radians() + self.ctrl_phase_rad
     }
+
+    fn snapshot(&self) -> TurnStateSnapshot {
+        TurnStateSnapshot {
+            time: self.time,
+            ctrl_phase_rad: self.ctrl_phase_rad,
+            applied_jump_deg: self.applied_jump_deg,
+        }
+    }
+
+    fn restore(&mut self, s: &TurnStateSnapshot) {
+        self.time = s.time;
+        self.ctrl_phase_rad = s.ctrl_phase_rad;
+        self.applied_jump_deg = s.applied_jump_deg;
+    }
 }
 
 /// The two-particle map as a [`BeamEngine`].
@@ -215,6 +354,26 @@ impl BeamEngine for MapEngine {
     fn seed_state(&mut self, time_s: f64, ctrl_phase_rad: f64) {
         self.state.time = time_s;
         self.state.ctrl_phase_rad = ctrl_phase_rad;
+    }
+
+    fn save_state(&self) -> EngineState {
+        EngineState::Map(MapEngineState {
+            gamma_r: self.map.reference.gamma,
+            dgamma: self.map.particle.dgamma,
+            dt: self.map.particle.dt,
+            turn: self.state.snapshot(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &EngineState) -> bool {
+        let EngineState::Map(s) = state else {
+            return false;
+        };
+        self.map.reference.gamma = s.gamma_r;
+        self.map.particle.dgamma = s.dgamma;
+        self.map.particle.dt = s.dt;
+        self.state.restore(&s.turn);
+        true
     }
 }
 
@@ -366,6 +525,30 @@ impl BeamEngine for CgraEngine {
         self.state.time = time_s;
         self.state.ctrl_phase_rad = ctrl_phase_rad;
     }
+
+    fn save_state(&self) -> EngineState {
+        EngineState::Cgra(CgraEngineState {
+            executor: self.executor.state(),
+            gap_phase_rad: self.bus.gap_phase_rad,
+            gap_dropout: self.bus.gap_dropout,
+            dt_out: self.bus.dt_out.clone(),
+            turn: self.state.snapshot(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &EngineState) -> bool {
+        let EngineState::Cgra(s) = state else {
+            return false;
+        };
+        if s.dt_out.len() != self.bus.dt_out.len() || !self.executor.restore(&s.executor) {
+            return false;
+        }
+        self.bus.gap_phase_rad = s.gap_phase_rad;
+        self.bus.gap_dropout = s.gap_dropout;
+        self.bus.dt_out = s.dt_out.clone();
+        self.state.restore(&s.turn);
+        true
+    }
 }
 
 /// The multi-particle reference tracker as a [`BeamEngine`] — the "MDE
@@ -432,6 +615,29 @@ impl BeamEngine for RefTrackEngine {
     fn seed_state(&mut self, time_s: f64, ctrl_phase_rad: f64) {
         self.state.time = time_s;
         self.state.ctrl_phase_rad = ctrl_phase_rad;
+    }
+
+    fn save_state(&self) -> EngineState {
+        EngineState::RefTrack(RefTrackEngineState {
+            dt: self.tracker.ensemble.dt.clone(),
+            dgamma: self.tracker.ensemble.dgamma.clone(),
+            tracker_turn: self.tracker.turn,
+            turn: self.state.snapshot(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &EngineState) -> bool {
+        let EngineState::RefTrack(s) = state else {
+            return false;
+        };
+        if s.dt.len() != self.tracker.ensemble.dt.len() || s.dt.len() != s.dgamma.len() {
+            return false;
+        }
+        self.tracker.ensemble.dt = s.dt.clone();
+        self.tracker.ensemble.dgamma = s.dgamma.clone();
+        self.tracker.turn = s.tracker_turn;
+        self.state.restore(&s.turn);
+        true
     }
 }
 
@@ -513,6 +719,38 @@ impl BeamEngine for RampEngine {
 
     fn applied_jump_deg(&self) -> f64 {
         self.applied_jump_deg
+    }
+
+    fn save_state(&self) -> EngineState {
+        EngineState::Ramp(RampEngineState {
+            gamma_r: self.tracker.map.reference.gamma,
+            dgamma: self.tracker.map.particle.dgamma,
+            dt: self.tracker.map.particle.dt,
+            time: self.tracker.time,
+            tracker_turn: self.tracker.turn,
+            ctrl_phase_rad: self.ctrl_phase_rad,
+            applied_jump_deg: self.applied_jump_deg,
+            last_f_rev: self.last_f_rev,
+            last_gamma_r: self.last_gamma_r,
+            last_phi_s_deg: self.last_phi_s_deg,
+        })
+    }
+
+    fn restore_state(&mut self, state: &EngineState) -> bool {
+        let EngineState::Ramp(s) = state else {
+            return false;
+        };
+        self.tracker.map.reference.gamma = s.gamma_r;
+        self.tracker.map.particle.dgamma = s.dgamma;
+        self.tracker.map.particle.dt = s.dt;
+        self.tracker.time = s.time;
+        self.tracker.turn = s.tracker_turn;
+        self.ctrl_phase_rad = s.ctrl_phase_rad;
+        self.applied_jump_deg = s.applied_jump_deg;
+        self.last_f_rev = s.last_f_rev;
+        self.last_gamma_r = s.last_gamma_r;
+        self.last_phi_s_deg = s.last_phi_s_deg;
+        true
     }
 }
 
@@ -624,6 +862,37 @@ impl BeamEngine for SignalLevelEngine {
 
     fn applied_jump_deg(&self) -> f64 {
         self.bench.applied_jump_deg()
+    }
+
+    fn save_state(&self) -> EngineState {
+        EngineState::SignalLevel(Box::new(SignalLevelEngineState {
+            bench: self.bench.state(),
+            fw: self.fw.state(),
+            detector: self.detector.state(),
+            period_samples: self.period_samples,
+            sample: self.sample,
+            period_admitted: self.period_admitted,
+            period_rejected: self.period_rejected,
+        }))
+    }
+
+    fn restore_state(&mut self, state: &EngineState) -> bool {
+        let EngineState::SignalLevel(s) = state else {
+            return false;
+        };
+        if !self.fw.restore(&s.fw) {
+            return false;
+        }
+        self.bench.restore(&s.bench);
+        // PhaseDetectorState carries the detector's own (measured) period,
+        // so no set_period_samples here — that would clobber it with the
+        // nominal one.
+        self.detector.restore(&s.detector);
+        self.period_samples = s.period_samples;
+        self.sample = s.sample;
+        self.period_admitted = s.period_admitted;
+        self.period_rejected = s.period_rejected;
+        true
     }
 
     fn sample_telemetry(&self, telemetry: &crate::telemetry::TelemetryRegistry) {

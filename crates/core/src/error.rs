@@ -6,10 +6,11 @@
 //! exists to exercise. Everything on the executive run path returns
 //! [`CilError`] through [`Result`].
 
+use crate::checkpoint::CheckpointError;
 use cil_physics::synchrotron::SynchrotronError;
 
 /// Error type of the cil-core run path.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub enum CilError {
     /// A physics derivation failed (e.g. operating point above transition).
     Physics(SynchrotronError),
@@ -17,6 +18,8 @@ pub enum CilError {
     MissingKernelRegister(String),
     /// A scenario or component configuration is invalid.
     InvalidConfig(String),
+    /// A checkpoint could not be written, decoded or applied.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for CilError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for CilError {
                 write!(f, "compiled kernel has no register named {name:?}")
             }
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -35,6 +39,7 @@ impl std::error::Error for CilError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Physics(e) => Some(e),
+            Self::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -43,6 +48,12 @@ impl std::error::Error for CilError {
 impl From<SynchrotronError> for CilError {
     fn from(e: SynchrotronError) -> Self {
         Self::Physics(e)
+    }
+}
+
+impl From<CheckpointError> for CilError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
     }
 }
 

@@ -305,6 +305,14 @@ pub enum LoopEvent {
         /// Why.
         cause: LossCause,
     },
+    /// A checkpoint file was rejected during recovery (corrupted, truncated
+    /// or incompatible) and recovery fell back to an older snapshot.
+    CheckpointRejected {
+        /// Row index recovery resumed from (the fallback snapshot's turn).
+        turn: usize,
+        /// Simulated time of the fallback snapshot, seconds.
+        time_s: f64,
+    },
 }
 
 /// Run-time state of a [`FaultProgram`] inside one loop execution.
@@ -424,6 +432,41 @@ impl FaultInjector {
         }
         factor
     }
+
+    /// Snapshot the injector's run-time state (RNG stream cursor, activation
+    /// latches, corruption counter). The [`FaultProgram`] itself is
+    /// configuration and is rebuilt from the scenario on restore.
+    pub fn state(&self) -> FaultInjectorState {
+        FaultInjectorState {
+            rng: self.rng.state(),
+            activated: self.activated.clone(),
+            corrupted_rows: self.corrupted_rows,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`]. Fails (returns `false`)
+    /// when the activation-latch length does not match this injector's
+    /// program.
+    pub fn restore(&mut self, state: &FaultInjectorState) -> bool {
+        if state.activated.len() != self.activated.len() {
+            return false;
+        }
+        self.rng = StdRng::from_state(state.rng);
+        self.activated = state.activated.clone();
+        self.corrupted_rows = state.corrupted_rows;
+        true
+    }
+}
+
+/// Checkpointable state of a [`FaultInjector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjectorState {
+    /// Raw RNG state (the injector's stream cursor).
+    pub rng: u64,
+    /// Per-event "already logged as active" latches.
+    pub activated: Vec<bool>,
+    /// Rows corrupted so far.
+    pub corrupted_rows: usize,
 }
 
 /// Supervisor policy knobs.
@@ -605,6 +648,39 @@ impl LoopSupervisor {
     pub fn bad_streak(&self) -> u32 {
         self.bad_streak
     }
+
+    /// Snapshot the supervisor's run-time state (jitter RNG cursor,
+    /// hold-last-good value, watchdog streak, warmup calibration). The
+    /// [`SupervisorConfig`] is configuration and is rebuilt on restore.
+    pub fn state(&self) -> SupervisorState {
+        SupervisorState {
+            rng: self.rng.state(),
+            last_good: self.last_good,
+            bad_streak: self.bad_streak,
+            calibration: self.calibration,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`].
+    pub fn restore(&mut self, state: &SupervisorState) {
+        self.rng = StdRng::from_state(state.rng);
+        self.last_good = state.last_good;
+        self.bad_streak = state.bad_streak;
+        self.calibration = state.calibration;
+    }
+}
+
+/// Checkpointable state of a [`LoopSupervisor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorState {
+    /// Raw RNG state (the jitter-model stream cursor).
+    pub rng: u64,
+    /// Hold-last-good measurement, degrees.
+    pub last_good: Option<f64>,
+    /// Consecutive-bad watchdog streak.
+    pub bad_streak: u32,
+    /// Warmup-step calibration, if one was recorded.
+    pub calibration: Option<StepCalibration>,
 }
 
 #[cfg(test)]

@@ -435,6 +435,65 @@ impl SimulatorFramework {
         &self.compiled.kernel
     }
 
+    /// Snapshot the framework's dynamic state: CGRA register file, capture
+    /// buffers, period detector, pulse generators, crossing bookkeeping,
+    /// ADC-noise RNG cursor and the active ADC fault. The compiled kernel is
+    /// *not* captured — it is recompiled (or taken from the shared cache) on
+    /// restore. The DRAM recording (`records`) is also not captured; see
+    /// DESIGN.md §5 for the rationale.
+    pub fn state(&self) -> FrameworkState {
+        FrameworkState {
+            executor: self.executor.state(),
+            ref_buffer: self.ref_buffer.state(),
+            gap_buffer: self.gap_buffer.state(),
+            period: self.period.state(),
+            pulses: self.pulses.iter().map(|p| p.state()).collect(),
+            sample: self.sample,
+            last_crossing_sample: self.last_crossing_sample,
+            prev_crossing_sample: self.prev_crossing_sample,
+            last_dt: self.last_dt.clone(),
+            monitor_value: self.monitor_value,
+            warmed_up: self.warmed_up,
+            recording: self.recording,
+            revolutions: self.revolutions,
+            adc_rng: self.adc_rng.state(),
+            adc_fault: self.adc_fault,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`] onto a freshly built
+    /// framework of the *same configuration*. Fails (returns `false`) on any
+    /// shape mismatch — buffer depth, period window, register-file size,
+    /// pulse count or bunch count.
+    pub fn restore(&mut self, state: &FrameworkState) -> bool {
+        if state.pulses.len() != self.pulses.len() || state.last_dt.len() != self.last_dt.len() {
+            return false;
+        }
+        if !self.executor.restore(&state.executor)
+            || !self.ref_buffer.restore(&state.ref_buffer)
+            || !self.gap_buffer.restore(&state.gap_buffer)
+            || !self.period.restore(&state.period)
+        {
+            return false;
+        }
+        for (p, ps) in self.pulses.iter_mut().zip(&state.pulses) {
+            if !p.restore(ps) {
+                return false;
+            }
+        }
+        self.sample = state.sample;
+        self.last_crossing_sample = state.last_crossing_sample;
+        self.prev_crossing_sample = state.prev_crossing_sample;
+        self.last_dt = state.last_dt.clone();
+        self.monitor_value = state.monitor_value;
+        self.warmed_up = state.warmed_up;
+        self.recording = state.recording;
+        self.revolutions = state.revolutions;
+        self.adc_rng = StdRng::from_state(state.adc_rng);
+        self.adc_fault = state.adc_fault;
+        true
+    }
+
     /// Schedule length of the configured kernel in CGRA ticks.
     pub fn schedule_ticks(&self) -> u32 {
         self.executor.ticks_per_iteration()
@@ -461,6 +520,45 @@ impl SimulatorFramework {
         self.config.pulse_table = Some(table);
         Ok(())
     }
+}
+
+/// Checkpointable state of a [`SimulatorFramework`].
+///
+/// Everything dynamic is here; the compiled kernel, pulse tables and
+/// configuration are rebuilt from the scenario. The DRAM recording
+/// (`records`) is intentionally excluded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkState {
+    /// CGRA register file + iteration counter.
+    pub executor: cil_cgra::ExecutorState,
+    /// Reference-channel capture buffer.
+    pub ref_buffer: cil_dsp::ring_buffer::RingBufferState,
+    /// Gap-channel capture buffer.
+    pub gap_buffer: cil_dsp::ring_buffer::RingBufferState,
+    /// Period-length detector (zero-crossing + averaging window).
+    pub period: cil_dsp::period::PeriodDetectorState,
+    /// Per-bunch Gauss pulse generator states.
+    pub pulses: Vec<cil_dsp::gauss::GaussPulseState>,
+    /// Framework sample clock.
+    pub sample: u64,
+    /// Last accepted zero-crossing sample index.
+    pub last_crossing_sample: Option<u64>,
+    /// The crossing before that (buffer addressing base).
+    pub prev_crossing_sample: Option<u64>,
+    /// Latest Δt per bunch, seconds.
+    pub last_dt: Vec<f64>,
+    /// Last kernel monitor write.
+    pub monitor_value: f64,
+    /// Pipeline warm-up done.
+    pub warmed_up: bool,
+    /// DRAM recording enabled.
+    pub recording: bool,
+    /// Kernel runs so far.
+    pub revolutions: u64,
+    /// ADC-noise RNG stream cursor.
+    pub adc_rng: u64,
+    /// Active ADC fault, if any.
+    pub adc_fault: Option<AdcFault>,
 }
 
 /// The SensorAccess implementation backed by the framework's detectors and

@@ -22,8 +22,11 @@
 //! the finished trace's event log into the counters so the exported numbers
 //! always agree with the audit channel.
 
+use crate::checkpoint::{
+    Checkpoint, CheckpointConfig, CheckpointError, CheckpointSession, DecodedTrace,
+};
 use crate::control::BeamPhaseController;
-use crate::engine::{BeamEngine, EngineKind, EngineStep};
+use crate::engine::{BeamEngine, EngineKind, EngineState, EngineStep};
 use crate::error::Result;
 use crate::fault::{
     FaultInjector, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor, LossCause, StepCalibration,
@@ -96,6 +99,9 @@ pub struct LoopHarness {
     pub faults: FaultInjector,
     /// Resolved metric handles when telemetry is enabled (None = zero-cost).
     telemetry: Option<LoopMetrics>,
+    /// Periodic checkpointing, when configured via
+    /// [`Self::with_checkpointing`] (None = no checkpoint I/O at all).
+    checkpoint: Option<CheckpointConfig>,
 }
 
 /// Wall-clock sampler for the hot loop: reads `Instant::now` once per
@@ -143,6 +149,7 @@ impl LoopHarness {
             instrument_offset_deg,
             faults: FaultInjector::none(),
             telemetry: None,
+            checkpoint: None,
         }
     }
 
@@ -170,6 +177,17 @@ impl LoopHarness {
         self
     }
 
+    /// Checkpoint periodically into `config.dir` (builder style). Only
+    /// [`Self::run_checkpointed`], [`Self::run_supervised`] and the
+    /// `resume_*` entry points honour this — plain [`Self::run`] takes an
+    /// already-built engine whose [`EngineKind`] it cannot know, so it
+    /// could not rebuild the engine on resume and therefore never
+    /// checkpoints.
+    pub fn with_checkpointing(mut self, config: CheckpointConfig) -> Self {
+        self.checkpoint = Some(config);
+        self
+    }
+
     /// Run the loop until the engine's time reaches `duration_s`.
     pub fn run<E: BeamEngine + ?Sized>(&mut self, engine: &mut E, duration_s: f64) -> LoopTrace {
         self.run_with(engine, duration_s, |_| {})
@@ -178,15 +196,33 @@ impl LoopHarness {
     /// Like [`Self::run`], calling `observer` after every recorded row —
     /// the hook through which executives capture engine-specific telemetry
     /// (e.g. γ_R and φ_s along a ramp) without widening the trace type.
-    pub fn run_with<E, F>(&mut self, engine: &mut E, duration_s: f64, mut observer: F) -> LoopTrace
+    pub fn run_with<E, F>(&mut self, engine: &mut E, duration_s: f64, observer: F) -> LoopTrace
+    where
+        E: BeamEngine + ?Sized,
+        F: FnMut(&E),
+    {
+        let trace = LoopTrace::empty(engine.bunches());
+        self.run_core(engine, duration_s, observer, trace, 0.0, None)
+    }
+
+    /// The unsupervised loop body, continuable: starts from an existing
+    /// `trace` + `last_jump` (the resume path) and checkpoints through
+    /// `ckpt` when one is attached.
+    fn run_core<E, F>(
+        &mut self,
+        engine: &mut E,
+        duration_s: f64,
+        mut observer: F,
+        mut trace: LoopTrace,
+        mut last_jump: f64,
+        mut ckpt: Option<CkptRun<'_>>,
+    ) -> LoopTrace
     where
         E: BeamEngine + ?Sized,
         F: FnMut(&E),
     {
         let bunches = engine.bunches();
         let mut phase = vec![0.0; bunches];
-        let mut trace = LoopTrace::empty(bunches);
-        let mut last_jump = 0.0f64;
         let mut wall = self.telemetry.as_ref().map(WallSampler::new);
 
         while engine.time() < duration_s {
@@ -255,6 +291,37 @@ impl LoopHarness {
                     if let Some(w) = &mut wall {
                         w.row();
                     }
+                    if let Some(c) = ckpt.as_mut() {
+                        if c.session.due(trace.times.len()) {
+                            let t0 = Instant::now();
+                            let ck = Checkpoint {
+                                turn: 0,
+                                time_s: engine.time(),
+                                supervised: false,
+                                kind: c.kind,
+                                bunches: bunches as u32,
+                                engine: engine.save_state(),
+                                controller: self.controller.state(),
+                                injector: self.faults.state(),
+                                supervisor: None,
+                                ctrl_phase_rad: 0.0,
+                                last_jump_deg: last_jump,
+                                rows: 0,
+                                events: 0,
+                                jumps: 0,
+                                log_bytes: 0,
+                                telemetry: self
+                                    .telemetry
+                                    .as_ref()
+                                    .map(LoopMetrics::checkpoint_snapshot),
+                            };
+                            c.session.checkpoint(&trace, move || ck);
+                            if let Some(m) = &self.telemetry {
+                                m.checkpoint_writes.inc();
+                                m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -263,6 +330,133 @@ impl LoopHarness {
             engine.sample_telemetry(&m.registry);
         }
         trace
+    }
+
+    /// Run an unsupervised closed loop with periodic checkpointing (the
+    /// configuration from [`Self::with_checkpointing`]). Takes the
+    /// [`EngineKind`] rather than a built engine so [`Self::resume_from`]
+    /// can rebuild the same fidelity later. Without a checkpoint
+    /// configuration this is just [`Self::run`] on a freshly built engine.
+    ///
+    /// Checkpoint write failures do not abort the loop — checkpointing is
+    /// disabled for the rest of the run and the first failure is returned
+    /// as an error after the (complete) run, with the trace lost to the
+    /// caller; treat that as "the run succeeded but is not resumable".
+    pub fn run_checkpointed(
+        &mut self,
+        scenario: &MdeScenario,
+        kind: EngineKind,
+        duration_s: f64,
+    ) -> Result<LoopTrace> {
+        let mut engine = kind.build(scenario)?;
+        let Some(cfg) = self.checkpoint.clone() else {
+            return Ok(self.run(engine.as_mut(), duration_s));
+        };
+        let mut session = CheckpointSession::begin(&cfg).map_err(crate::error::CilError::from)?;
+        let empty = LoopTrace::empty(engine.bunches());
+        let trace = self.run_core(
+            engine.as_mut(),
+            duration_s,
+            |_| {},
+            empty,
+            0.0,
+            Some(CkptRun {
+                session: &mut session,
+                kind,
+            }),
+        );
+        session.into_result()?;
+        Ok(trace)
+    }
+
+    /// Resume an unsupervised run from the newest good checkpoint in the
+    /// configured directory and carry it to `duration_s`.
+    ///
+    /// Corrupted or truncated snapshots newer than the chosen one are each
+    /// audited as a [`LoopEvent::CheckpointRejected`] (stamped with the
+    /// fallback snapshot's turn/time) in the returned trace. The resumed
+    /// trace's rows, events and jump times are bit-identical to an
+    /// uninterrupted run's.
+    pub fn resume_from(&mut self, scenario: &MdeScenario, duration_s: f64) -> Result<LoopTrace> {
+        let cfg = self.checkpoint.clone().ok_or_else(|| {
+            crate::error::CilError::InvalidConfig("resume_from requires with_checkpointing".into())
+        })?;
+        let resumed = CheckpointSession::resume(&cfg).map_err(crate::error::CilError::from)?;
+        let ck = &resumed.checkpoint;
+        if ck.supervised {
+            return Err(CheckpointError::Incompatible(
+                "checkpoint was written by a supervised run; use resume_supervised_from",
+            )
+            .into());
+        }
+        let mut engine = ck.kind.build(scenario)?;
+        let trace = self.restore_common(engine.as_mut(), ck, &resumed.trace, resumed.rejected)?;
+        let last_jump = ck.last_jump_deg;
+        let kind = ck.kind;
+        let mut session = resumed.session;
+        let trace = self.run_core(
+            engine.as_mut(),
+            duration_s,
+            |_| {},
+            trace,
+            last_jump,
+            Some(CkptRun {
+                session: &mut session,
+                kind,
+            }),
+        );
+        session.into_result()?;
+        Ok(trace)
+    }
+
+    /// Shared resume plumbing: apply the snapshot to the engine,
+    /// controller, fault injector and telemetry, and rebuild the trace
+    /// prefix (with one [`LoopEvent::CheckpointRejected`] appended per
+    /// snapshot that had to be discarded during recovery).
+    fn restore_common<E: BeamEngine + ?Sized>(
+        &mut self,
+        engine: &mut E,
+        ck: &Checkpoint,
+        decoded: &DecodedTrace,
+        rejected: usize,
+    ) -> Result<LoopTrace> {
+        if ck.bunches as usize != engine.bunches() {
+            return Err(
+                CheckpointError::Incompatible("bunch count differs from the scenario").into(),
+            );
+        }
+        if !engine.restore_state(&ck.engine) {
+            return Err(
+                CheckpointError::Incompatible("engine state does not fit the scenario").into(),
+            );
+        }
+        if !self.controller.restore(&ck.controller) {
+            return Err(CheckpointError::Incompatible(
+                "controller state does not fit the scenario",
+            )
+            .into());
+        }
+        if !self.faults.restore(&ck.injector) {
+            return Err(CheckpointError::Incompatible(
+                "fault-injector state does not fit the scenario's fault program",
+            )
+            .into());
+        }
+        if let (Some(m), Some(t)) = (&self.telemetry, &ck.telemetry) {
+            if !m.restore_checkpoint(t) {
+                return Err(
+                    CheckpointError::Incompatible("telemetry histogram shape changed").into(),
+                );
+            }
+        }
+        let mut trace = trace_from_decoded(decoded.clone(), engine.bunches());
+        for _ in 0..rejected {
+            trace.events.push(LoopEvent::CheckpointRejected {
+                turn: ck.turn as usize,
+                time_s: ck.time_s,
+            });
+        }
+        Ok(trace)
     }
 
     /// Run the loop under a [`LoopSupervisor`]: a per-revolution deadline
@@ -275,6 +469,12 @@ impl LoopHarness {
     ///
     /// Owns engine construction (it may rebuild mid-run), so it takes the
     /// [`EngineKind`] rather than a built engine.
+    ///
+    /// When checkpointing is configured ([`Self::with_checkpointing`]) the
+    /// supervised loop checkpoints inline at the configured cadence —
+    /// including across demotions (the snapshot records the fidelity
+    /// *currently running*). A checkpoint write failure disables further
+    /// checkpointing and surfaces as an error after the complete run.
     pub fn run_supervised(
         &mut self,
         scenario: &MdeScenario,
@@ -282,13 +482,99 @@ impl LoopHarness {
         duration_s: f64,
         supervisor: &mut LoopSupervisor,
     ) -> Result<LoopTrace> {
+        let mut session = match self.checkpoint.clone() {
+            Some(cfg) => {
+                Some(CheckpointSession::begin(&cfg).map_err(crate::error::CilError::from)?)
+            }
+            None => None,
+        };
+        let trace = self.run_supervised_core(
+            scenario,
+            kind,
+            duration_s,
+            supervisor,
+            session.as_mut(),
+            None,
+        )?;
+        if let Some(s) = session {
+            s.into_result()?;
+        }
+        Ok(trace)
+    }
+
+    /// Resume a supervised run from the newest good checkpoint and carry
+    /// it to `duration_s`. The supervisor is restored from the snapshot
+    /// (including its warmup calibration, so no re-calibration happens —
+    /// the resumed run stays bit-identical to an uninterrupted one).
+    pub fn resume_supervised_from(
+        &mut self,
+        scenario: &MdeScenario,
+        duration_s: f64,
+        supervisor: &mut LoopSupervisor,
+    ) -> Result<LoopTrace> {
+        let cfg = self.checkpoint.clone().ok_or_else(|| {
+            crate::error::CilError::InvalidConfig(
+                "resume_supervised_from requires with_checkpointing".into(),
+            )
+        })?;
+        let resumed = CheckpointSession::resume(&cfg).map_err(crate::error::CilError::from)?;
+        let ck = resumed.checkpoint.clone();
+        if !ck.supervised {
+            return Err(CheckpointError::Incompatible(
+                "checkpoint was written by an unsupervised run; use resume_from",
+            )
+            .into());
+        }
+        let Some(sup_state) = &ck.supervisor else {
+            return Err(
+                CheckpointError::Malformed("supervised checkpoint lacks supervisor state").into(),
+            );
+        };
+        supervisor.restore(sup_state);
+        // The trace prefix and peripheral state are restored against a
+        // scratch engine build; run_supervised_core owns the real engine
+        // (it may rebuild it mid-run) and re-applies the engine state
+        // itself.
+        let mut engine = ck.kind.build(scenario)?;
+        let trace = self.restore_common(engine.as_mut(), &ck, &resumed.trace, resumed.rejected)?;
+        drop(engine);
+        let mut session = resumed.session;
+        let init = SupervisedResume {
+            trace,
+            last_jump: ck.last_jump_deg,
+            ctrl_phase_rad: ck.ctrl_phase_rad,
+            engine_state: ck.engine.clone(),
+        };
+        let trace = self.run_supervised_core(
+            scenario,
+            ck.kind,
+            duration_s,
+            supervisor,
+            Some(&mut session),
+            Some(init),
+        )?;
+        session.into_result()?;
+        Ok(trace)
+    }
+
+    fn run_supervised_core(
+        &mut self,
+        scenario: &MdeScenario,
+        kind: EngineKind,
+        duration_s: f64,
+        supervisor: &mut LoopSupervisor,
+        mut session: Option<&mut CheckpointSession>,
+        resume: Option<SupervisedResume>,
+    ) -> Result<LoopTrace> {
         let mut kind = kind;
         // Startup calibration (satellite fix): measure the real per-step
         // wall-clock on a *scratch* engine that is discarded afterwards, so
         // the run itself stays bit-identical whether or not it happened.
         // The measured figure replaces the hard-coded nominal only when the
         // policy opts in (`use_measured_step`); it is always exported.
-        if supervisor.calibration().is_none_or(|cal| cal.kind != kind) {
+        // Skipped entirely on resume: the restored supervisor carries the
+        // calibration the original run measured.
+        if resume.is_none() && supervisor.calibration().is_none_or(|cal| cal.kind != kind) {
             let cal = measure_step_seconds(scenario, kind)?;
             supervisor.set_calibration(cal);
         }
@@ -303,13 +589,22 @@ impl LoopHarness {
         let mut engine = kind.build(scenario)?;
         let bunches = engine.bunches();
         let mut phase = vec![0.0; bunches];
-        let mut trace = LoopTrace::empty(bunches);
-        let mut last_jump = 0.0f64;
+        let (mut trace, mut last_jump, mut ctrl_phase_rad) = match resume {
+            Some(init) => {
+                if !engine.restore_state(&init.engine_state) {
+                    return Err(CheckpointError::Incompatible(
+                        "engine state does not fit the scenario",
+                    )
+                    .into());
+                }
+                (init.trace, init.last_jump, init.ctrl_phase_rad)
+            }
+            None => (LoopTrace::empty(bunches), 0.0, 0.0),
+        };
         let mut wall = self.telemetry.as_ref().map(WallSampler::new);
         // Mirror of the engine's accumulated control phase, so a freshly
         // built engine can be seeded mid-run after a demotion.
         let t_rev = 1.0 / scenario.f_rev;
-        let mut ctrl_phase_rad = 0.0f64;
 
         while engine.time() < duration_s {
             let t_pre = engine.time();
@@ -470,6 +765,37 @@ impl LoopHarness {
                     if let Some(w) = &mut wall {
                         w.row();
                     }
+                    if let Some(s) = session.as_deref_mut() {
+                        if s.due(trace.times.len()) {
+                            let t0 = Instant::now();
+                            let ck = Checkpoint {
+                                turn: 0,
+                                time_s: engine.time(),
+                                supervised: true,
+                                kind,
+                                bunches: bunches as u32,
+                                engine: engine.save_state(),
+                                controller: self.controller.state(),
+                                injector: self.faults.state(),
+                                supervisor: Some(supervisor.state()),
+                                ctrl_phase_rad,
+                                last_jump_deg: last_jump,
+                                rows: 0,
+                                events: 0,
+                                jumps: 0,
+                                log_bytes: 0,
+                                telemetry: self
+                                    .telemetry
+                                    .as_ref()
+                                    .map(LoopMetrics::checkpoint_snapshot),
+                            };
+                            s.checkpoint(&trace, move || ck);
+                            if let Some(m) = &self.telemetry {
+                                m.checkpoint_writes.inc();
+                                m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -478,6 +804,38 @@ impl LoopHarness {
             engine.sample_telemetry(&m.registry);
         }
         Ok(trace)
+    }
+}
+
+/// Checkpoint context threaded through the unsupervised loop body.
+struct CkptRun<'a> {
+    session: &'a mut CheckpointSession,
+    kind: EngineKind,
+}
+
+/// Restored starting point for a resumed supervised run.
+struct SupervisedResume {
+    trace: LoopTrace,
+    last_jump: f64,
+    ctrl_phase_rad: f64,
+    engine_state: EngineState,
+}
+
+/// Rebuild a [`LoopTrace`] from the write-ahead log's decoded prefix.
+fn trace_from_decoded(d: DecodedTrace, bunches: usize) -> LoopTrace {
+    let bunch_phase_deg = if d.bunch_phase_deg.is_empty() {
+        vec![Vec::new(); bunches]
+    } else {
+        d.bunch_phase_deg
+    };
+    LoopTrace {
+        times: d.times,
+        bunch_phase_deg,
+        mean_phase_deg: d.mean_phase_deg,
+        control_hz: d.control_hz,
+        jump_times: d.jump_times,
+        events: d.events,
+        outcome: LoopOutcome::Survived,
     }
 }
 

@@ -33,12 +33,16 @@
 //!   deadline watchdog and graceful engine degradation;
 //! * [`error`] — the typed [`error::CilError`] every run-path constructor
 //!   returns instead of panicking;
+//! * [`checkpoint`] — versioned, CRC-checksummed snapshots of the complete
+//!   closed-loop state plus a write-ahead trace log, so a killed run
+//!   resumes bit-identical to an uninterrupted one;
 //! * [`telemetry`] — the zero-allocation-on-hot-path metrics registry
 //!   (counters, gauges, log2-bucket histograms), span timing, registry
 //!   merging for parallel sweeps, and Prometheus/JSON export;
 //! * [`trace`] — time-series recording, CSV export and the Fig. 5 summary
 //!   statistics (measured f_s, first-peak ratio, damping time).
 
+pub mod checkpoint;
 pub mod clock;
 pub mod control;
 pub mod engine;
@@ -57,8 +61,9 @@ pub mod sweep;
 pub mod telemetry;
 pub mod trace;
 
+pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointError};
 pub use control::BeamPhaseController;
-pub use engine::{BeamEngine, EngineKind, EngineStep};
+pub use engine::{BeamEngine, EngineKind, EngineState, EngineStep};
 pub use error::CilError;
 pub use fault::{
     FaultEvent, FaultInjector, FaultKind, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor,

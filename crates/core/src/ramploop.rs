@@ -12,6 +12,7 @@
 
 use crate::control::BeamPhaseController;
 use crate::engine::RampEngine;
+use crate::error::{CilError, Result};
 use crate::fault::{FaultInjector, FaultProgram, LoopEvent, LoopOutcome};
 use crate::harness::LoopHarness;
 use crate::signalgen::PhaseJumpProgram;
@@ -90,9 +91,30 @@ impl RampLoop {
     }
 
     /// Run until `t_end` seconds (closed loop if `control_enabled`).
-    pub fn run(&self, t_end: f64, control_enabled: bool) -> RampLoopResult {
-        let mut engine = RampEngine::new(self.machine, self.ion, self.program.clone());
+    ///
+    /// Fails with [`CilError::InvalidConfig`] on a non-finite or
+    /// non-positive horizon/output grid, or an unusable injection
+    /// revolution frequency — instead of panicking deep inside the loop.
+    pub fn run(&self, t_end: f64, control_enabled: bool) -> Result<RampLoopResult> {
+        if !t_end.is_finite() || t_end <= 0.0 {
+            return Err(CilError::InvalidConfig(format!(
+                "ramp horizon must be finite and positive, got {t_end}"
+            )));
+        }
+        if !self.output_dt.is_finite() || self.output_dt <= 0.0 {
+            return Err(CilError::InvalidConfig(format!(
+                "output_dt must be finite and positive, got {}",
+                self.output_dt
+            )));
+        }
         let f0 = self.program.f_rev.at(0.0);
+        if !f0.is_finite() || f0 <= 0.0 {
+            return Err(CilError::InvalidConfig(format!(
+                "ramp program's injection revolution frequency must be \
+                 finite and positive, got {f0}"
+            )));
+        }
+        let mut engine = RampEngine::new(self.machine, self.ion, self.program.clone());
         let mut controller = BeamPhaseController::new(self.controller, f0);
         controller.enabled = control_enabled;
         // No instrumentation offset on the ramp: the phase here is the raw
@@ -122,13 +144,13 @@ impl RampLoop {
             }
         }
 
-        RampLoopResult {
+        Ok(RampLoopResult {
             phase_deg: TimeSeries::new(0.0, self.output_dt, phase),
             gamma_r: TimeSeries::new(0.0, self.output_dt, gamma),
             phi_s_deg: TimeSeries::new(0.0, self.output_dt, phi_s),
             events: trace.events,
             outcome: trace.outcome,
-        }
+        })
     }
 }
 
@@ -156,7 +178,7 @@ mod tests {
 
     #[test]
     fn beam_survives_gentle_ramp_closed_loop() {
-        let result = lp().run(0.45, true);
+        let result = lp().run(0.45, true).unwrap();
         assert!(result.survived());
         // γ reached the flat-top value.
         let g_final = *result.gamma_r.values.last().unwrap();
@@ -193,8 +215,8 @@ mod tests {
             interval_s: 0.1,
             path_latency_s: 0.0,
         };
-        let closed = looped.run(0.2, true);
-        let open = looped.run(0.2, false);
+        let closed = looped.run(0.2, true).unwrap();
+        let open = looped.run(0.2, false).unwrap();
         assert!(closed.survived() && open.survived());
         // After the jump at 0.1 s: closed-loop oscillation dies down, open
         // keeps ringing. Compare tail windows.
@@ -217,13 +239,35 @@ mod tests {
             f_rev: Curve::linear(0.0, 400e3, 0.01, 1.2e6),
             v_hat: Curve::constant(100.0),
         };
-        let result = looped.run(0.02, true);
+        let result = looped.run(0.02, true).unwrap();
         assert!(!result.survived());
     }
 
     #[test]
+    fn bad_horizon_and_grid_are_typed_errors() {
+        for t_end in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                lp().run(t_end, true),
+                Err(CilError::InvalidConfig(_))
+            ));
+        }
+        let mut looped = lp();
+        looped.output_dt = 0.0;
+        assert!(matches!(
+            looped.run(0.1, true),
+            Err(CilError::InvalidConfig(_))
+        ));
+        let mut looped = lp();
+        looped.program.f_rev = Curve::constant(-700e3);
+        assert!(matches!(
+            looped.run(0.1, true),
+            Err(CilError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     fn output_grid_is_uniform() {
-        let result = lp().run(0.1, true);
+        let result = lp().run(0.1, true).unwrap();
         assert!((result.phase_deg.dt - 5e-4).abs() < 1e-12);
         assert!(result.phase_deg.len() >= 195 && result.phase_deg.len() <= 200);
         assert_eq!(result.phase_deg.len(), result.gamma_r.len());

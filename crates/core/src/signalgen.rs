@@ -145,6 +145,46 @@ impl SignalBench {
     pub fn applied_jump_deg(&self) -> f64 {
         self.applied_jump_deg
     }
+
+    /// Snapshot the bench's dynamic state (DDS phase accumulators, sample
+    /// clock, edge-applied jump offset, controller trim). The jump program,
+    /// harmonic and amplitudes are configuration and are rebuilt.
+    pub fn state(&self) -> SignalBenchState {
+        SignalBenchState {
+            reference: self.reference.state(),
+            gap: self.gap.state(),
+            sample: self.sample,
+            applied_jump_deg: self.applied_jump_deg,
+            ctrl_freq_offset: self.ctrl_freq_offset,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`]. Writes the DDS states
+    /// directly (including the gap increment, which already carries the
+    /// controller trim), so `ctrl_freq_offset` is set without re-deriving
+    /// the gap frequency.
+    pub fn restore(&mut self, state: &SignalBenchState) {
+        self.reference.restore(&state.reference);
+        self.gap.restore(&state.gap);
+        self.sample = state.sample;
+        self.applied_jump_deg = state.applied_jump_deg;
+        self.ctrl_freq_offset = state.ctrl_freq_offset;
+    }
+}
+
+/// Checkpointable state of a [`SignalBench`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalBenchState {
+    /// Reference DDS state.
+    pub reference: cil_dsp::dds::DdsState,
+    /// Gap DDS state (its increment carries the controller trim).
+    pub gap: cil_dsp::dds::DdsState,
+    /// Sample clock.
+    pub sample: u64,
+    /// Edge-applied jump offset, degrees.
+    pub applied_jump_deg: f64,
+    /// Controller frequency trim in force, Hz.
+    pub ctrl_freq_offset: f64,
 }
 
 #[cfg(test)]

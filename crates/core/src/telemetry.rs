@@ -216,6 +216,39 @@ impl Histogram {
             start: Instant::now(),
         }
     }
+
+    /// Overwrite this histogram's cells from a frozen snapshot — the
+    /// checkpoint-resume path, which must reproduce the deterministic
+    /// histograms bit-for-bit (the sum is restored as its exact bit pattern
+    /// so continued sequential addition matches an uninterrupted run).
+    /// Fails (returns `false`) on a bucket-count mismatch.
+    pub fn restore_snapshot(&self, snap: &HistogramSnapshot) -> bool {
+        if snap.buckets.len() != HISTOGRAM_BUCKETS {
+            return false;
+        }
+        for (cell, &v) in self.cell.buckets.iter().zip(&snap.buckets) {
+            cell.store(v, Ordering::Relaxed);
+        }
+        self.cell.count.store(snap.count, Ordering::Relaxed);
+        self.cell
+            .sum_bits
+            .store(snap.sum.to_bits(), Ordering::Relaxed);
+        true
+    }
+
+    /// Freeze this histogram's current state (checkpoint capture).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .cell
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.cell.count.load(Ordering::Relaxed),
+            sum: self.cell.sum(),
+        }
+    }
 }
 
 /// Timing guard returned by [`Histogram::time`]; records the elapsed
@@ -565,6 +598,9 @@ pub struct LoopMetrics {
     deadline_overruns: Counter,
     demotions: Counter,
     beam_losses: Counter,
+    checkpoint_rejections: Counter,
+    pub(crate) checkpoint_writes: Counter,
+    pub(crate) checkpoint_write_wall: Histogram,
 }
 
 impl LoopMetrics {
@@ -584,6 +620,9 @@ impl LoopMetrics {
             deadline_overruns: registry.counter("cil_supervisor_deadline_overruns_total"),
             demotions: registry.counter("cil_supervisor_demotions_total"),
             beam_losses: registry.counter("cil_loop_beam_losses_total"),
+            checkpoint_rejections: registry.counter("cil_checkpoint_rejections_total"),
+            checkpoint_writes: registry.counter("cil_checkpoint_writes_total"),
+            checkpoint_write_wall: registry.histogram("cil_checkpoint_write_wall_seconds"),
             registry: registry.clone(),
         }
     }
@@ -604,8 +643,31 @@ impl LoopMetrics {
                 LoopEvent::DeadlineOverrun { .. } => self.deadline_overruns.inc(),
                 LoopEvent::EngineDemoted { .. } => self.demotions.inc(),
                 LoopEvent::BeamLost { .. } => self.beam_losses.inc(),
+                LoopEvent::CheckpointRejected { .. } => self.checkpoint_rejections.inc(),
             }
         }
+    }
+
+    /// Snapshot the metrics the loop accumulates *mid-run* (everything not
+    /// derived from the trace at run end, minus wall-clock metrics, which
+    /// are excluded from determinism comparisons anyway).
+    pub(crate) fn checkpoint_snapshot(&self) -> crate::checkpoint::TelemetryCheckpoint {
+        crate::checkpoint::TelemetryCheckpoint {
+            idle_steps: self.idle_steps.get(),
+            step_modeled: self.step_modeled.snapshot(),
+            deadline_headroom: self.deadline_headroom.snapshot(),
+        }
+    }
+
+    /// Re-apply a mid-run telemetry snapshot onto this (fresh) registry.
+    /// Counters are *added* (a resumed run starts from zero), histograms
+    /// restored bit-exact. Returns `false` on a histogram shape mismatch.
+    pub(crate) fn restore_checkpoint(&self, t: &crate::checkpoint::TelemetryCheckpoint) -> bool {
+        self.idle_steps.add(t.idle_steps);
+        self.step_modeled.restore_snapshot(&t.step_modeled)
+            && self
+                .deadline_headroom
+                .restore_snapshot(&t.deadline_headroom)
     }
 }
 

@@ -113,6 +113,39 @@ impl Dds {
     pub fn f_clk(&self) -> f64 {
         self.f_clk
     }
+
+    /// Snapshot the dynamic state (accumulator position + tuning word,
+    /// amplitude, dropout flag). The sine LUT is pure configuration and is
+    /// rebuilt, not captured.
+    pub fn state(&self) -> DdsState {
+        DdsState {
+            acc: self.accumulator.acc,
+            increment: self.accumulator.increment,
+            amplitude: self.amplitude,
+            dropout: self.dropout,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`].
+    pub fn restore(&mut self, state: &DdsState) {
+        self.accumulator.acc = state.acc;
+        self.accumulator.increment = state.increment;
+        self.amplitude = state.amplitude;
+        self.dropout = state.dropout;
+    }
+}
+
+/// Checkpointable state of a [`Dds`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdsState {
+    /// Phase accumulator value.
+    pub acc: u64,
+    /// Tuning word (per-tick accumulator increment).
+    pub increment: u64,
+    /// Peak output amplitude, volts.
+    pub amplitude: f64,
+    /// Output-dropout fault flag.
+    pub dropout: bool,
 }
 
 #[cfg(test)]

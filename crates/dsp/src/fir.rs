@@ -141,6 +141,35 @@ impl FirFilter {
         self.delay.iter_mut().for_each(|v| *v = 0.0);
         self.cursor = 0;
     }
+
+    /// Snapshot the delay-line state for checkpointing. The taps are
+    /// configuration and are not captured.
+    pub fn state(&self) -> FirState {
+        FirState {
+            delay: self.delay.clone(),
+            cursor: self.cursor,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`]. Fails (returns `false`)
+    /// when the snapshot's length does not match this filter's tap count.
+    pub fn restore(&mut self, state: &FirState) -> bool {
+        if state.delay.len() != self.delay.len() || state.cursor >= self.delay.len() {
+            return false;
+        }
+        self.delay.copy_from_slice(&state.delay);
+        self.cursor = state.cursor;
+        true
+    }
+}
+
+/// Checkpointable state of a [`FirFilter`] delay line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirState {
+    /// Circular delay line contents.
+    pub delay: Vec<f64>,
+    /// Write cursor.
+    pub cursor: usize,
 }
 
 #[cfg(test)]

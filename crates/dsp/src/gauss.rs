@@ -110,6 +110,45 @@ impl GaussPulseGenerator {
     pub fn is_playing(&self) -> bool {
         self.playing.is_some()
     }
+
+    /// Snapshot the playback state (position, pending triggers, time base,
+    /// amplitude). The pulse table itself is configuration and is rebuilt.
+    pub fn state(&self) -> GaussPulseState {
+        GaussPulseState {
+            playing: self.playing,
+            armed_at: self.armed_at.iter().copied().collect(),
+            now: self.now,
+            amplitude: self.amplitude,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`]. Fails (returns `false`)
+    /// when the playback position is beyond this generator's table.
+    pub fn restore(&mut self, state: &GaussPulseState) -> bool {
+        if let Some(pos) = state.playing {
+            if pos >= self.table.len() {
+                return false;
+            }
+        }
+        self.playing = state.playing;
+        self.armed_at = state.armed_at.iter().copied().collect();
+        self.now = state.now;
+        self.amplitude = state.amplitude;
+        true
+    }
+}
+
+/// Checkpointable state of a [`GaussPulseGenerator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussPulseState {
+    /// Playback position, if a pulse is in flight.
+    pub playing: Option<usize>,
+    /// Pending trigger sample times, in arming order.
+    pub armed_at: Vec<u64>,
+    /// Current absolute sample index.
+    pub now: u64,
+    /// Output amplitude scale.
+    pub amplitude: f64,
 }
 
 #[cfg(test)]

@@ -83,6 +83,18 @@ impl DcBlocker {
         self.x1 = 0.0;
         self.y1 = 0.0;
     }
+
+    /// Filter memory `(x[n−1], y[n−1])` — the anti-windup rollback state
+    /// the controller checkpoints.
+    pub fn state(&self) -> (f64, f64) {
+        (self.x1, self.y1)
+    }
+
+    /// Restore filter memory captured by [`Self::state`].
+    pub fn restore(&mut self, x1: f64, y1: f64) {
+        self.x1 = x1;
+        self.y1 = y1;
+    }
 }
 
 /// Comb resonator `y[n] = x[n] − x[n−N] + r·y[n−N]` — the periodic

@@ -89,6 +89,47 @@ impl PeriodLengthDetector {
     pub fn zero_crossing(&self) -> &ZeroCrossingDetector {
         &self.zcd
     }
+
+    /// Snapshot the complete detector state (including the nested
+    /// zero-crossing detector) for checkpointing.
+    pub fn state(&self) -> PeriodDetectorState {
+        PeriodDetectorState {
+            zcd: self.zcd.state(),
+            history: self.history.clone(),
+            cursor: self.cursor,
+            filled: self.filled,
+            last_crossing: self.last_crossing,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`]. Fails (returns `false`)
+    /// when the snapshot's window size does not match this detector's.
+    pub fn restore(&mut self, state: &PeriodDetectorState) -> bool {
+        if state.history.len() != self.history.len() || state.cursor >= self.history.len() {
+            return false;
+        }
+        self.zcd.restore(&state.zcd);
+        self.history.copy_from_slice(&state.history);
+        self.cursor = state.cursor;
+        self.filled = state.filled.min(self.history.len());
+        self.last_crossing = state.last_crossing;
+        true
+    }
+}
+
+/// Checkpointable state of a [`PeriodLengthDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodDetectorState {
+    /// Nested zero-crossing detector state.
+    pub zcd: crate::zero_crossing::ZeroCrossingState,
+    /// Raw period history ring.
+    pub history: Vec<f64>,
+    /// Ring cursor.
+    pub cursor: usize,
+    /// Valid entries in the ring.
+    pub filled: usize,
+    /// Fractional sample time of the previous crossing.
+    pub last_crossing: Option<f64>,
 }
 
 #[cfg(test)]

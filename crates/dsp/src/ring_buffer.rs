@@ -104,6 +104,40 @@ impl CaptureRingBuffer {
     pub fn holds_two_periods(&self, period_samples: usize) -> bool {
         2 * period_samples <= self.depth()
     }
+
+    /// Snapshot the complete buffer state for checkpointing.
+    pub fn state(&self) -> RingBufferState {
+        RingBufferState {
+            data: self.data.to_vec(),
+            head: self.head,
+            written: self.written,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`]. Fails (returns `false`)
+    /// when the snapshot's depth does not match this buffer's depth or its
+    /// cursor is out of range — a restore must never manufacture an
+    /// inconsistent buffer.
+    pub fn restore(&mut self, state: &RingBufferState) -> bool {
+        if state.data.len() != self.data.len() || state.head >= self.data.len() {
+            return false;
+        }
+        self.data.copy_from_slice(&state.data);
+        self.head = state.head;
+        self.written = state.written;
+        true
+    }
+}
+
+/// Checkpointable state of a [`CaptureRingBuffer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingBufferState {
+    /// Raw sample memory, oldest-to-newest in physical order.
+    pub data: Vec<f64>,
+    /// Next write position.
+    pub head: usize,
+    /// Total samples ever written.
+    pub written: u64,
 }
 
 #[cfg(test)]

@@ -84,6 +84,46 @@ impl ZeroCrossingDetector {
     pub fn crossings_seen(&self) -> u64 {
         self.crossings_seen
     }
+
+    /// Snapshot the complete detector state for checkpointing. The
+    /// hysteresis threshold is configuration and is not captured.
+    pub fn state(&self) -> ZeroCrossingState {
+        ZeroCrossingState {
+            last_sample: self.last_sample,
+            sample_index: self.sample_index,
+            last_crossing: self.last_crossing,
+            last_crossing_frac: self.last_crossing_frac,
+            armed: self.armed,
+            crossings_seen: self.crossings_seen,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`].
+    pub fn restore(&mut self, state: &ZeroCrossingState) {
+        self.last_sample = state.last_sample;
+        self.sample_index = state.sample_index;
+        self.last_crossing = state.last_crossing;
+        self.last_crossing_frac = state.last_crossing_frac;
+        self.armed = state.armed;
+        self.crossings_seen = state.crossings_seen;
+    }
+}
+
+/// Checkpointable state of a [`ZeroCrossingDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZeroCrossingState {
+    /// Previous sample fed to the detector.
+    pub last_sample: f64,
+    /// Running sample counter.
+    pub sample_index: u64,
+    /// Integer index of the most recent accepted crossing.
+    pub last_crossing: Option<u64>,
+    /// Sub-sample position of that crossing.
+    pub last_crossing_frac: f64,
+    /// Hysteresis arm flag.
+    pub armed: bool,
+    /// Total crossings detected.
+    pub crossings_seen: u64,
 }
 
 #[cfg(test)]

@@ -22,3 +22,10 @@ cargo test -q --test fault_injection
 # and writes results/BENCH_telemetry.json.
 cargo test -q --test telemetry
 cargo test --release -q --test telemetry -- --include-ignored
+# Crash-recovery chaos suite: kill-and-resume bit-identity (including
+# mid-storm and across a fidelity demotion), corrupted-snapshot fallback,
+# decoder fuzzing. The release pass additionally runs the checkpoint
+# overhead guard (checkpointing-on <= 1.10x off at the default cadence)
+# and writes results/BENCH_checkpoint.json.
+cargo test -q --test checkpoint_recovery
+cargo test --release -q --test checkpoint_recovery

@@ -114,6 +114,21 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// Raw generator state (not the seed): together with [`Self::from_state`]
+    /// this checkpoints the stream mid-flight, so a restored generator
+    /// continues the exact draw sequence without replaying draw counts.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator at an exact stream position captured by
+    /// [`Self::state`].
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+}
+
 /// Named generators (mirrors `rand::rngs`).
 pub mod rngs {
     pub use crate::StdRng;

@@ -21,7 +21,7 @@
 //! * the HIL framework itself (`cil-core`), whose modules are re-exported
 //!   at the top level: [`framework`], [`control`], [`engine`], [`harness`],
 //!   [`hil`], [`scenario`], [`signalgen`], [`jitter`], [`clock`],
-//!   [`telemetry`], [`trace`].
+//!   [`fault`], [`checkpoint`], [`error`], [`telemetry`], [`trace`].
 //!
 //! ## Quick start
 //!
@@ -44,9 +44,12 @@ pub use cil_dsp as dsp;
 pub use cil_physics as physics;
 pub use cil_reftrack as reftrack;
 
+pub use cil_core::checkpoint;
 pub use cil_core::clock;
 pub use cil_core::control;
 pub use cil_core::engine;
+pub use cil_core::error;
+pub use cil_core::fault;
 pub use cil_core::framework;
 pub use cil_core::harness;
 pub use cil_core::hil;
