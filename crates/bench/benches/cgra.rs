@@ -64,9 +64,9 @@ fn bench_executor(c: &mut Criterion) {
             ex.set_reg(r, v);
         }
         let mut bus = MapBus::default();
-        bus.sensors.insert(0, 1.25e-6);
-        bus.sensors.insert(1, 0.01);
-        bus.sensors.insert(2, 0.02);
+        bus.set_sensor(0, 1.25e-6);
+        bus.set_sensor(1, 0.01);
+        bus.set_sensor(2, 0.02);
         g.bench_function(format!("iteration_{bunches}bunch"), |b| {
             b.iter(|| {
                 bus.writes.clear();

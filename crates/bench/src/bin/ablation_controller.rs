@@ -5,15 +5,18 @@
 //! and pass frequency around that point (turn-level loop, one 8° jump) and
 //! reports first-peak ratio, residual and damping time — showing the
 //! chosen point is indeed a good one. The variants run in parallel through
-//! [`cil_core::sweep::parallel_sweep_telemetry`]; results come back in
-//! input order, so the table stays deterministic, and each worker's
-//! metrics registry is merged lock-free into a root registry at join —
-//! pass `--telemetry` to print the merged snapshot after the table.
+//! [`cil_core::sweep::parallel_sweep_with_merge`]; results come back in
+//! input order, so the table stays deterministic. Each worker carries a
+//! private metrics registry (merged lock-free into a root registry at
+//! join — pass `--telemetry` to print the merged snapshot) plus an
+//! [`EngineArena`]: the sweep varies only controller settings, so after a
+//! worker's first point every subsequent point leases the same engine
+//! rewound to its initial state instead of rebuilding it.
 
 use cil_bench::{write_csv, Table};
 use cil_core::hil::{EngineKind, TurnLevelLoop};
 use cil_core::scenario::MdeScenario;
-use cil_core::sweep::parallel_sweep_telemetry;
+use cil_core::sweep::{parallel_sweep_with_merge, EngineArena};
 use cil_core::telemetry::TelemetryRegistry;
 use cil_core::trace::score_jump_response;
 use std::fmt::Write as _;
@@ -26,16 +29,17 @@ struct Point {
     paper: bool,
 }
 
-fn run(reg: &TelemetryRegistry, p: &Point) -> (f64, f64, Option<f64>) {
+fn run(reg: &TelemetryRegistry, arena: &mut EngineArena, p: &Point) -> (f64, f64, Option<f64>) {
     let mut s = MdeScenario::nov24_2023();
     s.duration_s = 0.1;
     s.bunches = 1;
     s.controller.gain = p.gain;
     s.controller.f_pass = p.f_pass;
     s.controller.recursion = p.recursion;
+    let engine = arena.engine(&s, EngineKind::Map).unwrap();
     let result = TurnLevelLoop::new(s.clone(), EngineKind::Map)
         .with_telemetry(reg)
-        .run(true)
+        .run_on(engine, true)
         .unwrap();
     let t_jump = result.jump_times[0];
     let r = score_jump_response(
@@ -83,7 +87,13 @@ fn main() {
 
     let threads = std::thread::available_parallelism().map_or(1, |v| v.get());
     let registry = TelemetryRegistry::new();
-    let results = parallel_sweep_telemetry(&points, threads, &registry, run);
+    let results = parallel_sweep_with_merge(
+        &points,
+        threads,
+        || (TelemetryRegistry::new(), EngineArena::new()),
+        |(reg, arena), p| run(reg, arena, p),
+        |(reg, _)| registry.absorb(&reg),
+    );
 
     let mut t = Table::new(&[
         "gain",

@@ -1,0 +1,45 @@
+//! Standing closed-loop throughput benchmark — revolutions per second for
+//! every engine fidelity and execution mode (micro-op plan vs legacy DFG
+//! walk, batched `step_block` vs per-turn stepping).
+//!
+//! Prints the table and writes `results/BENCH_loop.json`. Meaningful in
+//! release builds only (`cargo run --release -p cil-bench --bin
+//! bench_loop`); the release-only `loop_guard` test enforces the 1.5x
+//! plan+batched vs walk+per-turn bound on CI.
+//!
+//! Flags: `--revolutions N` (default 10000), `--runs N` (default 5).
+
+use cil_bench::loop_bench::{run_loop_bench, speedup, write_bench_json};
+use cil_bench::{arg_value, Table};
+
+/// The guard bound: plan+batched CGRA must beat the legacy per-turn walk
+/// by at least this factor.
+const BOUND: f64 = 1.5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let revolutions: u64 =
+        arg_value(&args, "--revolutions").map_or(10_000, |v| v.parse().expect("--revolutions N"));
+    let runs: usize = arg_value(&args, "--runs").map_or(5, |v| v.parse().expect("--runs N"));
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — timings are not meaningful");
+    }
+    println!("Closed-loop throughput (best of {runs} runs, {revolutions} revolutions)\n");
+
+    let rows = run_loop_bench(revolutions, runs);
+    let mut t = Table::new(&["case", "revolutions", "wall [ms]", "revs/s"]);
+    for r in &rows {
+        t.row(&[
+            r.label.to_string(),
+            format!("{}", r.revolutions),
+            format!("{:.2}", r.wall_s * 1e3),
+            format!("{:.0}", r.revs_per_sec),
+        ]);
+    }
+    t.print();
+
+    let ratio = speedup(&rows, "cgra_plan_batched", "cgra_walk_per_turn");
+    println!("\nplan+batched vs legacy walk per-turn (CGRA): {ratio:.2}x (bound {BOUND}x)");
+    let path = write_bench_json(revolutions, runs, &rows, ratio, BOUND);
+    println!("data -> {}", path.display());
+}

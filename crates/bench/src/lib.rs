@@ -15,6 +15,8 @@
 //! claims. Binaries print aligned tables to stdout and drop CSV artifacts
 //! into `results/`.
 
+pub mod loop_bench;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 

@@ -1,0 +1,33 @@
+//! Release-only throughput regression guard for the closed-loop hot path.
+//!
+//! The micro-op plan + batched `step_block` combination is this repo's
+//! standing perf claim: the CGRA fidelity replaying the pre-decoded plan in
+//! harness-default blocks must stay at least 1.5x the legacy per-turn
+//! per-node DFG walk, measured in the same process on the same scenario.
+//! Meaningless at opt-level 0, so the test is ignored in debug builds and
+//! run via `--include-ignored` in release (tier1/CI) — the same pattern as
+//! the telemetry and checkpoint guards. Writes `results/BENCH_loop.json`
+//! as a side effect, so CI always uploads a fresh artifact.
+
+use cil_bench::loop_bench::{run_loop_bench, speedup, write_bench_json};
+
+#[test]
+#[cfg_attr(debug_assertions, ignore)]
+fn planned_batched_loop_beats_legacy_per_turn_walk() {
+    let revolutions = 10_000;
+    let runs = 5;
+    let rows = run_loop_bench(revolutions, runs);
+    for r in &rows {
+        assert_eq!(
+            r.revolutions, rows[0].revolutions,
+            "{}: all cases must run the same loop",
+            r.label
+        );
+    }
+    let ratio = speedup(&rows, "cgra_plan_batched", "cgra_walk_per_turn");
+    write_bench_json(revolutions, runs, &rows, ratio, 1.5);
+    assert!(
+        ratio >= 1.5,
+        "plan+batched CGRA only {ratio:.2}x the legacy per-turn walk (bound 1.5x): {rows:#?}"
+    );
+}

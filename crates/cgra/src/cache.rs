@@ -16,6 +16,7 @@
 use crate::exec::CgraExecutor;
 use crate::grid::GridConfig;
 use crate::kernels::{build_beam_kernel_opts, BeamKernel, KernelParams};
+use crate::plan::MicroOpPlan;
 use crate::sched::{ListScheduler, Schedule};
 use crate::Dfg;
 use std::collections::HashMap;
@@ -71,16 +72,23 @@ pub struct CompiledKernel {
     pub dfg: Arc<Dfg>,
     /// The placement/timing schedule, shared.
     pub schedule: Arc<Schedule>,
+    /// The pre-decoded micro-op plan executors replay, shared — lowered
+    /// once per cache entry, so sweep workers share it for free.
+    pub plan: Arc<MicroOpPlan>,
     /// Grid the schedule targets.
     pub grid: GridConfig,
 }
 
 impl CompiledKernel {
     /// Stamp out a fresh executor over the shared artifacts with the
-    /// kernel's `static` register initialisers applied. No parsing or
-    /// scheduling happens here.
+    /// kernel's `static` register initialisers applied. No parsing,
+    /// scheduling or plan lowering happens here.
     pub fn executor(&self) -> CgraExecutor {
-        let mut ex = CgraExecutor::from_shared(Arc::clone(&self.dfg), Arc::clone(&self.schedule));
+        let mut ex = CgraExecutor::from_shared_plan(
+            Arc::clone(&self.dfg),
+            Arc::clone(&self.schedule),
+            Arc::clone(&self.plan),
+        );
         for &(reg, value) in &self.kernel.kernel.reg_inits {
             ex.set_reg(reg, value);
         }
@@ -140,12 +148,14 @@ impl CompiledKernelCache {
         let kernel = build_beam_kernel_opts(params, bunches, pipelined, interpolate);
         let dfg = Arc::new(kernel.kernel.dfg.clone());
         let schedule = Arc::new(ListScheduler::new(grid).schedule(&dfg));
+        let plan = Arc::new(MicroOpPlan::build(&dfg, &schedule));
         self.compile_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let compiled = Arc::new(CompiledKernel {
             kernel,
             dfg,
             schedule,
+            plan,
             grid,
         });
 

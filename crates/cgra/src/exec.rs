@@ -1,17 +1,25 @@
 //! Cycle-accurate CGRA executor.
 //!
-//! Replays the context memories cycle by cycle against a [`SensorBus`] (the
+//! Replays the compiled kernel cycle by cycle against a [`SensorBus`] (the
 //! SensorAccess module of Section III-C). Values, register state and sensor
 //! traffic are modelled exactly; the executor is the component the HIL
 //! framework (`cil-core`) drives once per revolution.
 //!
-//! Correctness is anchored two ways: `Schedule::validate` proves the timing
-//! is feasible, and [`interpret_dfg`] provides an order-independent
-//! reference evaluation the executor is differentially tested against.
+//! The hot path replays a pre-decoded [`MicroOpPlan`] (see [`crate::plan`]):
+//! a flat array of micro-ops with pre-resolved value-slot indices, built
+//! once from the `(Dfg, Schedule)` pair. The original node-walk over the
+//! `Arc<Dfg>` is retained as [`CgraExecutor::try_run_iteration_nodewalk`]
+//! for differential testing and benchmarking.
+//!
+//! Correctness is anchored three ways: `Schedule::validate` proves the
+//! timing is feasible, [`interpret_dfg`] provides an order-independent
+//! reference evaluation, and the plan replay is differentially tested
+//! against both the interpreter and the node walk.
 
 use crate::context::ContextMemories;
 use crate::dfg::{Dfg, NodeId};
 use crate::isa::OpKind;
+use crate::plan::MicroOpPlan;
 use crate::sched::Schedule;
 use std::sync::Arc;
 
@@ -51,17 +59,41 @@ pub trait SensorBus {
 }
 
 /// A sensor bus for tests: fixed scalar per port, records writes.
+///
+/// Sensor values live in a port-sorted table probed by binary search — the
+/// table is built once (or amended by [`MapBus::set_sensor`]) and each read
+/// is a cache-friendly probe of a small contiguous array instead of a
+/// B-tree walk. A port with no entry reads as `0.0`, exactly as before.
 #[derive(Debug, Default, Clone)]
 pub struct MapBus {
-    /// Values served per sensor port (addr is ignored).
-    pub sensors: std::collections::BTreeMap<u16, f64>,
+    /// Port table sorted by port number.
+    sensors: Vec<(u16, f64)>,
     /// All writes observed, in order.
     pub writes: Vec<(u16, f64)>,
 }
 
+impl MapBus {
+    /// Set the value served on sensor `port` (inserting or overwriting its
+    /// table entry, keeping the table sorted).
+    pub fn set_sensor(&mut self, port: u16, value: f64) {
+        match self.sensors.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(i) => self.sensors[i].1 = value,
+            Err(i) => self.sensors.insert(i, (port, value)),
+        }
+    }
+
+    /// The value sensor `port` currently serves (`0.0` when unset).
+    pub fn sensor(&self, port: u16) -> f64 {
+        match self.sensors.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(i) => self.sensors[i].1,
+            Err(_) => 0.0,
+        }
+    }
+}
+
 impl SensorBus for MapBus {
     fn read(&mut self, port: u16, _addr: f64) -> f64 {
-        *self.sensors.get(&port).unwrap_or(&0.0)
+        self.sensor(port)
     }
     fn write(&mut self, port: u16, value: f64) {
         self.writes.push((port, value));
@@ -70,21 +102,24 @@ impl SensorBus for MapBus {
 
 /// Executor state: configured contexts + loop-carried register file.
 ///
-/// The compile artifacts (DFG + schedule) are held behind `Arc`, so many
-/// executors — e.g. one per sweep worker — can share one compiled kernel
-/// ([`crate::cache::CompiledKernelCache`]) while keeping private mutable
-/// run state.
+/// The compile artifacts (DFG + schedule + micro-op plan) are held behind
+/// `Arc`, so many executors — e.g. one per sweep worker — can share one
+/// compiled kernel ([`crate::cache::CompiledKernelCache`]) while keeping
+/// private mutable run state.
 #[derive(Debug, Clone)]
 pub struct CgraExecutor {
     dfg: Arc<Dfg>,
     schedule: Arc<Schedule>,
+    plan: Arc<MicroOpPlan>,
     contexts: ContextMemories,
     /// Loop-carried registers (double-buffered: reads see last iteration).
     regs_current: Vec<f64>,
     regs_next: Vec<f64>,
-    /// Scratch node-value store reused across iterations.
+    /// Scratch node-value store reused across iterations, seeded from the
+    /// plan's constant-folded template.
     values: Vec<f64>,
-    /// Execution order: node ids sorted by (start cycle, pe).
+    /// Execution order: node ids sorted by (start cycle, pe). Used only by
+    /// the legacy node-walk path.
     order: Vec<NodeId>,
     /// Iterations executed.
     iterations: u64,
@@ -99,9 +134,21 @@ impl CgraExecutor {
     }
 
     /// Configure an executor over *shared* compile artifacts (no DFG or
-    /// schedule clone). This is how [`crate::cache::CompiledKernel`] stamps
-    /// out per-run executors from one cached compilation.
+    /// schedule clone), lowering a fresh micro-op plan.
     pub fn from_shared(dfg: Arc<Dfg>, schedule: Arc<Schedule>) -> Self {
+        let plan = Arc::new(MicroOpPlan::build(&dfg, &schedule));
+        Self::from_shared_plan(dfg, schedule, plan)
+    }
+
+    /// Configure an executor over shared artifacts *including* an already
+    /// lowered plan. This is how [`crate::cache::CompiledKernel`] stamps out
+    /// per-run executors from one cached compilation: the plan is lowered
+    /// once per cache entry and shared across every executor and thread.
+    pub fn from_shared_plan(
+        dfg: Arc<Dfg>,
+        schedule: Arc<Schedule>,
+        plan: Arc<MicroOpPlan>,
+    ) -> Self {
         schedule
             .validate(&dfg)
             .expect("schedule must be valid for its DFG");
@@ -112,10 +159,11 @@ impl CgraExecutor {
             (p.start, p.pe.0)
         });
         let regs = vec![0.0; dfg.reg_count() as usize];
-        let values = vec![0.0; dfg.len()];
+        let values = plan.values_template().to_vec();
         Self {
             dfg,
             schedule,
+            plan,
             contexts,
             regs_current: regs.clone(),
             regs_next: regs,
@@ -131,7 +179,7 @@ impl CgraExecutor {
     pub fn reset(&mut self) {
         self.regs_current.fill(0.0);
         self.regs_next.fill(0.0);
-        self.values.fill(0.0);
+        self.values.copy_from_slice(self.plan.values_template());
         self.iterations = 0;
     }
 
@@ -164,7 +212,64 @@ impl CgraExecutor {
     /// back as [`ExecError`] with all register state untouched by the failed
     /// iteration (writes only commit on success), so a supervisor can
     /// degrade gracefully instead of unwinding through the loop.
+    ///
+    /// Thin allocating wrapper over [`Self::try_run_iteration_into`].
     pub fn try_run_iteration<B: SensorBus>(
+        &mut self,
+        bus: &mut B,
+        inputs: &[f64],
+    ) -> Result<Vec<(u16, f64)>, ExecError> {
+        let mut outputs = Vec::with_capacity(self.plan.output_count());
+        self.try_run_iteration_into(bus, inputs, &mut outputs)?;
+        Ok(outputs)
+    }
+
+    /// The allocation-free hot path: replay the micro-op plan for one
+    /// iteration, writing the kernel outputs into the caller-owned scratch
+    /// buffer `outputs` (cleared first). Per-iteration cost is one pass
+    /// over the flat plan — no `Arc` chasing, no heap traffic.
+    ///
+    /// Error semantics match [`Self::try_run_iteration`] exactly: on
+    /// [`ExecError`] the loop-carried registers are rolled back and
+    /// `outputs` is left empty.
+    pub fn try_run_iteration_into<B: SensorBus>(
+        &mut self,
+        bus: &mut B,
+        inputs: &[f64],
+        outputs: &mut Vec<(u16, f64)>,
+    ) -> Result<(), ExecError> {
+        outputs.clear();
+        for &op in self.plan.ops() {
+            if let Err(port) = op.dispatch(
+                &mut self.values,
+                &self.regs_current,
+                &mut self.regs_next,
+                bus,
+                inputs,
+            ) {
+                // Roll partially-written next-iteration register state back
+                // so a retry starts clean.
+                self.regs_next.copy_from_slice(&self.regs_current);
+                return Err(ExecError::MissingInput(port));
+            }
+        }
+        outputs.extend(
+            self.plan
+                .outputs()
+                .iter()
+                .map(|&(port, slot)| (port, self.values[slot as usize])),
+        );
+        // Commit loop-carried registers.
+        self.regs_current.copy_from_slice(&self.regs_next);
+        self.iterations += 1;
+        Ok(())
+    }
+
+    /// The pre-plan execution path: walk the `Arc<Dfg>` node by node in
+    /// schedule order, dispatching on [`OpKind`] per node. Byte-for-byte
+    /// the behaviour the micro-op plan must reproduce; kept public as the
+    /// differential-test oracle and the `bench_loop` baseline.
+    pub fn try_run_iteration_nodewalk<B: SensorBus>(
         &mut self,
         bus: &mut B,
         inputs: &[f64],
@@ -230,12 +335,36 @@ impl CgraExecutor {
     /// NaN via division by zero). This mirrors the paper's initialisation
     /// phase (Section IV-B): run one iteration to fill the bridges, then
     /// restore the architectural state registers to their initial values.
+    ///
+    /// Panicking wrapper around [`Self::try_warmup`].
     pub fn warmup<B: SensorBus>(&mut self, bus: &mut B, inputs: &[f64], restore: &[(u16, f64)]) {
-        self.run_iteration(bus, inputs);
+        if let Err(e) = self.try_warmup(bus, inputs, restore) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible warm-up: a malformed kernel surfaces as [`ExecError`] (with
+    /// registers rolled back and the iteration counter untouched) instead
+    /// of aborting, so the HIL supervisor can degrade the engine fidelity
+    /// gracefully.
+    pub fn try_warmup<B: SensorBus>(
+        &mut self,
+        bus: &mut B,
+        inputs: &[f64],
+        restore: &[(u16, f64)],
+    ) -> Result<(), ExecError> {
+        let mut scratch = Vec::with_capacity(self.plan.output_count());
+        self.try_run_iteration_into(bus, inputs, &mut scratch)?;
         for &(r, v) in restore {
             self.set_reg(r, v);
         }
         self.iterations = 0;
+        Ok(())
+    }
+
+    /// The micro-op plan this executor replays.
+    pub fn plan(&self) -> &MicroOpPlan {
+        &self.plan
     }
 
     /// Schedule length in CGRA ticks — the time one iteration occupies.
@@ -383,7 +512,7 @@ mod tests {
     fn single_iteration_value() {
         let mut ex = executor();
         let mut bus = MapBus::default();
-        bus.sensors.insert(0, 9.0);
+        bus.set_sensor(0, 9.0);
         let out = ex.run_iteration(&mut bus, &[]);
         // sqrt(9)*2 = 6; accumulator = 6.
         assert_eq!(out, vec![(0, 6.0)]);
@@ -394,7 +523,7 @@ mod tests {
     fn registers_carry_across_iterations() {
         let mut ex = executor();
         let mut bus = MapBus::default();
-        bus.sensors.insert(0, 4.0);
+        bus.set_sensor(0, 4.0);
         for expected in [4.0, 8.0, 12.0] {
             let out = ex.run_iteration(&mut bus, &[]);
             assert_eq!(out[0].1, expected, "accumulator grows by 4 per turn");
@@ -407,29 +536,50 @@ mod tests {
         let mut ex = executor();
         ex.set_reg(0, 100.0);
         let mut bus = MapBus::default();
-        bus.sensors.insert(0, 1.0);
+        bus.set_sensor(0, 1.0);
         let out = ex.run_iteration(&mut bus, &[]);
         assert_eq!(out[0].1, 102.0);
     }
 
     #[test]
-    fn executor_matches_interpreter() {
-        // Differential test over several iterations and varying sensors.
+    fn executor_matches_interpreter_and_nodewalk() {
+        // Three-way differential test over several iterations and varying
+        // sensors: planned replay vs. reference interpreter vs. node walk.
         let g = kernel();
         let s = ListScheduler::new(GridConfig::mesh_5x5()).schedule(&g);
-        let mut ex = CgraExecutor::new(g.clone(), s);
+        let mut ex = CgraExecutor::new(g.clone(), s.clone());
+        let mut legacy = CgraExecutor::new(g.clone(), s);
         let mut regs = vec![0.0f64; g.reg_count() as usize];
         for i in 0..10 {
             let mut bus_a = MapBus::default();
             let mut bus_b = MapBus::default();
+            let mut bus_c = MapBus::default();
             let sensor_val = (i as f64 + 1.0) * 1.7;
-            bus_a.sensors.insert(0, sensor_val);
-            bus_b.sensors.insert(0, sensor_val);
+            bus_a.set_sensor(0, sensor_val);
+            bus_b.set_sensor(0, sensor_val);
+            bus_c.set_sensor(0, sensor_val);
             let out_a = ex.run_iteration(&mut bus_a, &[]);
             let out_b = interpret_dfg(&g, &mut regs, &mut bus_b, &[]);
+            let out_c = legacy.try_run_iteration_nodewalk(&mut bus_c, &[]).unwrap();
             assert_eq!(out_a, out_b, "iteration {i}");
+            assert_eq!(out_a, out_c, "iteration {i} (node walk)");
             assert_eq!(bus_a.writes, bus_b.writes);
+            assert_eq!(bus_a.writes, bus_c.writes);
         }
+    }
+
+    #[test]
+    fn run_into_reuses_caller_buffer() {
+        let mut ex = executor();
+        let mut bus = MapBus::default();
+        bus.set_sensor(0, 4.0);
+        let mut out = Vec::new();
+        ex.try_run_iteration_into(&mut bus, &[], &mut out).unwrap();
+        assert_eq!(out, vec![(0, 4.0)]);
+        let cap = out.capacity();
+        ex.try_run_iteration_into(&mut bus, &[], &mut out).unwrap();
+        assert_eq!(out, vec![(0, 8.0)]);
+        assert_eq!(out.capacity(), cap, "no reallocation on reuse");
     }
 
     #[test]
@@ -463,5 +613,66 @@ mod tests {
         let sch = ListScheduler::new(GridConfig::mesh_3x3()).schedule(&g);
         let mut ex = CgraExecutor::new(g, sch);
         ex.run_iteration(&mut MapBus::default(), &[]);
+    }
+
+    #[test]
+    fn missing_input_rolls_back_and_leaves_outputs_empty() {
+        let mut g = Dfg::new();
+        let r = g.add(OpKind::RegRead(0), &[]);
+        let one = g.konst(1.0);
+        let inc = g.add(OpKind::Add, &[r, one]);
+        g.add(OpKind::RegWrite(0), &[inc]);
+        let a = g.add(OpKind::Input(0), &[]);
+        g.add(OpKind::Output(0), &[a]);
+        let sch = ListScheduler::new(GridConfig::mesh_3x3()).schedule(&g);
+        let mut ex = CgraExecutor::new(g, sch);
+        let mut out = vec![(9u16, 9.0f64)];
+        let err = ex.try_run_iteration_into(&mut MapBus::default(), &[], &mut out);
+        assert_eq!(err, Err(ExecError::MissingInput(0)));
+        assert!(out.is_empty(), "failed iteration produces no outputs");
+        assert_eq!(ex.reg(0), 0.0, "register write rolled back");
+        assert_eq!(ex.iterations(), 0);
+        // A retry with the input present commits normally.
+        ex.try_run_iteration_into(&mut MapBus::default(), &[5.0], &mut out)
+            .unwrap();
+        assert_eq!(out, vec![(0, 5.0)]);
+        assert_eq!(ex.reg(0), 1.0);
+    }
+
+    #[test]
+    fn try_warmup_surfaces_missing_input() {
+        let mut g = Dfg::new();
+        let a = g.add(OpKind::Input(0), &[]);
+        g.add(OpKind::Output(0), &[a]);
+        let sch = ListScheduler::new(GridConfig::mesh_3x3()).schedule(&g);
+        let mut ex = CgraExecutor::new(g, sch);
+        let err = ex.try_warmup(&mut MapBus::default(), &[], &[]);
+        assert_eq!(err, Err(ExecError::MissingInput(0)));
+        assert_eq!(ex.iterations(), 0);
+        assert!(ex.try_warmup(&mut MapBus::default(), &[1.0], &[]).is_ok());
+        assert_eq!(ex.iterations(), 0, "warmup does not count as an iteration");
+    }
+
+    #[test]
+    fn reset_restores_constant_template() {
+        let mut ex = executor();
+        let mut bus = MapBus::default();
+        bus.set_sensor(0, 4.0);
+        ex.run_iteration(&mut bus, &[]);
+        ex.reset();
+        let out = ex.run_iteration(&mut bus, &[]);
+        assert_eq!(out, vec![(0, 4.0)], "reset executor behaves like fresh");
+        assert_eq!(ex.iterations(), 1);
+    }
+
+    #[test]
+    fn map_bus_sorted_table_semantics() {
+        let mut bus = MapBus::default();
+        bus.set_sensor(7, 1.5);
+        bus.set_sensor(2, 2.5);
+        bus.set_sensor(7, 3.5); // overwrite
+        assert_eq!(bus.read(2, 0.0), 2.5);
+        assert_eq!(bus.read(7, 0.0), 3.5);
+        assert_eq!(bus.read(99, 0.0), 0.0, "unset port reads zero");
     }
 }

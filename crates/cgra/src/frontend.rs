@@ -662,7 +662,7 @@ mod tests {
             regs[*r as usize] = *v;
         }
         let mut bus = MapBus::default();
-        bus.sensors.insert(3, 16.0);
+        bus.set_sensor(3, 16.0);
         interpret_dfg(&k.dfg, &mut regs, &mut bus, &[]);
         interpret_dfg(&k.dfg, &mut regs, &mut bus, &[]);
         // acc = 8 then 16.

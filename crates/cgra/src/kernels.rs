@@ -602,4 +602,30 @@ mod tests {
         // Round-trips through the compiler.
         assert!(compile(&src).is_ok());
     }
+
+    #[test]
+    fn beam_kernel_lowers_to_micro_op_plan() {
+        use crate::plan::MicroOpPlan;
+        let (p, _) = mde_params();
+        let sched = ListScheduler::new(GridConfig::mesh_5x5());
+        for &(b, pl) in &[(1, false), (2, true), (4, true)] {
+            let bk = build_beam_kernel(&p, b, pl);
+            let schedule = sched.schedule(&bk.kernel.dfg);
+            schedule.validate(&bk.kernel.dfg).unwrap();
+            let plan = MicroOpPlan::try_build(&bk.kernel.dfg, &schedule).unwrap();
+            let stats = plan.stats();
+            // The kernel's literals fold into the values template instead of
+            // occupying runtime ops, and every Δt actuator write plus the
+            // per-bunch sensor reads survive as sensor I/O micro-ops.
+            assert!(stats.folded_consts > 0, "bunches={b} pipelined={pl}");
+            assert!(stats.sensor_io >= b, "bunches={b} pipelined={pl}");
+            assert!(stats.registers > 0, "loop-carried state must persist");
+            assert_eq!(
+                plan.ops().len(),
+                stats.inputs + stats.sensor_io + stats.registers + stats.pure_ops,
+                "every compute-stream op is counted exactly once"
+            );
+            assert_eq!(stats.outputs, plan.output_count());
+        }
+    }
 }

@@ -17,6 +17,8 @@
 //! * [`exec`] — a cycle-accurate executor that replays context memories
 //!   against a [`exec::SensorBus`], differentially testable against direct
 //!   DFG interpretation;
+//! * [`plan`] — the compile-time lowering of a `(Dfg, Schedule)` pair into
+//!   a flat, pre-decoded micro-op plan the executor replays allocation-free;
 //! * [`kernels`] — the beam-model kernel of Section IV for 1/4/8 bunches,
 //!   pipelined and sequential, reproducing the schedule-length table;
 //! * [`cache`] — memoised kernel compilation: schedules are compiled once
@@ -31,6 +33,7 @@ pub mod grid;
 pub mod isa;
 pub mod kernels;
 pub mod optimize;
+pub mod plan;
 pub mod report;
 pub mod route;
 pub mod sched;
@@ -40,4 +43,5 @@ pub use dfg::{Dfg, NodeId};
 pub use exec::{CgraExecutor, ExecError, ExecutorState, SensorBus};
 pub use grid::{GridConfig, Topology};
 pub use isa::OpKind;
+pub use plan::{MicroOp, MicroOpPlan, PlanError, StreamStats};
 pub use sched::{ListScheduler, Schedule};

@@ -278,9 +278,9 @@ mod tests {
         }
         for i in 0..5 {
             let mut bus_a = MapBus::default();
-            bus_a.sensors.insert(0, 1.25e-6);
-            bus_a.sensors.insert(1, 0.01 * f64::from(i));
-            bus_a.sensors.insert(2, 0.02);
+            bus_a.set_sensor(0, 1.25e-6);
+            bus_a.set_sensor(1, 0.01 * f64::from(i));
+            bus_a.set_sensor(2, 0.02);
             let mut bus_b = bus_a.clone();
             interpret_dfg(&bk.kernel.dfg, &mut regs_a, &mut bus_a, &[]);
             interpret_dfg(&opt, &mut regs_b, &mut bus_b, &[]);

@@ -1481,6 +1481,19 @@ impl CheckpointSession {
         self.error.is_none() && rows > self.rows_flushed && rows.is_multiple_of(self.every_turns)
     }
 
+    /// Measured rows the loop may still record, from a trace currently
+    /// `rows` long, before a checkpoint falls due. The harness caps engine
+    /// step blocks to this so [`Self::due`] can only fire on a block's last
+    /// row — the engine is then exactly at the row being snapshotted.
+    /// `usize::MAX` once checkpointing is disabled by a latched error.
+    pub(crate) fn rows_until_due(&self, rows: usize) -> usize {
+        if self.error.is_some() {
+            return usize::MAX;
+        }
+        let floor = rows.max(self.rows_flushed);
+        (floor / self.every_turns + 1) * self.every_turns - rows
+    }
+
     /// Append the trace delta and write a rolling snapshot. `make` builds
     /// the state snapshot; the session fills in the log-cut counters.
     /// Errors are latched into `self.error` (checkpointing stops; the loop

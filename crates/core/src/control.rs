@@ -186,6 +186,14 @@ impl BeamPhaseController {
         self.last_output
     }
 
+    /// Measurements still to be pushed before the next decimated controller
+    /// step fires (always ≥ 1: the accumulator empties whenever it reaches
+    /// the decimation). The harness uses this to size engine step blocks so
+    /// an actuation can only ever fall on a block's last row.
+    pub fn rows_until_actuation(&self) -> u32 {
+        self.params.decimation - self.acc_n
+    }
+
     /// Reset all filter state (e.g. between experiments).
     pub fn reset(&mut self) {
         self.dc.reset();

@@ -46,6 +46,66 @@ pub enum EngineStep {
     Lost(LossCause),
 }
 
+/// One recorded engine step inside a [`StepBlock`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlockStep {
+    /// Engine time before the step, seconds — where the harness stamps jump
+    /// edges (the engine evaluates the jump program for a step at its
+    /// pre-step time).
+    pub t_pre: f64,
+    /// Engine time after the step, seconds — the measurement timestamp.
+    pub t_post: f64,
+    /// Jump-program offset applied during the step, degrees.
+    pub jump_deg: f64,
+    /// What the step produced. Each `Measured` step owns the next
+    /// `bunches` phases of [`StepBlock::phase_row_mut`], in step order.
+    pub result: EngineStep,
+}
+
+/// Reusable recording buffer for [`BeamEngine::step_block`]: per-step
+/// bookkeeping plus row-major phase storage for the measured steps. Allocate
+/// once, reuse across blocks — after the first few blocks the hot loop
+/// never allocates.
+#[derive(Debug, Default)]
+pub struct StepBlock {
+    steps: Vec<BlockStep>,
+    phases: Vec<f64>,
+    bunches: usize,
+}
+
+impl StepBlock {
+    /// Empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset for a new block of up to `max_rows` measured rows.
+    fn begin(&mut self, bunches: usize, max_rows: usize) {
+        self.steps.clear();
+        self.phases.clear();
+        self.bunches = bunches.max(1);
+        self.steps.reserve(max_rows);
+        self.phases.reserve(max_rows * self.bunches);
+    }
+
+    /// Every step taken, in order (idle and lost steps included).
+    pub fn steps(&self) -> &[BlockStep] {
+        &self.steps
+    }
+
+    /// Measured rows recorded.
+    pub fn rows(&self) -> usize {
+        self.phases.len() / self.bunches
+    }
+
+    /// Phase row of the `row`-th *measured* step, mutable so the harness
+    /// can apply fault corruption in place before recording.
+    pub fn phase_row_mut(&mut self, row: usize) -> &mut [f64] {
+        let start = row * self.bunches;
+        &mut self.phases[start..start + self.bunches]
+    }
+}
+
 /// A beam model the [`crate::harness::LoopHarness`] can close the loop
 /// around.
 ///
@@ -66,6 +126,50 @@ pub trait BeamEngine {
     /// (degrees at the RF harmonic) into `phase_out` when it returns
     /// [`EngineStep::Measured`].
     fn step(&mut self, jumps: &PhaseJumpProgram, phase_out: &mut [f64]) -> EngineStep;
+
+    /// Advance up to `max_rows` *measured* rows (idle steps ride along, a
+    /// loss or reaching `duration_s` ends the block early), recording every
+    /// step's times, applied jump offset and — for measured steps — phases
+    /// into `block`.
+    ///
+    /// Observationally equivalent to calling [`Self::step`] in a loop: the
+    /// default implementation *is* that loop, so the engine's state after a
+    /// block of `n` rows is bit-identical to `n` per-turn steps. The point
+    /// is amortisation — the harness pays one dynamic dispatch and one
+    /// round of per-row bookkeeping per block instead of per revolution,
+    /// and the inner `step` calls devirtualise inside each concrete
+    /// engine's monomorphised default body.
+    fn step_block(
+        &mut self,
+        jumps: &PhaseJumpProgram,
+        duration_s: f64,
+        max_rows: usize,
+        block: &mut StepBlock,
+    ) {
+        block.begin(self.bunches(), max_rows);
+        let bunches = block.bunches;
+        let mut rows = 0;
+        while rows < max_rows && self.time() < duration_s {
+            let t_pre = self.time();
+            let start = block.phases.len();
+            block.phases.resize(start + bunches, 0.0);
+            let result = self.step(jumps, &mut block.phases[start..]);
+            block.steps.push(BlockStep {
+                t_pre,
+                t_post: self.time(),
+                jump_deg: self.applied_jump_deg(),
+                result,
+            });
+            match result {
+                EngineStep::Measured => rows += 1,
+                EngineStep::Idle => block.phases.truncate(start),
+                EngineStep::Lost(_) => {
+                    block.phases.truncate(start);
+                    return;
+                }
+            }
+        }
+    }
 
     /// Apply one controller output `u_hz` (gap-frequency trim, Hz) that is
     /// held for `decimation` measurements.
@@ -421,6 +525,11 @@ pub struct CgraEngine {
     t_rev: f64,
     state: TurnState,
     faults: FaultProgram,
+    /// Caller-owned output scratch for the executor's allocation-free path.
+    out_scratch: Vec<(u16, f64)>,
+    /// Replay the legacy node-walk instead of the micro-op plan (benchmark
+    /// baseline; bit-identical, slower).
+    nodewalk: bool,
 }
 
 impl CgraEngine {
@@ -463,11 +572,17 @@ impl CgraEngine {
             dt_out: vec![0.0; bunches],
         };
         if s.pipelined {
-            // Warm the stage bridges, then restore inits + displacements.
+            // Warm the stage bridges, then restore inits + displacements. A
+            // kernel that cannot complete its warmup iteration is a
+            // configuration error the caller can act on (the supervisor
+            // demotes through the fidelity ladder) — not a panic.
             let mut restore = compiled.kernel.kernel.reg_inits.clone();
             restore.extend_from_slice(&displacements);
-            executor.warmup(&mut bus, &[], &restore);
+            executor
+                .try_warmup(&mut bus, &[], &restore)
+                .map_err(|e| CilError::InvalidConfig(format!("CGRA kernel warmup failed: {e}")))?;
         }
+        let output_count = compiled.plan.output_count();
         Ok(Self {
             compiled,
             executor,
@@ -477,12 +592,21 @@ impl CgraEngine {
             t_rev: 1.0 / s.f_rev,
             state: TurnState::default(),
             faults: s.faults.clone(),
+            out_scratch: Vec::with_capacity(output_count),
+            nodewalk: false,
         })
     }
 
     /// The cached compilation artifact this engine runs.
     pub fn compiled(&self) -> &CompiledKernel {
         &self.compiled
+    }
+
+    /// Switch between the pre-decoded micro-op plan (default) and the
+    /// legacy per-node walk of the DFG. The two are bit-identical; the walk
+    /// exists as the differential oracle and benchmark baseline.
+    pub fn set_nodewalk(&mut self, nodewalk: bool) {
+        self.nodewalk = nodewalk;
     }
 }
 
@@ -500,7 +624,15 @@ impl BeamEngine for CgraEngine {
         if !self.faults.is_empty() {
             self.bus.gap_dropout = self.faults.sample_faults_at(self.state.time).dds_dropout;
         }
-        if self.executor.try_run_iteration(&mut self.bus, &[]).is_err() {
+        let run = if self.nodewalk {
+            self.executor
+                .try_run_iteration_nodewalk(&mut self.bus, &[])
+                .map(|_| ())
+        } else {
+            self.executor
+                .try_run_iteration_into(&mut self.bus, &[], &mut self.out_scratch)
+        };
+        if run.is_err() {
             return EngineStep::Lost(LossCause::NonFinitePhase);
         }
         for (out, &dt) in phase_out.iter_mut().zip(&self.bus.dt_out) {

@@ -26,7 +26,7 @@ use crate::checkpoint::{
     Checkpoint, CheckpointConfig, CheckpointError, CheckpointSession, DecodedTrace,
 };
 use crate::control::BeamPhaseController;
-use crate::engine::{BeamEngine, EngineKind, EngineState, EngineStep};
+use crate::engine::{BeamEngine, EngineKind, EngineState, EngineStep, StepBlock};
 use crate::error::Result;
 use crate::fault::{
     FaultInjector, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor, LossCause, StepCalibration,
@@ -102,7 +102,14 @@ pub struct LoopHarness {
     /// Periodic checkpointing, when configured via
     /// [`Self::with_checkpointing`] (None = no checkpoint I/O at all).
     checkpoint: Option<CheckpointConfig>,
+    /// Measured rows per [`StepBlock`] on the batched stepping path
+    /// (1 = per-turn stepping; see [`Self::with_block_rows`]).
+    block_rows: usize,
 }
+
+/// Default measured rows per engine step block — matches the wall-clock
+/// sampling cadence, so one block is one wall sample.
+pub const DEFAULT_BLOCK_ROWS: usize = WALL_SAMPLE_ROWS as usize;
 
 /// Wall-clock sampler for the hot loop: reads `Instant::now` once per
 /// [`WALL_SAMPLE_ROWS`] measured rows and records the per-row average, so
@@ -150,6 +157,7 @@ impl LoopHarness {
             faults: FaultInjector::none(),
             telemetry: None,
             checkpoint: None,
+            block_rows: DEFAULT_BLOCK_ROWS,
         }
     }
 
@@ -177,6 +185,18 @@ impl LoopHarness {
         self
     }
 
+    /// Measured rows per engine step block (builder style; clamped to
+    /// ≥ 1, where 1 reproduces per-turn stepping). Blocks amortise
+    /// per-revolution harness overhead; the harness itself caps every block
+    /// at the next controller actuation and checkpoint cadence boundary —
+    /// and falls back to per-turn stepping under an observer hook or an
+    /// active fault program — so the recorded trace, events and checkpoint
+    /// bytes are bit-identical for every block size.
+    pub fn with_block_rows(mut self, rows: usize) -> Self {
+        self.block_rows = rows.max(1);
+        self
+    }
+
     /// Checkpoint periodically into `config.dir` (builder style). Only
     /// [`Self::run_checkpointed`], [`Self::run_supervised`] and the
     /// `resume_*` entry points honour this — plain [`Self::run`] takes an
@@ -190,45 +210,75 @@ impl LoopHarness {
 
     /// Run the loop until the engine's time reaches `duration_s`.
     pub fn run<E: BeamEngine + ?Sized>(&mut self, engine: &mut E, duration_s: f64) -> LoopTrace {
-        self.run_with(engine, duration_s, |_| {})
+        let trace = LoopTrace::empty(engine.bunches());
+        self.run_core(engine, duration_s, None, trace, 0.0, None)
     }
 
     /// Like [`Self::run`], calling `observer` after every recorded row —
     /// the hook through which executives capture engine-specific telemetry
     /// (e.g. γ_R and φ_s along a ramp) without widening the trace type.
-    pub fn run_with<E, F>(&mut self, engine: &mut E, duration_s: f64, observer: F) -> LoopTrace
+    /// The observer must see the engine *at* each row, so this path steps
+    /// per turn regardless of [`Self::with_block_rows`].
+    pub fn run_with<E, F>(&mut self, engine: &mut E, duration_s: f64, mut observer: F) -> LoopTrace
     where
         E: BeamEngine + ?Sized,
         F: FnMut(&E),
     {
         let trace = LoopTrace::empty(engine.bunches());
-        self.run_core(engine, duration_s, observer, trace, 0.0, None)
+        self.run_core(engine, duration_s, Some(&mut observer), trace, 0.0, None)
+    }
+
+    /// Measured rows the next step block may span without batching past an
+    /// observable boundary: a controller actuation may only land on a
+    /// block's *last* row (the harness applies it after the block, exactly
+    /// where per-turn stepping would), and a due checkpoint must snapshot
+    /// the engine at the due row.
+    fn block_budget(&self, cap: usize, ckpt_due: Option<usize>) -> usize {
+        let mut budget = cap.min(self.controller.rows_until_actuation() as usize);
+        if let Some(until) = ckpt_due {
+            budget = budget.min(until);
+        }
+        budget.max(1)
+    }
+
+    /// Per-turn stepping is required whenever something must observe or
+    /// perturb the loop *between* individual engine steps: an observer hook
+    /// or an active fault schedule (forced losses, corruption and overrun
+    /// factors are keyed to every turn's pre-step time).
+    fn per_turn_cap(&self, use_observer: bool) -> usize {
+        if use_observer || !self.faults.program.is_empty() {
+            1
+        } else {
+            self.block_rows
+        }
     }
 
     /// The unsupervised loop body, continuable: starts from an existing
     /// `trace` + `last_jump` (the resume path) and checkpoints through
-    /// `ckpt` when one is attached.
-    fn run_core<E, F>(
+    /// `ckpt` when one is attached. Steps the engine in blocks
+    /// ([`BeamEngine::step_block`]); the recorded trace is bit-identical to
+    /// per-turn stepping for every block size.
+    fn run_core<E>(
         &mut self,
         engine: &mut E,
         duration_s: f64,
-        mut observer: F,
+        mut observer: Option<&mut dyn FnMut(&E)>,
         mut trace: LoopTrace,
         mut last_jump: f64,
         mut ckpt: Option<CkptRun<'_>>,
     ) -> LoopTrace
     where
         E: BeamEngine + ?Sized,
-        F: FnMut(&E),
     {
         let bunches = engine.bunches();
-        let mut phase = vec![0.0; bunches];
         let mut wall = self.telemetry.as_ref().map(WallSampler::new);
+        let mut block = StepBlock::new();
+        let cap = self.per_turn_cap(observer.is_some());
 
-        while engine.time() < duration_s {
+        'run: while engine.time() < duration_s {
             let t_pre = engine.time();
-            let turn = trace.times.len();
             if self.faults.forced_loss_at(t_pre) {
+                let turn = trace.times.len();
                 trace.outcome = LoopOutcome::Lost {
                     turn,
                     time_s: t_pre,
@@ -241,84 +291,103 @@ impl LoopHarness {
                 });
                 break;
             }
-            let step = engine.step(&self.jumps, &mut phase);
-            // The engine evaluated the jump program for this step at its
-            // pre-step time, so an edge is stamped there — a program that
-            // starts displaced therefore records its first event at t = 0.
-            let applied = engine.applied_jump_deg();
-            if applied != last_jump {
-                trace.jump_times.push(t_pre);
-                last_jump = applied;
+            let ckpt_due = ckpt
+                .as_ref()
+                .map(|c| c.session.rows_until_due(trace.times.len()));
+            let budget = self.block_budget(cap, ckpt_due);
+            engine.step_block(&self.jumps, duration_s, budget, &mut block);
+
+            let rows = block.rows();
+            trace.times.reserve(rows);
+            trace.mean_phase_deg.reserve(rows);
+            trace.control_hz.reserve(rows);
+            for col in trace.bunch_phase_deg.iter_mut() {
+                col.reserve(rows);
             }
-            match step {
-                EngineStep::Lost(cause) => {
-                    let time_s = engine.time();
-                    trace.outcome = LoopOutcome::Lost {
-                        turn,
-                        time_s,
-                        cause,
-                    };
-                    trace.events.push(LoopEvent::BeamLost {
-                        turn,
-                        time_s,
-                        cause,
-                    });
-                    break;
+            let mut row = 0usize;
+            for i in 0..block.steps().len() {
+                let step = block.steps()[i];
+                let turn = trace.times.len();
+                // The engine evaluated the jump program for this step at
+                // its pre-step time, so an edge is stamped there — a
+                // program that starts displaced therefore records its first
+                // event at t = 0.
+                if step.jump_deg != last_jump {
+                    trace.jump_times.push(step.t_pre);
+                    last_jump = step.jump_deg;
                 }
-                EngineStep::Idle => {
-                    if let Some(m) = &self.telemetry {
-                        m.idle_steps.inc();
+                match step.result {
+                    EngineStep::Lost(cause) => {
+                        trace.outcome = LoopOutcome::Lost {
+                            turn,
+                            time_s: step.t_post,
+                            cause,
+                        };
+                        trace.events.push(LoopEvent::BeamLost {
+                            turn,
+                            time_s: step.t_post,
+                            cause,
+                        });
+                        break 'run;
                     }
-                    continue;
-                }
-                EngineStep::Measured => {
-                    self.faults
-                        .apply_row(turn, engine.time(), &mut phase, &mut trace.events);
-                    let mut acc = 0.0;
-                    for (row, &p) in trace.bunch_phase_deg.iter_mut().zip(&phase) {
-                        let deg = p + self.instrument_offset_deg;
-                        row.push(deg);
-                        acc += deg;
+                    EngineStep::Idle => {
+                        if let Some(m) = &self.telemetry {
+                            m.idle_steps.inc();
+                        }
                     }
-                    let mean = acc / bunches as f64;
-                    trace.times.push(engine.time());
-                    trace.mean_phase_deg.push(mean);
-                    if let Some(u) = self.controller.push_measurement(mean) {
-                        engine.apply_control(u, self.controller.params.decimation);
-                    }
-                    trace.control_hz.push(self.controller.output());
-                    observer(engine);
-                    if let Some(w) = &mut wall {
-                        w.row();
-                    }
-                    if let Some(c) = ckpt.as_mut() {
-                        if c.session.due(trace.times.len()) {
-                            let t0 = Instant::now();
-                            let ck = Checkpoint {
-                                turn: 0,
-                                time_s: engine.time(),
-                                supervised: false,
-                                kind: c.kind,
-                                bunches: bunches as u32,
-                                engine: engine.save_state(),
-                                controller: self.controller.state(),
-                                injector: self.faults.state(),
-                                supervisor: None,
-                                ctrl_phase_rad: 0.0,
-                                last_jump_deg: last_jump,
-                                rows: 0,
-                                events: 0,
-                                jumps: 0,
-                                log_bytes: 0,
-                                telemetry: self
-                                    .telemetry
-                                    .as_ref()
-                                    .map(LoopMetrics::checkpoint_snapshot),
-                            };
-                            c.session.checkpoint(&trace, move || ck);
-                            if let Some(m) = &self.telemetry {
-                                m.checkpoint_writes.inc();
-                                m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
+                    EngineStep::Measured => {
+                        let phase = block.phase_row_mut(row);
+                        row += 1;
+                        self.faults
+                            .apply_row(turn, step.t_post, phase, &mut trace.events);
+                        let mut acc = 0.0;
+                        for (col, &p) in trace.bunch_phase_deg.iter_mut().zip(phase.iter()) {
+                            let deg = p + self.instrument_offset_deg;
+                            col.push(deg);
+                            acc += deg;
+                        }
+                        let mean = acc / bunches as f64;
+                        trace.times.push(step.t_post);
+                        trace.mean_phase_deg.push(mean);
+                        if let Some(u) = self.controller.push_measurement(mean) {
+                            engine.apply_control(u, self.controller.params.decimation);
+                        }
+                        trace.control_hz.push(self.controller.output());
+                        if let Some(obs) = observer.as_mut() {
+                            obs(engine);
+                        }
+                        if let Some(w) = &mut wall {
+                            w.row();
+                        }
+                        if let Some(c) = ckpt.as_mut() {
+                            if c.session.due(trace.times.len()) {
+                                let t0 = Instant::now();
+                                let ck = Checkpoint {
+                                    turn: 0,
+                                    time_s: engine.time(),
+                                    supervised: false,
+                                    kind: c.kind,
+                                    bunches: bunches as u32,
+                                    engine: engine.save_state(),
+                                    controller: self.controller.state(),
+                                    injector: self.faults.state(),
+                                    supervisor: None,
+                                    ctrl_phase_rad: 0.0,
+                                    last_jump_deg: last_jump,
+                                    rows: 0,
+                                    events: 0,
+                                    jumps: 0,
+                                    log_bytes: 0,
+                                    telemetry: self
+                                        .telemetry
+                                        .as_ref()
+                                        .map(LoopMetrics::checkpoint_snapshot),
+                                };
+                                c.session.checkpoint(&trace, move || ck);
+                                if let Some(m) = &self.telemetry {
+                                    m.checkpoint_writes.inc();
+                                    m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
+                                }
                             }
                         }
                     }
@@ -357,7 +426,7 @@ impl LoopHarness {
         let trace = self.run_core(
             engine.as_mut(),
             duration_s,
-            |_| {},
+            None,
             empty,
             0.0,
             Some(CkptRun {
@@ -397,7 +466,7 @@ impl LoopHarness {
         let trace = self.run_core(
             engine.as_mut(),
             duration_s,
-            |_| {},
+            None,
             trace,
             last_jump,
             Some(CkptRun {
@@ -588,7 +657,6 @@ impl LoopHarness {
         }
         let mut engine = kind.build(scenario)?;
         let bunches = engine.bunches();
-        let mut phase = vec![0.0; bunches];
         let (mut trace, mut last_jump, mut ctrl_phase_rad) = match resume {
             Some(init) => {
                 if !engine.restore_state(&init.engine_state) {
@@ -606,10 +674,11 @@ impl LoopHarness {
         // built engine can be seeded mid-run after a demotion.
         let t_rev = 1.0 / scenario.f_rev;
 
-        while engine.time() < duration_s {
+        let mut block = StepBlock::new();
+        'run: while engine.time() < duration_s {
             let t_pre = engine.time();
-            let turn = trace.times.len();
             if self.faults.forced_loss_at(t_pre) {
+                let turn = trace.times.len();
                 trace.outcome = LoopOutcome::Lost {
                     turn,
                     time_s: t_pre,
@@ -622,120 +691,46 @@ impl LoopHarness {
                 });
                 break;
             }
-            let step = engine.step(&self.jumps, &mut phase);
-            let applied = engine.applied_jump_deg();
-            if applied != last_jump {
-                trace.jump_times.push(t_pre);
-                last_jump = applied;
+            // The watchdog counts *consecutive* bad rows, so it cannot fire
+            // before `headroom` more measured rows have passed; capping the
+            // block there guarantees a watchdog demotion (which swaps the
+            // engine) can only land on a block's last row — exactly where
+            // per-turn stepping would swap it.
+            let headroom = supervisor
+                .config
+                .max_consecutive_bad
+                .saturating_sub(supervisor.bad_streak())
+                .max(1) as usize;
+            let ckpt_due = session
+                .as_deref()
+                .map(|s| s.rows_until_due(trace.times.len()));
+            let budget = self.block_budget(self.per_turn_cap(false).min(headroom), ckpt_due);
+            engine.step_block(&self.jumps, duration_s, budget, &mut block);
+
+            let rows = block.rows();
+            trace.times.reserve(rows);
+            trace.mean_phase_deg.reserve(rows);
+            trace.control_hz.reserve(rows);
+            for col in trace.bunch_phase_deg.iter_mut() {
+                col.reserve(rows);
             }
-            match step {
-                EngineStep::Lost(cause) => {
-                    let time_s = engine.time();
-                    // A garbage-producing engine is demotable; injected or
-                    // physical losses are not.
-                    if cause == LossCause::NonFinitePhase && supervisor.config.allow_demotion {
-                        if let Some(to) = kind.demote() {
-                            trace.events.push(LoopEvent::EngineDemoted {
-                                turn,
-                                time_s,
-                                from: kind,
-                                to,
-                            });
-                            engine = to.build(scenario)?;
-                            engine.seed_state(time_s, ctrl_phase_rad);
-                            kind = to;
-                            supervisor.reset_watchdog();
-                            continue;
-                        }
-                    }
-                    trace.outcome = LoopOutcome::Lost {
-                        turn,
-                        time_s,
-                        cause,
-                    };
-                    trace.events.push(LoopEvent::BeamLost {
-                        turn,
-                        time_s,
-                        cause,
-                    });
-                    break;
+            let mut row = 0usize;
+            for i in 0..block.steps().len() {
+                let step = block.steps()[i];
+                let turn = trace.times.len();
+                if step.jump_deg != last_jump {
+                    trace.jump_times.push(step.t_pre);
+                    last_jump = step.jump_deg;
                 }
-                EngineStep::Idle => {
-                    if let Some(m) = &self.telemetry {
-                        m.idle_steps.inc();
-                    }
-                    continue;
-                }
-                EngineStep::Measured => {
-                    let time_s = engine.time();
-                    // Deadline accounting: one measured row = one
-                    // revolution of wall-clock budget.
-                    let modeled =
-                        supervisor.model_step_seconds(kind, self.faults.overrun_factor_at(t_pre));
-                    let overrun = modeled > supervisor.config.deadline_s;
-                    if let Some(m) = &self.telemetry {
-                        m.step_modeled.observe(modeled);
-                        m.deadline_headroom
-                            .observe((supervisor.config.deadline_s - modeled).max(0.0));
-                    }
-                    if overrun {
-                        trace.events.push(LoopEvent::DeadlineOverrun {
-                            turn,
-                            time_s,
-                            budget_s: supervisor.config.deadline_s,
-                            modeled_s: modeled,
-                        });
-                    }
-
-                    self.faults
-                        .apply_row(turn, time_s, &mut phase, &mut trace.events);
-                    let mut acc = 0.0;
-                    for (row, &p) in trace.bunch_phase_deg.iter_mut().zip(&phase) {
-                        let deg = p + self.instrument_offset_deg;
-                        row.push(deg);
-                        acc += deg;
-                    }
-                    let raw_mean = acc / bunches as f64;
-                    let admission = supervisor.admit(raw_mean);
-                    if admission.rejected {
-                        trace.events.push(LoopEvent::OutlierRejected {
-                            turn,
-                            time_s,
-                            measured_deg: raw_mean,
-                            held_deg: admission.value_deg,
-                        });
-                    }
-                    trace.times.push(time_s);
-                    trace.mean_phase_deg.push(admission.value_deg);
-                    if let Some(ctrl) = self.controller.push_measurement_limited(
-                        admission.value_deg,
-                        supervisor.config.max_actuation_hz,
-                    ) {
-                        if ctrl.clamped {
-                            trace.events.push(LoopEvent::ActuationClamped {
-                                turn,
-                                time_s,
-                                raw_hz: ctrl.raw_hz,
-                                limit_hz: ctrl.limit_hz,
-                            });
-                        }
-                        let decimation = self.controller.params.decimation;
-                        engine.apply_control(ctrl.actuation_hz, decimation);
-                        ctrl_phase_rad +=
-                            TWO_PI * ctrl.actuation_hz * t_rev * f64::from(decimation);
-                    }
-                    trace.control_hz.push(self.controller.output());
-
-                    // Watchdog: consecutive bad steps demote (or, with no
-                    // fidelity left, lose the beam).
-                    if supervisor.note_step(overrun || admission.rejected) {
-                        let demoted = if supervisor.config.allow_demotion {
-                            kind.demote()
-                        } else {
-                            None
-                        };
-                        match demoted {
-                            Some(to) => {
+                match step.result {
+                    EngineStep::Lost(cause) => {
+                        let time_s = step.t_post;
+                        // A garbage-producing engine is demotable; injected
+                        // or physical losses are not. A loss ends the block
+                        // early, so a demotion resumes stepping from the
+                        // fresh engine immediately.
+                        if cause == LossCause::NonFinitePhase && supervisor.config.allow_demotion {
+                            if let Some(to) = kind.demote() {
                                 trace.events.push(LoopEvent::EngineDemoted {
                                     turn,
                                     time_s,
@@ -746,53 +741,156 @@ impl LoopHarness {
                                 engine.seed_state(time_s, ctrl_phase_rad);
                                 kind = to;
                                 supervisor.reset_watchdog();
-                            }
-                            None => {
-                                trace.outcome = LoopOutcome::Lost {
-                                    turn,
-                                    time_s,
-                                    cause: LossCause::Watchdog,
-                                };
-                                trace.events.push(LoopEvent::BeamLost {
-                                    turn,
-                                    time_s,
-                                    cause: LossCause::Watchdog,
-                                });
-                                break;
+                                continue 'run;
                             }
                         }
+                        trace.outcome = LoopOutcome::Lost {
+                            turn,
+                            time_s,
+                            cause,
+                        };
+                        trace.events.push(LoopEvent::BeamLost {
+                            turn,
+                            time_s,
+                            cause,
+                        });
+                        break 'run;
                     }
-                    if let Some(w) = &mut wall {
-                        w.row();
+                    EngineStep::Idle => {
+                        if let Some(m) = &self.telemetry {
+                            m.idle_steps.inc();
+                        }
                     }
-                    if let Some(s) = session.as_deref_mut() {
-                        if s.due(trace.times.len()) {
-                            let t0 = Instant::now();
-                            let ck = Checkpoint {
-                                turn: 0,
-                                time_s: engine.time(),
-                                supervised: true,
-                                kind,
-                                bunches: bunches as u32,
-                                engine: engine.save_state(),
-                                controller: self.controller.state(),
-                                injector: self.faults.state(),
-                                supervisor: Some(supervisor.state()),
-                                ctrl_phase_rad,
-                                last_jump_deg: last_jump,
-                                rows: 0,
-                                events: 0,
-                                jumps: 0,
-                                log_bytes: 0,
-                                telemetry: self
-                                    .telemetry
-                                    .as_ref()
-                                    .map(LoopMetrics::checkpoint_snapshot),
+                    EngineStep::Measured => {
+                        let time_s = step.t_post;
+                        // Deadline accounting: one measured row = one
+                        // revolution of wall-clock budget.
+                        let modeled = supervisor
+                            .model_step_seconds(kind, self.faults.overrun_factor_at(step.t_pre));
+                        let overrun = modeled > supervisor.config.deadline_s;
+                        if let Some(m) = &self.telemetry {
+                            m.step_modeled.observe(modeled);
+                            m.deadline_headroom
+                                .observe((supervisor.config.deadline_s - modeled).max(0.0));
+                        }
+                        if overrun {
+                            trace.events.push(LoopEvent::DeadlineOverrun {
+                                turn,
+                                time_s,
+                                budget_s: supervisor.config.deadline_s,
+                                modeled_s: modeled,
+                            });
+                        }
+
+                        let phase = block.phase_row_mut(row);
+                        row += 1;
+                        self.faults
+                            .apply_row(turn, time_s, phase, &mut trace.events);
+                        let mut acc = 0.0;
+                        for (col, &p) in trace.bunch_phase_deg.iter_mut().zip(phase.iter()) {
+                            let deg = p + self.instrument_offset_deg;
+                            col.push(deg);
+                            acc += deg;
+                        }
+                        let raw_mean = acc / bunches as f64;
+                        let admission = supervisor.admit(raw_mean);
+                        if admission.rejected {
+                            trace.events.push(LoopEvent::OutlierRejected {
+                                turn,
+                                time_s,
+                                measured_deg: raw_mean,
+                                held_deg: admission.value_deg,
+                            });
+                        }
+                        trace.times.push(time_s);
+                        trace.mean_phase_deg.push(admission.value_deg);
+                        if let Some(ctrl) = self.controller.push_measurement_limited(
+                            admission.value_deg,
+                            supervisor.config.max_actuation_hz,
+                        ) {
+                            if ctrl.clamped {
+                                trace.events.push(LoopEvent::ActuationClamped {
+                                    turn,
+                                    time_s,
+                                    raw_hz: ctrl.raw_hz,
+                                    limit_hz: ctrl.limit_hz,
+                                });
+                            }
+                            let decimation = self.controller.params.decimation;
+                            engine.apply_control(ctrl.actuation_hz, decimation);
+                            ctrl_phase_rad +=
+                                TWO_PI * ctrl.actuation_hz * t_rev * f64::from(decimation);
+                        }
+                        trace.control_hz.push(self.controller.output());
+
+                        // Watchdog: consecutive bad steps demote (or, with no
+                        // fidelity left, lose the beam).
+                        if supervisor.note_step(overrun || admission.rejected) {
+                            let demoted = if supervisor.config.allow_demotion {
+                                kind.demote()
+                            } else {
+                                None
                             };
-                            s.checkpoint(&trace, move || ck);
-                            if let Some(m) = &self.telemetry {
-                                m.checkpoint_writes.inc();
-                                m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
+                            match demoted {
+                                Some(to) => {
+                                    trace.events.push(LoopEvent::EngineDemoted {
+                                        turn,
+                                        time_s,
+                                        from: kind,
+                                        to,
+                                    });
+                                    engine = to.build(scenario)?;
+                                    engine.seed_state(time_s, ctrl_phase_rad);
+                                    kind = to;
+                                    supervisor.reset_watchdog();
+                                }
+                                None => {
+                                    trace.outcome = LoopOutcome::Lost {
+                                        turn,
+                                        time_s,
+                                        cause: LossCause::Watchdog,
+                                    };
+                                    trace.events.push(LoopEvent::BeamLost {
+                                        turn,
+                                        time_s,
+                                        cause: LossCause::Watchdog,
+                                    });
+                                    break 'run;
+                                }
+                            }
+                        }
+                        if let Some(w) = &mut wall {
+                            w.row();
+                        }
+                        if let Some(s) = session.as_deref_mut() {
+                            if s.due(trace.times.len()) {
+                                let t0 = Instant::now();
+                                let ck = Checkpoint {
+                                    turn: 0,
+                                    time_s: engine.time(),
+                                    supervised: true,
+                                    kind,
+                                    bunches: bunches as u32,
+                                    engine: engine.save_state(),
+                                    controller: self.controller.state(),
+                                    injector: self.faults.state(),
+                                    supervisor: Some(supervisor.state()),
+                                    ctrl_phase_rad,
+                                    last_jump_deg: last_jump,
+                                    rows: 0,
+                                    events: 0,
+                                    jumps: 0,
+                                    log_bytes: 0,
+                                    telemetry: self
+                                        .telemetry
+                                        .as_ref()
+                                        .map(LoopMetrics::checkpoint_snapshot),
+                                };
+                                s.checkpoint(&trace, move || ck);
+                                if let Some(m) = &self.telemetry {
+                                    m.checkpoint_writes.inc();
+                                    m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
+                                }
                             }
                         }
                     }

@@ -75,14 +75,28 @@ impl TurnLevelLoop {
     /// Run the experiment for the scenario duration. `control_enabled`
     /// opens/closes the loop (Fig. 5 runs closed).
     pub fn run(&self, control_enabled: bool) -> Result<HilResult> {
+        let mut engine = self.engine.build(&self.scenario)?;
+        self.run_on(engine.as_mut(), control_enabled)
+    }
+
+    /// Like [`Self::run`] but on a caller-provided engine — the hook sweeps
+    /// use to amortise engine construction across points via an
+    /// [`EngineArena`](crate::sweep::EngineArena). The engine must be in
+    /// its freshly-built state for this scenario (the arena restores it);
+    /// the harness (controller, fault injector, jump program) is rebuilt
+    /// per call, so only engine construction is shared.
+    pub fn run_on(
+        &self,
+        engine: &mut dyn crate::engine::BeamEngine,
+        control_enabled: bool,
+    ) -> Result<HilResult> {
         let s = &self.scenario;
         let t_rev = 1.0 / s.f_rev;
-        let mut engine = self.engine.build(s)?;
         let mut harness = LoopHarness::for_scenario(s, control_enabled);
         if let Some(reg) = &self.telemetry {
             harness = harness.with_telemetry(reg);
         }
-        let trace = harness.run(engine.as_mut(), s.duration_s);
+        let trace = harness.run(engine, s.duration_s);
         Ok(HilResult {
             phase_deg: TimeSeries::new(0.0, t_rev, trace.mean_phase_deg),
             control_hz: TimeSeries::new(0.0, t_rev, trace.control_hz),

@@ -74,5 +74,6 @@ pub use hil::{SignalLevelLoop, TurnLevelLoop};
 pub use multibunch::MultiBunchLoop;
 pub use ramploop::RampLoop;
 pub use scenario::MdeScenario;
+pub use sweep::EngineArena;
 pub use telemetry::{TelemetryRegistry, TelemetrySnapshot};
 pub use trace::TimeSeries;

@@ -153,6 +153,28 @@ impl MdeScenario {
     pub fn revolutions(&self) -> usize {
         (self.duration_s * self.f_rev) as usize
     }
+
+    /// Do two scenarios build identical turn-level engines
+    /// ([`crate::engine::EngineKind::build`])? Compares every field that
+    /// flows into engine construction — machine, ion, operating point,
+    /// bunch count, converter amplitudes/noise, CGRA grid and pipelining,
+    /// pulse shape and fault program — and ignores the harness-side knobs a
+    /// sweep typically varies (controller settings, jump program, duration,
+    /// instrument offset). Engine arenas use this to decide whether a
+    /// built engine can be re-used for the next sweep point.
+    pub fn engine_config_eq(&self, other: &Self) -> bool {
+        self.machine == other.machine
+            && self.ion == other.ion
+            && self.f_rev == other.f_rev
+            && self.fs_target == other.fs_target
+            && self.bunches == other.bunches
+            && self.adc_amplitude == other.adc_amplitude
+            && self.pipelined == other.pipelined
+            && self.grid == other.grid
+            && self.pulse_sigma_s == other.pulse_sigma_s
+            && self.adc_noise_rms == other.adc_noise_rms
+            && self.faults == other.faults
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +219,19 @@ mod tests {
         assert_eq!(s.harmonic(), 2);
         assert_eq!(s.machine.rf_frequency(s.f_rev), 1.6e6);
         assert_eq!(s.bunches, 2);
+    }
+
+    #[test]
+    fn engine_config_eq_ignores_harness_knobs() {
+        let a = MdeScenario::nov24_2023();
+        let mut b = a.clone();
+        b.controller.gain = -7.0;
+        b.duration_s = 0.1;
+        b.instrument_offset_deg = 0.0;
+        b.jumps.amplitude_deg = 4.0;
+        assert!(a.engine_config_eq(&b), "harness knobs must not split slots");
+        b.fs_target = 1.0e3;
+        assert!(!a.engine_config_eq(&b), "operating point is engine-facing");
     }
 
     #[test]

@@ -575,7 +575,11 @@ impl TelemetrySnapshot {
 /// loop. `Instant::now()` costs about as much as a Map-fidelity step, so the
 /// harness reads the clock once per block and records the per-row average —
 /// that is what keeps telemetry-on within 10% of telemetry-off (the
-/// throughput-guard test).
+/// throughput-guard test). The harness's batched stepping
+/// ([`crate::harness::LoopHarness::with_block_rows`]) defaults its block
+/// size to this figure, so one engine block and one wall sample cover the
+/// same row span; the sampler counts rows itself and stays correct (same
+/// samples, same averages) for any other block size.
 pub const WALL_SAMPLE_ROWS: u64 = 64;
 
 /// Pre-resolved handles for every metric the loop harness records; built

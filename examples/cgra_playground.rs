@@ -81,7 +81,7 @@ fn main() {
     println!("\nrunning 10 iterations against a noisy sensor:");
     for i in 0..10 {
         let x = if i % 3 == 0 { 2.0 } else { 0.5 };
-        bus.sensors.insert(0, x);
+        bus.set_sensor(0, x);
         bus.writes.clear();
         ex.run_iteration(&mut bus, &[]);
         let smooth = bus.writes.iter().find(|(p, _)| *p == 0).unwrap().1;

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Standing performance runs — kept out of tier1.sh so the gate stays fast.
+# Run from the repo root (CI runs this after the tier-1 gate):
+#   scripts/bench.sh                 # default: 10000 revolutions, best of 5
+#   scripts/bench.sh --revolutions 50000 --runs 9
+#
+# Produces results/BENCH_loop.json (revolutions/sec for every engine
+# fidelity × execution mode: micro-op plan vs legacy DFG walk, batched
+# step_block vs per-turn). The 1.5x plan+batched-vs-walk-per-turn bound is
+# separately *enforced* by the release-only loop_guard test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p cil-bench --bin bench_loop -- "$@"

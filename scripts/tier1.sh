@@ -29,3 +29,7 @@ cargo test --release -q --test telemetry -- --include-ignored
 # and writes results/BENCH_checkpoint.json.
 cargo test -q --test checkpoint_recovery
 cargo test --release -q --test checkpoint_recovery
+# Closed-loop throughput guard: plan+batched CGRA must stay >= 1.5x the
+# legacy per-turn DFG walk (release-only; debug timings are meaningless).
+# Writes results/BENCH_loop.json. Full matrix via scripts/bench.sh.
+cargo test --release -q -p cil-bench --test loop_guard -- --include-ignored

@@ -63,8 +63,8 @@ proptest! {
         for &sv in &sensors {
             let mut bus_a = MapBus::default();
             let mut bus_b = MapBus::default();
-            bus_a.sensors.insert(0, sv);
-            bus_b.sensors.insert(0, sv);
+            bus_a.set_sensor(0, sv);
+            bus_b.set_sensor(0, sv);
             interpret_dfg(&kernel.dfg, &mut regs_a, &mut bus_a, &[]);
             interpret_dfg(&opt, &mut regs_b[..opt.reg_count() as usize], &mut bus_b, &[]);
             // Bit-exact (compare bit patterns: long random chains can

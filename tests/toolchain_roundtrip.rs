@@ -69,8 +69,8 @@ proptest! {
         for &sv in &sensor_vals {
             let mut bus_a = MapBus::default();
             let mut bus_b = MapBus::default();
-            bus_a.sensors.insert(0, sv);
-            bus_b.sensors.insert(0, sv);
+            bus_a.set_sensor(0, sv);
+            bus_b.set_sensor(0, sv);
             let out_a = ex.run_iteration(&mut bus_a, &[]);
             let out_b = interpret_dfg(&kernel.dfg, &mut regs, &mut bus_b, &[]);
             // Exact equality: same operations in dependency order, no
