@@ -39,7 +39,11 @@ fn main() {
     t.print();
 
     let ratio = speedup(&rows, "cgra_plan_batched", "cgra_walk_per_turn");
+    let ratio_observed = speedup(&rows, "cgra_plan_observed", "cgra_walk_per_turn");
     println!("\nplan+batched vs legacy walk per-turn (CGRA): {ratio:.2}x (bound {BOUND}x)");
-    let path = write_bench_json(revolutions, runs, &rows, ratio, BOUND);
+    println!(
+        "plan+batched with observer vs legacy walk per-turn: {ratio_observed:.2}x (bound {BOUND}x)"
+    );
+    let path = write_bench_json(revolutions, runs, &rows, ratio, ratio_observed, BOUND);
     println!("data -> {}", path.display());
 }

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use cil_core::engine::{BeamEngine, CgraEngine, EngineKind};
-use cil_core::harness::LoopHarness;
+use cil_core::harness::{LoopHarness, DEFAULT_BLOCK_ROWS};
 use cil_core::scenario::MdeScenario;
 
 /// The benchmark scenario: the Nov-24 MDE operating point trimmed to
@@ -53,6 +53,11 @@ pub struct CaseSpec {
     /// Force one-row step blocks (per-turn stepping) instead of the
     /// harness default batch.
     pub per_turn: bool,
+    /// Attach a sampled observer hook (cadence = the default block size).
+    /// Under the event-scheduled core an observer no longer forces
+    /// per-turn stepping, so this case must stay near the unobserved
+    /// batched throughput.
+    pub observed: bool,
 }
 
 /// Particles in the reference-tracker case — enough to be representative,
@@ -66,36 +71,49 @@ pub fn standard_cases() -> Vec<CaseSpec> {
             label: "map_batched",
             kind: CaseKind::Map,
             per_turn: false,
+            observed: false,
         },
         CaseSpec {
             label: "map_per_turn",
             kind: CaseKind::Map,
             per_turn: true,
+            observed: false,
         },
         CaseSpec {
             label: "cgra_plan_batched",
             kind: CaseKind::CgraPlan,
             per_turn: false,
+            observed: false,
+        },
+        CaseSpec {
+            label: "cgra_plan_observed",
+            kind: CaseKind::CgraPlan,
+            per_turn: false,
+            observed: true,
         },
         CaseSpec {
             label: "cgra_plan_per_turn",
             kind: CaseKind::CgraPlan,
             per_turn: true,
+            observed: false,
         },
         CaseSpec {
             label: "cgra_walk_batched",
             kind: CaseKind::CgraWalk,
             per_turn: false,
+            observed: false,
         },
         CaseSpec {
             label: "cgra_walk_per_turn",
             kind: CaseKind::CgraWalk,
             per_turn: true,
+            observed: false,
         },
         CaseSpec {
             label: "reftrack_batched",
             kind: CaseKind::RefTrack,
             per_turn: false,
+            observed: false,
         },
     ]
 }
@@ -141,10 +159,28 @@ pub fn measure_case(s: &MdeScenario, case: CaseSpec, runs: usize) -> LoopBenchRo
         let mut engine = build_engine(s, case.kind);
         let mut harness = LoopHarness::for_scenario(s, true);
         if case.per_turn {
-            harness = harness.with_block_rows(1);
+            harness = harness
+                .with_block_rows(1)
+                .expect("per-turn block size is valid");
         }
         let t0 = Instant::now();
-        let trace = harness.run(engine.as_mut(), s.duration_s);
+        let trace = if case.observed {
+            // A sampled observer at the default block cadence: the event
+            // core schedules it between blocks, so the hot loop stays
+            // batched. `black_box` keeps the hook from optimising away.
+            harness
+                .run_with_every(
+                    engine.as_mut(),
+                    s.duration_s,
+                    DEFAULT_BLOCK_ROWS as u64,
+                    |e| {
+                        std::hint::black_box(e.time());
+                    },
+                )
+                .expect("observer cadence is valid")
+        } else {
+            harness.run(engine.as_mut(), s.duration_s)
+        };
         let dt = t0.elapsed().as_secs_f64();
         assert!(
             trace.outcome.survived(),
@@ -189,6 +225,7 @@ pub fn write_bench_json(
     runs: usize,
     rows: &[LoopBenchRow],
     speedup: f64,
+    speedup_observed: f64,
     bound: f64,
 ) -> PathBuf {
     let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
@@ -211,7 +248,9 @@ pub fn write_bench_json(
         format!(
             "{{\"bench\":\"loop_throughput\",\"revolutions\":{revolutions},\"runs\":{runs},\
              \"cases\":[{cases}],\
-             \"speedup_plan_batched_vs_walk_per_turn\":{speedup},\"bound\":{bound}}}\n"
+             \"speedup_plan_batched_vs_walk_per_turn\":{speedup},\
+             \"speedup_plan_observed_vs_walk_per_turn\":{speedup_observed},\
+             \"bound\":{bound}}}\n"
         ),
     )
     .unwrap();
@@ -235,6 +274,12 @@ mod tests {
         assert!(cases
             .iter()
             .any(|c| c.kind == CaseKind::CgraWalk && c.per_turn));
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.kind == CaseKind::CgraPlan && c.observed && !c.per_turn),
+            "the observer-attached batched case must be in the matrix"
+        );
     }
 
     #[test]

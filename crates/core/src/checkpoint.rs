@@ -1329,6 +1329,25 @@ impl CheckpointConfig {
             keep: 2,
         }
     }
+
+    /// Reject misconfiguration as a typed error instead of silently
+    /// clamping: a cadence of 0 rows or a retention of 0 snapshots is
+    /// meaningless (the session-level `.max(1)` clamps remain as a last
+    /// line of defence for states decoded from disk). Called by every
+    /// harness entry point that honours a checkpoint configuration.
+    pub fn validate(&self) -> Result<(), crate::error::CilError> {
+        if self.every_turns == 0 {
+            return Err(crate::error::CilError::InvalidConfig(
+                "checkpoint cadence (every_turns) must be >= 1 row".into(),
+            ));
+        }
+        if self.keep == 0 {
+            return Err(crate::error::CilError::InvalidConfig(
+                "checkpoint retention (keep) must be >= 1 snapshot".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// What [`CheckpointSession::resume`] recovered from disk.
@@ -1475,15 +1494,10 @@ impl CheckpointSession {
         Ok((ck, trace))
     }
 
-    /// True when the current row count is on the cadence and a checkpoint
-    /// should be taken.
-    pub(crate) fn due(&self, rows: usize) -> bool {
-        self.error.is_none() && rows > self.rows_flushed && rows.is_multiple_of(self.every_turns)
-    }
-
     /// Measured rows the loop may still record, from a trace currently
-    /// `rows` long, before a checkpoint falls due. The harness caps engine
-    /// step blocks to this so [`Self::due`] can only fire on a block's last
+    /// `rows` long, before a checkpoint falls due. The harness arms its
+    /// checkpoint event this many rows ahead, and the event queue's horizon
+    /// caps engine step blocks so the event can only fire on a block's last
     /// row — the engine is then exactly at the row being snapshotted.
     /// `usize::MAX` once checkpointing is disabled by a latched error.
     pub(crate) fn rows_until_due(&self, rows: usize) -> usize {

@@ -46,6 +46,24 @@ impl ClockDomain {
     pub fn convert_ticks(&self, ticks: u64, other: &ClockDomain) -> f64 {
         self.ticks_to_seconds(ticks) * other.frequency
     }
+
+    /// The revolution "clock": one tick per beam revolution. This is the
+    /// domain the harness's event queue schedules on (one tick per measured
+    /// trace row for turn-level engines).
+    pub fn revolution(f_rev: f64) -> Self {
+        Self { frequency: f_rev }
+    }
+
+    /// Convert a tick count of `self` into whole ticks of `other`, rounding
+    /// *up* — the conservative direction for deadlines: an event converted
+    /// across domains may fire one tick early, never late. Exact
+    /// conversions (within one part in 2⁻³² of a tick, absorbing the float
+    /// round-trip) stay exact.
+    pub fn convert_ticks_ceil(&self, ticks: u64, other: &ClockDomain) -> u64 {
+        let fractional = self.convert_ticks(ticks, other);
+        let eps = 2f64.powi(-32);
+        (fractional - eps).ceil().max(0.0) as u64
+    }
 }
 
 /// The BuTiS-grade master clock: a time base with an optional Gaussian
@@ -136,6 +154,31 @@ mod tests {
         let sys = ClockDomain::system();
         let t = cgra.convert_ticks(111, &sys);
         assert!((t - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceil_conversion_never_lands_late() {
+        let cgra = ClockDomain::cgra();
+        let sys = ClockDomain::system();
+        // Exact: 111 CGRA ticks = 250 system ticks.
+        assert_eq!(cgra.convert_ticks_ceil(111, &sys), 250);
+        // Inexact: 1 CGRA tick = 250/111 ≈ 2.252 system ticks → 3.
+        assert_eq!(cgra.convert_ticks_ceil(1, &sys), 3);
+        assert_eq!(cgra.convert_ticks_ceil(0, &sys), 0);
+        // A deadline converted up is never later than the original:
+        // ceil ticks / f_other ≥ ticks / f_self.
+        for ticks in [1u64, 7, 111, 1000, 123457] {
+            let converted = cgra.convert_ticks_ceil(ticks, &sys);
+            assert!(sys.ticks_to_seconds(converted) >= cgra.ticks_to_seconds(ticks) - 1e-15);
+        }
+    }
+
+    #[test]
+    fn revolution_domain_ticks_once_per_turn() {
+        let rev = ClockDomain::revolution(500e3);
+        assert!((rev.period() - 2e-6).abs() < 1e-18);
+        // 0.05 s of jump-program interval = 25 000 revolutions.
+        assert!((rev.seconds_to_ticks(0.05) - 25_000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! Deterministic event scheduling for the multi-rate closed loop.
+//!
+//! The paper's HIL rig is inherently multi-rate: the converter/framework
+//! side ticks at 250 MHz, the CGRA at 111 MHz, the controller once per
+//! `decimation` revolutions, the AWG jump program every 0.05 s wall time.
+//! The harness models all of it on one *row tick* — the count of measured
+//! trace rows — and schedules everything that must observe or perturb the
+//! loop as a [`SimEvent`] on an [`EventQueue`]. Between events the engine
+//! is free to step an entire span in one [`step_block`] call; the queue's
+//! [`EventQueue::horizon`] is the single source of the block budget that
+//! `LoopHarness::run` and `run_supervised` previously computed with
+//! duplicated min-chains.
+//!
+//! Determinism is the design constraint, not a nice-to-have: traces, audit
+//! events and checkpoint bytes must be bit-identical for every block size
+//! and across kill/resume. Three properties deliver that:
+//!
+//! 1. **Fixed total order.** Events are ordered by `(tick, priority,
+//!    insertion seq)` — see [`ScheduledEvent`]'s `Ord`. Same-tick events
+//!    always fire in the same relative order the per-row loop used to
+//!    interleave them (actuation before observer before wall sample before
+//!    checkpoint), and the insertion sequence breaks any remaining tie
+//!    deterministically.
+//! 2. **No event inside a block.** [`EventQueue::horizon`] caps every step
+//!    block at the next armed tick, so an event can only fall due on a
+//!    block's *last* row — exactly where per-turn stepping would have
+//!    handled it.
+//! 3. **Resume-invariant accounting.** The per-kind scheduled/fired tallies
+//!    can be seeded from a restored trace ([`EventQueue::seed_history`]),
+//!    so a resumed run exports the same `cil_events_*` totals as an
+//!    uninterrupted one.
+//!
+//! Cross-domain cadences (a fault edge specified in 250 MHz system ticks, a
+//! watchdog deadline in CGRA cycles) are mapped onto the row tick with
+//! [`EventQueue::schedule_from_domain`], built on the
+//! [`ClockDomain`](crate::clock::ClockDomain) conversions — always rounding
+//! *up*, so a converted deadline can never land later than the original.
+//!
+//! [`step_block`]: crate::engine::BeamEngine::step_block
+
+use crate::clock::ClockDomain;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Everything the harness schedules between engine step blocks.
+///
+/// Two kinds — [`SimEvent::FaultEdge`] and [`SimEvent::JumpEdge`] — are
+/// *detected* rather than queued: fault windows and AWG jump toggles are
+/// keyed to engine time (which is non-uniform for ramp and signal-level
+/// engines), so the harness recognises their edges per step and only
+/// accounts them here ([`EventQueue::count_fired`]). They still carry a
+/// priority so cross-domain tests can enqueue them explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimEvent {
+    /// A decimated controller step completes on this row.
+    Actuation,
+    /// The supervisor's watchdog could demote (or lose) the loop on this
+    /// row at the earliest.
+    Watchdog,
+    /// A scheduled fault program window opens or closes.
+    FaultEdge,
+    /// The AWG phase-jump program toggles.
+    JumpEdge,
+    /// An executive observer hook fires.
+    Observer,
+    /// The telemetry wall-clock sampler reads `Instant::now`.
+    WallSample,
+    /// A checkpoint snapshot falls due.
+    Checkpoint,
+}
+
+/// Number of [`SimEvent`] kinds.
+pub const EVENT_KINDS: usize = 7;
+
+impl SimEvent {
+    /// Every kind, in priority order.
+    pub const ALL: [SimEvent; EVENT_KINDS] = [
+        SimEvent::Actuation,
+        SimEvent::Watchdog,
+        SimEvent::FaultEdge,
+        SimEvent::JumpEdge,
+        SimEvent::Observer,
+        SimEvent::WallSample,
+        SimEvent::Checkpoint,
+    ];
+
+    /// Same-tick firing priority (lower fires first). The order encodes the
+    /// per-row sequence of the original harness loop: control acts on the
+    /// row, the supervisor may intervene, edges are stamped, then the
+    /// passive observers run — observer hook, wall sample, and the
+    /// checkpoint last, so a snapshot captures every same-row effect.
+    pub fn priority(self) -> u8 {
+        match self {
+            SimEvent::Actuation => 0,
+            SimEvent::Watchdog => 1,
+            SimEvent::FaultEdge => 2,
+            SimEvent::JumpEdge => 3,
+            SimEvent::Observer => 4,
+            SimEvent::WallSample => 5,
+            SimEvent::Checkpoint => 6,
+        }
+    }
+
+    /// Dense index (equals [`Self::priority`]).
+    pub fn index(self) -> usize {
+        self.priority() as usize
+    }
+
+    /// Telemetry label for this kind. Wall-clock- and checkpoint-derived
+    /// kinds embed `wall` / `checkpoint` in the label so the determinism
+    /// test filters exclude them together with the other nondeterministic
+    /// metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimEvent::Actuation => "actuation",
+            SimEvent::Watchdog => "watchdog",
+            SimEvent::FaultEdge => "fault_edge",
+            SimEvent::JumpEdge => "jump_edge",
+            SimEvent::Observer => "observer",
+            SimEvent::WallSample => "wall_sample",
+            SimEvent::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// One queued event occurrence: fires on row `tick`, ordered by
+/// `(tick, priority, seq)`. The `seq` is assigned at insertion, so two
+/// same-kind same-tick insertions (which cannot coexist in an
+/// [`EventQueue`], but can in a raw sort) still have a fixed total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// Row tick (measured trace rows) at which the event falls due.
+    pub tick: u64,
+    /// What fires.
+    pub kind: SimEvent,
+    /// Insertion sequence number — the final tie-break.
+    pub seq: u64,
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.tick
+            .cmp(&other.tick)
+            .then_with(|| self.kind.priority().cmp(&other.kind.priority()))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Heap entry: a scheduled occurrence plus the generation it belongs to.
+/// Rescheduling a kind bumps its generation; stale entries are skipped
+/// lazily on pop instead of being dug out of the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    event: ScheduledEvent,
+    generation: u32,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest event.
+        other.event.cmp(&self.event)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue over the row-tick domain.
+///
+/// At most one *live* occurrence exists per [`SimEvent`] kind (the loop's
+/// cadences are all "next occurrence" schedules); superseded occurrences
+/// are invalidated by generation and drained lazily, which bounds heap
+/// garbage to the few kinds that get repositioned (the watchdog, once per
+/// block).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    generation: [u32; EVENT_KINDS],
+    /// Live tick per kind; `None` = not armed.
+    next: [Option<u64>; EVENT_KINDS],
+    next_seq: u64,
+    scheduled: [u64; EVENT_KINDS],
+    fired: [u64; EVENT_KINDS],
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, kind: SimEvent, tick: u64) {
+        let i = kind.index();
+        self.generation[i] = self.generation[i].wrapping_add(1);
+        self.next[i] = Some(tick);
+        let event = ScheduledEvent {
+            tick,
+            kind,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.heap.push(HeapEntry {
+            event,
+            generation: self.generation[i],
+        });
+    }
+
+    /// Arm (or re-arm) `kind` to fire at row `tick`, superseding any live
+    /// occurrence, and count it as scheduled.
+    pub fn schedule(&mut self, kind: SimEvent, tick: u64) {
+        self.push(kind, tick);
+        self.scheduled[kind.index()] += 1;
+    }
+
+    /// Reposition `kind` to `tick` *without* counting a new schedule — for
+    /// cadences that are re-derived every block (the watchdog horizon
+    /// depends on the live bad-streak) and would otherwise make the
+    /// `cil_events_scheduled_total` tallies depend on block boundaries.
+    pub fn defer(&mut self, kind: SimEvent, tick: u64) {
+        self.push(kind, tick);
+    }
+
+    /// Arm `kind` at a deadline given in ticks of another clock domain,
+    /// converted onto the row-tick domain `rows` (one tick per revolution,
+    /// i.e. `ClockDomain { frequency: f_rev }`). The conversion rounds up
+    /// ([`ClockDomain::convert_ticks_ceil`]): a converted deadline may fire
+    /// one row early, never late.
+    pub fn schedule_from_domain(
+        &mut self,
+        kind: SimEvent,
+        ticks: u64,
+        domain: &ClockDomain,
+        rows: &ClockDomain,
+    ) {
+        self.schedule(kind, domain.convert_ticks_ceil(ticks, rows));
+    }
+
+    /// Disarm `kind` (a no-op if it is not armed).
+    pub fn cancel(&mut self, kind: SimEvent) {
+        let i = kind.index();
+        self.generation[i] = self.generation[i].wrapping_add(1);
+        self.next[i] = None;
+    }
+
+    /// Live tick of `kind`, if armed.
+    pub fn next_tick(&self, kind: SimEvent) -> Option<u64> {
+        self.next[kind.index()]
+    }
+
+    /// Measured rows the next engine step block may span from row `now`
+    /// without stepping past an armed event: the distance to the earliest
+    /// live tick, capped at `cap` and floored at 1 (an event due *now* was
+    /// already dispatched; the loop must always make progress). This is the
+    /// single block-budget rule — actuation cadence, checkpoint cadence,
+    /// wall sampling, observer cadence and the watchdog all enter as armed
+    /// events.
+    pub fn horizon(&self, now: u64, cap: usize) -> usize {
+        let mut budget = cap as u64;
+        for tick in self.next.iter().flatten() {
+            budget = budget.min(tick.saturating_sub(now));
+        }
+        usize::try_from(budget.max(1)).unwrap_or(usize::MAX)
+    }
+
+    /// Pop the next live event with `tick <= now`, in `(tick, priority,
+    /// seq)` order, disarming it. Returns `None` once nothing (live) is
+    /// due. Popping does not count as firing — the dispatcher calls
+    /// [`Self::count_fired`] for occurrences that actually act, so marker
+    /// events (a watchdog check that found nothing to do) leave the fired
+    /// tallies block-size-invariant.
+    pub fn pop_due(&mut self, now: u64) -> Option<SimEvent> {
+        while let Some(top) = self.heap.peek() {
+            let i = top.event.kind.index();
+            let live = top.generation == self.generation[i] && self.next[i] == Some(top.event.tick);
+            if !live {
+                self.heap.pop();
+                continue;
+            }
+            if top.event.tick > now {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.next[i] = None;
+            return Some(entry.event.kind);
+        }
+        None
+    }
+
+    /// Record one firing of `kind` in the telemetry tallies.
+    pub fn count_fired(&mut self, kind: SimEvent) {
+        self.fired[kind.index()] += 1;
+    }
+
+    /// Seed the scheduled/fired history of `kind` — the resume path, which
+    /// reconstructs how often each event fired during the restored trace
+    /// prefix so the exported totals match an uninterrupted run.
+    pub fn seed_history(&mut self, kind: SimEvent, scheduled: u64, fired: u64) {
+        self.scheduled[kind.index()] = scheduled;
+        self.fired[kind.index()] = fired;
+    }
+
+    /// Total occurrences of `kind` counted as scheduled.
+    pub fn scheduled_total(&self, kind: SimEvent) -> u64 {
+        self.scheduled[kind.index()]
+    }
+
+    /// Total occurrences of `kind` counted as fired.
+    pub fn fired_total(&self, kind: SimEvent) -> u64 {
+        self.fired[kind.index()]
+    }
+
+    /// Number of kinds currently armed.
+    pub fn depth(&self) -> usize {
+        self.next.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_is_tick_then_priority_then_seq() {
+        let e = |tick, kind, seq| ScheduledEvent { tick, kind, seq };
+        // Tick dominates.
+        assert!(e(1, SimEvent::Checkpoint, 9) < e(2, SimEvent::Actuation, 0));
+        // Same tick: priority decides, in the documented per-row order.
+        assert!(e(5, SimEvent::Actuation, 9) < e(5, SimEvent::Watchdog, 0));
+        assert!(e(5, SimEvent::Observer, 9) < e(5, SimEvent::WallSample, 0));
+        assert!(e(5, SimEvent::WallSample, 9) < e(5, SimEvent::Checkpoint, 0));
+        // Same tick and kind: insertion sequence breaks the tie.
+        assert!(e(5, SimEvent::Observer, 0) < e(5, SimEvent::Observer, 1));
+    }
+
+    #[test]
+    fn priorities_are_dense_and_match_all_order() {
+        for (i, kind) in SimEvent::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn pop_due_drains_same_tick_events_in_priority_order() {
+        let mut q = EventQueue::new();
+        // Inserted in scrambled order; all due at tick 8.
+        q.schedule(SimEvent::Checkpoint, 8);
+        q.schedule(SimEvent::Actuation, 8);
+        q.schedule(SimEvent::WallSample, 8);
+        q.schedule(SimEvent::Observer, 8);
+        let mut fired = Vec::new();
+        while let Some(kind) = q.pop_due(8) {
+            fired.push(kind);
+        }
+        assert_eq!(
+            fired,
+            vec![
+                SimEvent::Actuation,
+                SimEvent::Observer,
+                SimEvent::WallSample,
+                SimEvent::Checkpoint
+            ]
+        );
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn reschedule_supersedes_and_pop_skips_stale_entries() {
+        let mut q = EventQueue::new();
+        q.schedule(SimEvent::Actuation, 4);
+        q.schedule(SimEvent::Actuation, 6); // supersedes tick 4
+        assert_eq!(q.next_tick(SimEvent::Actuation), Some(6));
+        assert_eq!(q.pop_due(5), None, "stale tick-4 entry must not fire");
+        assert_eq!(q.pop_due(6), Some(SimEvent::Actuation));
+        assert_eq!(q.pop_due(100), None);
+    }
+
+    #[test]
+    fn cancel_disarms() {
+        let mut q = EventQueue::new();
+        q.schedule(SimEvent::Observer, 3);
+        q.cancel(SimEvent::Observer);
+        assert_eq!(q.next_tick(SimEvent::Observer), None);
+        assert_eq!(q.pop_due(10), None);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn horizon_is_distance_to_earliest_armed_tick() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.horizon(0, 64), 64, "no events: the cap rules");
+        q.schedule(SimEvent::Actuation, 10);
+        q.schedule(SimEvent::Checkpoint, 7);
+        assert_eq!(q.horizon(0, 64), 7);
+        assert_eq!(q.horizon(5, 64), 2);
+        // An event due now never stalls the loop.
+        assert_eq!(q.horizon(7, 64), 1);
+        assert_eq!(q.horizon(9, 64), 1);
+        // The cap still applies when events are far away.
+        assert_eq!(q.horizon(0, 5), 5);
+    }
+
+    #[test]
+    fn defer_repositions_without_counting_scheduled() {
+        let mut q = EventQueue::new();
+        q.schedule(SimEvent::Watchdog, 8);
+        q.defer(SimEvent::Watchdog, 3);
+        q.defer(SimEvent::Watchdog, 5);
+        assert_eq!(q.scheduled_total(SimEvent::Watchdog), 1);
+        assert_eq!(q.next_tick(SimEvent::Watchdog), Some(5));
+        assert_eq!(q.pop_due(4), None, "deferred past the stale tick-3 entry");
+        assert_eq!(q.pop_due(5), Some(SimEvent::Watchdog));
+    }
+
+    #[test]
+    fn tallies_seed_and_accumulate() {
+        let mut q = EventQueue::new();
+        q.seed_history(SimEvent::Actuation, 25, 25);
+        q.schedule(SimEvent::Actuation, 4);
+        assert_eq!(q.scheduled_total(SimEvent::Actuation), 26);
+        assert_eq!(q.pop_due(4), Some(SimEvent::Actuation));
+        q.count_fired(SimEvent::Actuation);
+        assert_eq!(q.fired_total(SimEvent::Actuation), 26);
+    }
+
+    #[test]
+    fn cross_domain_schedule_rounds_up() {
+        // 300 system ticks = 1.2 µs; at a 1 MHz row clock that is 1.2 rows
+        // → the event must arm at row 2, never row 1.
+        let mut q = EventQueue::new();
+        let sys = ClockDomain::system();
+        let rows = ClockDomain { frequency: 1e6 };
+        q.schedule_from_domain(SimEvent::FaultEdge, 300, &sys, &rows);
+        assert_eq!(q.next_tick(SimEvent::FaultEdge), Some(2));
+        // An exact conversion stays exact: 250 system ticks = 1 row.
+        q.schedule_from_domain(SimEvent::FaultEdge, 250, &sys, &rows);
+        assert_eq!(q.next_tick(SimEvent::FaultEdge), Some(1));
+    }
+}

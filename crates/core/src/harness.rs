@@ -8,6 +8,18 @@
 //! [`crate::multibunch`] reduce to scenario adapters that pick an engine,
 //! run the harness, and reshape the [`LoopTrace`] into their result type.
 //!
+//! Since the event-core refactor there is exactly **one** loop body,
+//! [`LoopHarness::run_dispatch`]: the engine steps in blocks
+//! ([`crate::engine::BeamEngine::step_block`]) whose budget is the
+//! [`EventQueue::horizon`] — the distance to the next scheduled
+//! [`SimEvent`] (controller actuation, checkpoint cadence, observer hook,
+//! wall-clock sample, supervisor watchdog). Events fire *between* blocks,
+//! in the queue's fixed `(tick, priority, seq)` order, so the recorded
+//! trace, audit events and checkpoint bytes are bit-identical for every
+//! block size — there is no per-turn fallback any more, not even under an
+//! observer hook or an active fault program (fault windows and jump edges
+//! are time-keyed and therefore *detected* per step, not queued).
+//!
 //! The harness also hosts the fault layer: a [`FaultInjector`] corrupts
 //! measured rows per the scenario's schedule, and
 //! [`LoopHarness::run_supervised`] wraps the loop in a [`LoopSupervisor`] —
@@ -16,11 +28,13 @@
 //!
 //! Telemetry is opt-in via [`LoopHarness::with_telemetry`]: the harness
 //! resolves all metric handles up front ([`LoopMetrics`]), records
-//! per-revolution wall-clock (sampled in blocks of
-//! [`crate::telemetry::WALL_SAMPLE_ROWS`] rows to keep `Instant::now` off
-//! the per-row path), modelled step cost and deadline headroom, and folds
-//! the finished trace's event log into the counters so the exported numbers
-//! always agree with the audit channel.
+//! per-revolution wall-clock (sampled every
+//! [`crate::telemetry::WALL_SAMPLE_ROWS`] rows via a scheduled
+//! [`SimEvent::WallSample`], keeping `Instant::now` off the per-row path),
+//! modelled step cost and deadline headroom, folds the finished trace's
+//! event log into the counters, and exports the queue's per-kind
+//! scheduled/fired tallies ([`LoopMetrics::note_events`]) so the exported
+//! numbers always agree with the audit channel.
 
 use crate::checkpoint::{
     Checkpoint, CheckpointConfig, CheckpointError, CheckpointSession, DecodedTrace,
@@ -28,6 +42,7 @@ use crate::checkpoint::{
 use crate::control::BeamPhaseController;
 use crate::engine::{BeamEngine, EngineKind, EngineState, EngineStep, StepBlock};
 use crate::error::Result;
+use crate::event::{EventQueue, SimEvent};
 use crate::fault::{
     FaultInjector, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor, LossCause, StepCalibration,
 };
@@ -111,13 +126,13 @@ pub struct LoopHarness {
 /// sampling cadence, so one block is one wall sample.
 pub const DEFAULT_BLOCK_ROWS: usize = WALL_SAMPLE_ROWS as usize;
 
-/// Wall-clock sampler for the hot loop: reads `Instant::now` once per
-/// [`WALL_SAMPLE_ROWS`] measured rows and records the per-row average, so
+/// Wall-clock sampler for the hot loop: fired through a scheduled
+/// [`SimEvent::WallSample`] every [`WALL_SAMPLE_ROWS`] measured rows, it
+/// reads `Instant::now` once per firing and records the per-row average, so
 /// the clock read never rivals the cost of a Map-fidelity step.
 struct WallSampler {
     histogram: crate::telemetry::Histogram,
     block_start: Instant,
-    rows_in_block: u64,
 }
 
 impl WallSampler {
@@ -125,22 +140,94 @@ impl WallSampler {
         Self {
             histogram: metrics.revolution_wall.clone(),
             block_start: Instant::now(),
-            rows_in_block: 0,
         }
     }
 
-    #[inline]
-    fn row(&mut self) {
-        self.rows_in_block += 1;
-        if self.rows_in_block >= WALL_SAMPLE_ROWS {
-            let now = Instant::now();
-            let per_row =
-                now.duration_since(self.block_start).as_secs_f64() / self.rows_in_block as f64;
-            self.histogram.observe(per_row);
-            self.block_start = now;
-            self.rows_in_block = 0;
-        }
+    fn sample(&mut self) {
+        let now = Instant::now();
+        let per_row = now.duration_since(self.block_start).as_secs_f64() / WALL_SAMPLE_ROWS as f64;
+        self.histogram.observe(per_row);
+        self.block_start = now;
     }
+}
+
+/// Continuable starting point for the dispatch loop: an existing trace
+/// prefix (empty for a fresh run, restored for a resume) plus the jump
+/// level it left off at.
+struct RunStart {
+    trace: LoopTrace,
+    last_jump: f64,
+}
+
+/// How the dispatch loop holds its engine. The supervised path must be
+/// able to *rebuild* the engine mid-run (watchdog demotion swaps the
+/// fidelity); the plain path borrows a caller-built engine whose
+/// [`EngineKind`] it cannot know, so rebuilding is a config error there.
+trait EngineSlot {
+    type E: BeamEngine + ?Sized;
+    fn engine(&mut self) -> &mut Self::E;
+    fn rebuild(&mut self, to: EngineKind, scenario: &MdeScenario) -> Result<()>;
+}
+
+/// A caller-owned engine: steppable, never rebuildable.
+struct BorrowedEngine<'a, E: BeamEngine + ?Sized>(&'a mut E);
+
+impl<E: BeamEngine + ?Sized> EngineSlot for BorrowedEngine<'_, E> {
+    type E = E;
+    fn engine(&mut self) -> &mut E {
+        self.0
+    }
+    fn rebuild(&mut self, _to: EngineKind, _scenario: &MdeScenario) -> Result<()> {
+        Err(crate::error::CilError::InvalidConfig(
+            "engine demotion requires an owned engine (run_supervised)".into(),
+        ))
+    }
+}
+
+/// A harness-owned boxed engine: the supervised path, free to swap
+/// fidelities.
+struct OwnedEngine(Box<dyn BeamEngine>);
+
+impl EngineSlot for OwnedEngine {
+    type E = dyn BeamEngine;
+    fn engine(&mut self) -> &mut (dyn BeamEngine + 'static) {
+        self.0.as_mut()
+    }
+    fn rebuild(&mut self, to: EngineKind, scenario: &MdeScenario) -> Result<()> {
+        self.0 = to.build(scenario)?;
+        Ok(())
+    }
+}
+
+/// An executive observer hook with its row cadence (1 = see every row).
+struct ObserverHook<'a, E: ?Sized> {
+    hook: &'a mut dyn FnMut(&E),
+    every_rows: u64,
+}
+
+/// Supervision context threaded through the dispatch loop.
+struct SupCtx<'a> {
+    supervisor: &'a mut LoopSupervisor,
+    scenario: &'a MdeScenario,
+    kind: EngineKind,
+    /// Mirror of the engine's accumulated control phase, so a freshly
+    /// built engine can be seeded mid-run after a demotion.
+    ctrl_phase_rad: f64,
+    t_rev: f64,
+}
+
+/// Measured rows before the watchdog could possibly intervene: it counts
+/// *consecutive* bad rows, so it cannot fire before `max_consecutive_bad -
+/// bad_streak` more rows have passed. Floored at 1 so the loop always makes
+/// progress.
+fn watchdog_headroom(supervisor: &LoopSupervisor) -> u64 {
+    u64::from(
+        supervisor
+            .config
+            .max_consecutive_bad
+            .saturating_sub(supervisor.bad_streak())
+            .max(1),
+    )
 }
 
 impl LoopHarness {
@@ -185,16 +272,22 @@ impl LoopHarness {
         self
     }
 
-    /// Measured rows per engine step block (builder style; clamped to
-    /// ≥ 1, where 1 reproduces per-turn stepping). Blocks amortise
-    /// per-revolution harness overhead; the harness itself caps every block
-    /// at the next controller actuation and checkpoint cadence boundary —
-    /// and falls back to per-turn stepping under an observer hook or an
-    /// active fault program — so the recorded trace, events and checkpoint
-    /// bytes are bit-identical for every block size.
-    pub fn with_block_rows(mut self, rows: usize) -> Self {
-        self.block_rows = rows.max(1);
-        self
+    /// Measured rows per engine step block (builder style; 1 reproduces
+    /// per-turn stepping, 0 is an [`crate::error::CilError::InvalidConfig`]
+    /// error). Blocks amortise per-revolution harness overhead; the event
+    /// queue caps every block at the next scheduled event
+    /// ([`EventQueue::horizon`]) — controller actuation, checkpoint
+    /// cadence, observer hook, wall sample, watchdog — so the recorded
+    /// trace, events and checkpoint bytes are bit-identical for every
+    /// block size.
+    pub fn with_block_rows(mut self, rows: usize) -> Result<Self> {
+        if rows == 0 {
+            return Err(crate::error::CilError::InvalidConfig(
+                "block size (measured rows per step block) must be >= 1".into(),
+            ));
+        }
+        self.block_rows = rows;
+        Ok(self)
     }
 
     /// Checkpoint periodically into `config.dir` (builder style). Only
@@ -202,7 +295,8 @@ impl LoopHarness {
     /// `resume_*` entry points honour this — plain [`Self::run`] takes an
     /// already-built engine whose [`EngineKind`] it cannot know, so it
     /// could not rebuild the engine on resume and therefore never
-    /// checkpoints.
+    /// checkpoints. The configuration is validated (non-zero cadence and
+    /// retention) by those entry points.
     pub fn with_checkpointing(mut self, config: CheckpointConfig) -> Self {
         self.checkpoint = Some(config);
         self
@@ -211,91 +305,173 @@ impl LoopHarness {
     /// Run the loop until the engine's time reaches `duration_s`.
     pub fn run<E: BeamEngine + ?Sized>(&mut self, engine: &mut E, duration_s: f64) -> LoopTrace {
         let trace = LoopTrace::empty(engine.bunches());
-        self.run_core(engine, duration_s, None, trace, 0.0, None)
+        let mut slot = BorrowedEngine(engine);
+        self.run_dispatch(
+            &mut slot,
+            duration_s,
+            None,
+            RunStart {
+                trace,
+                last_jump: 0.0,
+            },
+            None,
+            None,
+        )
+        .expect("unsupervised run never rebuilds the engine")
     }
 
     /// Like [`Self::run`], calling `observer` after every recorded row —
     /// the hook through which executives capture engine-specific telemetry
     /// (e.g. γ_R and φ_s along a ramp) without widening the trace type.
-    /// The observer must see the engine *at* each row, so this path steps
-    /// per turn regardless of [`Self::with_block_rows`].
-    pub fn run_with<E, F>(&mut self, engine: &mut E, duration_s: f64, mut observer: F) -> LoopTrace
+    /// A cadence-1 observer must see the engine *at* each row, so the
+    /// scheduled [`SimEvent::Observer`] caps every block at one measured
+    /// row. For a cheaper sampled view use [`Self::run_with_every`].
+    pub fn run_with<E, F>(&mut self, engine: &mut E, duration_s: f64, observer: F) -> LoopTrace
     where
         E: BeamEngine + ?Sized,
         F: FnMut(&E),
     {
-        let trace = LoopTrace::empty(engine.bunches());
-        self.run_core(engine, duration_s, Some(&mut observer), trace, 0.0, None)
+        self.run_with_every(engine, duration_s, 1, observer)
+            .expect("cadence 1 is always valid and the run never rebuilds the engine")
     }
 
-    /// Measured rows the next step block may span without batching past an
-    /// observable boundary: a controller actuation may only land on a
-    /// block's *last* row (the harness applies it after the block, exactly
-    /// where per-turn stepping would), and a due checkpoint must snapshot
-    /// the engine at the due row.
-    fn block_budget(&self, cap: usize, ckpt_due: Option<usize>) -> usize {
-        let mut budget = cap.min(self.controller.rows_until_actuation() as usize);
-        if let Some(until) = ckpt_due {
-            budget = budget.min(until);
-        }
-        budget.max(1)
-    }
-
-    /// Per-turn stepping is required whenever something must observe or
-    /// perturb the loop *between* individual engine steps: an observer hook
-    /// or an active fault schedule (forced losses, corruption and overrun
-    /// factors are keyed to every turn's pre-step time).
-    fn per_turn_cap(&self, use_observer: bool) -> usize {
-        if use_observer || !self.faults.program.is_empty() {
-            1
-        } else {
-            self.block_rows
-        }
-    }
-
-    /// The unsupervised loop body, continuable: starts from an existing
-    /// `trace` + `last_jump` (the resume path) and checkpoints through
-    /// `ckpt` when one is attached. Steps the engine in blocks
-    /// ([`BeamEngine::step_block`]); the recorded trace is bit-identical to
-    /// per-turn stepping for every block size.
-    fn run_core<E>(
+    /// Like [`Self::run_with`], but the observer fires only every
+    /// `every_rows` measured rows (as a scheduled [`SimEvent::Observer`],
+    /// so blocks stay as large as the cadence allows — the trace itself is
+    /// bit-identical to [`Self::run`] at any cadence). `every_rows = 0` is
+    /// an [`crate::error::CilError::InvalidConfig`] error.
+    pub fn run_with_every<E, F>(
         &mut self,
         engine: &mut E,
         duration_s: f64,
-        mut observer: Option<&mut dyn FnMut(&E)>,
-        mut trace: LoopTrace,
-        mut last_jump: f64,
-        mut ckpt: Option<CkptRun<'_>>,
-    ) -> LoopTrace
+        every_rows: u64,
+        mut observer: F,
+    ) -> Result<LoopTrace>
     where
         E: BeamEngine + ?Sized,
+        F: FnMut(&E),
     {
-        let bunches = engine.bunches();
+        if every_rows == 0 {
+            return Err(crate::error::CilError::InvalidConfig(
+                "observer cadence (every_rows) must be >= 1 row".into(),
+            ));
+        }
+        let trace = LoopTrace::empty(engine.bunches());
+        let mut slot = BorrowedEngine(engine);
+        let hook = ObserverHook {
+            hook: &mut observer,
+            every_rows,
+        };
+        self.run_dispatch(
+            &mut slot,
+            duration_s,
+            Some(hook),
+            RunStart {
+                trace,
+                last_jump: 0.0,
+            },
+            None,
+            None,
+        )
+    }
+
+    /// The single loop body every entry point funnels into. Steps the
+    /// engine in blocks whose budget is the event queue's horizon, records
+    /// rows, and dispatches due [`SimEvent`]s between blocks in the queue's
+    /// fixed total order. Continuable: starts from an existing trace prefix
+    /// (the resume path), checkpoints through `ckpt` when one is attached,
+    /// and supervises through `sup` when attached.
+    ///
+    /// Fault windows and jump-program toggles are keyed to *engine time*
+    /// (non-uniform for ramp and signal-level engines), so their edges are
+    /// detected per step rather than queued; the queue carries their fired
+    /// tallies ([`SimEvent::FaultEdge`], [`SimEvent::JumpEdge`]). A forced
+    /// beam loss is checked exactly where per-turn stepping would have
+    /// checked it: at the block's first step and at every step following a
+    /// measured row — those positions are precisely the block boundaries of
+    /// the old budget-1 stepping under an active fault program.
+    fn run_dispatch<S: EngineSlot>(
+        &mut self,
+        slot: &mut S,
+        duration_s: f64,
+        mut observer: Option<ObserverHook<'_, S::E>>,
+        start: RunStart,
+        mut ckpt: Option<CkptRun<'_>>,
+        mut sup: Option<SupCtx<'_>>,
+    ) -> Result<LoopTrace> {
+        let RunStart {
+            mut trace,
+            mut last_jump,
+        } = start;
+        let bunches = slot.engine().bunches();
         let mut wall = self.telemetry.as_ref().map(WallSampler::new);
         let mut block = StepBlock::new();
-        let cap = self.per_turn_cap(observer.is_some());
+        let mut queue = EventQueue::new();
 
-        'run: while engine.time() < duration_s {
-            let t_pre = engine.time();
-            if self.faults.forced_loss_at(t_pre) {
-                let turn = trace.times.len();
-                trace.outcome = LoopOutcome::Lost {
-                    turn,
-                    time_s: t_pre,
-                    cause: LossCause::Injected,
-                };
-                trace.events.push(LoopEvent::BeamLost {
-                    turn,
-                    time_s: t_pre,
-                    cause: LossCause::Injected,
-                });
-                break;
-            }
-            let ckpt_due = ckpt
+        // Seed the queue. The tick domain is the count of measured trace
+        // rows, so on resume `rows0` restarts every cadence exactly where
+        // the interrupted run left it and the seeded history reconstructs
+        // the prefix's tallies — a resumed run exports the same totals as
+        // an uninterrupted one.
+        let rows0 = trace.times.len() as u64;
+        let decimation = u64::from(self.controller.params.decimation);
+        let until_actuation = u64::from(self.controller.rows_until_actuation());
+        // Actuations completed so far: the accumulator advances on every
+        // row regardless of the enable flag, so this is pure row counting.
+        let acted = (rows0 + until_actuation).saturating_sub(decimation) / decimation;
+        queue.seed_history(SimEvent::Actuation, acted, acted);
+        queue.schedule(SimEvent::Actuation, rows0 + until_actuation);
+        queue.seed_history(SimEvent::JumpEdge, 0, trace.jump_times.len() as u64);
+        let fault_edges0 = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::FaultActive { .. }))
+            .count() as u64;
+        queue.seed_history(SimEvent::FaultEdge, 0, fault_edges0);
+        if let Some(obs) = &observer {
+            let seen = rows0 / obs.every_rows;
+            queue.seed_history(SimEvent::Observer, seen, seen);
+            queue.schedule(SimEvent::Observer, rows0 + obs.every_rows);
+        }
+        if wall.is_some() {
+            let sampled = rows0 / WALL_SAMPLE_ROWS;
+            queue.seed_history(SimEvent::WallSample, sampled, sampled);
+            queue.schedule(SimEvent::WallSample, rows0 + WALL_SAMPLE_ROWS);
+        }
+        if let Some(c) = ckpt.as_ref() {
+            let every = self
+                .checkpoint
                 .as_ref()
-                .map(|c| c.session.rows_until_due(trace.times.len()));
-            let budget = self.block_budget(cap, ckpt_due);
-            engine.step_block(&self.jumps, duration_s, budget, &mut block);
+                .map_or(1, |cfg| cfg.every_turns.max(1)) as u64;
+            let written = rows0 / every;
+            queue.seed_history(SimEvent::Checkpoint, written, written);
+            let until = c.session.rows_until_due(rows0 as usize) as u64;
+            queue.schedule(SimEvent::Checkpoint, rows0.saturating_add(until));
+        }
+        if let Some(s) = sup.as_ref() {
+            let demoted = trace
+                .events
+                .iter()
+                .filter(|e| matches!(e, LoopEvent::EngineDemoted { .. }))
+                .count() as u64;
+            queue.seed_history(SimEvent::Watchdog, demoted, demoted);
+            queue.schedule(SimEvent::Watchdog, rows0 + watchdog_headroom(s.supervisor));
+        }
+
+        'run: while slot.engine().time() < duration_s {
+            // The watchdog's earliest possible intervention moves with the
+            // live bad-streak; reposition (not re-schedule — the tallies
+            // must not depend on block boundaries) before sizing the block.
+            if let Some(s) = sup.as_ref() {
+                queue.defer(
+                    SimEvent::Watchdog,
+                    trace.times.len() as u64 + watchdog_headroom(s.supervisor),
+                );
+            }
+            let rows_now = trace.times.len() as u64;
+            let budget = queue.horizon(rows_now, self.block_rows);
+            slot.engine()
+                .step_block(&self.jumps, duration_s, budget, &mut block);
 
             let rows = block.rows();
             trace.times.reserve(rows);
@@ -305,9 +481,30 @@ impl LoopHarness {
                 col.reserve(rows);
             }
             let mut row = 0usize;
+            // Forced-loss eligibility: true at the block's first step and
+            // at every step following a measured row — exactly the block
+            // boundaries per-turn stepping would have checked at.
+            let mut check_loss = true;
             for i in 0..block.steps().len() {
                 let step = block.steps()[i];
                 let turn = trace.times.len();
+                if check_loss
+                    && !self.faults.program.is_empty()
+                    && self.faults.forced_loss_at(step.t_pre)
+                {
+                    trace.outcome = LoopOutcome::Lost {
+                        turn,
+                        time_s: step.t_pre,
+                        cause: LossCause::Injected,
+                    };
+                    trace.events.push(LoopEvent::BeamLost {
+                        turn,
+                        time_s: step.t_pre,
+                        cause: LossCause::Injected,
+                    });
+                    break 'run;
+                }
+                check_loss = false;
                 // The engine evaluated the jump program for this step at
                 // its pre-step time, so an edge is stamped there — a
                 // program that starts displaced therefore records its first
@@ -315,17 +512,49 @@ impl LoopHarness {
                 if step.jump_deg != last_jump {
                     trace.jump_times.push(step.t_pre);
                     last_jump = step.jump_deg;
+                    queue.count_fired(SimEvent::JumpEdge);
                 }
                 match step.result {
                     EngineStep::Lost(cause) => {
+                        let time_s = step.t_post;
+                        // A garbage-producing engine is demotable; injected
+                        // or physical losses are not. A loss ends the block
+                        // early, so a demotion resumes stepping from the
+                        // fresh engine immediately (the post-block dispatch
+                        // is a no-op: the loss row precedes every armed
+                        // tick).
+                        if let Some(s) = sup.as_mut() {
+                            if cause == LossCause::NonFinitePhase
+                                && s.supervisor.config.allow_demotion
+                            {
+                                if let Some(to) = s.kind.demote() {
+                                    trace.events.push(LoopEvent::EngineDemoted {
+                                        turn,
+                                        time_s,
+                                        from: s.kind,
+                                        to,
+                                    });
+                                    slot.rebuild(to, s.scenario)?;
+                                    slot.engine().seed_state(time_s, s.ctrl_phase_rad);
+                                    s.kind = to;
+                                    s.supervisor.reset_watchdog();
+                                    queue.count_fired(SimEvent::Watchdog);
+                                    queue.schedule(
+                                        SimEvent::Watchdog,
+                                        trace.times.len() as u64 + watchdog_headroom(s.supervisor),
+                                    );
+                                    break;
+                                }
+                            }
+                        }
                         trace.outcome = LoopOutcome::Lost {
                             turn,
-                            time_s: step.t_post,
+                            time_s,
                             cause,
                         };
                         trace.events.push(LoopEvent::BeamLost {
                             turn,
-                            time_s: step.t_post,
+                            time_s,
                             cause,
                         });
                         break 'run;
@@ -336,10 +565,43 @@ impl LoopHarness {
                         }
                     }
                     EngineStep::Measured => {
+                        let time_s = step.t_post;
+                        let mut overrun = false;
+                        if let Some(s) = sup.as_mut() {
+                            // Deadline accounting: one measured row = one
+                            // revolution of wall-clock budget.
+                            let modeled = s.supervisor.model_step_seconds(
+                                s.kind,
+                                self.faults.overrun_factor_at(step.t_pre),
+                            );
+                            overrun = modeled > s.supervisor.config.deadline_s;
+                            if let Some(m) = &self.telemetry {
+                                m.step_modeled.observe(modeled);
+                                m.deadline_headroom
+                                    .observe((s.supervisor.config.deadline_s - modeled).max(0.0));
+                            }
+                            if overrun {
+                                trace.events.push(LoopEvent::DeadlineOverrun {
+                                    turn,
+                                    time_s,
+                                    budget_s: s.supervisor.config.deadline_s,
+                                    modeled_s: modeled,
+                                });
+                            }
+                        }
+
                         let phase = block.phase_row_mut(row);
                         row += 1;
+                        let events_before = trace.events.len();
                         self.faults
-                            .apply_row(turn, step.t_post, phase, &mut trace.events);
+                            .apply_row(turn, time_s, phase, &mut trace.events);
+                        let fault_edges = trace.events[events_before..]
+                            .iter()
+                            .filter(|e| matches!(e, LoopEvent::FaultActive { .. }))
+                            .count();
+                        for _ in 0..fault_edges {
+                            queue.count_fired(SimEvent::FaultEdge);
+                        }
                         let mut acc = 0.0;
                         for (col, &p) in trace.bunch_phase_deg.iter_mut().zip(phase.iter()) {
                             let deg = p + self.instrument_offset_deg;
@@ -347,58 +609,193 @@ impl LoopHarness {
                             acc += deg;
                         }
                         let mean = acc / bunches as f64;
-                        trace.times.push(step.t_post);
-                        trace.mean_phase_deg.push(mean);
-                        if let Some(u) = self.controller.push_measurement(mean) {
-                            engine.apply_control(u, self.controller.params.decimation);
-                        }
-                        trace.control_hz.push(self.controller.output());
-                        if let Some(obs) = observer.as_mut() {
-                            obs(engine);
-                        }
-                        if let Some(w) = &mut wall {
-                            w.row();
-                        }
-                        if let Some(c) = ckpt.as_mut() {
-                            if c.session.due(trace.times.len()) {
-                                let t0 = Instant::now();
-                                let ck = Checkpoint {
-                                    turn: 0,
-                                    time_s: engine.time(),
-                                    supervised: false,
-                                    kind: c.kind,
-                                    bunches: bunches as u32,
-                                    engine: engine.save_state(),
-                                    controller: self.controller.state(),
-                                    injector: self.faults.state(),
-                                    supervisor: None,
-                                    ctrl_phase_rad: 0.0,
-                                    last_jump_deg: last_jump,
-                                    rows: 0,
-                                    events: 0,
-                                    jumps: 0,
-                                    log_bytes: 0,
-                                    telemetry: self
-                                        .telemetry
-                                        .as_ref()
-                                        .map(LoopMetrics::checkpoint_snapshot),
-                                };
-                                c.session.checkpoint(&trace, move || ck);
-                                if let Some(m) = &self.telemetry {
-                                    m.checkpoint_writes.inc();
-                                    m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
+                        match sup.as_mut() {
+                            None => {
+                                trace.times.push(time_s);
+                                trace.mean_phase_deg.push(mean);
+                                if let Some(u) = self.controller.push_measurement(mean) {
+                                    slot.engine()
+                                        .apply_control(u, self.controller.params.decimation);
+                                }
+                                trace.control_hz.push(self.controller.output());
+                            }
+                            Some(s) => {
+                                let admission = s.supervisor.admit(mean);
+                                if admission.rejected {
+                                    trace.events.push(LoopEvent::OutlierRejected {
+                                        turn,
+                                        time_s,
+                                        measured_deg: mean,
+                                        held_deg: admission.value_deg,
+                                    });
+                                }
+                                trace.times.push(time_s);
+                                trace.mean_phase_deg.push(admission.value_deg);
+                                if let Some(ctrl) = self.controller.push_measurement_limited(
+                                    admission.value_deg,
+                                    s.supervisor.config.max_actuation_hz,
+                                ) {
+                                    if ctrl.clamped {
+                                        trace.events.push(LoopEvent::ActuationClamped {
+                                            turn,
+                                            time_s,
+                                            raw_hz: ctrl.raw_hz,
+                                            limit_hz: ctrl.limit_hz,
+                                        });
+                                    }
+                                    let decimation = self.controller.params.decimation;
+                                    slot.engine().apply_control(ctrl.actuation_hz, decimation);
+                                    s.ctrl_phase_rad += TWO_PI
+                                        * ctrl.actuation_hz
+                                        * s.t_rev
+                                        * f64::from(decimation);
+                                }
+                                trace.control_hz.push(self.controller.output());
+
+                                // Watchdog: consecutive bad steps demote
+                                // (or, with no fidelity left, lose the
+                                // beam). Every intervention counts as one
+                                // watchdog firing; a demotion does *not*
+                                // end the block — the remaining pre-stepped
+                                // rows belonged to the old engine and are
+                                // simply discarded by the budget math, so
+                                // the post-block dispatch runs against the
+                                // fresh engine exactly as per-turn stepping
+                                // would.
+                                if s.supervisor.note_step(overrun || admission.rejected) {
+                                    queue.count_fired(SimEvent::Watchdog);
+                                    let demoted = if s.supervisor.config.allow_demotion {
+                                        s.kind.demote()
+                                    } else {
+                                        None
+                                    };
+                                    match demoted {
+                                        Some(to) => {
+                                            trace.events.push(LoopEvent::EngineDemoted {
+                                                turn,
+                                                time_s,
+                                                from: s.kind,
+                                                to,
+                                            });
+                                            slot.rebuild(to, s.scenario)?;
+                                            slot.engine().seed_state(time_s, s.ctrl_phase_rad);
+                                            s.kind = to;
+                                            s.supervisor.reset_watchdog();
+                                            queue.schedule(
+                                                SimEvent::Watchdog,
+                                                trace.times.len() as u64
+                                                    + watchdog_headroom(s.supervisor),
+                                            );
+                                        }
+                                        None => {
+                                            trace.outcome = LoopOutcome::Lost {
+                                                turn,
+                                                time_s,
+                                                cause: LossCause::Watchdog,
+                                            };
+                                            trace.events.push(LoopEvent::BeamLost {
+                                                turn,
+                                                time_s,
+                                                cause: LossCause::Watchdog,
+                                            });
+                                            break 'run;
+                                        }
+                                    }
                                 }
                             }
                         }
+                        check_loss = true;
+                    }
+                }
+            }
+
+            // Dispatch everything that fell due on the block's last row, in
+            // the queue's fixed (tick, priority, seq) order. The horizon
+            // guarantees no event tick lies strictly inside the block, so
+            // an early break above can never have skipped a due event.
+            let rows_now = trace.times.len() as u64;
+            while let Some(kind) = queue.pop_due(rows_now) {
+                match kind {
+                    SimEvent::Actuation => {
+                        // The control output itself was applied on the row
+                        // (bit-identity demands it); the event is the
+                        // cadence bookkeeping and the horizon constraint.
+                        queue.count_fired(SimEvent::Actuation);
+                        queue.schedule(
+                            SimEvent::Actuation,
+                            rows_now + u64::from(self.controller.rows_until_actuation()),
+                        );
+                    }
+                    SimEvent::Observer => {
+                        queue.count_fired(SimEvent::Observer);
+                        let obs = observer
+                            .as_mut()
+                            .expect("observer event armed without a hook");
+                        (obs.hook)(slot.engine());
+                        queue.schedule(SimEvent::Observer, rows_now + obs.every_rows);
+                    }
+                    SimEvent::WallSample => {
+                        queue.count_fired(SimEvent::WallSample);
+                        if let Some(w) = &mut wall {
+                            w.sample();
+                        }
+                        queue.schedule(SimEvent::WallSample, rows_now + WALL_SAMPLE_ROWS);
+                    }
+                    SimEvent::Checkpoint => {
+                        queue.count_fired(SimEvent::Checkpoint);
+                        let c = ckpt
+                            .as_mut()
+                            .expect("checkpoint event armed without a session");
+                        let t0 = Instant::now();
+                        let ck = Checkpoint {
+                            turn: 0,
+                            time_s: slot.engine().time(),
+                            supervised: sup.is_some(),
+                            kind: sup.as_ref().map_or(c.kind, |s| s.kind),
+                            bunches: bunches as u32,
+                            engine: slot.engine().save_state(),
+                            controller: self.controller.state(),
+                            injector: self.faults.state(),
+                            supervisor: sup.as_ref().map(|s| s.supervisor.state()),
+                            ctrl_phase_rad: sup.as_ref().map_or(0.0, |s| s.ctrl_phase_rad),
+                            last_jump_deg: last_jump,
+                            rows: 0,
+                            events: 0,
+                            jumps: 0,
+                            log_bytes: 0,
+                            telemetry: self
+                                .telemetry
+                                .as_ref()
+                                .map(LoopMetrics::checkpoint_snapshot),
+                        };
+                        c.session.checkpoint(&trace, move || ck);
+                        if let Some(m) = &self.telemetry {
+                            m.checkpoint_writes.inc();
+                            m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
+                        }
+                        // A latched write error pushes the next due row to
+                        // usize::MAX — the event stays armed but never
+                        // fires again.
+                        let until = c.session.rows_until_due(rows_now as usize) as u64;
+                        queue.schedule(SimEvent::Checkpoint, rows_now.saturating_add(until));
+                    }
+                    // A watchdog check that reached its tick found nothing
+                    // to do (interventions are counted inline where they
+                    // happen); the marker keeps the horizon honest and is
+                    // repositioned at the top of the loop.
+                    SimEvent::Watchdog => {}
+                    SimEvent::FaultEdge | SimEvent::JumpEdge => {
+                        unreachable!("time-keyed edges are detected per step, never queued")
                     }
                 }
             }
         }
         if let Some(m) = &self.telemetry {
             m.note_trace(&trace);
-            engine.sample_telemetry(&m.registry);
+            slot.engine().sample_telemetry(&m.registry);
+            m.note_events(&queue, ckpt.is_some());
         }
-        trace
+        Ok(trace)
     }
 
     /// Run an unsupervised closed loop with periodic checkpointing (the
@@ -421,19 +818,24 @@ impl LoopHarness {
         let Some(cfg) = self.checkpoint.clone() else {
             return Ok(self.run(engine.as_mut(), duration_s));
         };
+        cfg.validate()?;
         let mut session = CheckpointSession::begin(&cfg).map_err(crate::error::CilError::from)?;
         let empty = LoopTrace::empty(engine.bunches());
-        let trace = self.run_core(
-            engine.as_mut(),
+        let mut slot = BorrowedEngine(engine.as_mut());
+        let trace = self.run_dispatch(
+            &mut slot,
             duration_s,
             None,
-            empty,
-            0.0,
+            RunStart {
+                trace: empty,
+                last_jump: 0.0,
+            },
             Some(CkptRun {
                 session: &mut session,
                 kind,
             }),
-        );
+            None,
+        )?;
         session.into_result()?;
         Ok(trace)
     }
@@ -450,6 +852,7 @@ impl LoopHarness {
         let cfg = self.checkpoint.clone().ok_or_else(|| {
             crate::error::CilError::InvalidConfig("resume_from requires with_checkpointing".into())
         })?;
+        cfg.validate()?;
         let resumed = CheckpointSession::resume(&cfg).map_err(crate::error::CilError::from)?;
         let ck = &resumed.checkpoint;
         if ck.supervised {
@@ -463,17 +866,18 @@ impl LoopHarness {
         let last_jump = ck.last_jump_deg;
         let kind = ck.kind;
         let mut session = resumed.session;
-        let trace = self.run_core(
-            engine.as_mut(),
+        let mut slot = BorrowedEngine(engine.as_mut());
+        let trace = self.run_dispatch(
+            &mut slot,
             duration_s,
             None,
-            trace,
-            last_jump,
+            RunStart { trace, last_jump },
             Some(CkptRun {
                 session: &mut session,
                 kind,
             }),
-        );
+            None,
+        )?;
         session.into_result()?;
         Ok(trace)
     }
@@ -553,6 +957,7 @@ impl LoopHarness {
     ) -> Result<LoopTrace> {
         let mut session = match self.checkpoint.clone() {
             Some(cfg) => {
+                cfg.validate()?;
                 Some(CheckpointSession::begin(&cfg).map_err(crate::error::CilError::from)?)
             }
             None => None,
@@ -586,6 +991,7 @@ impl LoopHarness {
                 "resume_supervised_from requires with_checkpointing".into(),
             )
         })?;
+        cfg.validate()?;
         let resumed = CheckpointSession::resume(&cfg).map_err(crate::error::CilError::from)?;
         let ck = resumed.checkpoint.clone();
         if !ck.supervised {
@@ -632,17 +1038,16 @@ impl LoopHarness {
         kind: EngineKind,
         duration_s: f64,
         supervisor: &mut LoopSupervisor,
-        mut session: Option<&mut CheckpointSession>,
+        session: Option<&mut CheckpointSession>,
         resume: Option<SupervisedResume>,
     ) -> Result<LoopTrace> {
-        let mut kind = kind;
-        // Startup calibration (satellite fix): measure the real per-step
-        // wall-clock on a *scratch* engine that is discarded afterwards, so
-        // the run itself stays bit-identical whether or not it happened.
-        // The measured figure replaces the hard-coded nominal only when the
-        // policy opts in (`use_measured_step`); it is always exported.
-        // Skipped entirely on resume: the restored supervisor carries the
-        // calibration the original run measured.
+        // Startup calibration: measure the real per-step wall-clock on a
+        // *scratch* engine that is discarded afterwards, so the run itself
+        // stays bit-identical whether or not it happened. The measured
+        // figure replaces the hard-coded nominal only when the policy opts
+        // in (`use_measured_step`); it is always exported. Skipped entirely
+        // on resume: the restored supervisor carries the calibration the
+        // original run measured.
         if resume.is_none() && supervisor.calibration().is_none_or(|cal| cal.kind != kind) {
             let cal = measure_step_seconds(scenario, kind)?;
             supervisor.set_calibration(cal);
@@ -655,11 +1060,11 @@ impl LoopHarness {
                 ))
                 .set(cal.step_seconds);
         }
-        let mut engine = kind.build(scenario)?;
-        let bunches = engine.bunches();
-        let (mut trace, mut last_jump, mut ctrl_phase_rad) = match resume {
+        let mut slot = OwnedEngine(kind.build(scenario)?);
+        let bunches = slot.0.bunches();
+        let (trace, last_jump, ctrl_phase_rad) = match resume {
             Some(init) => {
-                if !engine.restore_state(&init.engine_state) {
+                if !slot.0.restore_state(&init.engine_state) {
                     return Err(CheckpointError::Incompatible(
                         "engine state does not fit the scenario",
                     )
@@ -669,243 +1074,26 @@ impl LoopHarness {
             }
             None => (LoopTrace::empty(bunches), 0.0, 0.0),
         };
-        let mut wall = self.telemetry.as_ref().map(WallSampler::new);
-        // Mirror of the engine's accumulated control phase, so a freshly
-        // built engine can be seeded mid-run after a demotion.
-        let t_rev = 1.0 / scenario.f_rev;
-
-        let mut block = StepBlock::new();
-        'run: while engine.time() < duration_s {
-            let t_pre = engine.time();
-            if self.faults.forced_loss_at(t_pre) {
-                let turn = trace.times.len();
-                trace.outcome = LoopOutcome::Lost {
-                    turn,
-                    time_s: t_pre,
-                    cause: LossCause::Injected,
-                };
-                trace.events.push(LoopEvent::BeamLost {
-                    turn,
-                    time_s: t_pre,
-                    cause: LossCause::Injected,
-                });
-                break;
-            }
-            // The watchdog counts *consecutive* bad rows, so it cannot fire
-            // before `headroom` more measured rows have passed; capping the
-            // block there guarantees a watchdog demotion (which swaps the
-            // engine) can only land on a block's last row — exactly where
-            // per-turn stepping would swap it.
-            let headroom = supervisor
-                .config
-                .max_consecutive_bad
-                .saturating_sub(supervisor.bad_streak())
-                .max(1) as usize;
-            let ckpt_due = session
-                .as_deref()
-                .map(|s| s.rows_until_due(trace.times.len()));
-            let budget = self.block_budget(self.per_turn_cap(false).min(headroom), ckpt_due);
-            engine.step_block(&self.jumps, duration_s, budget, &mut block);
-
-            let rows = block.rows();
-            trace.times.reserve(rows);
-            trace.mean_phase_deg.reserve(rows);
-            trace.control_hz.reserve(rows);
-            for col in trace.bunch_phase_deg.iter_mut() {
-                col.reserve(rows);
-            }
-            let mut row = 0usize;
-            for i in 0..block.steps().len() {
-                let step = block.steps()[i];
-                let turn = trace.times.len();
-                if step.jump_deg != last_jump {
-                    trace.jump_times.push(step.t_pre);
-                    last_jump = step.jump_deg;
-                }
-                match step.result {
-                    EngineStep::Lost(cause) => {
-                        let time_s = step.t_post;
-                        // A garbage-producing engine is demotable; injected
-                        // or physical losses are not. A loss ends the block
-                        // early, so a demotion resumes stepping from the
-                        // fresh engine immediately.
-                        if cause == LossCause::NonFinitePhase && supervisor.config.allow_demotion {
-                            if let Some(to) = kind.demote() {
-                                trace.events.push(LoopEvent::EngineDemoted {
-                                    turn,
-                                    time_s,
-                                    from: kind,
-                                    to,
-                                });
-                                engine = to.build(scenario)?;
-                                engine.seed_state(time_s, ctrl_phase_rad);
-                                kind = to;
-                                supervisor.reset_watchdog();
-                                continue 'run;
-                            }
-                        }
-                        trace.outcome = LoopOutcome::Lost {
-                            turn,
-                            time_s,
-                            cause,
-                        };
-                        trace.events.push(LoopEvent::BeamLost {
-                            turn,
-                            time_s,
-                            cause,
-                        });
-                        break 'run;
-                    }
-                    EngineStep::Idle => {
-                        if let Some(m) = &self.telemetry {
-                            m.idle_steps.inc();
-                        }
-                    }
-                    EngineStep::Measured => {
-                        let time_s = step.t_post;
-                        // Deadline accounting: one measured row = one
-                        // revolution of wall-clock budget.
-                        let modeled = supervisor
-                            .model_step_seconds(kind, self.faults.overrun_factor_at(step.t_pre));
-                        let overrun = modeled > supervisor.config.deadline_s;
-                        if let Some(m) = &self.telemetry {
-                            m.step_modeled.observe(modeled);
-                            m.deadline_headroom
-                                .observe((supervisor.config.deadline_s - modeled).max(0.0));
-                        }
-                        if overrun {
-                            trace.events.push(LoopEvent::DeadlineOverrun {
-                                turn,
-                                time_s,
-                                budget_s: supervisor.config.deadline_s,
-                                modeled_s: modeled,
-                            });
-                        }
-
-                        let phase = block.phase_row_mut(row);
-                        row += 1;
-                        self.faults
-                            .apply_row(turn, time_s, phase, &mut trace.events);
-                        let mut acc = 0.0;
-                        for (col, &p) in trace.bunch_phase_deg.iter_mut().zip(phase.iter()) {
-                            let deg = p + self.instrument_offset_deg;
-                            col.push(deg);
-                            acc += deg;
-                        }
-                        let raw_mean = acc / bunches as f64;
-                        let admission = supervisor.admit(raw_mean);
-                        if admission.rejected {
-                            trace.events.push(LoopEvent::OutlierRejected {
-                                turn,
-                                time_s,
-                                measured_deg: raw_mean,
-                                held_deg: admission.value_deg,
-                            });
-                        }
-                        trace.times.push(time_s);
-                        trace.mean_phase_deg.push(admission.value_deg);
-                        if let Some(ctrl) = self.controller.push_measurement_limited(
-                            admission.value_deg,
-                            supervisor.config.max_actuation_hz,
-                        ) {
-                            if ctrl.clamped {
-                                trace.events.push(LoopEvent::ActuationClamped {
-                                    turn,
-                                    time_s,
-                                    raw_hz: ctrl.raw_hz,
-                                    limit_hz: ctrl.limit_hz,
-                                });
-                            }
-                            let decimation = self.controller.params.decimation;
-                            engine.apply_control(ctrl.actuation_hz, decimation);
-                            ctrl_phase_rad +=
-                                TWO_PI * ctrl.actuation_hz * t_rev * f64::from(decimation);
-                        }
-                        trace.control_hz.push(self.controller.output());
-
-                        // Watchdog: consecutive bad steps demote (or, with no
-                        // fidelity left, lose the beam).
-                        if supervisor.note_step(overrun || admission.rejected) {
-                            let demoted = if supervisor.config.allow_demotion {
-                                kind.demote()
-                            } else {
-                                None
-                            };
-                            match demoted {
-                                Some(to) => {
-                                    trace.events.push(LoopEvent::EngineDemoted {
-                                        turn,
-                                        time_s,
-                                        from: kind,
-                                        to,
-                                    });
-                                    engine = to.build(scenario)?;
-                                    engine.seed_state(time_s, ctrl_phase_rad);
-                                    kind = to;
-                                    supervisor.reset_watchdog();
-                                }
-                                None => {
-                                    trace.outcome = LoopOutcome::Lost {
-                                        turn,
-                                        time_s,
-                                        cause: LossCause::Watchdog,
-                                    };
-                                    trace.events.push(LoopEvent::BeamLost {
-                                        turn,
-                                        time_s,
-                                        cause: LossCause::Watchdog,
-                                    });
-                                    break 'run;
-                                }
-                            }
-                        }
-                        if let Some(w) = &mut wall {
-                            w.row();
-                        }
-                        if let Some(s) = session.as_deref_mut() {
-                            if s.due(trace.times.len()) {
-                                let t0 = Instant::now();
-                                let ck = Checkpoint {
-                                    turn: 0,
-                                    time_s: engine.time(),
-                                    supervised: true,
-                                    kind,
-                                    bunches: bunches as u32,
-                                    engine: engine.save_state(),
-                                    controller: self.controller.state(),
-                                    injector: self.faults.state(),
-                                    supervisor: Some(supervisor.state()),
-                                    ctrl_phase_rad,
-                                    last_jump_deg: last_jump,
-                                    rows: 0,
-                                    events: 0,
-                                    jumps: 0,
-                                    log_bytes: 0,
-                                    telemetry: self
-                                        .telemetry
-                                        .as_ref()
-                                        .map(LoopMetrics::checkpoint_snapshot),
-                                };
-                                s.checkpoint(&trace, move || ck);
-                                if let Some(m) = &self.telemetry {
-                                    m.checkpoint_writes.inc();
-                                    m.checkpoint_write_wall.observe(t0.elapsed().as_secs_f64());
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        if let Some(m) = &self.telemetry {
-            m.note_trace(&trace);
-            engine.sample_telemetry(&m.registry);
-        }
-        Ok(trace)
+        let sup = SupCtx {
+            supervisor,
+            scenario,
+            kind,
+            ctrl_phase_rad,
+            t_rev: 1.0 / scenario.f_rev,
+        };
+        let ckpt = session.map(|s| CkptRun { session: s, kind });
+        self.run_dispatch(
+            &mut slot,
+            duration_s,
+            None,
+            RunStart { trace, last_jump },
+            ckpt,
+            Some(sup),
+        )
     }
 }
 
-/// Checkpoint context threaded through the unsupervised loop body.
+/// Checkpoint context threaded through the dispatch loop.
 struct CkptRun<'a> {
     session: &'a mut CheckpointSession,
     kind: EngineKind,
@@ -1017,6 +1205,46 @@ mod tests {
         let mut rows = 0usize;
         let trace = harness.run_with(&mut engine, s.duration_s, |_| rows += 1);
         assert_eq!(rows, trace.times.len());
+    }
+
+    #[test]
+    fn sampled_observer_fires_on_its_cadence_only() {
+        let s = scenario();
+        let mut engine = MapEngine::from_scenario(&s).unwrap();
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let mut fired = 0u64;
+        let trace = harness
+            .run_with_every(&mut engine, s.duration_s, 100, |_| fired += 1)
+            .unwrap();
+        assert_eq!(fired, trace.times.len() as u64 / 100);
+        // And the sampled-observer trace is identical to an unobserved run.
+        let mut engine2 = MapEngine::from_scenario(&s).unwrap();
+        let mut harness2 = LoopHarness::for_scenario(&s, true);
+        let reference = harness2.run(&mut engine2, s.duration_s);
+        assert_eq!(trace.times, reference.times);
+        assert_eq!(trace.mean_phase_deg, reference.mean_phase_deg);
+        assert_eq!(trace.control_hz, reference.control_hz);
+    }
+
+    #[test]
+    fn zero_block_rows_is_a_config_error() {
+        let s = scenario();
+        let err = LoopHarness::for_scenario(&s, true)
+            .with_block_rows(0)
+            .err()
+            .expect("block size 0 must be rejected");
+        assert!(matches!(err, crate::error::CilError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn zero_observer_cadence_is_a_config_error() {
+        let s = scenario();
+        let mut engine = MapEngine::from_scenario(&s).unwrap();
+        let mut harness = LoopHarness::for_scenario(&s, true);
+        let err = harness
+            .run_with_every(&mut engine, s.duration_s, 0, |_| {})
+            .expect_err("observer cadence 0 must be rejected");
+        assert!(matches!(err, crate::error::CilError::InvalidConfig(_)));
     }
 
     #[test]

@@ -33,6 +33,10 @@
 //!   deadline watchdog and graceful engine degradation;
 //! * [`error`] — the typed [`error::CilError`] every run-path constructor
 //!   returns instead of panicking;
+//! * [`event`] — the deterministic event-scheduled core: [`event::SimEvent`]
+//!   taxonomy and the [`event::EventQueue`] whose horizon sizes every engine
+//!   step block (actuation, checkpoint, observer, wall-sample and watchdog
+//!   cadences all enter as scheduled events);
 //! * [`checkpoint`] — versioned, CRC-checksummed snapshots of the complete
 //!   closed-loop state plus a write-ahead trace log, so a killed run
 //!   resumes bit-identical to an uninterrupted one;
@@ -47,6 +51,7 @@ pub mod clock;
 pub mod control;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod fault;
 pub mod framework;
 pub mod harness;
@@ -65,6 +70,7 @@ pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointError};
 pub use control::BeamPhaseController;
 pub use engine::{BeamEngine, EngineKind, EngineState, EngineStep};
 pub use error::CilError;
+pub use event::{EventQueue, ScheduledEvent, SimEvent};
 pub use fault::{
     FaultEvent, FaultInjector, FaultKind, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor,
     LossCause, StepCalibration, SupervisorConfig,

@@ -663,6 +663,39 @@ impl LoopMetrics {
         }
     }
 
+    /// Fold a finished run's event-queue accounting into the registry:
+    /// `cil_events_scheduled_total` / `cil_events_fired_total` per
+    /// [`SimEvent`](crate::event::SimEvent) kind and the end-of-run queue
+    /// depth gauge. Every kind is exported (zeros included) so two runs of
+    /// the same configuration always produce identical metric name sets.
+    /// Handles are resolved here, at fold time — the queue itself keeps
+    /// plain per-kind arrays on the hot path. The depth gauge's label key
+    /// (`checkpointing`) deliberately contains `checkpoint`: the armed
+    /// count legitimately differs between a checkpointing run and its
+    /// plain reference, so the determinism filters must drop it.
+    pub fn note_events(&self, queue: &crate::event::EventQueue, checkpointing: bool) {
+        for kind in crate::event::SimEvent::ALL {
+            self.registry
+                .counter(&format!(
+                    "cil_events_scheduled_total{{kind=\"{}\"}}",
+                    kind.label()
+                ))
+                .add(queue.scheduled_total(kind));
+            self.registry
+                .counter(&format!(
+                    "cil_events_fired_total{{kind=\"{}\"}}",
+                    kind.label()
+                ))
+                .add(queue.fired_total(kind));
+        }
+        self.registry
+            .gauge(&format!(
+                "cil_events_queue_depth{{checkpointing=\"{}\"}}",
+                if checkpointing { "on" } else { "off" }
+            ))
+            .set(queue.depth() as f64);
+    }
+
     /// Re-apply a mid-run telemetry snapshot onto this (fresh) registry.
     /// Counters are *added* (a resumed run starts from zero), histograms
     /// restored bit-exact. Returns `false` on a histogram shape mismatch.

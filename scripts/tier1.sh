@@ -25,10 +25,16 @@ cargo test --release -q --test telemetry -- --include-ignored
 # Crash-recovery chaos suite: kill-and-resume bit-identity (including
 # mid-storm and across a fidelity demotion), corrupted-snapshot fallback,
 # decoder fuzzing. The release pass additionally runs the checkpoint
-# overhead guard (checkpointing-on <= 1.10x off at the default cadence)
+# overhead guard (checkpointing-on <= 1.25x off at the default cadence;
+# ~1.08x measured on a quiet machine)
 # and writes results/BENCH_checkpoint.json.
 cargo test -q --test checkpoint_recovery
 cargo test --release -q --test checkpoint_recovery
+# Event-scheduled core: block-size invariance of traces, telemetry and
+# checkpoint bytes under coprime cadences, same-tick ordering proptest,
+# observer cadence and event-tally accounting.
+cargo test -q --test event_core
+cargo test --release -q --test event_core
 # Closed-loop throughput guard: plan+batched CGRA must stay >= 1.5x the
 # legacy per-turn DFG walk (release-only; debug timings are meaningless).
 # Writes results/BENCH_loop.json. Full matrix via scripts/bench.sh.

@@ -78,6 +78,7 @@ fn unsupervised_trace_is_block_size_invariant() {
             let mut engine = kind.build(&s).unwrap();
             LoopHarness::for_scenario(&s, true)
                 .with_block_rows(1)
+                .unwrap()
                 .run(engine.as_mut(), s.duration_s)
         };
         assert!(reference.outcome.survived());
@@ -86,6 +87,7 @@ fn unsupervised_trace_is_block_size_invariant() {
             let mut engine = kind.build(&s).unwrap();
             let trace = LoopHarness::for_scenario(&s, true)
                 .with_block_rows(block)
+                .unwrap()
                 .run(engine.as_mut(), s.duration_s);
             assert_traces_identical(&reference, &trace, &format!("{kind:?} block={block}"));
         }
@@ -94,8 +96,9 @@ fn unsupervised_trace_is_block_size_invariant() {
 
 #[test]
 fn observer_path_equals_batched_run() {
-    // `run_with` steps per-turn so the observer sees the engine at every
-    // row; the recorded trace must still match the batched `run`.
+    // A cadence-1 observer caps every block at one measured row so it sees
+    // the engine at every row; the recorded trace must still match the
+    // batched `run`.
     let s = base_scenario(0.03);
     let mut engine = EngineKind::Map.build(&s).unwrap();
     let batched = LoopHarness::for_scenario(&s, true).run(engine.as_mut(), s.duration_s);
@@ -129,6 +132,7 @@ fn supervised_trace_and_events_are_block_size_invariant() {
             let mut sup = supervisor(&s);
             LoopHarness::for_scenario(&s, true)
                 .with_block_rows(1)
+                .unwrap()
                 .run_supervised(&s, kind, s.duration_s, &mut sup)
                 .unwrap()
         };
@@ -140,6 +144,7 @@ fn supervised_trace_and_events_are_block_size_invariant() {
             let mut sup = supervisor(&s);
             let trace = LoopHarness::for_scenario(&s, true)
                 .with_block_rows(block)
+                .unwrap()
                 .run_supervised(&s, kind, s.duration_s, &mut sup)
                 .unwrap();
             assert_traces_identical(&reference, &trace, &format!("{kind:?} block={block}"));
@@ -161,6 +166,7 @@ fn checkpoint_bytes_are_block_size_invariant() {
         cfg.every_turns = 177;
         let trace = LoopHarness::for_scenario(&s, true)
             .with_block_rows(block)
+            .unwrap()
             .with_checkpointing(cfg)
             .run_checkpointed(&s, EngineKind::Map, s.duration_s)
             .unwrap();
