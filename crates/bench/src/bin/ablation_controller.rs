@@ -92,7 +92,10 @@ fn main() {
         threads,
         || (TelemetryRegistry::new(), EngineArena::new()),
         |(reg, arena), p| run(reg, arena, p),
-        |(reg, _)| registry.absorb(&reg),
+        |(reg, arena)| {
+            arena.sample_telemetry(&reg);
+            registry.absorb(&reg);
+        },
     );
 
     let mut t = Table::new(&[

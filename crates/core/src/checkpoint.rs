@@ -175,37 +175,41 @@ impl From<std::io::Error> for CheckpointError {
 type R<T> = std::result::Result<T, CheckpointError>;
 
 // ---------------------------------------------------------------------------
-// Little-endian encoder / decoder
+// Little-endian encoder / decoder (shared with the campaign WAL)
 // ---------------------------------------------------------------------------
 
 #[derive(Default)]
-struct Enc {
-    buf: Vec<u8>,
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Enc {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.u8(u8::from(v));
     }
-    fn usize(&mut self, v: usize) {
+    pub(crate) fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
-    fn opt<T>(&mut self, v: &Option<T>, mut enc: impl FnMut(&mut Self, &T)) {
+    pub(crate) fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    pub(crate) fn opt<T>(&mut self, v: &Option<T>, mut enc: impl FnMut(&mut Self, &T)) {
         match v {
             None => self.u8(0),
             Some(inner) => {
@@ -214,19 +218,19 @@ impl Enc {
             }
         }
     }
-    fn f64s(&mut self, v: &[f64]) {
+    pub(crate) fn f64s(&mut self, v: &[f64]) {
         self.usize(v.len());
         for &x in v {
             self.f64(x);
         }
     }
-    fn u64s(&mut self, v: &[u64]) {
+    pub(crate) fn u64s(&mut self, v: &[u64]) {
         self.usize(v.len());
         for &x in v {
             self.u64(x);
         }
     }
-    fn bools(&mut self, v: &[bool]) {
+    pub(crate) fn bools(&mut self, v: &[bool]) {
         self.usize(v.len());
         for &x in v {
             self.bool(x);
@@ -234,19 +238,19 @@ impl Enc {
     }
 }
 
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
         Self { data, pos: 0 }
     }
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.data.len() - self.pos
     }
-    fn bytes(&mut self, n: usize) -> R<&'a [u8]> {
+    pub(crate) fn bytes(&mut self, n: usize) -> R<&'a [u8]> {
         if self.remaining() < n {
             return Err(CheckpointError::Malformed("unexpected end of payload"));
         }
@@ -254,36 +258,36 @@ impl<'a> Dec<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> R<u8> {
+    pub(crate) fn u8(&mut self) -> R<u8> {
         Ok(self.bytes(1)?[0])
     }
-    fn u32(&mut self) -> R<u32> {
+    pub(crate) fn u32(&mut self) -> R<u32> {
         Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> R<u64> {
+    pub(crate) fn u64(&mut self) -> R<u64> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
-    fn i64(&mut self) -> R<i64> {
+    pub(crate) fn i64(&mut self) -> R<i64> {
         Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
-    fn f64(&mut self) -> R<f64> {
+    pub(crate) fn f64(&mut self) -> R<f64> {
         Ok(f64::from_bits(self.u64()?))
     }
-    fn bool(&mut self) -> R<bool> {
+    pub(crate) fn bool(&mut self) -> R<bool> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
             _ => Err(CheckpointError::Malformed("boolean byte out of range")),
         }
     }
-    fn usize(&mut self) -> R<usize> {
+    pub(crate) fn usize(&mut self) -> R<usize> {
         usize::try_from(self.u64()?)
             .map_err(|_| CheckpointError::Malformed("length exceeds platform usize"))
     }
     /// Decode a collection length, capped against the bytes actually left
     /// in the payload so a corrupted length can never trigger a huge
     /// allocation.
-    fn len_capped(&mut self, elem_bytes: usize) -> R<usize> {
+    pub(crate) fn len_capped(&mut self, elem_bytes: usize) -> R<usize> {
         let n = self.usize()?;
         if n.saturating_mul(elem_bytes.max(1)) > self.remaining() {
             return Err(CheckpointError::Malformed(
@@ -292,31 +296,88 @@ impl<'a> Dec<'a> {
         }
         Ok(n)
     }
-    fn opt<T>(&mut self, mut dec: impl FnMut(&mut Self) -> R<T>) -> R<Option<T>> {
+    pub(crate) fn str(&mut self) -> R<String> {
+        let n = self.len_capped(1)?;
+        let bytes = self.bytes(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Malformed("string is not valid UTF-8"))
+    }
+    pub(crate) fn opt<T>(&mut self, mut dec: impl FnMut(&mut Self) -> R<T>) -> R<Option<T>> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(dec(self)?)),
             _ => Err(CheckpointError::Malformed("option tag out of range")),
         }
     }
-    fn f64s(&mut self) -> R<Vec<f64>> {
+    pub(crate) fn f64s(&mut self) -> R<Vec<f64>> {
         let n = self.len_capped(8)?;
         (0..n).map(|_| self.f64()).collect()
     }
-    fn u64s(&mut self) -> R<Vec<u64>> {
+    pub(crate) fn u64s(&mut self) -> R<Vec<u64>> {
         let n = self.len_capped(8)?;
         (0..n).map(|_| self.u64()).collect()
     }
-    fn bools(&mut self) -> R<Vec<bool>> {
+    pub(crate) fn bools(&mut self) -> R<Vec<bool>> {
         let n = self.len_capped(1)?;
         (0..n).map(|_| self.bool()).collect()
     }
-    fn finish(&self) -> R<()> {
+    pub(crate) fn finish(&self) -> R<()> {
         if self.remaining() != 0 {
             return Err(CheckpointError::Malformed("trailing bytes after payload"));
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------------
+// Generic log framing (shared by the trace log and the campaign WAL)
+// ---------------------------------------------------------------------------
+
+/// Frame a payload for an append-only log:
+/// `magic (u32 LE) + payload length (u64 LE) + payload + CRC-32 (u32 LE)`.
+/// The same framing protects `trace.log` delta blocks and
+/// [`crate::campaign`]'s `campaign.log` shard commits.
+pub(crate) fn frame_block(magic: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(&magic.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let crc = crc32(payload);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Read the framed block starting at `pos`. Returns `Ok(None)` exactly at
+/// end-of-input, `Ok(Some((payload, next_pos)))` for a well-formed block,
+/// and a typed error for anything torn, truncated or corrupted — the caller
+/// decides whether that is fatal (trace-log recovery) or the torn tail of
+/// an append-only WAL to truncate past (campaign resume).
+pub(crate) fn next_frame(bytes: &[u8], pos: usize, magic: u32) -> R<Option<(&[u8], usize)>> {
+    if pos >= bytes.len() {
+        return Ok(None);
+    }
+    if bytes.len() - pos < 12 {
+        return Err(CheckpointError::TooShort);
+    }
+    let got = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+    if got != magic {
+        return Err(CheckpointError::BadMagic);
+    }
+    let payload_len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+    let payload_len = usize::try_from(payload_len).map_err(|_| CheckpointError::LengthMismatch)?;
+    let body_start = pos + 12;
+    let body_end = body_start
+        .checked_add(payload_len)
+        .ok_or(CheckpointError::LengthMismatch)?;
+    if body_end.checked_add(4).is_none_or(|end| end > bytes.len()) {
+        return Err(CheckpointError::LengthMismatch);
+    }
+    let payload = &bytes[body_start..body_end];
+    let crc = u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().unwrap());
+    if crc32(payload) != crc {
+        return Err(CheckpointError::CrcMismatch);
+    }
+    Ok(Some((payload, body_end + 4)))
 }
 
 // ---------------------------------------------------------------------------
@@ -1151,15 +1212,7 @@ fn encode_trace_block(
     for &t in &trace.jump_times[jumps_from..] {
         e.f64(t);
     }
-    let payload = e.buf;
-
-    let mut out = Vec::with_capacity(payload.len() + 16);
-    out.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    let crc = crc32(&payload);
-    out.extend_from_slice(&payload);
-    out.extend_from_slice(&crc.to_le_bytes());
-    out
+    frame_block(BLOCK_MAGIC, &e.buf)
 }
 
 /// Trace prefix reconstructed from the write-ahead log.
@@ -1184,31 +1237,9 @@ pub struct DecodedTrace {
 pub fn decode_trace_log(bytes: &[u8]) -> R<DecodedTrace> {
     let mut out = DecodedTrace::default();
     let mut pos = 0usize;
-    while pos < bytes.len() {
-        if bytes.len() - pos < 12 {
-            return Err(CheckpointError::TooShort);
-        }
-        let magic = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        if magic != BLOCK_MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let payload_len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
-        let payload_len =
-            usize::try_from(payload_len).map_err(|_| CheckpointError::LengthMismatch)?;
-        let body_start = pos + 12;
-        let body_end = body_start
-            .checked_add(payload_len)
-            .ok_or(CheckpointError::LengthMismatch)?;
-        if body_end + 4 > bytes.len() {
-            return Err(CheckpointError::LengthMismatch);
-        }
-        let payload = &bytes[body_start..body_end];
-        let crc = u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().unwrap());
-        if crc32(payload) != crc {
-            return Err(CheckpointError::CrcMismatch);
-        }
+    while let Some((payload, next)) = next_frame(bytes, pos, BLOCK_MAGIC)? {
         decode_trace_block(payload, &mut out)?;
-        pos = body_end + 4;
+        pos = next;
     }
     Ok(out)
 }
@@ -1261,12 +1292,22 @@ fn decode_trace_block(payload: &[u8], out: &mut DecodedTrace) -> R<()> {
 /// rename over the final name. A crash mid-write leaves either the old
 /// file set or a stray temp file — never a half-written `ckpt_*.cil`.
 pub fn write_snapshot_file(dir: &Path, ck: &Checkpoint) -> R<PathBuf> {
+    write_snapshot_file_opts(dir, ck, false)
+}
+
+/// [`write_snapshot_file`] with an explicit durability choice: when `fsync`
+/// is set the temp file is synced to stable storage *before* the rename, so
+/// the rename can never promote data the disk has not yet seen.
+pub fn write_snapshot_file_opts(dir: &Path, ck: &Checkpoint, fsync: bool) -> R<PathBuf> {
     let bytes = encode_snapshot(ck);
     let tmp = dir.join(".ckpt.tmp");
     let path = dir.join(format!("ckpt_{:010}.cil", ck.turn));
     {
         let mut f = File::create(&tmp)?;
         f.write_all(&bytes)?;
+        if fsync {
+            f.sync_all()?;
+        }
     }
     fs::rename(&tmp, &path)?;
     Ok(path)
@@ -1318,15 +1359,24 @@ pub struct CheckpointConfig {
     /// Snapshots retained on disk. Default 2 — keeping at least two means
     /// a corrupted newest snapshot still leaves a good fallback.
     pub keep: usize,
+    /// Sync file contents to stable storage before the snapshot rename and
+    /// after every WAL append. Default `false`: without fsync a crash of the
+    /// *process* (panic, SIGKILL) still leaves a consistent directory because
+    /// all writes are atomic-rename or CRC-framed appends, but a crash of the
+    /// *machine* may lose recently buffered blocks. Benches keep the default;
+    /// chaos tests that assert durability under real kill opt in.
+    pub fsync: bool,
 }
 
 impl CheckpointConfig {
-    /// Default cadence (256 rows) and retention (2 snapshots) in `dir`.
+    /// Default cadence (256 rows) and retention (2 snapshots) in `dir`,
+    /// fsync off.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             every_turns: 256,
             keep: 2,
+            fsync: false,
         }
     }
 
@@ -1368,6 +1418,7 @@ pub(crate) struct CheckpointSession {
     dir: PathBuf,
     every_turns: usize,
     keep: usize,
+    fsync: bool,
     log: File,
     log_bytes: u64,
     rows_flushed: usize,
@@ -1398,6 +1449,7 @@ impl CheckpointSession {
             dir: cfg.dir.clone(),
             every_turns: cfg.every_turns.max(1),
             keep: cfg.keep.max(1),
+            fsync: cfg.fsync,
             log,
             log_bytes: 0,
             rows_flushed: 0,
@@ -1460,6 +1512,7 @@ impl CheckpointSession {
             dir: cfg.dir.clone(),
             every_turns: cfg.every_turns.max(1),
             keep: cfg.keep.max(1),
+            fsync: cfg.fsync,
             log,
             log_bytes: checkpoint.log_bytes,
             rows_flushed: checkpoint.rows as usize,
@@ -1529,6 +1582,9 @@ impl CheckpointSession {
             self.jumps_flushed,
         );
         self.log.write_all(&block)?;
+        if self.fsync {
+            self.log.sync_data()?;
+        }
         self.log_bytes += block.len() as u64;
         self.rows_flushed = trace.times.len();
         self.events_flushed = trace.events.len();
@@ -1540,7 +1596,7 @@ impl CheckpointSession {
         ck.events = self.events_flushed as u64;
         ck.jumps = self.jumps_flushed as u64;
         ck.log_bytes = self.log_bytes;
-        write_snapshot_file(&self.dir, &ck)?;
+        write_snapshot_file_opts(&self.dir, &ck, self.fsync)?;
         self.snapshots.push(ck.turn);
 
         while self.snapshots.len() > self.keep {

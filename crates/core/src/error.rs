@@ -20,6 +20,10 @@ pub enum CilError {
     InvalidConfig(String),
     /// A checkpoint could not be written, decoded or applied.
     Checkpoint(CheckpointError),
+    /// A campaign could not run or resume (WAL damage, incompatible point
+    /// list, commit failure). Per-point failures are *not* errors — they
+    /// are retried and quarantined by the campaign runner.
+    Campaign(crate::campaign::CampaignError),
 }
 
 impl std::fmt::Display for CilError {
@@ -31,6 +35,7 @@ impl std::fmt::Display for CilError {
             }
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            Self::Campaign(e) => write!(f, "campaign error: {e}"),
         }
     }
 }
@@ -40,6 +45,7 @@ impl std::error::Error for CilError {
         match self {
             Self::Physics(e) => Some(e),
             Self::Checkpoint(e) => Some(e),
+            Self::Campaign(e) => Some(e),
             _ => None,
         }
     }
@@ -54,6 +60,12 @@ impl From<SynchrotronError> for CilError {
 impl From<CheckpointError> for CilError {
     fn from(e: CheckpointError) -> Self {
         Self::Checkpoint(e)
+    }
+}
+
+impl From<crate::campaign::CampaignError> for CilError {
+    fn from(e: crate::campaign::CampaignError) -> Self {
+        Self::Campaign(e)
     }
 }
 

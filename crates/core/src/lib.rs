@@ -37,6 +37,9 @@
 //!   taxonomy and the [`event::EventQueue`] whose horizon sizes every engine
 //!   step block (actuation, checkpoint, observer, wall-sample and watchdog
 //!   cadences all enter as scheduled events);
+//! * [`campaign`] — the crash-safe campaign runner: resumable sharded
+//!   sweeps over 10⁵+ points with a framed WAL, per-point panic isolation,
+//!   deterministic retry/backoff and poison-point quarantine;
 //! * [`checkpoint`] — versioned, CRC-checksummed snapshots of the complete
 //!   closed-loop state plus a write-ahead trace log, so a killed run
 //!   resumes bit-identical to an uninterrupted one;
@@ -46,6 +49,7 @@
 //! * [`trace`] — time-series recording, CSV export and the Fig. 5 summary
 //!   statistics (measured f_s, first-peak ratio, damping time).
 
+pub mod campaign;
 pub mod checkpoint;
 pub mod clock;
 pub mod control;
@@ -66,6 +70,10 @@ pub mod sweep;
 pub mod telemetry;
 pub mod trace;
 
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignError, CampaignPoint, CampaignReport, CampaignWorker,
+    PointOutcome, PointStatus,
+};
 pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointError};
 pub use control::BeamPhaseController;
 pub use engine::{BeamEngine, EngineKind, EngineState, EngineStep};
@@ -80,6 +88,6 @@ pub use hil::{SignalLevelLoop, TurnLevelLoop};
 pub use multibunch::MultiBunchLoop;
 pub use ramploop::RampLoop;
 pub use scenario::MdeScenario;
-pub use sweep::EngineArena;
+pub use sweep::{EngineArena, SweepPanic};
 pub use telemetry::{TelemetryRegistry, TelemetrySnapshot};
 pub use trace::TimeSeries;

@@ -162,6 +162,92 @@ impl MdeScenario {
     /// sweep typically varies (controller settings, jump program, duration,
     /// instrument offset). Engine arenas use this to decide whether a
     /// built engine can be re-used for the next sweep point.
+    /// Deterministic 64-bit digest of every scenario field, FNV-1a over the
+    /// exact bit patterns (floats via `to_bits`, so `-0.0 ≠ 0.0` and any
+    /// NaN payload is distinguished — the digest identifies the *input*, it
+    /// does not define numeric equivalence).
+    ///
+    /// This is the stable identity of a sweep/campaign point: it names a
+    /// point in a [`crate::sweep::SweepPanic`], keys retry/quarantine
+    /// records in the campaign WAL, and lets a resumed campaign verify the
+    /// regenerated point list matches the one the log was written against.
+    /// Platform-independent (no `RandomState`, fixed field order) so a WAL
+    /// written on one machine resumes on another.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.f64(self.machine.orbit_length_m);
+        h.f64(self.machine.momentum_compaction);
+        h.u64(u64::from(self.machine.harmonic_number));
+        h.bytes(self.ion.name.as_bytes());
+        h.u64(u64::from(self.ion.mass_number));
+        h.u64(u64::from(self.ion.charge_number));
+        h.f64(self.ion.rest_energy_ev);
+        h.f64(self.f_rev);
+        h.f64(self.fs_target);
+        h.f64(self.jumps.amplitude_deg);
+        h.f64(self.jumps.interval_s);
+        h.f64(self.jumps.path_latency_s);
+        h.f64(self.controller.f_pass);
+        h.f64(self.controller.gain);
+        h.f64(self.controller.recursion);
+        h.u64(u64::from(self.controller.decimation));
+        h.u64(self.controller.fir_taps as u64);
+        h.f64(self.controller.max_freq_offset_hz);
+        h.f64(self.controller.hz_per_deg_per_gain);
+        h.u64(self.bunches as u64);
+        h.f64(self.adc_amplitude);
+        h.f64(self.duration_s);
+        h.u64(u64::from(self.pipelined));
+        h.u64(u64::from(self.grid.rows));
+        h.u64(u64::from(self.grid.cols));
+        h.u64(match self.grid.topology {
+            cil_cgra::grid::Topology::Mesh => 0,
+            cil_cgra::grid::Topology::MeshDiagonal => 1,
+            cil_cgra::grid::Topology::Torus => 2,
+        });
+        h.u64(u64::from(self.grid.io_columns));
+        h.f64(self.instrument_offset_deg);
+        h.f64(self.pulse_sigma_s);
+        h.f64(self.adc_noise_rms);
+        h.u64(self.faults.seed);
+        h.u64(self.faults.events.len() as u64);
+        for ev in &self.faults.events {
+            h.f64(ev.start_s);
+            h.f64(ev.end_s);
+            use crate::fault::FaultKind as K;
+            match ev.kind {
+                K::AdcSaturation => h.u64(0),
+                K::AdcStuckCode { code } => {
+                    h.u64(1);
+                    h.u64(code as u32 as u64);
+                }
+                K::AdcBitFlip { bit } => {
+                    h.u64(2);
+                    h.u64(u64::from(bit));
+                }
+                K::DdsDropout => h.u64(3),
+                K::DetectorOutlier {
+                    probability,
+                    amplitude_deg,
+                } => {
+                    h.u64(4);
+                    h.f64(probability);
+                    h.f64(amplitude_deg);
+                }
+                K::NanBurst { probability } => {
+                    h.u64(5);
+                    h.f64(probability);
+                }
+                K::BeamLoss => h.u64(6),
+                K::DeadlineOverrun { factor } => {
+                    h.u64(7);
+                    h.f64(factor);
+                }
+            }
+        }
+        h.finish()
+    }
+
     pub fn engine_config_eq(&self, other: &Self) -> bool {
         self.machine == other.machine
             && self.ion == other.ion
@@ -174,6 +260,31 @@ impl MdeScenario {
             && self.pulse_sigma_s == other.pulse_sigma_s
             && self.adc_noise_rms == other.adc_noise_rms
             && self.faults == other.faults
+    }
+}
+
+/// FNV-1a, 64-bit — tiny, allocation-free, and identical on every platform
+/// (unlike `DefaultHasher`, whose output is unspecified across releases).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -232,6 +343,25 @@ mod tests {
         assert!(a.engine_config_eq(&b), "harness knobs must not split slots");
         b.fs_target = 1.0e3;
         assert!(!a.engine_config_eq(&b), "operating point is engine-facing");
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let a = MdeScenario::nov24_2023();
+        assert_eq!(a.digest(), a.clone().digest(), "digest is deterministic");
+        let mut b = a.clone();
+        b.controller.gain = -5.000001;
+        assert_ne!(a.digest(), b.digest(), "harness knobs change the digest");
+        let mut c = a.clone();
+        c.faults = FaultProgram {
+            seed: 1,
+            events: vec![crate::fault::FaultEvent {
+                start_s: 0.01,
+                end_s: 0.02,
+                kind: crate::fault::FaultKind::DdsDropout,
+            }],
+        };
+        assert_ne!(a.digest(), c.digest(), "fault program changes the digest");
     }
 
     #[test]

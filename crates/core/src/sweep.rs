@@ -17,6 +17,56 @@ use crate::engine::{BeamEngine, EngineKind};
 use crate::error::Result;
 use crate::scenario::MdeScenario;
 use crate::telemetry::TelemetryRegistry;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Context attached to a panic that escaped a sweep worker: which input
+/// blew up, and its scenario digest when the caller supplied one.
+///
+/// A bare worker panic used to surface as an anonymous join panic — useless
+/// for a 10⁵-point campaign where "which point?" is the whole question. Every
+/// `parallel_sweep_*` entry point now re-raises worker panics through
+/// [`resume_unwind`] with this struct as the payload; callers that want to
+/// map a panic back to a point (the campaign layer's quarantine path)
+/// downcast the payload to `SweepPanic`.
+pub struct SweepPanic {
+    /// Index of the failing item in the sweep's input slice.
+    pub index: usize,
+    /// Caller-supplied digest of the failing input (e.g.
+    /// [`MdeScenario::digest`]); 0 when the sweep variant attaches none.
+    pub digest: u64,
+    /// The original panic payload.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl SweepPanic {
+    /// Human-readable form of the original payload: the `&str` / `String`
+    /// message when the panic carried one, a placeholder otherwise.
+    pub fn message(&self) -> &str {
+        panic_message(&self.payload)
+    }
+}
+
+impl std::fmt::Debug for SweepPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPanic")
+            .field("index", &self.index)
+            .field("digest", &format_args!("{:016x}", self.digest))
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+/// Extract the conventional `&str` / `String` message from a panic payload.
+pub(crate) fn panic_message(payload: &Box<dyn Any + Send>) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
 
 /// Per-worker engine cache for sweeps: keeps the last-built engine alive
 /// and leases it out again — rewound to its freshly-built state — whenever
@@ -100,6 +150,27 @@ impl EngineArena {
     pub fn misses(&self) -> usize {
         self.misses
     }
+
+    /// Drop the cached engine (hit/miss counters survive). The campaign
+    /// runner calls this after a leased engine panicked mid-point: the
+    /// engine's internal state is suspect, so the next lease must rebuild.
+    pub fn clear(&mut self) {
+        self.slot = None;
+    }
+
+    /// Record the arena's lease counters into `reg` as
+    /// `cil_arena_hits_total` / `cil_arena_misses_total`.
+    ///
+    /// Call once per worker at sweep join (before the registry is absorbed
+    /// into the root): counters sum across workers under
+    /// [`TelemetryRegistry::absorb`], so the root totals are exact over the
+    /// whole sweep. (The ISSUE sketch said "gauges", but absorb merges
+    /// gauges by max — summing lease counts across workers needs counters.)
+    pub fn sample_telemetry(&self, reg: &TelemetryRegistry) {
+        reg.counter("cil_arena_hits_total").add(self.hits as u64);
+        reg.counter("cil_arena_misses_total")
+            .add(self.misses as u64);
+    }
 }
 
 /// Run `f` over every item of `inputs` on up to `threads` worker threads,
@@ -140,6 +211,29 @@ where
     F: Fn(&mut S, &I) -> O + Sync,
     M: Fn(S) + Sync,
 {
+    parallel_sweep_with_merge_digest(inputs, threads, init, f, merge, |_| 0)
+}
+
+/// [`parallel_sweep_with_merge`] plus a `digest` hook used only on the
+/// failure path: when `f` panics, the unwind is resumed with a
+/// [`SweepPanic`] payload carrying the failing input's index and
+/// `digest(input)` so the error names the point instead of just the thread.
+pub fn parallel_sweep_with_merge_digest<I, O, S, G, F, M, D>(
+    inputs: &[I],
+    threads: usize,
+    init: G,
+    f: F,
+    merge: M,
+    digest: D,
+) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, &I) -> O + Sync,
+    M: Fn(S) + Sync,
+    D: Fn(&I) -> u64 + Sync,
+{
     assert!(threads >= 1);
     let n = inputs.len();
     if n == 0 {
@@ -150,29 +244,43 @@ where
     let init = &init;
     let f = &f;
     let merge = &merge;
+    let digest = &digest;
     // Each worker returns its chunk's results through the join handle;
     // joining in spawn order reassembles the input order without ever
-    // holding partially-filled slots.
+    // holding partially-filled slots. Worker panics are caught per item so
+    // the re-raise can say *which* item; the chunk stops at the first
+    // panic (its state is suspect) and skips its merge.
     std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .chunks(chunk)
-            .map(|in_chunk| {
+            .enumerate()
+            .map(|(ci, in_chunk)| {
                 scope.spawn(move || {
                     let mut state = init();
-                    let out = in_chunk
-                        .iter()
-                        .map(|input| f(&mut state, input))
-                        .collect::<Vec<O>>();
+                    let mut out = Vec::with_capacity(in_chunk.len());
+                    for (li, input) in in_chunk.iter().enumerate() {
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut state, input))) {
+                            Ok(o) => out.push(o),
+                            Err(payload) => {
+                                return Err(SweepPanic {
+                                    index: ci * chunk + li,
+                                    digest: digest(input),
+                                    payload,
+                                })
+                            }
+                        }
+                    }
                     merge(state);
-                    out
+                    Ok(out)
                 })
             })
             .collect();
         handles
             .into_iter()
             .flat_map(|h| match h.join() {
-                Ok(chunk_out) => chunk_out,
-                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(Ok(chunk_out)) => chunk_out,
+                Ok(Err(sweep_panic)) => resume_unwind(Box::new(sweep_panic)),
+                Err(payload) => resume_unwind(payload),
             })
             .collect()
     })
@@ -336,6 +444,51 @@ mod tests {
         arena.engine(&s, EngineKind::Map).unwrap();
         assert_eq!(arena.misses(), 2);
         assert_eq!(arena.hits(), 0);
+    }
+
+    #[test]
+    fn worker_panic_carries_index_and_digest() {
+        let inputs: Vec<u32> = (0..10).collect();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            parallel_sweep_with_merge_digest(
+                &inputs,
+                2,
+                || (),
+                |(), &x| {
+                    if x == 7 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                },
+                |()| {},
+                |&x| u64::from(x) * 3,
+            )
+        }));
+        let payload = res.expect_err("sweep must re-raise the worker panic");
+        let sp = payload
+            .downcast::<SweepPanic>()
+            .expect("payload must be a SweepPanic");
+        assert_eq!(sp.index, 7);
+        assert_eq!(sp.digest, 21);
+        assert!(sp.message().contains("boom at 7"));
+    }
+
+    #[test]
+    fn arena_sample_telemetry_sums_across_absorb() {
+        let root = TelemetryRegistry::new();
+        for (hits, misses) in [(3usize, 1usize), (5, 2)] {
+            let reg = TelemetryRegistry::new();
+            let arena = EngineArena {
+                slot: None,
+                hits,
+                misses,
+            };
+            arena.sample_telemetry(&reg);
+            root.absorb(&reg);
+        }
+        let snap = root.snapshot();
+        assert_eq!(snap.counter("cil_arena_hits_total"), Some(8));
+        assert_eq!(snap.counter("cil_arena_misses_total"), Some(3));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Plot the controller-stability phase diagram from results/phase_diagram.csv.
+
+The CSV is produced by the campaign runner:
+
+    cargo run --release -p cil-bench --bin campaign_runner
+
+Each row is one campaign point: (gain, recursion, jump_amplitude_deg) plus
+the scored response (first_peak_ratio, residual_ratio, damping_time_s).
+This script renders one heat map per jump amplitude slice: gain on the x
+axis, recursion on the y axis, colour = residual ratio (~0 damped, ~1
+undamped/ringing, blank = quarantined point).
+
+Only needs the standard library + matplotlib; degrades to a text summary
+when matplotlib is unavailable (the CSV itself is the artifact of record).
+"""
+
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+CSV_PATH = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results/phase_diagram.csv")
+OUT_DIR = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("results")
+
+
+def load(path):
+    rows = []
+    with path.open(newline="") as f:
+        for row in csv.DictReader(f):
+            rows.append(
+                {
+                    "gain": float(row["gain"]),
+                    "recursion": float(row["recursion"]),
+                    "amp": float(row["jump_amplitude_deg"]),
+                    "residual": float(row["residual_ratio"])
+                    if row["residual_ratio"]
+                    else None,
+                }
+            )
+    return rows
+
+
+def text_summary(rows):
+    total = len(rows)
+    quarantined = sum(1 for r in rows if r["residual"] is None)
+    damped = sum(1 for r in rows if r["residual"] is not None and r["residual"] < 0.3)
+    print(f"{total} points: {damped} damped (residual < 0.3), "
+          f"{total - damped - quarantined} ringing/unstable, {quarantined} quarantined")
+
+
+def main():
+    if not CSV_PATH.exists():
+        sys.exit(f"{CSV_PATH} not found — run the campaign_runner bench bin first")
+    rows = load(CSV_PATH)
+    text_summary(rows)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available — text summary only")
+        return
+
+    by_amp = defaultdict(list)
+    for r in rows:
+        by_amp[r["amp"]].append(r)
+    amps = sorted(by_amp)
+    # At most 6 slices across the amplitude range, endpoints included.
+    if len(amps) > 6:
+        idx = [round(i * (len(amps) - 1) / 5) for i in range(6)]
+        amps = [amps[i] for i in sorted(set(idx))]
+
+    fig, axes = plt.subplots(1, len(amps), figsize=(3.2 * len(amps), 3.4),
+                             sharey=True, squeeze=False)
+    for ax, amp in zip(axes[0], amps):
+        slice_rows = by_amp[amp]
+        gains = sorted({r["gain"] for r in slice_rows})
+        recs = sorted({r["recursion"] for r in slice_rows})
+        gi = {g: i for i, g in enumerate(gains)}
+        ri = {r: i for i, r in enumerate(recs)}
+        grid = [[float("nan")] * len(gains) for _ in recs]
+        for r in slice_rows:
+            v = r["residual"]
+            grid[ri[r["recursion"]]][gi[r["gain"]]] = float("nan") if v is None else v
+        im = ax.imshow(
+            grid,
+            origin="lower",
+            aspect="auto",
+            vmin=0.0,
+            vmax=1.5,
+            cmap="RdYlGn_r",
+            extent=[gains[0], gains[-1], recs[0], recs[-1]],
+        )
+        ax.set_title(f"jump {amp:g}°")
+        ax.set_xlabel("gain")
+    axes[0][0].set_ylabel("recursion factor")
+    fig.colorbar(im, ax=axes[0].tolist(), label="residual ratio (0 = damped)")
+    out = OUT_DIR / "phase_diagram.png"
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,7 +35,15 @@ cargo test --release -q --test checkpoint_recovery
 # observer cadence and event-tally accounting.
 cargo test -q --test event_core
 cargo test --release -q --test event_core
+# Campaign chaos suite: proptest kill-and-resume byte-identical aggregate
+# CSV, quarantine determinism across worker counts, retry-then-succeed
+# accounting, torn-WAL-tail recovery, foreign-header rejection.
+cargo test -q --test campaign
+cargo test --release -q --test campaign
 # Closed-loop throughput guard: plan+batched CGRA must stay >= 1.5x the
 # legacy per-turn DFG walk (release-only; debug timings are meaningless).
 # Writes results/BENCH_loop.json. Full matrix via scripts/bench.sh.
 cargo test --release -q -p cil-bench --test loop_guard -- --include-ignored
+# Campaign-shell overhead guard: Campaign over identical work must stay
+# <= 1.15x a raw parallel_sweep_with_merge (release-only).
+cargo test --release -q -p cil-bench --test campaign_guard -- --include-ignored

@@ -21,7 +21,8 @@
 //! * the HIL framework itself (`cil-core`), whose modules are re-exported
 //!   at the top level: [`framework`], [`control`], [`engine`], [`harness`],
 //!   [`hil`], [`scenario`], [`signalgen`], [`jitter`], [`clock`],
-//!   [`fault`], [`checkpoint`], [`error`], [`telemetry`], [`trace`].
+//!   [`fault`], [`checkpoint`], [`campaign`], [`error`], [`telemetry`],
+//!   [`trace`].
 //!
 //! ## Quick start
 //!
@@ -44,6 +45,7 @@ pub use cil_dsp as dsp;
 pub use cil_physics as physics;
 pub use cil_reftrack as reftrack;
 
+pub use cil_core::campaign;
 pub use cil_core::checkpoint;
 pub use cil_core::clock;
 pub use cil_core::control;
