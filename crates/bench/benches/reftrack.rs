@@ -14,6 +14,7 @@ use cil_physics::machine::{MachineParams, OperatingPoint};
 use cil_physics::synchrotron::SynchrotronCalc;
 use cil_physics::IonSpecies;
 use cil_reftrack::ensemble::Ensemble;
+use cil_reftrack::kernel::KernelBackend;
 use cil_reftrack::tracker::{MultiParticleTracker, TrackerConfig};
 
 fn mde_op() -> OperatingPoint {
@@ -33,6 +34,28 @@ fn bench_tracker(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         let ensemble = Ensemble::matched(&BunchSpec::gaussian(15e-9), n, &op, 7).unwrap();
 
+        for backend in KernelBackend::poly_available() {
+            g.bench_with_input(
+                BenchmarkId::new(format!("turn_{}", backend.label()), n),
+                &n,
+                |b, _| {
+                    let mut tr = MultiParticleTracker::new(
+                        op,
+                        ensemble.clone(),
+                        TrackerConfig {
+                            threads: 1,
+                            min_chunk: 1 << 30,
+                            backend,
+                        },
+                    );
+                    b.iter(|| {
+                        tr.step(0.0);
+                        black_box(tr.ensemble.dt[0])
+                    });
+                },
+            );
+        }
+
         g.bench_with_input(BenchmarkId::new("turn_seq", n), &n, |b, _| {
             let mut tr = MultiParticleTracker::new(
                 op,
@@ -40,6 +63,7 @@ fn bench_tracker(c: &mut Criterion) {
                 TrackerConfig {
                     threads: 1,
                     min_chunk: 1 << 30,
+                    backend: KernelBackend::Libm,
                 },
             );
             b.iter(|| {
@@ -59,6 +83,7 @@ fn bench_tracker(c: &mut Criterion) {
                     TrackerConfig {
                         threads,
                         min_chunk: 4096,
+                        backend: KernelBackend::Auto,
                     },
                 );
                 b.iter(|| {

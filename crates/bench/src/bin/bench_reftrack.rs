@@ -1,0 +1,61 @@
+//! RefTrack kernel case-matrix benchmark — particle-turns/s for every sine
+//! backend (host libm, runtime-dispatched `Auto`, and each polynomial
+//! backend the host exposes) at small/medium/large ensembles, plus the full
+//! closed-loop `RefTrackEngine` path on both `Auto` and libm.
+//!
+//! Prints the table and writes `results/BENCH_reftrack.json`. Meaningful in
+//! release builds only (`cargo run --release -p cil-bench --bin
+//! bench_reftrack`); the release-only `reftrack_guard` test enforces the
+//! kernel and engine bounds on CI.
+//!
+//! Flags: `--revolutions N` (engine cases, default 10000), `--runs N`
+//! (default 3).
+
+use cil_bench::reftrack_bench::{
+    guard_ratios, run_reftrack_bench, write_bench_json, ENGINE_BOUND, KERNEL_BOUND,
+};
+use cil_bench::{arg_value, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let revolutions: u64 =
+        arg_value(&args, "--revolutions").map_or(10_000, |v| v.parse().expect("--revolutions N"));
+    let runs: usize = arg_value(&args, "--runs").map_or(3, |v| v.parse().expect("--runs N"));
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — timings are not meaningful");
+    }
+    println!("RefTrack kernel throughput (best of {runs} runs)\n");
+
+    let rows = run_reftrack_bench(revolutions, runs);
+    let mut t = Table::new(&[
+        "case",
+        "particles",
+        "threads",
+        "turns",
+        "wall [ms]",
+        "Mpart-turns/s",
+        "ns/particle-turn",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.label.clone(),
+            format!("{}", r.particles),
+            format!("{}", r.threads),
+            format!("{}", r.turns),
+            format!("{:.2}", r.wall_s * 1e3),
+            format!("{:.2}", r.particle_turns_per_sec * 1e-6),
+            format!("{:.2}", r.ns_per_particle_turn),
+        ]);
+    }
+    t.print();
+
+    let (kernel_ratio, engine_ratio) = guard_ratios(&rows);
+    println!(
+        "\npolynomial kernel vs host libm (large ensemble): {kernel_ratio:.2}x (bound {KERNEL_BOUND}x)"
+    );
+    println!(
+        "closed-loop engine Auto vs libm:               {engine_ratio:.2}x (bound {ENGINE_BOUND}x)"
+    );
+    let path = write_bench_json(runs, &rows);
+    println!("data -> {}", path.display());
+}

@@ -16,6 +16,7 @@
 //! into `results/`.
 
 pub mod loop_bench;
+pub mod reftrack_bench;
 
 use std::fs;
 use std::path::{Path, PathBuf};

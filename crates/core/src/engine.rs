@@ -717,6 +717,20 @@ impl RefTrackEngine {
     pub fn ensemble(&self) -> &Ensemble {
         &self.tracker.ensemble
     }
+
+    /// Replace the tracker's worker configuration (threads, chunking,
+    /// kernel backend). Determinism contract: any configuration produces
+    /// bit-identical trajectories and centroid bits on the polynomial
+    /// backends, so this only changes *how fast* the engine runs — callers
+    /// (harness, tests, benches) may retune freely between steps.
+    pub fn set_tracker_config(&mut self, config: cil_reftrack::TrackerConfig) {
+        self.tracker.config = config;
+    }
+
+    /// The tracker's current worker configuration.
+    pub fn tracker_config(&self) -> cil_reftrack::TrackerConfig {
+        self.tracker.config
+    }
 }
 
 impl BeamEngine for RefTrackEngine {
@@ -730,8 +744,8 @@ impl BeamEngine for RefTrackEngine {
 
     fn step(&mut self, jumps: &PhaseJumpProgram, phase_out: &mut [f64]) -> EngineStep {
         let gap_phase = self.state.gap_phase_rad(jumps);
-        self.tracker.step(gap_phase);
-        phase_out[0] = self.tracker.centroid_phase_deg();
+        let moments = self.tracker.step(gap_phase);
+        phase_out[0] = self.tracker.phase_deg_of_dt(moments.centroid_dt());
         self.state.time += self.t_rev;
         EngineStep::Measured
     }
@@ -770,6 +784,22 @@ impl BeamEngine for RefTrackEngine {
         self.tracker.turn = s.tracker_turn;
         self.state.restore(&s.turn);
         true
+    }
+
+    fn sample_telemetry(&self, telemetry: &crate::telemetry::TelemetryRegistry) {
+        let cfg = self.tracker.config;
+        telemetry
+            .gauge(&format!(
+                "cil_reftrack_kernel_active{{backend=\"{}\"}}",
+                cfg.backend.resolve().label()
+            ))
+            .set(1.0);
+        telemetry
+            .gauge("cil_reftrack_worker_threads")
+            .set(cfg.threads.max(1) as f64);
+        telemetry
+            .gauge("cil_reftrack_particles")
+            .set(self.tracker.ensemble.len() as f64);
     }
 }
 

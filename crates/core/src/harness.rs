@@ -815,13 +815,28 @@ impl LoopHarness {
         duration_s: f64,
     ) -> Result<LoopTrace> {
         let mut engine = kind.build(scenario)?;
+        self.run_checkpointed_with(engine.as_mut(), kind, duration_s)
+    }
+
+    /// [`Self::run_checkpointed`] over a caller-built engine — for callers
+    /// that retune an engine before the run (e.g. a [`RefTrackEngine`] with
+    /// a non-default worker configuration driving the intra-step parallel
+    /// path). `kind` must describe the engine so a later [`Self::resume_from`]
+    /// rebuilds a compatible one; the engine fidelities guarantee any
+    /// worker configuration replays to bit-identical traces.
+    pub fn run_checkpointed_with(
+        &mut self,
+        engine: &mut dyn BeamEngine,
+        kind: EngineKind,
+        duration_s: f64,
+    ) -> Result<LoopTrace> {
         let Some(cfg) = self.checkpoint.clone() else {
-            return Ok(self.run(engine.as_mut(), duration_s));
+            return Ok(self.run(engine, duration_s));
         };
         cfg.validate()?;
         let mut session = CheckpointSession::begin(&cfg).map_err(crate::error::CilError::from)?;
         let empty = LoopTrace::empty(engine.bunches());
-        let mut slot = BorrowedEngine(engine.as_mut());
+        let mut slot = BorrowedEngine(engine);
         let trace = self.run_dispatch(
             &mut slot,
             duration_s,

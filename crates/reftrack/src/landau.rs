@@ -101,6 +101,38 @@ mod tests {
     }
 
     #[test]
+    fn damping_rate_matches_analytic_estimate() {
+        // Order-of-magnitude closure with the analytic spread: a Gaussian
+        // synchrotron-frequency spread Δf_s/f_s = σ_φ²/16 decoheres the
+        // centroid on τ ≈ √2/(2π·f_s·spread) seconds, i.e.
+        // √2·period/(2π·spread) turns. The small-amplitude formula ignores
+        // the displacement and the tails, so assert the e-folding fit lands
+        // within a factor of 4 — tight enough to catch a wrong power of
+        // σ_φ, loose enough for the model error.
+        use crate::ensemble::Ensemble;
+        use crate::tracker::{MultiParticleTracker, TrackerConfig};
+        use cil_physics::distribution::BunchSpec;
+        let op = op();
+        let period = (op.f_rev() / 1.28e3) as usize;
+        let sigma_t = 45e-9;
+        let mut e = Ensemble::matched(&BunchSpec::gaussian(sigma_t), 20_000, &op, 13).unwrap();
+        e.displace_dt(8e-9); // small displacement: stay near the linear regime
+        let mut tr = MultiParticleTracker::new(op, e, TrackerConfig::default());
+        let trace = tr.run(period * 10, |_| 0.0);
+        let measured = analyze_decoherence(&trace, period)
+            .damping_turns
+            .expect("displaced wide bunch must decohere");
+        let sigma_phi = std::f64::consts::TAU * op.f_rf() * sigma_t;
+        let spread = relative_fs_spread(sigma_phi);
+        let predicted = std::f64::consts::SQRT_2 * period as f64 / (std::f64::consts::TAU * spread);
+        let ratio = measured / predicted;
+        assert!(
+            (0.25..4.0).contains(&ratio),
+            "measured {measured} turns vs analytic {predicted} (ratio {ratio})"
+        );
+    }
+
+    #[test]
     fn wider_bunch_decoheres_faster_quantitatively() {
         let op = op();
         let period = (op.f_rev() / 1.28e3) as usize;

@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 //! # cil-reftrack — multi-macro-particle reference tracker
 //!
 //! The ESME / LONG1D / BLonD-class offline simulator the paper cites as
@@ -18,10 +19,12 @@
 //! regardless of thread count.
 
 pub mod ensemble;
+pub mod kernel;
 pub mod landau;
 pub mod observables;
 pub mod tracker;
 pub mod wake;
 
 pub use ensemble::Ensemble;
-pub use tracker::{MultiParticleTracker, TrackerConfig};
+pub use kernel::KernelBackend;
+pub use tracker::{MultiParticleTracker, StepMoments, TrackerConfig};

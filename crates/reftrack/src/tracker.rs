@@ -2,26 +2,32 @@
 //!
 //! Per revolution, every macro particle gets the full *nonlinear* RF kick
 //! (no small-amplitude expansion) followed by the phase-slip drift — the
-//! same physics as `cil_physics::tracking` but vectorised over the bunch and
-//! parallelised with scoped threads over fixed chunks.
+//! same physics as `cil_physics::tracking` but vectorised over the bunch by
+//! the wide-lane kernel in [`crate::kernel`] and parallelised with scoped
+//! threads over fixed chunks.
 //!
 //! Determinism: the per-particle update is embarrassingly parallel and each
-//! particle is written by exactly one thread, so results are bit-identical
-//! for any thread count; reductions (centroid) are computed afterwards over
-//! the stable particle order.
+//! particle is written by exactly one thread, so the phase-space arrays are
+//! bit-identical for any thread count; the centroid moments returned by
+//! [`MultiParticleTracker::step`] come from the kernel's fixed reduction
+//! tree, so they too are invariant under thread count, chunk size and
+//! backend lane width.
 
 use crate::ensemble::Ensemble;
+use crate::kernel::{self, ChunkMoment, KernelBackend, KickParams, REDUCE_QUANTUM};
 use cil_physics::constants::{C, TWO_PI};
 use cil_physics::machine::OperatingPoint;
 
 /// Tracker configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct TrackerConfig {
-    /// Worker threads (1 = sequential). Chunking is fixed at construction so
-    /// the thread count never changes results.
+    /// Worker threads (1 = sequential). Chunking is fixed by the particle
+    /// count alone, so the thread count never changes results.
     pub threads: usize,
     /// Minimum particles per chunk before another thread is worth waking.
     pub min_chunk: usize,
+    /// Kick/drift kernel backend.
+    pub backend: KernelBackend,
 }
 
 impl Default for TrackerConfig {
@@ -29,6 +35,39 @@ impl Default for TrackerConfig {
         Self {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             min_chunk: 4096,
+            backend: KernelBackend::Auto,
+        }
+    }
+}
+
+/// Centroid moments of one revolution, reduced inside the step by the
+/// kernel's fixed tree (no second pass over the bunch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepMoments {
+    /// Macro particles in the bunch.
+    pub n: usize,
+    /// Σ Δt after the update (s).
+    pub sum_dt: f64,
+    /// Σ Δγ after the update.
+    pub sum_dgamma: f64,
+}
+
+impl StepMoments {
+    /// Centroid Δt (s).
+    pub fn centroid_dt(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_dt / self.n as f64
+        }
+    }
+
+    /// Centroid Δγ.
+    pub fn centroid_dgamma(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_dgamma / self.n as f64
         }
     }
 }
@@ -44,6 +83,17 @@ pub struct MultiParticleTracker {
     pub ensemble: Ensemble,
     /// Completed revolutions.
     pub turn: u64,
+    /// Scratch for the per-sub-chunk partial moments (reused across steps).
+    partials: Vec<ChunkMoment>,
+}
+
+/// Chunk handed to one worker thread: `REDUCE_QUANTUM`-aligned so every
+/// partial-moment slot is written by exactly one thread, sized by
+/// `div_ceil` so the load splits evenly instead of starving the last thread.
+fn chunk_len(n: usize, threads: usize, min_chunk: usize) -> usize {
+    let per_thread = n.div_ceil(threads.max(1));
+    let target = per_thread.max(min_chunk).max(1);
+    target.div_ceil(REDUCE_QUANTUM) * REDUCE_QUANTUM
 }
 
 impl MultiParticleTracker {
@@ -54,66 +104,96 @@ impl MultiParticleTracker {
             config,
             ensemble,
             turn: 0,
+            partials: Vec::new(),
         }
     }
 
     /// Advance one revolution with the gap RF phase offset by
     /// `rf_phase_offset_rad` (phase jumps plus control action), stationary
     /// case (reference particle on set values, no net acceleration).
-    pub fn step(&mut self, rf_phase_offset_rad: f64) {
+    /// Returns the post-step centroid moments from the in-step reduction.
+    pub fn step(&mut self, rf_phase_offset_rad: f64) -> StepMoments {
         let f_rev = self.op.f_rev();
         let f_rf = self.op.machine.rf_frequency(f_rev);
-        let omega_rf = TWO_PI * f_rf;
-        let q_over_mc2 = self.op.ion.gamma_per_volt();
-        let v_hat = self.op.v_gap_volts;
         let gamma_r = self.op.gamma_r;
         let eta = self.op.eta();
         let beta = self.op.beta_r();
-        let drift = self.op.machine.orbit_length_m * eta / (beta * beta * beta * C) / gamma_r;
-
-        let n = self.ensemble.len();
-        let threads = self.config.threads.max(1);
-        let chunk = (n / threads + 1).max(self.config.min_chunk);
-
-        let dts = &mut self.ensemble.dt;
-        let dgs = &mut self.ensemble.dgamma;
-
-        let kick_drift = |dt_chunk: &mut [f64], dg_chunk: &mut [f64]| {
-            for (t, g) in dt_chunk.iter_mut().zip(dg_chunk.iter_mut()) {
-                let v = v_hat * (omega_rf * *t + rf_phase_offset_rad).sin();
-                *g += q_over_mc2 * v;
-                *t += drift * *g;
-            }
+        let params = KickParams {
+            omega_rf: TWO_PI * f_rf,
+            phase_rad: rf_phase_offset_rad,
+            v_hat: self.op.v_gap_volts,
+            q_over_mc2: self.op.ion.gamma_per_volt(),
+            drift: self.op.machine.orbit_length_m * eta / (beta * beta * beta * C) / gamma_r,
         };
 
+        let n = self.ensemble.len();
+        self.turn += 1;
+        if n == 0 {
+            return StepMoments {
+                n,
+                sum_dt: 0.0,
+                sum_dgamma: 0.0,
+            };
+        }
+
+        let backend = self.config.backend.resolve();
+        let threads = self.config.threads.max(1);
+        let chunk = chunk_len(n, threads, self.config.min_chunk);
+        self.partials.clear();
+        self.partials
+            .resize(n.div_ceil(REDUCE_QUANTUM), ChunkMoment::default());
+
+        let dts = &mut self.ensemble.dt[..];
+        let dgs = &mut self.ensemble.dgamma[..];
+
         if threads == 1 || n <= chunk {
-            kick_drift(dts, dgs);
+            kernel::kick_drift_chunk(backend, dts, dgs, &params, &mut self.partials);
         } else {
-            let kick_drift = &kick_drift;
+            let slots_per_chunk = chunk / REDUCE_QUANTUM;
+            let params = &params;
             std::thread::scope(|s| {
-                for (dt_chunk, dg_chunk) in dts.chunks_mut(chunk).zip(dgs.chunks_mut(chunk)) {
-                    s.spawn(move || kick_drift(dt_chunk, dg_chunk));
+                for ((dt_chunk, dg_chunk), part_chunk) in dts
+                    .chunks_mut(chunk)
+                    .zip(dgs.chunks_mut(chunk))
+                    .zip(self.partials.chunks_mut(slots_per_chunk))
+                {
+                    s.spawn(move || {
+                        kernel::kick_drift_chunk(backend, dt_chunk, dg_chunk, params, part_chunk)
+                    });
                 }
             });
         }
-        self.turn += 1;
+        let m = kernel::fold_moments(&self.partials);
+        StepMoments {
+            n,
+            sum_dt: m.sum_dt,
+            sum_dgamma: m.sum_dgamma,
+        }
     }
 
     /// Track `turns` revolutions with a caller-supplied phase program
     /// (`phase(turn) -> offset rad`), recording the centroid each turn.
-    /// Returns centroid Δt per turn.
+    /// Returns centroid Δt per turn (from the in-step fixed-tree reduction).
     pub fn run<F: Fn(u64) -> f64>(&mut self, turns: usize, phase: F) -> Vec<f64> {
         let mut out = Vec::with_capacity(turns);
         for _ in 0..turns {
-            self.step(phase(self.turn));
-            out.push(self.ensemble.centroid_dt());
+            let m = self.step(phase(self.turn));
+            out.push(m.centroid_dt());
         }
         out
     }
 
-    /// Centroid phase in degrees at the RF harmonic (the Fig. 5 y-axis).
+    /// Centroid phase in degrees at the RF harmonic (the Fig. 5 y-axis)
+    /// for a given centroid Δt.
+    pub fn phase_deg_of_dt(&self, centroid_dt: f64) -> f64 {
+        centroid_dt * self.op.f_rf() * 360.0
+    }
+
+    /// Centroid phase in degrees at the RF harmonic, recomputed from the
+    /// stored ensemble (sequential sum — use [`StepMoments`] on the hot
+    /// path).
     pub fn centroid_phase_deg(&self) -> f64 {
-        self.ensemble.centroid_dt() * self.op.f_rf() * 360.0
+        self.phase_deg_of_dt(self.ensemble.centroid_dt())
     }
 }
 
@@ -138,7 +218,8 @@ mod tests {
     #[test]
     fn single_particle_matches_two_particle_map() {
         // One macro particle in the multiparticle tracker = the paper's
-        // model; must agree with TwoParticleMap to float accuracy.
+        // model; on the libm reference backend it must agree with
+        // TwoParticleMap to float accuracy.
         let op = op();
         let dt0 = 8.0 / 360.0 / op.f_rf();
         let mut tracker = MultiParticleTracker::new(
@@ -147,6 +228,7 @@ mod tests {
             TrackerConfig {
                 threads: 1,
                 min_chunk: 1,
+                backend: KernelBackend::Libm,
             },
         );
         let mut map = TwoParticleMap::at_operating_point(&op);
@@ -165,6 +247,37 @@ mod tests {
     }
 
     #[test]
+    fn poly_kernel_tracks_libm_reference() {
+        // Same single-particle trajectory on the polynomial kernel: the
+        // ≤2-ulp sine error compounds over 2000 turns but must stay within
+        // a tight absolute envelope of the libm path.
+        let op = op();
+        let dt0 = 8.0 / 360.0 / op.f_rf();
+        let mk = |backend| {
+            MultiParticleTracker::new(
+                op,
+                Ensemble::monoparticle(1, dt0, 0.0),
+                TrackerConfig {
+                    threads: 1,
+                    min_chunk: 1,
+                    backend,
+                },
+            )
+        };
+        let mut libm = mk(KernelBackend::Libm);
+        let mut poly = mk(KernelBackend::Auto);
+        for _ in 0..2000 {
+            libm.step(0.0);
+            poly.step(0.0);
+        }
+        let err = (libm.ensemble.dt[0] - poly.ensemble.dt[0]).abs();
+        assert!(
+            err < 1e-15,
+            "poly drifted {err} s from libm after 2000 turns"
+        );
+    }
+
+    #[test]
     fn thread_count_does_not_change_results() {
         let op = op();
         let e = Ensemble::matched(&BunchSpec::gaussian(15e-9), 20_000, &op, 11).unwrap();
@@ -174,6 +287,7 @@ mod tests {
             TrackerConfig {
                 threads: 1,
                 min_chunk: 1,
+                backend: KernelBackend::Auto,
             },
         );
         let mut par = MultiParticleTracker::new(
@@ -182,17 +296,72 @@ mod tests {
             TrackerConfig {
                 threads: 8,
                 min_chunk: 128,
+                backend: KernelBackend::Auto,
             },
         );
         for _ in 0..50 {
-            seq.step(0.1);
-            par.step(0.1);
+            let ms = seq.step(0.1);
+            let mp = par.step(0.1);
+            assert_eq!(
+                ms.sum_dt.to_bits(),
+                mp.sum_dt.to_bits(),
+                "centroid moment bits across threads"
+            );
+            assert_eq!(ms.sum_dgamma.to_bits(), mp.sum_dgamma.to_bits());
         }
         assert_eq!(
             seq.ensemble.dt, par.ensemble.dt,
             "bit-identical across threads"
         );
         assert_eq!(seq.ensemble.dgamma, par.ensemble.dgamma);
+    }
+
+    #[test]
+    fn chunk_boundaries_are_deterministic() {
+        // Satellite: the div_ceil chunking must (a) never under-fill the
+        // thread pool the way `n / threads + 1` did, (b) stay aligned to
+        // the reduction quantum, and (c) give every thread count the same
+        // written bits and the same reduced moments.
+        assert_eq!(chunk_len(20_000, 8, 128), 2560); // div_ceil(20000,8)=2500 → align 2560
+        assert_eq!(chunk_len(20_000, 3, 1), 6912); // 6667 → aligned up
+        assert_eq!(chunk_len(100, 8, 4096), 4096); // min_chunk dominates
+        assert_eq!(chunk_len(1, 1, 1), REDUCE_QUANTUM);
+        // Old bug shape: n=8000, threads=8 gave chunk=1001 → 8 chunks of
+        // 1001/999… now 1024-aligned even split.
+        assert_eq!(chunk_len(8000, 8, 1), 1024);
+        for threads in [1usize, 2, 3, 5, 8] {
+            let n = 8000;
+            let chunk = chunk_len(n, threads, 1);
+            assert_eq!(chunk % REDUCE_QUANTUM, 0);
+            assert!(n.div_ceil(chunk) <= threads, "{threads} threads");
+        }
+
+        let op = op();
+        let e = Ensemble::matched(&BunchSpec::gaussian(12e-9), 7_777, &op, 3).unwrap();
+        let mut reference: Option<(Vec<f64>, Vec<f64>, Vec<u64>)> = None;
+        for (threads, min_chunk) in [(1, 1), (2, 1), (3, 300), (8, 1), (8, 100_000)] {
+            let mut tr = MultiParticleTracker::new(
+                op,
+                e.clone(),
+                TrackerConfig {
+                    threads,
+                    min_chunk,
+                    backend: KernelBackend::Auto,
+                },
+            );
+            let mut moments = Vec::new();
+            for _ in 0..20 {
+                moments.push(tr.step(0.05).sum_dt.to_bits());
+            }
+            match &reference {
+                None => reference = Some((tr.ensemble.dt, tr.ensemble.dgamma, moments)),
+                Some((rd, rg, rm)) => {
+                    assert_eq!(rd, &tr.ensemble.dt, "dt @ threads={threads}");
+                    assert_eq!(rg, &tr.ensemble.dgamma, "dgamma @ threads={threads}");
+                    assert_eq!(rm, &moments, "moments @ threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -208,6 +377,7 @@ mod tests {
             TrackerConfig {
                 threads: 4,
                 min_chunk: 512,
+                backend: KernelBackend::Auto,
             },
         );
         let jump = 8.0_f64.to_radians();
@@ -288,5 +458,23 @@ mod tests {
             "mean dgamma = {}",
             tr.ensemble.centroid_dgamma()
         );
+    }
+
+    #[test]
+    fn step_moments_match_sequential_centroid() {
+        // The fixed-tree moments are a re-associated sum, not the
+        // sequential one — but for a physical bunch they must agree to
+        // rounding noise.
+        let op = op();
+        let e = Ensemble::matched(&BunchSpec::gaussian(15e-9), 9_999, &op, 7).unwrap();
+        let mut tr = MultiParticleTracker::new(op, e, TrackerConfig::default());
+        let m = tr.step(0.2);
+        let seq = tr.ensemble.centroid_dt();
+        assert!(
+            (m.centroid_dt() - seq).abs() <= 1e-12 * seq.abs().max(1e-9),
+            "tree {} vs sequential {seq}",
+            m.centroid_dt()
+        );
+        assert_eq!(m.n, 9_999);
     }
 }

@@ -248,6 +248,50 @@ mod tests {
     }
 
     #[test]
+    fn wake_kick_loop_is_thread_count_invariant() {
+        // `passage` is a sequential phasor sweep in arrival order and the
+        // tracker kick is elementwise, so the combined wake + RF loop must
+        // be bit-identical for every worker configuration — the same
+        // determinism contract the bare tracker gives.
+        use crate::kernel::KernelBackend;
+        use crate::tracker::{MultiParticleTracker, TrackerConfig};
+        let op = op();
+        let f_rf = op.f_rf();
+        let run = |threads: usize, min_chunk: usize| {
+            let e = Ensemble::matched(&BunchSpec::gaussian(14e-9), 4096, &op, 23).unwrap();
+            let mut tracker = MultiParticleTracker::new(
+                op,
+                e,
+                TrackerConfig {
+                    threads,
+                    min_chunk,
+                    backend: KernelBackend::Auto,
+                },
+            );
+            let mut bl = BeamLoading::new(Resonator::sis18_like(f_rf), 2e-9, 4096);
+            let q_over_mc2 = op.ion.gamma_per_volt();
+            let mut wake_head = Vec::new();
+            for turn in 0..120 {
+                let t_turn = turn as f64 / op.f_rev();
+                let v_ind = bl.passage(&tracker.ensemble, t_turn);
+                for (g, v) in tracker.ensemble.dgamma.iter_mut().zip(&v_ind) {
+                    *g += q_over_mc2 * v;
+                }
+                tracker.step(0.0);
+                wake_head.push(v_ind[0].to_bits());
+            }
+            (tracker.ensemble.dt, tracker.ensemble.dgamma, wake_head)
+        };
+        let reference = run(1, 1);
+        for (threads, min_chunk) in [(2usize, 64usize), (4, 997), (8, 1)] {
+            let got = run(threads, min_chunk);
+            assert_eq!(reference.0, got.0, "dt @ {threads} threads");
+            assert_eq!(reference.1, got.1, "dgamma @ {threads} threads");
+            assert_eq!(reference.2, got.2, "wake voltages @ {threads} threads");
+        }
+    }
+
+    #[test]
     fn beam_loading_shifts_the_equilibrium_with_intensity() {
         // The first-order collective effect: the bunch decelerates itself
         // (loss factor), so the stable position moves to where the RF makes
@@ -265,6 +309,7 @@ mod tests {
                 TrackerConfig {
                     threads: 1,
                     min_chunk: 1 << 30,
+                    backend: crate::kernel::KernelBackend::Auto,
                 },
             );
             let mut bl = BeamLoading::new(Resonator::sis18_like(f_rf), bunch_charge, 2000);

@@ -6,9 +6,12 @@
 #
 # Produces results/BENCH_loop.json (revolutions/sec for every engine
 # fidelity × execution mode: micro-op plan vs legacy DFG walk, batched
-# step_block vs per-turn). The 1.5x plan+batched-vs-walk-per-turn bound is
-# separately *enforced* by the release-only loop_guard test.
+# step_block vs per-turn) and results/BENCH_reftrack.json (the RefTrack
+# kernel backend × ensemble-size matrix plus the closed-loop engine pair).
+# The bounds are separately *enforced* by the release-only loop_guard and
+# reftrack_guard tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -p cil-bench --bin bench_loop -- "$@"
+cargo run --release -p cil-bench --bin bench_reftrack -- "$@"

@@ -47,3 +47,17 @@ cargo test --release -q -p cil-bench --test loop_guard -- --include-ignored
 # Campaign-shell overhead guard: Campaign over identical work must stay
 # <= 1.15x a raw parallel_sweep_with_merge (release-only).
 cargo test --release -q -p cil-bench --test campaign_guard -- --include-ignored
+# RefTrack wide-lane kernel differential suite: poly-vs-libm ulp bound,
+# backend × thread × chunk × block bit-identity proptests, checkpoint
+# kill-and-resume through the intra-step parallel path.
+cargo test -q --test reftrack_kernel
+cargo test --release -q --test reftrack_kernel
+# RefTrack kernel throughput guard: polynomial Auto >= 3x host libm on the
+# kernel-dominated case and >= 1.5x end-to-end through the closed loop
+# (release-only). Writes results/BENCH_reftrack.json.
+cargo test --release -q -p cil-bench --test reftrack_guard -- --include-ignored
+# std::simd backend feature leg: the nightly-gated backend must build and
+# stay bit-identical to the stable backends (RUSTC_BOOTSTRAP unlocks the
+# portable_simd feature gate on the stable toolchain).
+RUSTC_BOOTSTRAP=1 cargo test -q -p cil-reftrack --features simd
+RUSTC_BOOTSTRAP=1 cargo test -q --features simd --test reftrack_kernel

@@ -257,6 +257,89 @@ fn kill_across_demotion_resumes_bit_identical() {
     }
 }
 
+/// Sorted (name, bytes) of every file in a checkpoint directory.
+fn dir_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// RefTrack kill-and-resume through the *intra-step parallel* path: the
+/// checkpointed run splits every revolution across 8 worker threads, the
+/// resume rebuilds with the default (sequential on this box) configuration.
+/// Both the CILCKPT bytes and the resumed trace must be bit-identical —
+/// the kernel's fixed chunk boundaries and fixed-tree reduction are what
+/// make the parallel step checkpoint-transparent.
+#[test]
+fn reftrack_parallel_step_checkpoints_bit_identical() {
+    use cil_core::engine::RefTrackEngine;
+    use cil_reftrack::kernel::KernelBackend;
+    use cil_reftrack::TrackerConfig;
+
+    let s = base_scenario(0.004);
+    let kind = EngineKind::RefTrack {
+        particles: 2048,
+        seed: 7,
+    };
+    let parallel = TrackerConfig {
+        threads: 8,
+        min_chunk: 64,
+        backend: KernelBackend::Auto,
+    };
+
+    // Reference: uninterrupted, default workers, no checkpointing.
+    let mut engine = kind.build(&s).unwrap();
+    let reference = LoopHarness::for_scenario(&s, true).run(engine.as_mut(), s.duration_s);
+
+    // Full checkpointed runs, sequential vs 8-thread: the CILCKPT bytes on
+    // disk must not depend on the worker configuration.
+    let mut dirs = Vec::new();
+    for (tag, threads) in [("seq", 1usize), ("par", 8)] {
+        let dir = ckpt_dir(&format!("reftrack-{tag}"));
+        let mut engine = RefTrackEngine::from_scenario(&s, 2048, 7, 15e-9, 0.0).unwrap();
+        engine.set_tracker_config(TrackerConfig {
+            threads,
+            ..parallel
+        });
+        let mut harness =
+            LoopHarness::for_scenario(&s, true).with_checkpointing(config(dir.clone(), 256));
+        let trace = harness
+            .run_checkpointed_with(&mut engine, kind, s.duration_s)
+            .unwrap();
+        assert_traces_identical(&reference, &trace);
+        dirs.push(dir);
+    }
+    assert_eq!(
+        dir_bytes(&dirs[0]),
+        dir_bytes(&dirs[1]),
+        "CILCKPT bytes differ between sequential and parallel steps"
+    );
+
+    // Kill mid-run on the parallel path, resume in a fresh harness (which
+    // rebuilds the engine with the default worker configuration).
+    let dir = ckpt_dir("reftrack-kill");
+    let mut engine = RefTrackEngine::from_scenario(&s, 2048, 7, 15e-9, 0.0).unwrap();
+    engine.set_tracker_config(parallel);
+    let mut harness =
+        LoopHarness::for_scenario(&s, true).with_checkpointing(config(dir.clone(), 256));
+    let _ = harness
+        .run_checkpointed_with(&mut engine, kind, s.duration_s * 0.55)
+        .unwrap();
+
+    let mut harness = LoopHarness::for_scenario(&s, true).with_checkpointing(config(dir, 256));
+    let resumed = harness.resume_from(&s, s.duration_s).unwrap();
+    assert_traces_identical(&reference, &resumed);
+}
+
 // ---------------------------------------------------------------------------
 // Corruption: fallback + audit
 // ---------------------------------------------------------------------------

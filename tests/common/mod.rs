@@ -1,0 +1,139 @@
+//! Proptest generators shared between the physics-invariant suite and the
+//! RefTrack kernel differential suite: realistic SIS18 operating points and
+//! matched macro-particle ensembles drawn from them.
+//!
+//! Lives in `tests/common/` so every integration-test binary that says
+//! `mod common;` gets the same generators — the kernel differential tests
+//! quantify over exactly the ensembles the invariant tests use.
+
+#![allow(dead_code)]
+
+use cavity_in_the_loop::physics::distribution::BunchSpec;
+use cavity_in_the_loop::physics::machine::{MachineParams, OperatingPoint};
+use cavity_in_the_loop::physics::synchrotron::SynchrotronCalc;
+use cavity_in_the_loop::physics::IonSpecies;
+use cavity_in_the_loop::reftrack::Ensemble;
+use proptest::strategy::{CaseRng, Strategy};
+use std::ops::Range;
+
+/// The species the machine realistically runs.
+pub fn ions() -> Vec<IonSpecies> {
+    vec![
+        IonSpecies::proton(),
+        IonSpecies::n14_7plus(),
+        IonSpecies::ar40_18plus(),
+        IonSpecies::u238_73plus(),
+    ]
+}
+
+/// One matched-bunch tracking scenario: an operating point that is below
+/// transition with a physical RF voltage, plus an ensemble spec that fits
+/// its bucket. Constructed only through [`matched_case`], which rejects
+/// unphysical draws, so `build` cannot fail.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchedCase {
+    /// Revolution frequency (Hz).
+    pub f_rev: f64,
+    /// Peak gap voltage (V), derived from a drawn synchrotron frequency.
+    pub v_hat: f64,
+    /// Index into [`ions`].
+    pub ion_idx: usize,
+    /// Macro particles.
+    pub particles: usize,
+    /// RMS bunch length (s).
+    pub sigma_dt: f64,
+    /// Ensemble seed.
+    pub seed: u64,
+}
+
+impl MatchedCase {
+    /// The drawn species.
+    pub fn ion(&self) -> IonSpecies {
+        ions()[self.ion_idx]
+    }
+
+    /// The operating point of this case.
+    pub fn operating_point(&self) -> OperatingPoint {
+        OperatingPoint::from_revolution_frequency(
+            MachineParams::sis18(),
+            self.ion(),
+            self.f_rev,
+            self.v_hat,
+        )
+    }
+
+    /// The operating point and its matched ensemble.
+    pub fn build(&self) -> (OperatingPoint, Ensemble) {
+        let op = self.operating_point();
+        let e = Ensemble::matched(
+            &BunchSpec::gaussian(self.sigma_dt),
+            self.particles,
+            &op,
+            self.seed,
+        )
+        .expect("matched_case only emits buildable cases");
+        (op, e)
+    }
+}
+
+/// Strategy for [`MatchedCase`] with the macro-particle count drawn from
+/// `particles`.
+#[derive(Debug, Clone)]
+pub struct MatchedCaseStrategy {
+    particles: Range<usize>,
+}
+
+/// Matched-bunch scenarios over the realistic SIS18 space: 400 kHz–1 MHz
+/// revolution frequency, synchrotron frequencies the control loop actually
+/// sees (0.7–2.2 kHz), all four species, bunch lengths at 2–10% of the RF
+/// period.
+pub fn matched_case(particles: Range<usize>) -> MatchedCaseStrategy {
+    MatchedCaseStrategy { particles }
+}
+
+impl Strategy for MatchedCaseStrategy {
+    type Value = MatchedCase;
+
+    fn generate(&self, rng: &mut CaseRng) -> MatchedCase {
+        let m = MachineParams::sis18();
+        loop {
+            let f_rev = (400e3f64..1.0e6).generate(rng);
+            let ion_idx = rng.next_usize(ions().len());
+            let fs = (0.7e3f64..2.2e3).generate(rng);
+            let Ok(v_hat) = SynchrotronCalc::new(m, ions()[ion_idx]).voltage_for_fs(f_rev, fs)
+            else {
+                continue; // above transition or otherwise unphysical
+            };
+            if !(1e2..1e6).contains(&v_hat) {
+                continue; // outside any real gap amplifier's range
+            }
+            let case = MatchedCase {
+                f_rev,
+                v_hat,
+                ion_idx,
+                particles: self.particles.clone().generate(rng),
+                sigma_dt: (0.02f64..0.10).generate(rng) / m.rf_frequency(f_rev),
+                seed: rng.next_u64(),
+            };
+            let op = case.operating_point();
+            if Ensemble::matched(
+                &BunchSpec::gaussian(case.sigma_dt),
+                case.particles,
+                &op,
+                case.seed,
+            )
+            .is_ok()
+            {
+                return case;
+            }
+        }
+    }
+}
+
+/// The worker-configuration matrix the bit-identity properties quantify
+/// over: (threads, min_chunk) pairs covering sequential, even multi-thread
+/// splits, chunk-starved threads and a min_chunk that forces the
+/// single-chunk fast path.
+pub fn worker_matrix() -> Vec<(usize, usize)> {
+    vec![(1, 1), (2, 64), (2, 100_000), (8, 1), (8, 512)]
+}

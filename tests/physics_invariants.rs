@@ -1,22 +1,18 @@
 //! Property-based physics invariants across the whole parameter space the
 //! machine can realistically visit — not just the MDE operating point.
 
+mod common;
+
 use cavity_in_the_loop::physics::constants::C;
 use cavity_in_the_loop::physics::machine::{MachineParams, OperatingPoint};
 use cavity_in_the_loop::physics::relativity;
 use cavity_in_the_loop::physics::synchrotron::SynchrotronCalc;
 use cavity_in_the_loop::physics::tracking::{ExactMap, MacroParticle, TwoParticleMap};
 use cavity_in_the_loop::physics::IonSpecies;
+use cavity_in_the_loop::reftrack::kernel::KernelBackend;
+use cavity_in_the_loop::reftrack::{MultiParticleTracker, TrackerConfig};
+use common::{ions, matched_case};
 use proptest::prelude::*;
-
-fn ions() -> Vec<IonSpecies> {
-    vec![
-        IonSpecies::proton(),
-        IonSpecies::n14_7plus(),
-        IonSpecies::ar40_18plus(),
-        IonSpecies::u238_73plus(),
-    ]
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -123,6 +119,44 @@ proptest! {
             max_err = max_err.max((a - b).abs());
         }
         prop_assert!(max_err < amp * 0.05, "relative deviation {}", max_err / amp);
+    }
+
+    /// The wide-lane kernel conserves mean Δγ in a stationary bucket to
+    /// the same bound as the scalar libm path, over random matched
+    /// ensembles — the polynomial sine introduces no secular energy drift.
+    #[test]
+    fn kernel_conserves_mean_dgamma_like_libm(case in matched_case(64..3_000)) {
+        let (op, e) = case.build();
+        let bucket = SynchrotronCalc::new(op.machine, op.ion)
+            .bucket_half_height_dgamma(op.f_rev(), op.v_gap_volts)
+            .unwrap();
+        let run = |backend| {
+            let mut tr = MultiParticleTracker::new(
+                op,
+                e.clone(),
+                TrackerConfig { threads: 1, min_chunk: 1, backend },
+            );
+            let mut worst = 0.0f64;
+            for _ in 0..1_000 {
+                let m = tr.step(0.0);
+                worst = worst.max(m.centroid_dgamma().abs());
+            }
+            worst
+        };
+        let libm = run(KernelBackend::Libm);
+        let poly = run(KernelBackend::Auto);
+        // The centroid of a finite matched ensemble oscillates at the
+        // ~σ_Δγ/√N statistical level, so the conservation bound carries a
+        // finite-N term on top of the 2% systematic one.
+        let rms = (e.dgamma.iter().map(|g| g * g).sum::<f64>() / e.len() as f64).sqrt();
+        let bound = bucket * 0.02 + 4.0 * rms / (e.len() as f64).sqrt();
+        prop_assert!(libm < bound, "libm drift {libm} vs bound {bound}");
+        prop_assert!(poly < bound, "poly drift {poly} vs bound {bound}");
+        // …and the two paths agree far below that bound.
+        prop_assert!(
+            (poly - libm).abs() < bucket * 1e-3,
+            "paths diverge: libm {libm}, poly {poly}, bucket {bucket}"
+        );
     }
 
     /// Energy-kick antisymmetry: early and late particles with the same
