@@ -1,0 +1,173 @@
+//! Headline ablation — cavity-failure injection × onset × compensation.
+//!
+//! Sweeps the three cavity fault kinds (quench, trip, tune drift) over a
+//! grid of onset times around the worst case — a quarter synchrotron
+//! period after a persistent 8° phase jump, at peak energy swing — and
+//! runs every cell under each RF compensation policy on the same seed.
+//! The table reports the supervisor's degradation ladder (sag detection,
+//! compensation engagement) and the survival each policy buys relative
+//! to doing nothing: the headline claim is that compensation strictly
+//! extends the beam-loss turn wherever the fault is fatal.
+
+use cil_bench::{write_csv, Table};
+use cil_core::fault::LoopEvent;
+use cil_core::harness::LoopHarness;
+use cil_core::hil::EngineKind;
+use cil_core::signalgen::PhaseJumpProgram;
+use cil_core::{CompensationPolicy, FaultProgram, LoopOutcome, LoopSupervisor, MdeScenario};
+use std::fmt::Write as _;
+
+const JUMP_S: f64 = 0.05;
+const SEED: u64 = 0xCAF0;
+
+struct Cell {
+    sag_turn: Option<usize>,
+    engaged_turn: Option<usize>,
+    boost: f64,
+    gain: f64,
+    outcome: LoopOutcome,
+}
+
+fn fault_program(kind: &str, onset_s: f64) -> FaultProgram {
+    match kind {
+        // Exponential collapse, tau = 1 ms, never recovers.
+        "quench" => FaultProgram::cavity_quench(onset_s, 1e-3, SEED),
+        // 5 ms hard dropout with a 10 ms linear recovery ramp.
+        "trip" => FaultProgram::cavity_trip(onset_s, onset_s + 5e-3, 10e-3, SEED),
+        // 200 Hz/s tune drift for 100 ms (the accumulated detuning holds).
+        "detune" => FaultProgram::cavity_detune(onset_s, onset_s + 0.1, 200.0, SEED),
+        other => panic!("unknown fault kind {other}"),
+    }
+}
+
+fn run_cell(kind: &str, onset_s: f64, policy: CompensationPolicy) -> Cell {
+    let mut s = MdeScenario::nov24_2023();
+    s.duration_s = 0.3;
+    s.bunches = 1;
+    s.jumps = PhaseJumpProgram {
+        amplitude_deg: 8.0,
+        interval_s: 10.0,
+        path_latency_s: -(10.0 - JUMP_S),
+    };
+    s.faults = fault_program(kind, onset_s);
+
+    let mut harness = LoopHarness::for_scenario(&s, true);
+    let mut sup = LoopSupervisor::for_scenario(&s);
+    sup.config.compensation = policy;
+    let trace = harness
+        .run_supervised(&s, EngineKind::Map, s.duration_s, &mut sup)
+        .expect("supervised run completes");
+
+    let sag_turn = trace.events.iter().find_map(|e| match *e {
+        LoopEvent::CavitySagDetected { turn, .. } => Some(turn),
+        _ => None,
+    });
+    let engaged_turn = trace.events.iter().find_map(|e| match *e {
+        LoopEvent::CompensationEngaged { turn, .. } => Some(turn),
+        _ => None,
+    });
+    Cell {
+        sag_turn,
+        engaged_turn,
+        boost: sup.commanded_boost(),
+        gain: sup.commanded_gain_scale(),
+        outcome: trace.outcome,
+    }
+}
+
+fn main() {
+    // Onsets: at peak energy swing (quarter synchrotron period after the
+    // jump), mid-damping, and after the loop has settled the jump.
+    let onsets = [0.0502, 0.06, 0.09];
+    let kinds = ["quench", "trip", "detune"];
+    let policies = [
+        CompensationPolicy::None,
+        CompensationPolicy::gain_rescale(),
+        CompensationPolicy::voltage_rematch(),
+    ];
+
+    println!("Headline ablation — cavity failure x onset x compensation");
+    println!("(8 deg persistent jump at {JUMP_S} s, map engine, 0.3 s budget)\n");
+    let mut t = Table::new(&[
+        "fault",
+        "onset [s]",
+        "policy",
+        "sag @",
+        "engaged @",
+        "boost",
+        "gain",
+        "outcome",
+        "vs none",
+    ]);
+    let mut csv = String::from(
+        "fault,onset_s,policy,sag_turn,engaged_turn,boost,gain_scale,\
+         survived,loss_turn,loss_time_s,loss_cause,extension_turns\n",
+    );
+    for kind in kinds {
+        for onset in onsets {
+            let mut baseline_loss: Option<usize> = None;
+            for policy in policies {
+                let cell = run_cell(kind, onset, policy);
+                let (survived, loss_turn, loss_time, cause) = match cell.outcome {
+                    LoopOutcome::Survived => (true, None, None, String::new()),
+                    LoopOutcome::Lost {
+                        turn,
+                        time_s,
+                        cause,
+                    } => (false, Some(turn), Some(time_s), format!("{cause:?}")),
+                };
+                if matches!(policy, CompensationPolicy::None) {
+                    baseline_loss = loss_turn;
+                }
+                // Turns of survival the policy buys over no compensation
+                // (only defined when the uncompensated run is fatal).
+                let extension = match (baseline_loss, loss_turn) {
+                    (Some(b), Some(t)) => Some(t as i64 - b as i64),
+                    (Some(b), None) => Some(240_000 - b as i64), // survived the full budget
+                    _ => None,
+                };
+                let outcome_str = if survived {
+                    "survived".to_string()
+                } else {
+                    format!("lost @ {}", loss_turn.unwrap())
+                };
+                t.row(&[
+                    kind.into(),
+                    format!("{onset:.4}"),
+                    policy.label().into(),
+                    cell.sag_turn.map_or("-".into(), |v| v.to_string()),
+                    cell.engaged_turn.map_or("-".into(), |v| v.to_string()),
+                    format!("{:.2}", cell.boost),
+                    format!("{:.2}", cell.gain),
+                    outcome_str,
+                    extension.map_or("-".into(), |v| format!("{v:+}")),
+                ]);
+                writeln!(
+                    csv,
+                    "{kind},{onset},{},{},{},{:.3},{:.3},{},{},{},{},{}",
+                    policy.label(),
+                    cell.sag_turn.map_or(String::new(), |v| v.to_string()),
+                    cell.engaged_turn.map_or(String::new(), |v| v.to_string()),
+                    cell.boost,
+                    cell.gain,
+                    survived,
+                    loss_turn.map_or(String::new(), |v| v.to_string()),
+                    loss_time.map_or(String::new(), |v| format!("{v:.6}")),
+                    cause,
+                    extension.map_or(String::new(), |v| v.to_string()),
+                )
+                .unwrap();
+            }
+        }
+    }
+    t.print();
+    println!("\nreading: a quench at peak energy swing is fatal under every");
+    println!("policy, but both compensations extend survival (positive 'vs");
+    println!("none'); away from peak swing the quench is survivable. A hard");
+    println!("trip is all-or-nothing — boosting a zero voltage stays zero, so");
+    println!("only the onset decides. A slow tune drift never sags the");
+    println!("voltage, evades the sag detector entirely, and is policy-");
+    println!("independent — the case for a dedicated tune monitor.");
+    let path = write_csv("ablation_cavity_failure.csv", &csv);
+    println!("\ndata -> {}", path.display());
+}

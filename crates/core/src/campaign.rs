@@ -85,6 +85,10 @@ pub enum CampaignError {
     Incompatible(&'static str),
     /// The configuration is rejected before any work starts.
     InvalidConfig(&'static str),
+    /// A shared state lock was poisoned by a panicking worker thread. The
+    /// WAL on disk is still valid (frames are CRC-framed and appended
+    /// whole), so a rerun resumes from the committed prefix.
+    Poisoned(&'static str),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -96,6 +100,7 @@ impl std::fmt::Display for CampaignError {
                 write!(f, "campaign.log belongs to a different campaign: {msg}")
             }
             Self::InvalidConfig(msg) => write!(f, "invalid campaign configuration: {msg}"),
+            Self::Poisoned(msg) => write!(f, "campaign state lock poisoned: {msg}"),
         }
     }
 }
@@ -619,7 +624,23 @@ impl<'a, P: CampaignPoint> Campaign<'a, P> {
                 };
                 let records = self.execute_shard(shard_index, worker, &digests, &f);
                 self.commit_shard(&commit, root, shard_index, &records, worker);
-                executed.lock().unwrap().insert(shard_index, records);
+                match executed.lock() {
+                    Ok(mut g) => {
+                        g.insert(shard_index, records);
+                    }
+                    Err(p) => {
+                        // Another worker panicked while holding the map;
+                        // surface a typed error through the commit channel
+                        // instead of compounding the panic.
+                        drop(p);
+                        let mut c = commit
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        c.error.get_or_insert(CampaignError::Poisoned(
+                            "executed-shard map poisoned by a worker panic",
+                        ));
+                    }
+                }
             },
             |worker| {
                 worker.arena.sample_telemetry(&worker.telemetry);
@@ -627,13 +648,24 @@ impl<'a, P: CampaignPoint> Campaign<'a, P> {
             },
         );
 
-        let commit = commit.into_inner().unwrap();
+        let commit = match commit.into_inner() {
+            Ok(c) => c,
+            Err(p) => {
+                let mut c = p.into_inner();
+                c.error.get_or_insert(CampaignError::Poisoned(
+                    "commit lock poisoned by a worker panic",
+                ));
+                c
+            }
+        };
         if let Some(e) = commit.error {
             return Err(e);
         }
 
         // Assemble outcomes in point order from resumed + executed shards.
-        let executed = executed.into_inner().unwrap();
+        let executed = executed.into_inner().map_err(|_| {
+            CampaignError::Poisoned("executed-shard map poisoned by a worker panic")
+        })?;
         let mut outcomes: Vec<Option<PointOutcome>> =
             (0..self.points.len()).map(|_| None).collect();
         for records in existing.shards.values().chain(executed.values()) {
@@ -718,12 +750,14 @@ impl<'a, P: CampaignPoint> Campaign<'a, P> {
         while !queue.is_empty() {
             // Earliest-ready first; FIFO (stable position) on ties. The
             // queue is small (one shard), so a linear scan is fine.
-            let pos = queue
+            let Some(pos) = queue
                 .iter()
                 .enumerate()
                 .min_by_key(|(i, p)| (p.ready_at, *i))
                 .map(|(i, _)| i)
-                .expect("queue is non-empty");
+            else {
+                break;
+            };
             tick = tick.max(queue[pos].ready_at) + 1;
             let mut p = queue.remove(pos);
             p.attempts += 1;
@@ -815,7 +849,19 @@ impl<'a, P: CampaignPoint> Campaign<'a, P> {
     ) {
         let frame = encode_shard(shard_index, records);
         let started = Instant::now();
-        let mut c = commit.lock().unwrap();
+        let mut c = match commit.lock() {
+            Ok(c) => c,
+            Err(p) => {
+                // A worker panicked while holding the log. The WAL append
+                // below is a single whole-frame write, so the log itself is
+                // not torn — but stop committing and report a typed error.
+                let mut c = p.into_inner();
+                c.error.get_or_insert(CampaignError::Poisoned(
+                    "commit lock poisoned by a worker panic",
+                ));
+                return;
+            }
+        };
         if c.error.is_some() {
             return;
         }
@@ -883,16 +929,25 @@ impl<'a, P: CampaignPoint> Campaign<'a, P> {
                 use std::fmt::Write as _;
                 let _ = writeln!(
                     csv,
-                    "{},{:016x},{},{},{:?}",
+                    "{},{:016x},{},{},{}",
                     o.index,
                     o.digest,
                     o.attempts,
                     o.backoff_ticks,
-                    msg.replace(['\n', '\r'], " ")
+                    Self::csv_escape_field(msg)
                 );
             }
         }
         self.write_atomic("poisoned.csv", csv.as_bytes())
+    }
+
+    /// RFC 4180 escaping for one CSV field: panic and error messages are
+    /// attacker-ish input (they quote user code), so the field is always
+    /// quoted, embedded quotes are doubled, and CR/LF are flattened to
+    /// spaces to keep one quarantined point on one physical line.
+    fn csv_escape_field(field: &str) -> String {
+        let flat = field.replace(['\n', '\r'], " ");
+        format!("\"{}\"", flat.replace('"', "\"\""))
     }
 
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> R<PathBuf> {
@@ -969,6 +1024,43 @@ mod tests {
         }
         let poisoned = fs::read_to_string(&report.poisoned_csv).unwrap();
         assert!(poisoned.contains("engine blew up on 5"));
+    }
+
+    #[test]
+    fn hostile_panic_message_stays_one_escaped_csv_field() {
+        // Panic payloads quote user code, so they can carry every CSV
+        // metacharacter at once: delimiters, quotes, CR/LF, even a fake
+        // extra row. The quarantine report must keep the whole message in
+        // one RFC 4180-quoted field on one physical line.
+        let hostile = "phase=\"NaN\", code=7,\n8,deadbeef,1,0,\"forged row\"\r\n";
+        let points: Vec<u64> = (0..2).collect();
+        let mut c = cfg(test_dir("hostile-panic"));
+        c.max_retries = 0;
+        c.workers = 1;
+        let campaign = Campaign::new(&points, c).unwrap();
+        let report = campaign
+            .run(|_w, &p| {
+                if p == 1 {
+                    panic!("{hostile}");
+                }
+                Ok(vec![p as f64])
+            })
+            .unwrap();
+        assert_eq!(report.quarantined, 1);
+
+        let poisoned = fs::read_to_string(&report.poisoned_csv).unwrap();
+        let lines: Vec<&str> = poisoned.lines().collect();
+        assert_eq!(lines.len(), 2, "header + exactly one quarantined point");
+        let row = lines[1];
+        // Four metadata columns, then the escaped message field: always
+        // quoted, embedded quotes doubled, CR/LF flattened to spaces.
+        let field = row.splitn(5, ',').nth(4).unwrap();
+        assert!(field.starts_with('"') && field.ends_with('"'));
+        assert!(field.contains("\"\"NaN\"\""), "quotes are doubled: {field}");
+        assert!(!field.contains('\n') && !field.contains('\r'));
+        // Un-escaping recovers the panic message (newlines flattened).
+        let unescaped = field[1..field.len() - 1].replace("\"\"", "\"");
+        assert!(unescaped.contains("phase=\"NaN\", code=7, 8,deadbeef"));
     }
 
     #[test]

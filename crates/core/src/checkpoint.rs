@@ -47,7 +47,8 @@ use crate::engine::{
     SignalLevelEngineState, TurnStateSnapshot,
 };
 use crate::fault::{
-    FaultInjectorState, FaultKind, LoopEvent, LossCause, StepCalibration, SupervisorState,
+    CavityPlantState, FaultInjectorState, FaultKind, LoopEvent, LossCause, StepCalibration,
+    SupervisorState,
 };
 use crate::framework::FrameworkState;
 use crate::harness::LoopTrace;
@@ -65,8 +66,10 @@ use cil_dsp::zero_crossing::ZeroCrossingState;
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CILCKPT\0";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the cavity plant
+/// (fault scale/detune phase, compensation boost), the controller gain
+/// scale and the supervisor compensation ladder to the payload.
+pub const SNAPSHOT_VERSION: u32 = 2;
 /// Trace-log block magic ("TRCB").
 const BLOCK_MAGIC: u32 = 0x5452_4342;
 /// Name of the write-ahead trace log inside a checkpoint directory.
@@ -408,10 +411,23 @@ fn dec_engine_kind(d: &mut Dec) -> R<EngineKind> {
     })
 }
 
+fn enc_cavity(e: &mut Enc, c: &CavityPlantState) {
+    e.f64(c.boost);
+    e.f64(c.phase_rad);
+}
+
+fn dec_cavity(d: &mut Dec) -> R<CavityPlantState> {
+    Ok(CavityPlantState {
+        boost: d.f64()?,
+        phase_rad: d.f64()?,
+    })
+}
+
 fn enc_turn(e: &mut Enc, t: &TurnStateSnapshot) {
     e.f64(t.time);
     e.f64(t.ctrl_phase_rad);
     e.f64(t.applied_jump_deg);
+    enc_cavity(e, &t.cavity);
 }
 
 fn dec_turn(d: &mut Dec) -> R<TurnStateSnapshot> {
@@ -419,6 +435,7 @@ fn dec_turn(d: &mut Dec) -> R<TurnStateSnapshot> {
         time: d.f64()?,
         ctrl_phase_rad: d.f64()?,
         applied_jump_deg: d.f64()?,
+        cavity: dec_cavity(d)?,
     })
 }
 
@@ -595,6 +612,8 @@ fn enc_bench(e: &mut Enc, s: &SignalBenchState) {
     e.u64(s.sample);
     e.f64(s.applied_jump_deg);
     e.f64(s.ctrl_freq_offset);
+    e.f64(s.cavity_scale);
+    e.f64(s.cavity_detune_hz);
 }
 
 fn dec_bench(d: &mut Dec) -> R<SignalBenchState> {
@@ -604,6 +623,8 @@ fn dec_bench(d: &mut Dec) -> R<SignalBenchState> {
         sample: d.u64()?,
         applied_jump_deg: d.f64()?,
         ctrl_freq_offset: d.f64()?,
+        cavity_scale: d.f64()?,
+        cavity_detune_hz: d.f64()?,
     })
 }
 
@@ -700,6 +721,7 @@ fn enc_engine_state(e: &mut Enc, s: &EngineState) {
             e.u64(s.sample);
             e.u64(s.period_admitted);
             e.u64(s.period_rejected);
+            enc_cavity(e, &s.cavity);
         }
     }
 }
@@ -745,6 +767,7 @@ fn dec_engine_state(d: &mut Dec) -> R<EngineState> {
             sample: d.u64()?,
             period_admitted: d.u64()?,
             period_rejected: d.u64()?,
+            cavity: dec_cavity(d)?,
         })),
         _ => return Err(CheckpointError::Malformed("engine state tag out of range")),
     })
@@ -758,6 +781,7 @@ fn enc_controller(e: &mut Enc, s: &ControllerState) {
     e.u32(s.acc_n);
     e.f64(s.last_output);
     e.bool(s.enabled);
+    e.f64(s.gain_scale);
 }
 
 fn dec_controller(d: &mut Dec) -> R<ControllerState> {
@@ -769,6 +793,7 @@ fn dec_controller(d: &mut Dec) -> R<ControllerState> {
         acc_n: d.u32()?,
         last_output: d.f64()?,
         enabled: d.bool()?,
+        gain_scale: d.f64()?,
     })
 }
 
@@ -794,6 +819,9 @@ fn enc_supervisor(e: &mut Enc, s: &SupervisorState) {
         enc_engine_kind(e, &c.kind);
         e.f64(c.step_seconds);
     });
+    e.f64(s.boost);
+    e.f64(s.gain_scale);
+    e.bool(s.sag_latched);
 }
 
 fn dec_supervisor(d: &mut Dec) -> R<SupervisorState> {
@@ -807,6 +835,9 @@ fn dec_supervisor(d: &mut Dec) -> R<SupervisorState> {
                 step_seconds: d.f64()?,
             })
         })?,
+        boost: d.f64()?,
+        gain_scale: d.f64()?,
+        sag_latched: d.bool()?,
     })
 }
 
@@ -853,6 +884,18 @@ fn enc_fault_kind(e: &mut Enc, k: &FaultKind) {
             e.u8(7);
             e.f64(factor);
         }
+        FaultKind::CavityDetune { drift_hz_per_s } => {
+            e.u8(8);
+            e.f64(drift_hz_per_s);
+        }
+        FaultKind::CavityQuench { collapse_s } => {
+            e.u8(9);
+            e.f64(collapse_s);
+        }
+        FaultKind::CavityTrip { recover_s } => {
+            e.u8(10);
+            e.f64(recover_s);
+        }
     }
 }
 
@@ -877,6 +920,15 @@ fn dec_fault_kind(d: &mut Dec) -> R<FaultKind> {
         },
         6 => FaultKind::BeamLoss,
         7 => FaultKind::DeadlineOverrun { factor: d.f64()? },
+        8 => FaultKind::CavityDetune {
+            drift_hz_per_s: d.f64()?,
+        },
+        9 => FaultKind::CavityQuench {
+            collapse_s: d.f64()?,
+        },
+        10 => FaultKind::CavityTrip {
+            recover_s: d.f64()?,
+        },
         _ => return Err(CheckpointError::Malformed("fault kind tag out of range")),
     })
 }
@@ -888,6 +940,7 @@ fn enc_loss_cause(e: &mut Enc, c: &LossCause) {
         LossCause::BucketOverdemand => 2,
         LossCause::OutOfBucket => 3,
         LossCause::Watchdog => 4,
+        LossCause::CavityFault => 5,
     });
 }
 
@@ -898,6 +951,7 @@ fn dec_loss_cause(d: &mut Dec) -> R<LossCause> {
         2 => LossCause::BucketOverdemand,
         3 => LossCause::OutOfBucket,
         4 => LossCause::Watchdog,
+        5 => LossCause::CavityFault,
         _ => return Err(CheckpointError::Malformed("loss cause tag out of range")),
     })
 }
@@ -978,6 +1032,28 @@ fn enc_event(e: &mut Enc, ev: &LoopEvent) {
             e.usize(turn);
             e.f64(time_s);
         }
+        LoopEvent::CavitySagDetected {
+            turn,
+            time_s,
+            voltage_scale,
+        } => {
+            e.u8(8);
+            e.usize(turn);
+            e.f64(time_s);
+            e.f64(voltage_scale);
+        }
+        LoopEvent::CompensationEngaged {
+            turn,
+            time_s,
+            boost,
+            gain_scale,
+        } => {
+            e.u8(9);
+            e.usize(turn);
+            e.f64(time_s);
+            e.f64(boost);
+            e.f64(gain_scale);
+        }
     }
 }
 
@@ -1024,6 +1100,17 @@ fn dec_event(d: &mut Dec) -> R<LoopEvent> {
         7 => LoopEvent::CheckpointRejected {
             turn: d.usize()?,
             time_s: d.f64()?,
+        },
+        8 => LoopEvent::CavitySagDetected {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+            voltage_scale: d.f64()?,
+        },
+        9 => LoopEvent::CompensationEngaged {
+            turn: d.usize()?,
+            time_s: d.f64()?,
+            boost: d.f64()?,
+            gain_scale: d.f64()?,
         },
         _ => return Err(CheckpointError::Malformed("event tag out of range")),
     })
@@ -1637,6 +1724,10 @@ mod tests {
                     time: 6.4e-4,
                     ctrl_phase_rad: 0.25,
                     applied_jump_deg: 8.0,
+                    cavity: CavityPlantState {
+                        boost: 1.5,
+                        phase_rad: 0.01,
+                    },
                 },
             }),
             controller: ControllerState {
@@ -1650,6 +1741,7 @@ mod tests {
                 acc_n: 3,
                 last_output: -120.0,
                 enabled: true,
+                gain_scale: 1.25,
             },
             injector: FaultInjectorState {
                 rng: 0xDEAD_BEEF,
@@ -1664,6 +1756,9 @@ mod tests {
                     kind: EngineKind::Cgra,
                     step_seconds: 3.2e-6,
                 }),
+                boost: 1.5,
+                gain_scale: 1.0,
+                sag_latched: true,
             }),
             ctrl_phase_rad: 0.25,
             last_jump_deg: 8.0,

@@ -68,6 +68,65 @@ impl ControllerParams {
     }
 }
 
+/// How the supervisor compensates a degraded RF plant (cavity quench, trip
+/// or tune drift — the C-ADS cavity-failure rematch scenario, PAPERS.md).
+/// Policies are pure configuration; the run-time ladder state (commanded
+/// boost, gain multiplier, sag latch) lives in
+/// [`crate::fault::LoopSupervisor`] and is checkpointed with it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CompensationPolicy {
+    /// No compensation: ride the degraded plant until the beam is lost.
+    #[default]
+    None,
+    /// Retune the controller gain to the surviving voltage: the loop gain
+    /// is multiplied by `1/sqrt(scale)` — the synchrotron frequency, and
+    /// with it the plant gain of the phase loop, scales with `sqrt(V)` —
+    /// capped at `max_gain_scale`.
+    GainRescale {
+        /// Cap on the gain multiplier (the controller has finite headroom
+        /// before its own phase margin goes).
+        max_gain_scale: f64,
+    },
+    /// Command the signal generator to raise the reference amplitude toward
+    /// the pre-fault bucket area. The boost is slew-rate-limited per
+    /// decimated actuation interval and observes the *effective* (already
+    /// boosted) voltage, so it stops commanding once the sag is healed —
+    /// closed-loop anti-windup rather than open-loop inversion.
+    VoltageRematch {
+        /// Maximum boost change per controller actuation interval.
+        slew_per_update: f64,
+        /// Hard amplifier ceiling on the commanded boost.
+        max_boost: f64,
+    },
+}
+
+impl CompensationPolicy {
+    /// Gain-rescale policy with the default 4x gain headroom.
+    pub fn gain_rescale() -> Self {
+        Self::GainRescale {
+            max_gain_scale: 4.0,
+        }
+    }
+
+    /// Voltage-rematch policy with the default slew (5 % of nominal per
+    /// actuation tick) and a 3x amplifier ceiling.
+    pub fn voltage_rematch() -> Self {
+        Self::VoltageRematch {
+            slew_per_update: 0.05,
+            max_boost: 3.0,
+        }
+    }
+
+    /// Short label for tables and CSV columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::GainRescale { .. } => "gain_rescale",
+            Self::VoltageRematch { .. } => "voltage_rematch",
+        }
+    }
+}
+
 /// One decimated controller step under a supervisor-imposed limit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LimitedControl {
@@ -94,6 +153,9 @@ pub struct BeamPhaseController {
     acc_n: u32,
     /// Last actuation output, Hz.
     last_output: f64,
+    /// Supervisor-commanded gain multiplier ([`CompensationPolicy::
+    /// GainRescale`]); 1.0 = nominal.
+    gain_scale: f64,
     /// True when the loop is closed (false = monitoring only).
     pub enabled: bool,
 }
@@ -112,8 +174,22 @@ impl BeamPhaseController {
             acc: 0.0,
             acc_n: 0,
             last_output: 0.0,
+            gain_scale: 1.0,
             enabled: true,
         }
+    }
+
+    /// Supervisor-commanded gain multiplier in force (1.0 = nominal).
+    pub fn gain_scale(&self) -> f64 {
+        self.gain_scale
+    }
+
+    /// Set the gain multiplier ([`CompensationPolicy::GainRescale`] path).
+    /// Multiplies the effective loop gain on every subsequent decimated
+    /// step; 1.0 restores the nominal gain exactly.
+    pub fn set_gain_scale(&mut self, scale: f64) {
+        assert!(scale.is_finite() && scale > 0.0);
+        self.gain_scale = scale;
     }
 
     /// Feed one per-revolution phase measurement (degrees at the RF
@@ -132,7 +208,7 @@ impl BeamPhaseController {
 
         let ac = self.dc.push(avg);
         let filtered = self.fir.push(ac);
-        let raw = self.params.effective_gain_hz_per_deg() * filtered;
+        let raw = self.params.effective_gain_hz_per_deg() * self.gain_scale * filtered;
         let clamped = raw.clamp(
             -self.params.max_freq_offset_hz,
             self.params.max_freq_offset_hz,
@@ -165,7 +241,7 @@ impl BeamPhaseController {
         let dc_snapshot = self.dc;
         let ac = self.dc.push(avg);
         let filtered = self.fir.push(ac);
-        let raw = self.params.effective_gain_hz_per_deg() * filtered;
+        let raw = self.params.effective_gain_hz_per_deg() * self.gain_scale * filtered;
         let lim = limit_hz.min(self.params.max_freq_offset_hz).max(0.0);
         let clamped_flag = raw.abs() > lim;
         if clamped_flag {
@@ -215,6 +291,7 @@ impl BeamPhaseController {
             acc: self.acc,
             acc_n: self.acc_n,
             last_output: self.last_output,
+            gain_scale: self.gain_scale,
             enabled: self.enabled,
         }
     }
@@ -230,6 +307,7 @@ impl BeamPhaseController {
         self.acc = state.acc;
         self.acc_n = state.acc_n;
         self.last_output = state.last_output;
+        self.gain_scale = state.gain_scale;
         self.enabled = state.enabled;
         true
     }
@@ -250,6 +328,8 @@ pub struct ControllerState {
     pub acc_n: u32,
     /// Last actuation output, Hz.
     pub last_output: f64,
+    /// Supervisor-commanded gain multiplier.
+    pub gain_scale: f64,
     /// Loop-closed gate.
     pub enabled: bool,
 }

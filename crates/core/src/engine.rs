@@ -18,7 +18,7 @@
 //! plus [`RampEngine`], the acceleration-ramp variant of the map.
 
 use crate::error::{CilError, Result};
-use crate::fault::{FaultProgram, LossCause};
+use crate::fault::{CavityPlant, CavityPlantState, FaultProgram, LossCause};
 use crate::scenario::MdeScenario;
 use crate::signalgen::{PhaseJumpProgram, SignalBench};
 use cil_cgra::cache::CompiledKernel;
@@ -188,6 +188,30 @@ pub trait BeamEngine {
         let _ = (time_s, ctrl_phase_rad);
     }
 
+    /// Effective cavity voltage scale currently in force (scheduled fault
+    /// scale × commanded boost) — the supervisor's audit channel for the
+    /// voltage-sag estimator. 1.0 for engines without a cavity plant.
+    fn cavity_voltage_scale(&self) -> f64 {
+        1.0
+    }
+
+    /// Command the plant-side voltage boost (the VoltageRematch path: the
+    /// supervisor raises the reference amplitude toward the pre-fault
+    /// bucket area). 1.0 restores nominal. Engines without a cavity plant
+    /// ignore it.
+    fn command_voltage(&mut self, _boost: f64) {}
+
+    /// Snapshot of the cavity plant's dynamic state (commanded boost,
+    /// integrated detune phase).
+    fn cavity_state(&self) -> CavityPlantState {
+        CavityPlantState::default()
+    }
+
+    /// Restore a cavity plant state — used when the supervisor swaps a
+    /// freshly built engine in mid-run, so the accumulated detune phase and
+    /// the commanded boost survive the fidelity demotion.
+    fn restore_cavity(&mut self, _state: &CavityPlantState) {}
+
     /// Export engine-internal statistics into `telemetry` (called by the
     /// harness when a run finishes). Default: nothing to report. Engines
     /// with internal DSP state (the signal-level chain) override this to
@@ -235,6 +259,8 @@ pub struct TurnStateSnapshot {
     pub ctrl_phase_rad: f64,
     /// Jump offset in force, degrees.
     pub applied_jump_deg: f64,
+    /// Cavity plant dynamic state (boost command, integrated detune phase).
+    pub cavity: CavityPlantState,
 }
 
 /// Checkpointable state of a [`MapEngine`].
@@ -321,6 +347,8 @@ pub struct SignalLevelEngineState {
     pub period_admitted: u64,
     /// Period-guard rejections.
     pub period_rejected: u64,
+    /// Cavity plant dynamic state.
+    pub cavity: CavityPlantState,
 }
 
 /// Which beam-model engine a turn-level executive uses.
@@ -392,11 +420,12 @@ impl TurnState {
         self.applied_jump_deg.to_radians() + self.ctrl_phase_rad
     }
 
-    fn snapshot(&self) -> TurnStateSnapshot {
+    fn snapshot(&self, cavity: CavityPlantState) -> TurnStateSnapshot {
         TurnStateSnapshot {
             time: self.time,
             ctrl_phase_rad: self.ctrl_phase_rad,
             applied_jump_deg: self.applied_jump_deg,
+            cavity,
         }
     }
 
@@ -414,6 +443,7 @@ pub struct MapEngine {
     f_rf: f64,
     t_rev: f64,
     state: TurnState,
+    plant: CavityPlant,
 }
 
 impl MapEngine {
@@ -426,6 +456,7 @@ impl MapEngine {
             f_rf: op.f_rf(),
             t_rev: 1.0 / s.f_rev,
             state: TurnState::default(),
+            plant: CavityPlant::from_program(&s.faults),
         })
     }
 }
@@ -441,9 +472,28 @@ impl BeamEngine for MapEngine {
 
     fn step(&mut self, jumps: &PhaseJumpProgram, phase_out: &mut [f64]) -> EngineStep {
         let gap_phase = self.state.gap_phase_rad(jumps);
-        let dt = self.map.step_stationary(self.v_hat, gap_phase);
-        phase_out[0] = dt * self.f_rf * 360.0;
+        if self.plant.is_idle() {
+            // The original code path, untouched: a fault-free (or
+            // zero-amplitude) run stays bit-identical.
+            let dt = self.map.step_stationary(self.v_hat, gap_phase);
+            phase_out[0] = dt * self.f_rf * 360.0;
+            self.state.time += self.t_rev;
+            return EngineStep::Measured;
+        }
+        let c = self.plant.advance(self.state.time, self.t_rev);
+        let dt = self
+            .map
+            .step_stationary(self.v_hat * c.scale, gap_phase + c.phase_rad);
+        let deg = dt * self.f_rf * 360.0;
+        phase_out[0] = deg;
         self.state.time += self.t_rev;
+        if !deg.is_finite() {
+            return EngineStep::Lost(LossCause::NonFinitePhase);
+        }
+        if deg.abs() > 180.0 {
+            // The degraded plant shrank the bucket until the beam left it.
+            return EngineStep::Lost(LossCause::CavityFault);
+        }
         EngineStep::Measured
     }
 
@@ -460,12 +510,28 @@ impl BeamEngine for MapEngine {
         self.state.ctrl_phase_rad = ctrl_phase_rad;
     }
 
+    fn cavity_voltage_scale(&self) -> f64 {
+        self.plant.effective_scale_at(self.state.time)
+    }
+
+    fn command_voltage(&mut self, boost: f64) {
+        self.plant.command_boost(boost);
+    }
+
+    fn cavity_state(&self) -> CavityPlantState {
+        self.plant.state()
+    }
+
+    fn restore_cavity(&mut self, state: &CavityPlantState) {
+        self.plant.restore(state);
+    }
+
     fn save_state(&self) -> EngineState {
         EngineState::Map(MapEngineState {
             gamma_r: self.map.reference.gamma,
             dgamma: self.map.particle.dgamma,
             dt: self.map.particle.dt,
-            turn: self.state.snapshot(),
+            turn: self.state.snapshot(self.plant.state()),
         })
     }
 
@@ -477,6 +543,7 @@ impl BeamEngine for MapEngine {
         self.map.particle.dgamma = s.dgamma;
         self.map.particle.dt = s.dt;
         self.state.restore(&s.turn);
+        self.plant.restore(&s.turn.cavity);
         true
     }
 }
@@ -489,6 +556,9 @@ struct AnalyticBus {
     sample_rate: f64,
     /// ADC-side amplitudes (the kernel multiplies by its scale factors).
     amp: f64,
+    /// Gap-channel amplitude: `amp` scaled by the cavity plant's effective
+    /// voltage scale (equal to `amp` while the plant is nominal).
+    gap_amp: f64,
     gap_phase_rad: f64,
     /// Injected gap-DDS dropout: the gap port reads 0 V while set.
     gap_dropout: bool,
@@ -502,7 +572,7 @@ impl SensorBus for AnalyticBus {
             PORT_PERIOD => 1.0 / self.f_rev,
             PORT_REF_BUF => self.amp * (TWO_PI * self.f_rev * t).sin(),
             PORT_GAP_BUF if self.gap_dropout => 0.0,
-            PORT_GAP_BUF => self.amp * (TWO_PI * self.f_rf * t + self.gap_phase_rad).sin(),
+            PORT_GAP_BUF => self.gap_amp * (TWO_PI * self.f_rf * t + self.gap_phase_rad).sin(),
             _ => 0.0,
         }
     }
@@ -525,6 +595,7 @@ pub struct CgraEngine {
     t_rev: f64,
     state: TurnState,
     faults: FaultProgram,
+    plant: CavityPlant,
     /// Caller-owned output scratch for the executor's allocation-free path.
     out_scratch: Vec<(u16, f64)>,
     /// Replay the legacy node-walk instead of the micro-op plan (benchmark
@@ -567,6 +638,7 @@ impl CgraEngine {
             f_rf,
             sample_rate: 250e6,
             amp: s.adc_amplitude,
+            gap_amp: s.adc_amplitude,
             gap_phase_rad: 0.0,
             gap_dropout: false,
             dt_out: vec![0.0; bunches],
@@ -592,6 +664,7 @@ impl CgraEngine {
             t_rev: 1.0 / s.f_rev,
             state: TurnState::default(),
             faults: s.faults.clone(),
+            plant: CavityPlant::from_program(&s.faults),
             out_scratch: Vec::with_capacity(output_count),
             nodewalk: false,
         })
@@ -624,6 +697,15 @@ impl BeamEngine for CgraEngine {
         if !self.faults.is_empty() {
             self.bus.gap_dropout = self.faults.sample_faults_at(self.state.time).dds_dropout;
         }
+        let cavity_active = !self.plant.is_idle();
+        if cavity_active {
+            // The degraded cavity enters through the bus: the kernel's
+            // simulated beam feels the scaled gap voltage and the
+            // accumulated detune phase like every other fidelity.
+            let c = self.plant.advance(self.state.time, self.t_rev);
+            self.bus.gap_amp = self.bus.amp * c.scale;
+            self.bus.gap_phase_rad += c.phase_rad;
+        }
         let run = if self.nodewalk {
             self.executor
                 .try_run_iteration_nodewalk(&mut self.bus, &[])
@@ -642,6 +724,9 @@ impl BeamEngine for CgraEngine {
         if phase_out.iter().any(|p| !p.is_finite()) {
             return EngineStep::Lost(LossCause::NonFinitePhase);
         }
+        if cavity_active && phase_out.iter().any(|p| p.abs() > 180.0) {
+            return EngineStep::Lost(LossCause::CavityFault);
+        }
         EngineStep::Measured
     }
 
@@ -658,13 +743,29 @@ impl BeamEngine for CgraEngine {
         self.state.ctrl_phase_rad = ctrl_phase_rad;
     }
 
+    fn cavity_voltage_scale(&self) -> f64 {
+        self.plant.effective_scale_at(self.state.time)
+    }
+
+    fn command_voltage(&mut self, boost: f64) {
+        self.plant.command_boost(boost);
+    }
+
+    fn cavity_state(&self) -> CavityPlantState {
+        self.plant.state()
+    }
+
+    fn restore_cavity(&mut self, state: &CavityPlantState) {
+        self.plant.restore(state);
+    }
+
     fn save_state(&self) -> EngineState {
         EngineState::Cgra(CgraEngineState {
             executor: self.executor.state(),
             gap_phase_rad: self.bus.gap_phase_rad,
             gap_dropout: self.bus.gap_dropout,
             dt_out: self.bus.dt_out.clone(),
-            turn: self.state.snapshot(),
+            turn: self.state.snapshot(self.plant.state()),
         })
     }
 
@@ -679,6 +780,7 @@ impl BeamEngine for CgraEngine {
         self.bus.gap_dropout = s.gap_dropout;
         self.bus.dt_out = s.dt_out.clone();
         self.state.restore(&s.turn);
+        self.plant.restore(&s.turn.cavity);
         true
     }
 }
@@ -689,6 +791,7 @@ pub struct RefTrackEngine {
     tracker: MultiParticleTracker,
     t_rev: f64,
     state: TurnState,
+    plant: CavityPlant,
 }
 
 impl RefTrackEngine {
@@ -710,6 +813,7 @@ impl RefTrackEngine {
             tracker: MultiParticleTracker::new(op, ensemble, TrackerConfig::default()),
             t_rev: 1.0 / s.f_rev,
             state: TurnState::default(),
+            plant: CavityPlant::from_program(&s.faults),
         })
     }
 
@@ -744,9 +848,23 @@ impl BeamEngine for RefTrackEngine {
 
     fn step(&mut self, jumps: &PhaseJumpProgram, phase_out: &mut [f64]) -> EngineStep {
         let gap_phase = self.state.gap_phase_rad(jumps);
-        let moments = self.tracker.step(gap_phase);
-        phase_out[0] = self.tracker.phase_deg_of_dt(moments.centroid_dt());
+        if self.plant.is_idle() {
+            let moments = self.tracker.step(gap_phase);
+            phase_out[0] = self.tracker.phase_deg_of_dt(moments.centroid_dt());
+            self.state.time += self.t_rev;
+            return EngineStep::Measured;
+        }
+        let c = self.plant.advance(self.state.time, self.t_rev);
+        let moments = self.tracker.step_scaled(gap_phase + c.phase_rad, c.scale);
+        let deg = self.tracker.phase_deg_of_dt(moments.centroid_dt());
+        phase_out[0] = deg;
         self.state.time += self.t_rev;
+        if !deg.is_finite() {
+            return EngineStep::Lost(LossCause::NonFinitePhase);
+        }
+        if deg.abs() > 180.0 {
+            return EngineStep::Lost(LossCause::CavityFault);
+        }
         EngineStep::Measured
     }
 
@@ -763,12 +881,28 @@ impl BeamEngine for RefTrackEngine {
         self.state.ctrl_phase_rad = ctrl_phase_rad;
     }
 
+    fn cavity_voltage_scale(&self) -> f64 {
+        self.plant.effective_scale_at(self.state.time)
+    }
+
+    fn command_voltage(&mut self, boost: f64) {
+        self.plant.command_boost(boost);
+    }
+
+    fn cavity_state(&self) -> CavityPlantState {
+        self.plant.state()
+    }
+
+    fn restore_cavity(&mut self, state: &CavityPlantState) {
+        self.plant.restore(state);
+    }
+
     fn save_state(&self) -> EngineState {
         EngineState::RefTrack(RefTrackEngineState {
             dt: self.tracker.ensemble.dt.clone(),
             dgamma: self.tracker.ensemble.dgamma.clone(),
             tracker_turn: self.tracker.turn,
-            turn: self.state.snapshot(),
+            turn: self.state.snapshot(self.plant.state()),
         })
     }
 
@@ -783,6 +917,7 @@ impl BeamEngine for RefTrackEngine {
         self.tracker.ensemble.dgamma = s.dgamma.clone();
         self.tracker.turn = s.tracker_turn;
         self.state.restore(&s.turn);
+        self.plant.restore(&s.turn.cavity);
         true
     }
 
@@ -930,6 +1065,7 @@ pub struct SignalLevelEngine {
     sample_rate: f64,
     sample: u64,
     faults: FaultProgram,
+    plant: CavityPlant,
     /// Period-guard verdicts: detector-period updates admitted vs rejected
     /// as transient mis-measurements (exported via `sample_telemetry`).
     period_admitted: u64,
@@ -965,6 +1101,7 @@ impl SignalLevelEngine {
             sample_rate,
             sample: 0,
             faults: s.faults.clone(),
+            plant: CavityPlant::from_program(&s.faults),
             period_admitted: 0,
             period_rejected: 0,
         })
@@ -992,6 +1129,15 @@ impl BeamEngine for SignalLevelEngine {
             let sf = self.faults.sample_faults_at(self.time());
             self.fw.set_adc_fault(sf.adc);
             self.bench.gap.set_dropout(sf.dds_dropout);
+        }
+        if !self.plant.is_idle() {
+            // The signal chain applies the cavity plant on the real DDS:
+            // scaled gap amplitude, and the detuning as a true frequency
+            // offset (the phase accumulator integrates it for real, where
+            // the turn-level engines integrate analytically).
+            let t = self.time();
+            self.bench
+                .set_cavity(self.plant.effective_scale_at(t), self.plant.detune_hz_at(t));
         }
         // At most two revolutions per step: during detector warm-up no
         // measurement fires, and the harness must still observe time moving.
@@ -1026,6 +1172,22 @@ impl BeamEngine for SignalLevelEngine {
         self.bench.applied_jump_deg()
     }
 
+    fn cavity_voltage_scale(&self) -> f64 {
+        self.plant.effective_scale_at(self.time())
+    }
+
+    fn command_voltage(&mut self, boost: f64) {
+        self.plant.command_boost(boost);
+    }
+
+    fn cavity_state(&self) -> CavityPlantState {
+        self.plant.state()
+    }
+
+    fn restore_cavity(&mut self, state: &CavityPlantState) {
+        self.plant.restore(state);
+    }
+
     fn save_state(&self) -> EngineState {
         EngineState::SignalLevel(Box::new(SignalLevelEngineState {
             bench: self.bench.state(),
@@ -1035,6 +1197,7 @@ impl BeamEngine for SignalLevelEngine {
             sample: self.sample,
             period_admitted: self.period_admitted,
             period_rejected: self.period_rejected,
+            cavity: self.plant.state(),
         }))
     }
 
@@ -1054,6 +1217,7 @@ impl BeamEngine for SignalLevelEngine {
         self.sample = s.sample;
         self.period_admitted = s.period_admitted;
         self.period_rejected = s.period_rejected;
+        self.plant.restore(&s.cavity);
         true
     }
 

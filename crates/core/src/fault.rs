@@ -68,6 +68,29 @@ pub enum FaultKind {
         /// Multiplier on the modelled step cost (1.0 = no effect).
         factor: f64,
     },
+    /// RF cavity tune drifts while the event is active: the gap frequency
+    /// walks away from the set value at `drift_hz_per_s`, and the
+    /// accumulated detuning *holds* after the window closes (a drifted
+    /// tuner does not spring back on its own).
+    CavityDetune {
+        /// Tune drift rate, Hz of gap-frequency error per second.
+        drift_hz_per_s: f64,
+    },
+    /// Cavity quench: from `start_s` the effective gap voltage collapses
+    /// exponentially to zero with time constant `collapse_s`. A quench does
+    /// not recover — the collapse continues past `end_s` (set
+    /// `end_s = f64::INFINITY` by convention; the window end is ignored).
+    CavityQuench {
+        /// Exponential collapse time constant, seconds.
+        collapse_s: f64,
+    },
+    /// Cavity trip: the gap voltage is hard-off on `[start_s, end_s)`, then
+    /// ramps linearly back to nominal over `recover_s` (the interlock
+    /// clears and the amplifier is brought back up on a timed ramp).
+    CavityTrip {
+        /// Recovery ramp duration after `end_s`, seconds (≤ 0 = instant).
+        recover_s: f64,
+    },
 }
 
 impl FaultKind {
@@ -82,8 +105,22 @@ impl FaultKind {
             } => probability <= 0.0 || amplitude_deg == 0.0,
             Self::NanBurst { probability } => probability <= 0.0,
             Self::DeadlineOverrun { factor } => factor == 1.0,
+            // A zero drift rate never moves the tune; an infinite collapse
+            // time constant never sags the voltage. A trip is never a noop
+            // (it zeroes the voltage for the whole window by definition).
+            Self::CavityDetune { drift_hz_per_s } => drift_hz_per_s == 0.0,
+            Self::CavityQuench { collapse_s } => collapse_s == f64::INFINITY,
             _ => false,
         }
+    }
+
+    /// True for the cavity-level (plant-side) faults, which act on the
+    /// effective gap voltage / detuning rather than on the signal chain.
+    pub fn is_cavity(&self) -> bool {
+        matches!(
+            self,
+            Self::CavityDetune { .. } | Self::CavityQuench { .. } | Self::CavityTrip { .. }
+        )
     }
 }
 
@@ -160,6 +197,55 @@ impl FaultProgram {
         }
     }
 
+    /// A single cavity quench starting at `start_s` with collapse time
+    /// constant `collapse_s` (the window never closes — a quench does not
+    /// recover).
+    pub fn cavity_quench(start_s: f64, collapse_s: f64, seed: u64) -> Self {
+        Self {
+            seed,
+            events: vec![FaultEvent {
+                start_s,
+                end_s: f64::INFINITY,
+                kind: FaultKind::CavityQuench { collapse_s },
+            }],
+        }
+    }
+
+    /// A single cavity trip on `[start_s, end_s)` with a `recover_s` linear
+    /// recovery ramp.
+    pub fn cavity_trip(start_s: f64, end_s: f64, recover_s: f64, seed: u64) -> Self {
+        Self {
+            seed,
+            events: vec![FaultEvent {
+                start_s,
+                end_s,
+                kind: FaultKind::CavityTrip { recover_s },
+            }],
+        }
+    }
+
+    /// A single cavity tune drift on `[start_s, end_s)` at `drift_hz_per_s`
+    /// (the accumulated detuning holds after the window).
+    pub fn cavity_detune(start_s: f64, end_s: f64, drift_hz_per_s: f64, seed: u64) -> Self {
+        Self {
+            seed,
+            events: vec![FaultEvent {
+                start_s,
+                end_s,
+                kind: FaultKind::CavityDetune { drift_hz_per_s },
+            }],
+        }
+    }
+
+    /// Whether the program schedules any non-noop cavity-level fault. The
+    /// engines use this to skip the cavity plant entirely — a zero-amplitude
+    /// cavity program must leave the run bit-identical to a fault-free one.
+    pub fn has_cavity_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|ev| ev.kind.is_cavity() && !ev.kind.is_noop())
+    }
+
     /// Signal-chain faults (ADC, DDS) in effect at time `t`. Deterministic —
     /// no randomness is involved in *whether* these apply, only the schedule.
     pub fn sample_faults_at(&self, t: f64) -> SampleFaults {
@@ -180,6 +266,181 @@ impl FaultProgram {
     }
 }
 
+/// Cavity plant condition at one instant, as sampled by an engine step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CavitySample {
+    /// Effective gap-voltage scale (scheduled fault scale × commanded
+    /// boost); 1.0 = nominal.
+    pub scale: f64,
+    /// Accumulated detune phase offset at the gap, radians.
+    pub phase_rad: f64,
+    /// Instantaneous gap-frequency detuning, Hz (signal-level engines apply
+    /// this directly on the DDS instead of the integrated phase).
+    pub detune_hz: f64,
+}
+
+/// The plant-side fault hook: the time-varying effective gap voltage and
+/// detuning every engine fidelity samples each step, so the map, CGRA
+/// (plan and walk), reference tracker and full signal chain all see the
+/// *same* degraded cavity.
+///
+/// Built from the scenario's [`FaultProgram`] at engine construction; only
+/// non-noop cavity events are kept, so a zero-amplitude cavity program
+/// yields an idle plant and the engine takes its original code path —
+/// bit-identical to a fault-free run by construction. The plant draws no
+/// randomness: the voltage scale and detuning are pure functions of time,
+/// and only the integrated detune phase (plus the supervisor-commanded
+/// boost) is dynamic state, captured in [`CavityPlantState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CavityPlant {
+    events: Vec<FaultEvent>,
+    /// Supervisor-commanded voltage boost (VoltageRematch); 1.0 = none.
+    boost: f64,
+    /// Integrated detune phase offset, radians.
+    phase_rad: f64,
+}
+
+impl CavityPlant {
+    /// Plant for the cavity-level events of `program` (noop events are
+    /// dropped without touching the injector's RNG stream).
+    pub fn from_program(program: &FaultProgram) -> Self {
+        Self {
+            events: program
+                .events
+                .iter()
+                .filter(|ev| ev.kind.is_cavity() && !ev.kind.is_noop())
+                .copied()
+                .collect(),
+            boost: 1.0,
+            phase_rad: 0.0,
+        }
+    }
+
+    /// An always-nominal plant.
+    pub fn none() -> Self {
+        Self::from_program(&FaultProgram::none())
+    }
+
+    /// True when the plant can never deviate from nominal: no scheduled
+    /// cavity events *and* no commanded boost. Engines skip the cavity path
+    /// entirely while idle, which is what makes a zero-amplitude program
+    /// bit-identical to a fault-free run.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty() && self.boost == 1.0
+    }
+
+    /// Whether any cavity event is scheduled (idle or not).
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Scheduled (un-boosted) voltage scale at time `t`: the product over
+    /// all quench/trip events of their individual collapse/recovery
+    /// factors. 1.0 = nominal.
+    pub fn fault_scale_at(&self, t: f64) -> f64 {
+        let mut scale = 1.0;
+        for ev in &self.events {
+            match ev.kind {
+                // A quench never recovers: the collapse continues past
+                // the window end.
+                FaultKind::CavityQuench { collapse_s } if t >= ev.start_s => {
+                    scale *= (-(t - ev.start_s) / collapse_s).exp();
+                }
+                FaultKind::CavityTrip { recover_s } => {
+                    if ev.active_at(t) {
+                        scale = 0.0;
+                    } else if t >= ev.end_s && recover_s > 0.0 && t < ev.end_s + recover_s {
+                        scale *= (t - ev.end_s) / recover_s;
+                    }
+                }
+                _ => {}
+            }
+        }
+        scale
+    }
+
+    /// Instantaneous gap-frequency detuning at time `t`, Hz: drift-rate ×
+    /// elapsed active time per detune event, holding the accumulated value
+    /// after each window closes.
+    pub fn detune_hz_at(&self, t: f64) -> f64 {
+        let mut detune = 0.0;
+        for ev in &self.events {
+            if let FaultKind::CavityDetune { drift_hz_per_s } = ev.kind {
+                if t >= ev.start_s {
+                    detune += drift_hz_per_s * (t.min(ev.end_s) - ev.start_s);
+                }
+            }
+        }
+        detune
+    }
+
+    /// Effective voltage scale (fault scale × commanded boost) at `t` —
+    /// the supervisor's audit channel for sag detection.
+    pub fn effective_scale_at(&self, t: f64) -> f64 {
+        self.fault_scale_at(t) * self.boost
+    }
+
+    /// Sample the plant for one engine step starting at `t` and spanning
+    /// `dt` seconds, integrating the detune phase. Turn-level engines add
+    /// `phase_rad` to the gap phase and multiply the gap voltage by
+    /// `scale`; the signal-level engine applies `detune_hz` on the DDS
+    /// (whose phase accumulator does the integration for real).
+    pub fn advance(&mut self, t: f64, dt: f64) -> CavitySample {
+        let detune_hz = self.detune_hz_at(t);
+        self.phase_rad += std::f64::consts::TAU * detune_hz * dt;
+        CavitySample {
+            scale: self.effective_scale_at(t),
+            phase_rad: self.phase_rad,
+            detune_hz,
+        }
+    }
+
+    /// Supervisor-commanded voltage boost in force.
+    pub fn boost(&self) -> f64 {
+        self.boost
+    }
+
+    /// Command a voltage boost (VoltageRematch). 1.0 restores nominal.
+    pub fn command_boost(&mut self, boost: f64) {
+        assert!(boost.is_finite() && boost > 0.0);
+        self.boost = boost;
+    }
+
+    /// Snapshot the dynamic state (boost command, integrated detune phase).
+    /// The event schedule is configuration and is rebuilt from the
+    /// scenario.
+    pub fn state(&self) -> CavityPlantState {
+        CavityPlantState {
+            boost: self.boost,
+            phase_rad: self.phase_rad,
+        }
+    }
+
+    /// Restore a state captured by [`Self::state`].
+    pub fn restore(&mut self, state: &CavityPlantState) {
+        self.boost = state.boost;
+        self.phase_rad = state.phase_rad;
+    }
+}
+
+/// Checkpointable state of a [`CavityPlant`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CavityPlantState {
+    /// Supervisor-commanded voltage boost.
+    pub boost: f64,
+    /// Integrated detune phase offset, radians.
+    pub phase_rad: f64,
+}
+
+impl Default for CavityPlantState {
+    fn default() -> Self {
+        Self {
+            boost: 1.0,
+            phase_rad: 0.0,
+        }
+    }
+}
+
 /// Why a run lost the beam.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LossCause {
@@ -194,6 +455,9 @@ pub enum LossCause {
     /// The supervisor's watchdog gave up (bad-step streak with no demotion
     /// target left).
     Watchdog,
+    /// A cavity-level fault (quench, trip, tune drift) degraded the plant
+    /// until the beam left the shrunken bucket.
+    CavityFault,
 }
 
 impl std::fmt::Display for LossCause {
@@ -204,6 +468,7 @@ impl std::fmt::Display for LossCause {
             Self::BucketOverdemand => write!(f, "bucket over-demanded"),
             Self::OutOfBucket => write!(f, "phase left the bucket"),
             Self::Watchdog => write!(f, "supervisor watchdog exhausted"),
+            Self::CavityFault => write!(f, "cavity fault collapsed the bucket"),
         }
     }
 }
@@ -312,6 +577,29 @@ pub enum LoopEvent {
         turn: usize,
         /// Simulated time of the fallback snapshot, seconds.
         time_s: f64,
+    },
+    /// The supervisor's voltage-sag estimator detected a degraded cavity on
+    /// the audit channel (logged once per sag episode).
+    CavitySagDetected {
+        /// Row index.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+        /// Effective voltage scale observed (fault × boost).
+        voltage_scale: f64,
+    },
+    /// The compensation policy engaged (logged once per sag episode).
+    CompensationEngaged {
+        /// Row index.
+        turn: usize,
+        /// Simulated time, seconds.
+        time_s: f64,
+        /// Voltage boost commanded at engagement (1.0 for gain-only
+        /// policies).
+        boost: f64,
+        /// Controller gain multiplier commanded at engagement (1.0 for
+        /// voltage-only policies).
+        gain_scale: f64,
     },
 }
 
@@ -494,6 +782,12 @@ pub struct SupervisorConfig {
     /// deadline model would make supervised runs non-replayable, so the
     /// calibration is recorded and exported but only *applied* on request.
     pub use_measured_step: bool,
+    /// RF-plant compensation policy driven by the cavity degradation
+    /// ladder (detect → compensate → demote → declare loss).
+    pub compensation: crate::control::CompensationPolicy,
+    /// Effective voltage scale below which the sag estimator declares a
+    /// degraded cavity and the ladder engages.
+    pub sag_threshold: f64,
 }
 
 impl SupervisorConfig {
@@ -508,6 +802,8 @@ impl SupervisorConfig {
             allow_demotion: true,
             seed: 0x5AFE,
             use_measured_step: false,
+            compensation: crate::control::CompensationPolicy::None,
+            sag_threshold: 0.9,
         }
     }
 }
@@ -542,6 +838,12 @@ pub struct LoopSupervisor {
     last_good: Option<f64>,
     bad_streak: u32,
     calibration: Option<StepCalibration>,
+    /// Commanded voltage boost (VoltageRematch ladder state); 1.0 = none.
+    boost: f64,
+    /// Commanded controller gain multiplier (GainRescale ladder state).
+    gain_scale: f64,
+    /// Sag-episode latch: a degraded cavity is logged once per episode.
+    sag_latched: bool,
 }
 
 impl LoopSupervisor {
@@ -553,6 +855,9 @@ impl LoopSupervisor {
             last_good: None,
             bad_streak: 0,
             calibration: None,
+            boost: 1.0,
+            gain_scale: 1.0,
+            sag_latched: false,
         }
     }
 
@@ -628,6 +933,91 @@ impl LoopSupervisor {
         }
     }
 
+    /// One tick of the cavity degradation ladder, run once per decimated
+    /// actuation: observe the *effective* voltage scale (fault × boost) on
+    /// the audit channel, latch sag episodes, and update the commanded
+    /// compensation per the configured [`crate::control::CompensationPolicy`].
+    ///
+    /// Returns `Some((boost, gain_scale))` when either command changed, to
+    /// be pushed to the engine's cavity plant and the controller; `None`
+    /// when nothing moved (the common healthy-plant case, which leaves a
+    /// cavity-free supervised run bit-identical to before). Draws no
+    /// randomness — the ladder is a pure function of the observed scale.
+    pub fn observe_cavity(
+        &mut self,
+        turn: usize,
+        time_s: f64,
+        effective_scale: f64,
+        events: &mut Vec<LoopEvent>,
+    ) -> Option<(f64, f64)> {
+        use crate::control::CompensationPolicy as P;
+        let sagged = effective_scale < self.config.sag_threshold;
+        let engaged_now = sagged && !self.sag_latched;
+        if engaged_now {
+            self.sag_latched = true;
+            events.push(LoopEvent::CavitySagDetected {
+                turn,
+                time_s,
+                voltage_scale: effective_scale,
+            });
+        } else if !sagged && self.sag_latched && self.boost == 1.0 && self.gain_scale == 1.0 {
+            // The plant is healthy again without help: the episode is over
+            // and a later sag is a new one.
+            self.sag_latched = false;
+        }
+        let (old_boost, old_gain) = (self.boost, self.gain_scale);
+        match self.config.compensation {
+            P::None => {}
+            P::GainRescale { max_gain_scale } => {
+                // Retune the loop gain to the surviving voltage: fs — and
+                // with it the plant gain — scales with sqrt(V).
+                let desired = if effective_scale > 0.0 {
+                    (1.0 / effective_scale.sqrt()).clamp(1.0, max_gain_scale)
+                } else {
+                    max_gain_scale
+                };
+                self.gain_scale = desired;
+            }
+            P::VoltageRematch {
+                slew_per_update,
+                max_boost,
+            } => {
+                // Ideal boost inverts the fault scale; we only observe the
+                // effective (already boosted) scale, so the target is
+                // boost/effective — which goes to 1.0 once the fault clears,
+                // walking the command back down (anti-windup).
+                let target = if effective_scale > 0.0 {
+                    self.boost / effective_scale
+                } else {
+                    max_boost
+                };
+                let delta = (target - self.boost).clamp(-slew_per_update, slew_per_update);
+                self.boost = (self.boost + delta).clamp(1.0, max_boost);
+            }
+        }
+        let changed = self.boost != old_boost || self.gain_scale != old_gain;
+        if engaged_now && !matches!(self.config.compensation, P::None) {
+            events.push(LoopEvent::CompensationEngaged {
+                turn,
+                time_s,
+                boost: self.boost,
+                gain_scale: self.gain_scale,
+            });
+        }
+        changed.then_some((self.boost, self.gain_scale))
+    }
+
+    /// Commanded voltage boost in force (re-applied to a rebuilt engine
+    /// after a mid-run fidelity demotion).
+    pub fn commanded_boost(&self) -> f64 {
+        self.boost
+    }
+
+    /// Commanded controller gain multiplier in force.
+    pub fn commanded_gain_scale(&self) -> f64 {
+        self.gain_scale
+    }
+
     /// Feed the watchdog one step verdict; returns true when the
     /// consecutive-bad budget is exhausted (caller demotes or gives up).
     pub fn note_step(&mut self, bad: bool) -> bool {
@@ -658,6 +1048,9 @@ impl LoopSupervisor {
             last_good: self.last_good,
             bad_streak: self.bad_streak,
             calibration: self.calibration,
+            boost: self.boost,
+            gain_scale: self.gain_scale,
+            sag_latched: self.sag_latched,
         }
     }
 
@@ -667,6 +1060,9 @@ impl LoopSupervisor {
         self.last_good = state.last_good;
         self.bad_streak = state.bad_streak;
         self.calibration = state.calibration;
+        self.boost = state.boost;
+        self.gain_scale = state.gain_scale;
+        self.sag_latched = state.sag_latched;
     }
 }
 
@@ -681,6 +1077,12 @@ pub struct SupervisorState {
     pub bad_streak: u32,
     /// Warmup-step calibration, if one was recorded.
     pub calibration: Option<StepCalibration>,
+    /// Commanded voltage boost (cavity compensation ladder).
+    pub boost: f64,
+    /// Commanded controller gain multiplier.
+    pub gain_scale: f64,
+    /// Sag-episode latch.
+    pub sag_latched: bool,
 }
 
 #[cfg(test)]
@@ -829,6 +1231,122 @@ mod tests {
         }
         sup.reset_watchdog();
         assert_eq!(sup.bad_streak(), 0);
+    }
+
+    #[test]
+    fn cavity_plant_quench_trip_detune_semantics() {
+        // Quench: exponential collapse from start, never recovering.
+        let q = CavityPlant::from_program(&FaultProgram::cavity_quench(1.0, 0.5, 0));
+        assert_eq!(q.fault_scale_at(0.5), 1.0);
+        assert!((q.fault_scale_at(1.5) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!(q.fault_scale_at(10.0) < 1e-7, "a quench never recovers");
+        // Trip: hard off on the window, then a linear recovery ramp.
+        let t = CavityPlant::from_program(&FaultProgram::cavity_trip(1.0, 2.0, 0.5, 0));
+        assert_eq!(t.fault_scale_at(0.9), 1.0);
+        assert_eq!(t.fault_scale_at(1.5), 0.0);
+        assert!((t.fault_scale_at(2.25) - 0.5).abs() < 1e-12);
+        assert_eq!(t.fault_scale_at(3.0), 1.0);
+        // Detune: drift while active, holding the accumulated value after.
+        let d = CavityPlant::from_program(&FaultProgram::cavity_detune(1.0, 2.0, 50.0, 0));
+        assert_eq!(d.detune_hz_at(0.5), 0.0);
+        assert!((d.detune_hz_at(1.5) - 25.0).abs() < 1e-12);
+        assert!((d.detune_hz_at(5.0) - 50.0).abs() < 1e-12, "drift holds");
+        assert_eq!(d.fault_scale_at(1.5), 1.0, "detune does not sag voltage");
+    }
+
+    #[test]
+    fn noop_cavity_events_yield_an_idle_plant() {
+        let program = FaultProgram {
+            seed: 1,
+            events: vec![
+                FaultEvent {
+                    start_s: 0.0,
+                    end_s: 1.0,
+                    kind: FaultKind::CavityDetune {
+                        drift_hz_per_s: 0.0,
+                    },
+                },
+                FaultEvent {
+                    start_s: 0.0,
+                    end_s: f64::INFINITY,
+                    kind: FaultKind::CavityQuench {
+                        collapse_s: f64::INFINITY,
+                    },
+                },
+            ],
+        };
+        assert!(!program.has_cavity_faults());
+        let plant = CavityPlant::from_program(&program);
+        assert!(plant.is_idle());
+        // A trip is never a noop.
+        assert!(FaultProgram::cavity_trip(0.0, 1.0, 0.1, 0).has_cavity_faults());
+    }
+
+    #[test]
+    fn voltage_rematch_slews_up_and_walks_back_down() {
+        let s = MdeScenario::nov24_2023();
+        let mut cfg = SupervisorConfig::for_scenario(&s);
+        cfg.compensation = crate::control::CompensationPolicy::VoltageRematch {
+            slew_per_update: 0.1,
+            max_boost: 3.0,
+        };
+        let mut sup = LoopSupervisor::new(cfg);
+        let mut events = Vec::new();
+        // Healthy plant: nothing moves, nothing is logged.
+        assert!(sup.observe_cavity(0, 0.0, 1.0, &mut events).is_none());
+        assert!(events.is_empty());
+        // Sag to half voltage: the first tick latches the episode, logs
+        // detection + engagement, and slews the boost by one step.
+        let mut fault_scale = 0.5;
+        let cmd = sup
+            .observe_cavity(1, 1.0, fault_scale * sup.commanded_boost(), &mut events)
+            .expect("boost must move");
+        assert!((cmd.0 - 1.1).abs() < 1e-12, "one slew step, got {}", cmd.0);
+        assert!(matches!(events[0], LoopEvent::CavitySagDetected { .. }));
+        assert!(matches!(events[1], LoopEvent::CompensationEngaged { .. }));
+        // Keep observing: the boost converges to 1/scale = 2 and stops.
+        for turn in 2..40 {
+            sup.observe_cavity(
+                turn,
+                turn as f64,
+                fault_scale * sup.commanded_boost(),
+                &mut events,
+            );
+        }
+        assert!((sup.commanded_boost() - 2.0).abs() < 1e-9);
+        // Fault clears: the effective scale is now boosted above nominal,
+        // and the command walks back down to exactly 1.0 (anti-windup).
+        fault_scale = 1.0;
+        for turn in 40..80 {
+            sup.observe_cavity(
+                turn,
+                turn as f64,
+                fault_scale * sup.commanded_boost(),
+                &mut events,
+            );
+        }
+        assert_eq!(sup.commanded_boost(), 1.0);
+        // Only one episode was logged.
+        let sags = events
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::CavitySagDetected { .. }))
+            .count();
+        assert_eq!(sags, 1);
+    }
+
+    #[test]
+    fn gain_rescale_tracks_sqrt_of_surviving_voltage() {
+        let s = MdeScenario::nov24_2023();
+        let mut cfg = SupervisorConfig::for_scenario(&s);
+        cfg.compensation = crate::control::CompensationPolicy::gain_rescale();
+        let mut sup = LoopSupervisor::new(cfg);
+        let mut events = Vec::new();
+        let cmd = sup.observe_cavity(0, 0.0, 0.25, &mut events).unwrap();
+        assert!((cmd.1 - 2.0).abs() < 1e-12, "1/sqrt(0.25) = 2");
+        // Collapse to zero hits the cap instead of inf.
+        let cmd = sup.observe_cavity(1, 1.0, 0.0, &mut events).unwrap();
+        assert_eq!(cmd.1, 4.0);
+        assert_eq!(sup.commanded_boost(), 1.0, "gain-only policy");
     }
 
     #[test]

@@ -534,8 +534,15 @@ impl LoopHarness {
                                         from: s.kind,
                                         to,
                                     });
+                                    // The cavity plant's dynamic state
+                                    // (compensation boost, integrated detune
+                                    // phase) survives the fidelity swap — the
+                                    // fault degrades the *plant*, not the
+                                    // model of it.
+                                    let cavity = slot.engine().cavity_state();
                                     slot.rebuild(to, s.scenario)?;
                                     slot.engine().seed_state(time_s, s.ctrl_phase_rad);
+                                    slot.engine().restore_cavity(&cavity);
                                     s.kind = to;
                                     s.supervisor.reset_watchdog();
                                     queue.count_fired(SimEvent::Watchdog);
@@ -677,8 +684,10 @@ impl LoopHarness {
                                                 from: s.kind,
                                                 to,
                                             });
+                                            let cavity = slot.engine().cavity_state();
                                             slot.rebuild(to, s.scenario)?;
                                             slot.engine().seed_state(time_s, s.ctrl_phase_rad);
+                                            slot.engine().restore_cavity(&cavity);
                                             s.kind = to;
                                             s.supervisor.reset_watchdog();
                                             queue.schedule(
@@ -721,6 +730,28 @@ impl LoopHarness {
                         // (bit-identity demands it); the event is the
                         // cadence bookkeeping and the horizon constraint.
                         queue.count_fired(SimEvent::Actuation);
+                        // Cavity degradation ladder, one tick per completed
+                        // actuation: observe the effective gap-voltage scale
+                        // on the audit channel, latch sag episodes, and push
+                        // any changed compensation command to the plant and
+                        // the controller. Healthy plant + policy `None` is a
+                        // strict no-op (no events, no commands, no RNG), so
+                        // cavity-free supervised runs are bit-identical to
+                        // before. The horizon pins this tick to a block
+                        // boundary, so the observed scale — and with it the
+                        // whole ladder — is block-size invariant.
+                        if let Some(s) = sup.as_mut() {
+                            let eff = slot.engine().cavity_voltage_scale();
+                            if let Some((boost, gain)) = s.supervisor.observe_cavity(
+                                rows_now as usize,
+                                slot.engine().time(),
+                                eff,
+                                &mut trace.events,
+                            ) {
+                                slot.engine().command_voltage(boost);
+                                self.controller.set_gain_scale(gain);
+                            }
+                        }
                         queue.schedule(
                             SimEvent::Actuation,
                             rows_now + u64::from(self.controller.rows_until_actuation()),

@@ -75,13 +75,14 @@ pub use campaign::{
     PointOutcome, PointStatus,
 };
 pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointError};
-pub use control::BeamPhaseController;
+pub use control::{BeamPhaseController, CompensationPolicy};
 pub use engine::{BeamEngine, EngineKind, EngineState, EngineStep};
 pub use error::CilError;
 pub use event::{EventQueue, ScheduledEvent, SimEvent};
 pub use fault::{
-    FaultEvent, FaultInjector, FaultKind, FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor,
-    LossCause, StepCalibration, SupervisorConfig,
+    CavityPlant, CavityPlantState, CavitySample, FaultEvent, FaultInjector, FaultKind,
+    FaultProgram, LoopEvent, LoopOutcome, LoopSupervisor, LossCause, StepCalibration,
+    SupervisorConfig,
 };
 pub use harness::{LoopHarness, LoopTrace};
 pub use hil::{SignalLevelLoop, TurnLevelLoop};

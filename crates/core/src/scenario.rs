@@ -243,6 +243,18 @@ impl MdeScenario {
                     h.u64(7);
                     h.f64(factor);
                 }
+                K::CavityDetune { drift_hz_per_s } => {
+                    h.u64(8);
+                    h.f64(drift_hz_per_s);
+                }
+                K::CavityQuench { collapse_s } => {
+                    h.u64(9);
+                    h.f64(collapse_s);
+                }
+                K::CavityTrip { recover_s } => {
+                    h.u64(10);
+                    h.f64(recover_s);
+                }
             }
         }
         h.finish()

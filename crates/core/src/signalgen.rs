@@ -74,6 +74,11 @@ pub struct SignalBench {
     /// Controller frequency trim currently applied to the gap DDS, Hz.
     ctrl_freq_offset: f64,
     base_gap_freq: f64,
+    base_gap_amp: f64,
+    /// Cavity voltage scale in force (fault collapse × compensation boost).
+    cavity_scale: f64,
+    /// Cavity detune currently shifting the gap DDS, Hz.
+    cavity_detune_hz: f64,
 }
 
 impl SignalBench {
@@ -107,6 +112,9 @@ impl SignalBench {
             applied_jump_deg: 0.0,
             ctrl_freq_offset: 0.0,
             base_gap_freq: f_gap,
+            base_gap_amp: amp_gap,
+            cavity_scale: 1.0,
+            cavity_detune_hz: 0.0,
         }
     }
 
@@ -114,13 +122,36 @@ impl SignalBench {
     pub fn set_control_frequency_offset(&mut self, df: f64) {
         if df != self.ctrl_freq_offset {
             self.ctrl_freq_offset = df;
-            self.gap.set_frequency((self.base_gap_freq + df).max(0.0));
+            self.apply_gap_frequency();
         }
     }
 
     /// Currently applied controller trim, Hz.
     pub fn control_frequency_offset(&self) -> f64 {
         self.ctrl_freq_offset
+    }
+
+    /// Cavity plant command: scale the gap amplitude (fault collapse ×
+    /// compensation boost) and detune the gap DDS. Edge-applied so an
+    /// unchanged command leaves the DDS untouched; a healthy plant
+    /// (`scale = 1`, `detune = 0`) never perturbs the fault-free signal.
+    pub fn set_cavity(&mut self, scale: f64, detune_hz: f64) {
+        assert!(scale.is_finite() && scale >= 0.0, "cavity scale {scale}");
+        assert!(detune_hz.is_finite(), "cavity detune {detune_hz}");
+        if scale != self.cavity_scale {
+            self.cavity_scale = scale;
+            self.gap.set_amplitude(self.base_gap_amp * scale);
+        }
+        if detune_hz != self.cavity_detune_hz {
+            self.cavity_detune_hz = detune_hz;
+            self.apply_gap_frequency();
+        }
+    }
+
+    fn apply_gap_frequency(&mut self) {
+        self.gap.set_frequency(
+            (self.base_gap_freq + self.ctrl_freq_offset + self.cavity_detune_hz).max(0.0),
+        );
     }
 
     /// Produce the next (reference, gap) sample pair.
@@ -156,6 +187,8 @@ impl SignalBench {
             sample: self.sample,
             applied_jump_deg: self.applied_jump_deg,
             ctrl_freq_offset: self.ctrl_freq_offset,
+            cavity_scale: self.cavity_scale,
+            cavity_detune_hz: self.cavity_detune_hz,
         }
     }
 
@@ -169,6 +202,8 @@ impl SignalBench {
         self.sample = state.sample;
         self.applied_jump_deg = state.applied_jump_deg;
         self.ctrl_freq_offset = state.ctrl_freq_offset;
+        self.cavity_scale = state.cavity_scale;
+        self.cavity_detune_hz = state.cavity_detune_hz;
     }
 }
 
@@ -185,6 +220,10 @@ pub struct SignalBenchState {
     pub applied_jump_deg: f64,
     /// Controller frequency trim in force, Hz.
     pub ctrl_freq_offset: f64,
+    /// Cavity voltage scale in force (1.0 = healthy plant).
+    pub cavity_scale: f64,
+    /// Cavity detune in force, Hz (0.0 = on tune).
+    pub cavity_detune_hz: f64,
 }
 
 #[cfg(test)]

@@ -603,6 +603,8 @@ pub struct LoopMetrics {
     demotions: Counter,
     beam_losses: Counter,
     checkpoint_rejections: Counter,
+    cavity_sags: Counter,
+    compensations: Counter,
     pub(crate) checkpoint_writes: Counter,
     pub(crate) checkpoint_write_wall: Histogram,
 }
@@ -625,6 +627,8 @@ impl LoopMetrics {
             demotions: registry.counter("cil_supervisor_demotions_total"),
             beam_losses: registry.counter("cil_loop_beam_losses_total"),
             checkpoint_rejections: registry.counter("cil_checkpoint_rejections_total"),
+            cavity_sags: registry.counter("cil_cavity_sags_total"),
+            compensations: registry.counter("cil_cavity_compensations_total"),
             checkpoint_writes: registry.counter("cil_checkpoint_writes_total"),
             checkpoint_write_wall: registry.histogram("cil_checkpoint_write_wall_seconds"),
             registry: registry.clone(),
@@ -648,6 +652,8 @@ impl LoopMetrics {
                 LoopEvent::EngineDemoted { .. } => self.demotions.inc(),
                 LoopEvent::BeamLost { .. } => self.beam_losses.inc(),
                 LoopEvent::CheckpointRejected { .. } => self.checkpoint_rejections.inc(),
+                LoopEvent::CavitySagDetected { .. } => self.cavity_sags.inc(),
+                LoopEvent::CompensationEngaged { .. } => self.compensations.inc(),
             }
         }
     }

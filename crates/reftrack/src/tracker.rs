@@ -113,6 +113,14 @@ impl MultiParticleTracker {
     /// case (reference particle on set values, no net acceleration).
     /// Returns the post-step centroid moments from the in-step reduction.
     pub fn step(&mut self, rf_phase_offset_rad: f64) -> StepMoments {
+        self.step_scaled(rf_phase_offset_rad, 1.0)
+    }
+
+    /// [`Self::step`] with the gap voltage scaled by `v_scale` — the
+    /// plant-side cavity hook: a quench/trip multiplies the effective V̂
+    /// seen by every particle this revolution. `v_scale = 1.0` is
+    /// bit-identical to [`Self::step`] (multiplication by one is exact).
+    pub fn step_scaled(&mut self, rf_phase_offset_rad: f64, v_scale: f64) -> StepMoments {
         let f_rev = self.op.f_rev();
         let f_rf = self.op.machine.rf_frequency(f_rev);
         let gamma_r = self.op.gamma_r;
@@ -121,7 +129,7 @@ impl MultiParticleTracker {
         let params = KickParams {
             omega_rf: TWO_PI * f_rf,
             phase_rad: rf_phase_offset_rad,
-            v_hat: self.op.v_gap_volts,
+            v_hat: self.op.v_gap_volts * v_scale,
             q_over_mc2: self.op.ion.gamma_per_volt(),
             drift: self.op.machine.orbit_length_m * eta / (beta * beta * beta * C) / gamma_r,
         };

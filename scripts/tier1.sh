@@ -40,6 +40,11 @@ cargo test --release -q --test event_core
 # accounting, torn-WAL-tail recovery, foreign-header rejection.
 cargo test -q --test campaign
 cargo test --release -q --test campaign
+# Cavity-failure chaos suite: compensation strictly extends survival,
+# block-size and kill-and-resume bit-identity through the quench window,
+# zero-amplitude == fault-free, cross-fidelity ladder agreement.
+cargo test -q --test cavity_failure
+cargo test --release -q --test cavity_failure
 # Closed-loop throughput guard: plan+batched CGRA must stay >= 1.5x the
 # legacy per-turn DFG walk (release-only; debug timings are meaningless).
 # Writes results/BENCH_loop.json. Full matrix via scripts/bench.sh.

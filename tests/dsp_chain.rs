@@ -90,6 +90,36 @@ fn pulse_to_phase_detector_chain() {
     );
 }
 
+/// The shrunk counterexample proptest once found for the chord bound
+/// (`dsp_chain.proptest-regressions`), promoted to a named test so the
+/// case runs in every configuration — including release CI, where the
+/// regressions file is not necessarily consulted — and survives any
+/// future pruning of the seed file. Near this frequency/fraction pair the
+/// interpolation error sits almost exactly on the bound, so it guards the
+/// `+ 1e-12` slack in the property.
+#[test]
+fn chord_bound_regression_seed_holds() {
+    let (f_mhz, frac) = (1.9590571095379141, 0.5273272262300829);
+    let fs = 250e6;
+    let f = f_mhz * 1e6;
+    let mut buf = CaptureRingBuffer::paper_sized();
+    let n = 2048usize;
+    for i in 0..n {
+        buf.push((std::f64::consts::TAU * f * i as f64 / fs).sin());
+    }
+    let back = 100.0 + frac;
+    let t_true = (n - 1) as f64 - back;
+    let truth = (std::f64::consts::TAU * f * t_true / fs).sin();
+    let lerp = buf.read_back_interpolated(back).unwrap();
+    let bound = (std::f64::consts::TAU * f / fs).powi(2) / 8.0;
+    assert!(
+        (lerp - truth).abs() <= bound + 1e-12,
+        "err {} vs bound {}",
+        (lerp - truth).abs(),
+        bound
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -179,6 +179,123 @@ fn forced_deadline_overruns_demote_cgra_to_map_and_finish() {
 }
 
 #[test]
+fn coincident_beam_loss_and_watchdog_exhaustion_yield_one_injected_cause() {
+    // Two fatal conditions armed for the same revolution: a bad-step
+    // streak (deadline overruns stretched 10000x, plus an always-on NaN
+    // burst so the streak is airtight against the jitter model's negative
+    // draws) timed so that — with demotion disabled — the watchdog's 8th
+    // and final consecutive bad step is the very turn a scheduled beam
+    // loss activates. The audit contract: the harness checks the forced
+    // loss at the revolution boundary *before* it processes that turn's
+    // measured row (which would have exhausted the watchdog), so the run
+    // ends with exactly one BeamLost event, cause Injected — never
+    // Watchdog, never two events — regardless of engine block size.
+    let mut s = MdeScenario::nov24_2023();
+    s.duration_s = 0.05;
+    s.bunches = 1;
+    let t_rev = 1.0 / s.f_rev;
+    let loss_turn = 16000usize;
+    let streak = LoopSupervisor::for_scenario(&s).config.max_consecutive_bad;
+    // Half-turn offsets keep the window edges robust against the engine's
+    // accumulated-time rounding. Row-level faults are sampled at the row's
+    // post-step time ((turn+1)·t_rev) while the forced loss is checked at
+    // the pre-step boundary (turn·t_rev), hence the extra +1 turn on the
+    // bad-step window so its 8th row is exactly the loss turn.
+    let loss_start = (loss_turn as f64 - 0.5) * t_rev;
+    let overrun_start = (loss_turn as f64 + 1.5 - streak as f64) * t_rev;
+    s.faults = FaultProgram {
+        seed: 0,
+        events: vec![
+            FaultEvent {
+                start_s: loss_start,
+                end_s: s.duration_s,
+                kind: FaultKind::BeamLoss,
+            },
+            FaultEvent {
+                start_s: overrun_start,
+                end_s: s.duration_s,
+                kind: FaultKind::DeadlineOverrun { factor: 1e4 },
+            },
+            FaultEvent {
+                start_s: overrun_start,
+                end_s: s.duration_s,
+                kind: FaultKind::NanBurst { probability: 1.0 },
+            },
+        ],
+    };
+
+    let run = |block: usize| {
+        let mut harness = LoopHarness::for_scenario(&s, true)
+            .with_block_rows(block)
+            .unwrap();
+        let mut sup = LoopSupervisor::for_scenario(&s);
+        sup.config.allow_demotion = false;
+        harness
+            .run_supervised(&s, EngineKind::Map, s.duration_s, &mut sup)
+            .unwrap()
+    };
+
+    let reference = run(64);
+    let losses: Vec<_> = reference
+        .events
+        .iter()
+        .filter(|e| matches!(e, LoopEvent::BeamLost { .. }))
+        .collect();
+    assert_eq!(losses.len(), 1, "exactly one terminal audit event");
+    let (turn, cause) = match reference.outcome {
+        cil_core::LoopOutcome::Lost { turn, cause, .. } => (turn, cause),
+        ref other => panic!("expected a loss, got {other:?}"),
+    };
+    assert_eq!(
+        cause,
+        LossCause::Injected,
+        "injected loss outranks watchdog"
+    );
+    assert_eq!(turn, loss_turn, "lost at the revolution boundary");
+    // The streak leading up to the loss was fully audited (every one of
+    // the streak-1 preceding turns was a rejected NaN row), but the loss
+    // turn's own row never reached the bad-step accounting.
+    let rejected_turns: Vec<usize> = reference
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            LoopEvent::OutlierRejected { turn, .. } => Some(turn),
+            _ => None,
+        })
+        .collect();
+    let expected: Vec<usize> = (loss_turn - streak as usize + 1..loss_turn).collect();
+    assert_eq!(rejected_turns, expected, "one short of watchdog exhaustion");
+    let overrun_turns: Vec<usize> = reference
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            LoopEvent::DeadlineOverrun { turn, .. } => Some(turn),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        overrun_turns.iter().any(|t| expected.contains(t)),
+        "stretched overruns were audited inside the window: {overrun_turns:?}"
+    );
+    assert!(
+        !overrun_turns.contains(&loss_turn),
+        "the loss boundary check preempts the overrun accounting"
+    );
+
+    // The ordering is part of the determinism contract, not an artifact
+    // of one block size. (Compared via Debug: the rejected rows carry
+    // measured_deg = NaN, which `==` would spuriously fail on.)
+    for block in [1usize, 1000] {
+        let other = run(block);
+        assert_eq!(
+            format!("{:?}", other.events),
+            format!("{:?}", reference.events)
+        );
+        assert_eq!(other.outcome, reference.outcome);
+    }
+}
+
+#[test]
 fn supervised_fault_trace_replays_deterministically() {
     let s = storm_scenario();
     let run = || {
