@@ -5,11 +5,10 @@
 //! simulated synchrotron frequency and on the phase-trace noise floor of a
 //! quiescent (undisplaced) beam.
 
-use cil_bench::{write_csv, Table};
+use cil_bench::{CsvWriter, Table};
 use cil_core::framework::SimulatorFramework;
 use cil_core::scenario::MdeScenario;
 use cil_core::signalgen::{PhaseJumpProgram, SignalBench};
-use std::fmt::Write as _;
 
 fn run(bits: u32) -> (f64, f64) {
     let mut s = MdeScenario::nov24_2023();
@@ -67,7 +66,7 @@ fn main() {
         "fs error",
         "quiescent dt noise [ps RMS]",
     ]);
-    let mut csv = String::from("bits,fs_hz,noise_ps\n");
+    let mut csv = CsvWriter::new(&["bits", "fs_hz", "noise_ps"]);
     for bits in [8u32, 10, 12, 14, 16] {
         let (fs, noise) = run(bits);
         let label = if bits == 14 {
@@ -81,12 +80,16 @@ fn main() {
             format!("{:+.2}%", (fs - 1280.0) / 1280.0 * 100.0),
             format!("{:.2}", noise * 1e12),
         ]);
-        writeln!(csv, "{bits},{fs:.2},{:.3}", noise * 1e12).unwrap();
+        csv.row(&[
+            bits.to_string(),
+            format!("{fs:.2}"),
+            format!("{:.3}", noise * 1e12),
+        ]);
     }
     t.print();
     println!("\nconclusion: the oscillation frequency is robust to resolution;");
     println!("quantisation mainly sets the quiescent noise floor of the model");
     println!("state, which 14 bits keeps in the low-picosecond range.");
-    let path = write_csv("ablation_adc_bits.csv", &csv);
+    let path = csv.write("ablation_adc_bits.csv");
     println!("\ndata -> {}", path.display());
 }

@@ -5,12 +5,11 @@
 //! frequency and phase-trace noise when the kernel's second buffer read is
 //! removed (nearest-sample addressing instead of two reads + lerp).
 
-use cil_bench::{write_csv, Table};
+use cil_bench::{CsvWriter, Table};
 use cil_core::framework::SimulatorFramework;
 use cil_core::scenario::MdeScenario;
 use cil_core::signalgen::{PhaseJumpProgram, SignalBench};
 use cil_dsp::interp::Interpolation;
-use std::fmt::Write as _;
 
 fn end_to_end(interpolate: bool) -> (f64, f64) {
     let mut s = MdeScenario::nov24_2023();
@@ -57,7 +56,7 @@ fn main() {
         "ref sine (312.5 smp/period)",
         "gap sine (78.1 smp/period)",
     ]);
-    let mut csv = String::from("policy,err_ref,err_gap\n");
+    let mut csv = CsvWriter::new(&["policy", "err_ref", "err_gap"]);
     for (name, p) in [
         ("nearest", Interpolation::NearestNeighbor),
         ("linear (paper)", Interpolation::Linear),
@@ -66,7 +65,7 @@ fn main() {
         let e_ref = p.sine_error(312.5);
         let e_gap = p.sine_error(78.125);
         t.row(&[name.into(), format!("{e_ref:.2e}"), format!("{e_gap:.2e}")]);
-        writeln!(csv, "{name},{e_ref:.3e},{e_gap:.3e}").unwrap();
+        csv.row(&[name.into(), format!("{e_ref:.3e}"), format!("{e_gap:.3e}")]);
     }
     t.print();
 
@@ -95,6 +94,6 @@ fn main() {
     println!("\nconclusion: interpolation keeps the sampled-voltage error");
     println!("orders of magnitude below the ADC floor; without it the gap");
     println!("sampling quantises to 4 ns and the loop picks up extra noise.");
-    let path = write_csv("ablation_interp.csv", &csv);
+    let path = csv.write("ablation_interp.csv");
     println!("\ndata -> {}", path.display());
 }

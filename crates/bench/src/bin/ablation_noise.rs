@@ -5,11 +5,10 @@
 //! signal amplitude) and scores the full signal-level loop on one 8° jump:
 //! does the loop still see the oscillation, and does it still damp it?
 
-use cil_bench::{write_csv, Table};
+use cil_bench::{CsvWriter, Table};
 use cil_core::hil::SignalLevelLoop;
 use cil_core::scenario::MdeScenario;
 use cil_core::trace::score_jump_response;
-use std::fmt::Write as _;
 
 struct Outcome {
     first_peak_ratio: f64,
@@ -45,7 +44,12 @@ fn main() {
         "first peak / jump",
         "residual",
     ]);
-    let mut csv = String::from("noise_fraction,baseline_noise_deg,first_peak,residual\n");
+    let mut csv = CsvWriter::new(&[
+        "noise_fraction",
+        "baseline_noise_deg",
+        "first_peak",
+        "residual",
+    ]);
     for noise in [0.0, 0.002, 0.005, 0.01, 0.02] {
         let o = run(noise);
         t.row(&[
@@ -54,12 +58,12 @@ fn main() {
             format!("{:.2}", o.first_peak_ratio),
             format!("{:.2}", o.residual_ratio),
         ]);
-        writeln!(
-            csv,
-            "{noise},{:.3},{:.3},{:.3}",
-            o.baseline_noise_deg, o.first_peak_ratio, o.residual_ratio
-        )
-        .unwrap();
+        csv.row(&[
+            noise.to_string(),
+            format!("{:.3}", o.baseline_noise_deg),
+            format!("{:.3}", o.first_peak_ratio),
+            format!("{:.3}", o.residual_ratio),
+        ]);
     }
     t.print();
     println!("\nreading: unlike a real ring — where front-end noise only blurs");
@@ -70,6 +74,6 @@ fn main() {
     println!("floor (~0.8 even at zero noise) is the pulse-trigger grid");
     println!("quantisation recirculated by the pipelined kernel — the rig's");
     println!("own noise floor, visible as the fuzz in the paper's Fig. 5a.");
-    let path = write_csv("ablation_noise.csv", &csv);
+    let path = csv.write("ablation_noise.csv");
     println!("\ndata -> {}", path.display());
 }

@@ -5,12 +5,11 @@
 //! ADC noise applied and reports the RMS error of the period estimate and
 //! the lock delay (the kernel waits for a full window before initialising).
 
-use cil_bench::{write_csv, Table};
+use cil_bench::{CsvWriter, Table};
 use cil_dsp::period::PeriodLengthDetector;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
 
 fn gauss<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = 1.0 - rng.gen::<f64>();
@@ -50,7 +49,12 @@ fn main() {
         "freq RMS error [Hz]",
         "lock delay [us]",
     ]);
-    let mut csv = String::from("window,period_rms_samples,freq_rms_hz,lock_delay_us\n");
+    let mut csv = CsvWriter::new(&[
+        "window",
+        "period_rms_samples",
+        "freq_rms_hz",
+        "lock_delay_us",
+    ]);
     for window in [1usize, 2, 4, 8, 16] {
         let (rms, lock) = measure(window, 0.02, 42);
         // df/f = -dp/p -> df = f * rms/period.
@@ -66,11 +70,16 @@ fn main() {
             format!("{df:.1}"),
             format!("{:.1}", lock as f64 / 250.0),
         ]);
-        writeln!(csv, "{window},{rms:.5},{df:.2},{:.2}", lock as f64 / 250.0).unwrap();
+        csv.row(&[
+            window.to_string(),
+            format!("{rms:.5}"),
+            format!("{df:.2}"),
+            format!("{:.2}", lock as f64 / 250.0),
+        ]);
     }
     t.print();
     println!("\ntrade-off: wider windows cut jitter ~ 1/sqrt(N) but delay the");
     println!("initial lock and the response to ramp-driven frequency changes.");
-    let path = write_csv("ablation_period_avg.csv", &csv);
+    let path = csv.write("ablation_period_avg.csv");
     println!("\ndata -> {}", path.display());
 }

@@ -1,0 +1,74 @@
+//! Standing multi-session service benchmark — aggregate fleet throughput
+//! and p99 dispatch latency of the [`SessionMux`] across a worker-count
+//! sweep, with the single-loop `map_batched` rate as the per-core
+//! baseline.
+//!
+//! Prints the table and writes `results/BENCH_service.json`. Meaningful in
+//! release builds only (`cargo run --release -p cil-bench --bin
+//! bench_service`); the release-only `service_guard` test enforces the
+//! 0.5x-of-baseline aggregate bound on CI.
+//!
+//! Flags: `--sessions N` (default 1000), `--revolutions N` (hot-session
+//! rows, default 2000), `--workers a,b,c` (default `1,2,4,8`).
+//!
+//! [`SessionMux`]: cil_core::SessionMux
+
+use cil_bench::service_bench::{baseline_map_rate, run_service_bench, scaling, write_service_json};
+use cil_bench::{arg_value, Table};
+
+/// The guard bound: the fleet aggregate must reach at least this fraction
+/// of the single-loop baseline per worker-independent core.
+const BOUND: f64 = 0.5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sessions: usize =
+        arg_value(&args, "--sessions").map_or(1000, |v| v.parse().expect("--sessions N"));
+    let revolutions: u64 =
+        arg_value(&args, "--revolutions").map_or(2000, |v| v.parse().expect("--revolutions N"));
+    let workers: Vec<usize> = arg_value(&args, "--workers").map_or_else(
+        || vec![1, 2, 4, 8],
+        |v| {
+            v.split(',')
+                .map(|w| w.parse().expect("--workers a,b,c"))
+                .collect()
+        },
+    );
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — timings are not meaningful");
+    }
+    println!(
+        "SessionMux service throughput ({sessions} sessions, 90/10 skew, \
+         hot sessions {revolutions} revolutions)\n"
+    );
+
+    let baseline = baseline_map_rate(revolutions.max(100_000), 3);
+    let rows = run_service_bench(&workers, sessions, revolutions, 3);
+    let mut t = Table::new(&[
+        "workers",
+        "sessions",
+        "total rows",
+        "wall [ms]",
+        "aggregate revs/s",
+        "vs 1-loop baseline",
+        "p99 dispatch [us]",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.workers.to_string(),
+            r.sessions.to_string(),
+            r.total_rows.to_string(),
+            format!("{:.1}", r.wall_s * 1e3),
+            format!("{:.0}", r.revs_per_sec),
+            format!("{:.2}x", r.revs_per_sec / baseline),
+            format!("{:.1}", r.p99_dispatch_s * 1e6),
+        ]);
+    }
+    t.print();
+    println!("\nsingle-loop map_batched baseline: {baseline:.0} revs/s");
+    if rows.iter().any(|r| r.workers == 8) && rows.iter().any(|r| r.workers == 1) {
+        println!("scaling 1 -> 8 workers: {:.2}x", scaling(&rows, 8, 1));
+    }
+    let path = write_service_json(revolutions, &rows, baseline, BOUND);
+    println!("data -> {}", path.display());
+}

@@ -1,6 +1,6 @@
 //! # cil-bench — the experiment harness
 //!
-//! One binary per paper artifact (see DESIGN.md §3 and EXPERIMENTS.md):
+//! One binary per paper artifact (see DESIGN.md §13 and EXPERIMENTS.md):
 //!
 //! | binary                | artifact |
 //! |-----------------------|----------|
@@ -17,6 +17,7 @@
 
 pub mod loop_bench;
 pub mod reftrack_bench;
+pub mod service_bench;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -33,6 +34,61 @@ pub fn write_csv(name: &str, contents: &str) -> PathBuf {
     let path = results_dir().join(name);
     fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     path
+}
+
+/// Accumulates a CSV artifact row by row: header written up front, every
+/// row arity-checked against it, fields escaped per RFC 4180 (via
+/// [`cil_core::campaign::csv_escape_field`]) only when they contain a
+/// comma, quote or line break — plain numeric fields pass through
+/// byte-identical to the hand-rolled `writeln!` they replace.
+pub struct CsvWriter {
+    columns: usize,
+    buf: String,
+}
+
+impl CsvWriter {
+    /// New writer with the given column headers (headers are escaped by
+    /// the same rules as data fields).
+    pub fn new(headers: &[&str]) -> Self {
+        let mut w = Self {
+            columns: headers.len(),
+            buf: String::new(),
+        };
+        w.push_row(headers.iter().copied());
+        w
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, fields: &[String]) -> &mut Self {
+        assert_eq!(fields.len(), self.columns, "column count mismatch");
+        self.push_row(fields.iter().map(String::as_str));
+        self
+    }
+
+    fn push_row<'a>(&mut self, fields: impl Iterator<Item = &'a str>) {
+        for (i, field) in fields.enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            if field.contains(['"', ',', '\n', '\r']) {
+                self.buf
+                    .push_str(&cil_core::campaign::csv_escape_field(field));
+            } else {
+                self.buf.push_str(field);
+            }
+        }
+        self.buf.push('\n');
+    }
+
+    /// The CSV text accumulated so far.
+    pub fn contents(&self) -> &str {
+        &self.buf
+    }
+
+    /// Write to `results/<name>`; returns the path written.
+    pub fn write(&self, name: &str) -> PathBuf {
+        write_csv(name, &self.buf)
+    }
 }
 
 /// A minimal fixed-width table printer for experiment output.
@@ -140,6 +196,34 @@ mod tests {
     fn table_checks_arity() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn csv_writer_passes_plain_fields_through_unchanged() {
+        let mut w = CsvWriter::new(&["bits", "fs_hz", "noise_ps"]);
+        w.row(&["8".into(), "1279.63".into(), "4.120".into()]);
+        w.row(&["14".into(), "1280.01".into(), "0.310".into()]);
+        assert_eq!(
+            w.contents(),
+            "bits,fs_hz,noise_ps\n8,1279.63,4.120\n14,1280.01,0.310\n"
+        );
+    }
+
+    #[test]
+    fn csv_writer_escapes_only_when_needed() {
+        let mut w = CsvWriter::new(&["name", "msg"]);
+        w.row(&["plain".into(), "a,b \"quoted\"\nnext".into()]);
+        assert_eq!(
+            w.contents(),
+            "name,msg\nplain,\"a,b \"\"quoted\"\" next\"\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn csv_writer_checks_arity() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(&["1".into()]);
     }
 
     #[test]

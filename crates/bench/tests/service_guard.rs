@@ -1,0 +1,57 @@
+//! Release-only throughput regression guard for the SessionMux service
+//! path.
+//!
+//! The mux's standing perf claim: hosting 1000 skewed sessions must not
+//! cost more than 2x over running the same rows in a single bare loop —
+//! the aggregate fleet rate stays at ≥0.5x the single-loop `map_batched`
+//! baseline even on one worker, slicing, arena checkout and queue
+//! traffic included. On machines with ≥8 cores the 1→8 worker scaling
+//! must additionally reach ≥2.5x. Meaningless at opt-level 0, so the
+//! test is ignored in debug builds and run via `--include-ignored` in
+//! release (tier1/CI) — the same pattern as the loop and checkpoint
+//! guards. Writes `results/BENCH_service.json` as a side effect, so CI
+//! always uploads a fresh artifact.
+
+use cil_bench::service_bench::{baseline_map_rate, run_service_bench, scaling, write_service_json};
+
+#[test]
+#[cfg_attr(debug_assertions, ignore)]
+fn fleet_aggregate_holds_half_the_single_loop_rate() {
+    let sessions = 1000;
+    let hot_revolutions = 2000;
+    // A long, best-of-3 baseline: at 2k revolutions the measurement is
+    // ~0.2 ms and machine noise dominates the guard's ratio.
+    let baseline = baseline_map_rate(200_000, 3);
+    let rows = run_service_bench(&[1, 2, 4, 8], sessions, hot_revolutions, 3);
+    write_service_json(hot_revolutions, &rows, baseline, 0.5);
+
+    let single = rows.iter().find(|r| r.workers == 1).expect("1-worker row");
+    let ratio = single.revs_per_sec / baseline;
+    assert!(
+        ratio >= 0.5,
+        "1-worker fleet aggregate only {ratio:.2}x the single-loop map_batched rate \
+         (bound 0.5x): {rows:#?}"
+    );
+    for r in &rows {
+        assert!(
+            r.p99_dispatch_s.is_finite() && r.p99_dispatch_s > 0.0,
+            "{} workers: dispatch-latency histogram must fill",
+            r.workers
+        );
+    }
+
+    // The scaling half of the claim needs real cores behind the workers;
+    // oversubscribed threads on a small box would measure the scheduler,
+    // not the mux.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= 8 {
+        let s = scaling(&rows, 8, 1);
+        assert!(
+            s >= 2.5,
+            "1 -> 8 worker scaling only {s:.2}x on a {cores}-core machine \
+             (bound 2.5x): {rows:#?}"
+        );
+    } else {
+        eprintln!("skipping the 8-worker scaling bound: only {cores} cores available");
+    }
+}

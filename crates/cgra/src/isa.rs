@@ -9,7 +9,7 @@
 //! Latencies are pipeline depths of typical FPGA floating-point operator
 //! cores at ~110 MHz; they set the absolute schedule lengths, so they are
 //! the main free parameter when comparing against the paper's tick counts
-//! (see DESIGN.md §8).
+//! (see DESIGN.md §17).
 
 use serde::{Deserialize, Serialize};
 

@@ -934,20 +934,11 @@ impl<'a, P: CampaignPoint> Campaign<'a, P> {
                     o.digest,
                     o.attempts,
                     o.backoff_ticks,
-                    Self::csv_escape_field(msg)
+                    csv_escape_field(msg)
                 );
             }
         }
         self.write_atomic("poisoned.csv", csv.as_bytes())
-    }
-
-    /// RFC 4180 escaping for one CSV field: panic and error messages are
-    /// attacker-ish input (they quote user code), so the field is always
-    /// quoted, embedded quotes are doubled, and CR/LF are flattened to
-    /// spaces to keep one quarantined point on one physical line.
-    fn csv_escape_field(field: &str) -> String {
-        let flat = field.replace(['\n', '\r'], " ");
-        format!("\"{}\"", flat.replace('"', "\"\""))
     }
 
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> R<PathBuf> {
@@ -963,6 +954,16 @@ impl<'a, P: CampaignPoint> Campaign<'a, P> {
         fs::rename(&tmp, &path)?;
         Ok(path)
     }
+}
+
+/// RFC 4180 escaping for one CSV field: the field is always quoted,
+/// embedded quotes are doubled, and CR/LF are flattened to spaces so a
+/// multi-line panic message stays on one CSV row. Used for the campaign
+/// quarantine report and shared with the cil-bench CSV writer, which
+/// quotes lazily but defers the escaping rules here.
+pub fn csv_escape_field(field: &str) -> String {
+    let flat = field.replace(['\n', '\r'], " ");
+    format!("\"{}\"", flat.replace('"', "\"\""))
 }
 
 #[cfg(test)]

@@ -1272,7 +1272,7 @@ pub fn decode_snapshot(data: &[u8]) -> R<Checkpoint> {
 // Trace-log delta blocks
 // ---------------------------------------------------------------------------
 
-fn encode_trace_block(
+pub(crate) fn encode_trace_block(
     trace: &LoopTrace,
     rows_from: usize,
     events_from: usize,

@@ -24,6 +24,13 @@ pub enum CilError {
     /// list, commit failure). Per-point failures are *not* errors — they
     /// are retried and quarantined by the campaign runner.
     Campaign(crate::campaign::CampaignError),
+    /// A multi-session executor operation failed (unknown session, a
+    /// session in the wrong lifecycle state for the request, or a worker
+    /// error recorded against the session).
+    Session(String),
+    /// A recording could not be encoded (inconsistent per-bunch row
+    /// shapes).
+    Recording(String),
 }
 
 impl std::fmt::Display for CilError {
@@ -36,6 +43,8 @@ impl std::fmt::Display for CilError {
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             Self::Campaign(e) => write!(f, "campaign error: {e}"),
+            Self::Session(msg) => write!(f, "session error: {msg}"),
+            Self::Recording(msg) => write!(f, "recording error: {msg}"),
         }
     }
 }

@@ -151,12 +151,25 @@ impl WallSampler {
     }
 }
 
-/// Continuable starting point for the dispatch loop: an existing trace
-/// prefix (empty for a fresh run, restored for a resume) plus the jump
-/// level it left off at.
-struct RunStart {
-    trace: LoopTrace,
-    last_jump: f64,
+/// Continuable cursor for the dispatch loop: an existing trace prefix
+/// (empty for a fresh run, restored for a resume or a previous time slice)
+/// plus the jump level it left off at. [`LoopHarness::run_dispatch`] both
+/// consumes and returns one, so slice-based callers (the
+/// [`crate::session`] executor) can feed the next slice from exactly where
+/// the last one stopped.
+pub(crate) struct RunCursor {
+    pub(crate) trace: LoopTrace,
+    pub(crate) last_jump: f64,
+}
+
+impl RunCursor {
+    /// Fresh cursor: empty trace, jump program at its rest level.
+    pub(crate) fn fresh(bunches: usize) -> Self {
+        Self {
+            trace: LoopTrace::empty(bunches),
+            last_jump: 0.0,
+        }
+    }
 }
 
 /// How the dispatch loop holds its engine. The supervised path must be
@@ -199,20 +212,39 @@ impl EngineSlot for OwnedEngine {
     }
 }
 
+/// A caller-leased boxed engine (the session executor's arena lease):
+/// steppable *and* rebuildable in place — a watchdog demotion swaps the
+/// box, so the caller sees the new fidelity when the slice returns.
+struct LeasedEngine<'a>(&'a mut Box<dyn BeamEngine>);
+
+impl EngineSlot for LeasedEngine<'_> {
+    type E = dyn BeamEngine;
+    fn engine(&mut self) -> &mut (dyn BeamEngine + 'static) {
+        self.0.as_mut()
+    }
+    fn rebuild(&mut self, to: EngineKind, scenario: &MdeScenario) -> Result<()> {
+        *self.0 = to.build(scenario)?;
+        Ok(())
+    }
+}
+
 /// An executive observer hook with its row cadence (1 = see every row).
 struct ObserverHook<'a, E: ?Sized> {
     hook: &'a mut dyn FnMut(&E),
     every_rows: u64,
 }
 
-/// Supervision context threaded through the dispatch loop.
+/// Supervision context threaded through the dispatch loop. The fidelity
+/// and control-phase mirror are borrowed, not owned: a demotion mid-run
+/// mutates them, and slice-based callers need the updated values back to
+/// seed the next slice.
 struct SupCtx<'a> {
     supervisor: &'a mut LoopSupervisor,
     scenario: &'a MdeScenario,
-    kind: EngineKind,
+    kind: &'a mut EngineKind,
     /// Mirror of the engine's accumulated control phase, so a freshly
     /// built engine can be seeded mid-run after a demotion.
-    ctrl_phase_rad: f64,
+    ctrl_phase_rad: &'a mut f64,
     t_rev: f64,
 }
 
@@ -304,20 +336,11 @@ impl LoopHarness {
 
     /// Run the loop until the engine's time reaches `duration_s`.
     pub fn run<E: BeamEngine + ?Sized>(&mut self, engine: &mut E, duration_s: f64) -> LoopTrace {
-        let trace = LoopTrace::empty(engine.bunches());
+        let cursor = RunCursor::fresh(engine.bunches());
         let mut slot = BorrowedEngine(engine);
-        self.run_dispatch(
-            &mut slot,
-            duration_s,
-            None,
-            RunStart {
-                trace,
-                last_jump: 0.0,
-            },
-            None,
-            None,
-        )
-        .expect("unsupervised run never rebuilds the engine")
+        self.run_dispatch(&mut slot, duration_s, None, cursor, None, None, None)
+            .expect("unsupervised run never rebuilds the engine")
+            .trace
     }
 
     /// Like [`Self::run`], calling `observer` after every recorded row —
@@ -356,23 +379,14 @@ impl LoopHarness {
                 "observer cadence (every_rows) must be >= 1 row".into(),
             ));
         }
-        let trace = LoopTrace::empty(engine.bunches());
+        let cursor = RunCursor::fresh(engine.bunches());
         let mut slot = BorrowedEngine(engine);
         let hook = ObserverHook {
             hook: &mut observer,
             every_rows,
         };
-        self.run_dispatch(
-            &mut slot,
-            duration_s,
-            Some(hook),
-            RunStart {
-                trace,
-                last_jump: 0.0,
-            },
-            None,
-            None,
-        )
+        self.run_dispatch(&mut slot, duration_s, Some(hook), cursor, None, None, None)
+            .map(|c| c.trace)
     }
 
     /// The single loop body every entry point funnels into. Steps the
@@ -390,16 +404,25 @@ impl LoopHarness {
     /// checked it: at the block's first step and at every step following a
     /// measured row — those positions are precisely the block boundaries of
     /// the old budget-1 stepping under an active fault program.
+    ///
+    /// `limit_rows` is the cooperative time-slice budget: an *absolute* cap
+    /// on the trace's row count at which the loop returns early (engine and
+    /// peripheral state left live, telemetry not yet folded). A slice
+    /// boundary is just an extra block boundary, so the recorded trace,
+    /// events and checkpoint bytes are bit-identical whether or not a run
+    /// was sliced.
+    #[allow(clippy::too_many_arguments)]
     fn run_dispatch<S: EngineSlot>(
         &mut self,
         slot: &mut S,
         duration_s: f64,
         mut observer: Option<ObserverHook<'_, S::E>>,
-        start: RunStart,
+        start: RunCursor,
+        limit_rows: Option<u64>,
         mut ckpt: Option<CkptRun<'_>>,
         mut sup: Option<SupCtx<'_>>,
-    ) -> Result<LoopTrace> {
-        let RunStart {
+    ) -> Result<RunCursor> {
+        let RunCursor {
             mut trace,
             mut last_jump,
         } = start;
@@ -458,7 +481,9 @@ impl LoopHarness {
             queue.schedule(SimEvent::Watchdog, rows0 + watchdog_headroom(s.supervisor));
         }
 
-        'run: while slot.engine().time() < duration_s {
+        'run: while slot.engine().time() < duration_s
+            && limit_rows.is_none_or(|l| (trace.times.len() as u64) < l)
+        {
             // The watchdog's earliest possible intervention moves with the
             // live bad-streak; reposition (not re-schedule — the tallies
             // must not depend on block boundaries) before sizing the block.
@@ -469,7 +494,12 @@ impl LoopHarness {
                 );
             }
             let rows_now = trace.times.len() as u64;
-            let budget = queue.horizon(rows_now, self.block_rows);
+            let mut budget = queue.horizon(rows_now, self.block_rows);
+            if let Some(l) = limit_rows {
+                // The loop condition guarantees l > rows_now, so the capped
+                // budget stays >= 1 and the block always makes progress.
+                budget = budget.min((l - rows_now) as usize);
+            }
             slot.engine()
                 .step_block(&self.jumps, duration_s, budget, &mut block);
 
@@ -531,7 +561,7 @@ impl LoopHarness {
                                     trace.events.push(LoopEvent::EngineDemoted {
                                         turn,
                                         time_s,
-                                        from: s.kind,
+                                        from: *s.kind,
                                         to,
                                     });
                                     // The cavity plant's dynamic state
@@ -541,9 +571,9 @@ impl LoopHarness {
                                     // model of it.
                                     let cavity = slot.engine().cavity_state();
                                     slot.rebuild(to, s.scenario)?;
-                                    slot.engine().seed_state(time_s, s.ctrl_phase_rad);
+                                    slot.engine().seed_state(time_s, *s.ctrl_phase_rad);
                                     slot.engine().restore_cavity(&cavity);
-                                    s.kind = to;
+                                    *s.kind = to;
                                     s.supervisor.reset_watchdog();
                                     queue.count_fired(SimEvent::Watchdog);
                                     queue.schedule(
@@ -578,7 +608,7 @@ impl LoopHarness {
                             // Deadline accounting: one measured row = one
                             // revolution of wall-clock budget.
                             let modeled = s.supervisor.model_step_seconds(
-                                s.kind,
+                                *s.kind,
                                 self.faults.overrun_factor_at(step.t_pre),
                             );
                             overrun = modeled > s.supervisor.config.deadline_s;
@@ -652,7 +682,7 @@ impl LoopHarness {
                                     }
                                     let decimation = self.controller.params.decimation;
                                     slot.engine().apply_control(ctrl.actuation_hz, decimation);
-                                    s.ctrl_phase_rad += TWO_PI
+                                    *s.ctrl_phase_rad += TWO_PI
                                         * ctrl.actuation_hz
                                         * s.t_rev
                                         * f64::from(decimation);
@@ -681,14 +711,14 @@ impl LoopHarness {
                                             trace.events.push(LoopEvent::EngineDemoted {
                                                 turn,
                                                 time_s,
-                                                from: s.kind,
+                                                from: *s.kind,
                                                 to,
                                             });
                                             let cavity = slot.engine().cavity_state();
                                             slot.rebuild(to, s.scenario)?;
-                                            slot.engine().seed_state(time_s, s.ctrl_phase_rad);
+                                            slot.engine().seed_state(time_s, *s.ctrl_phase_rad);
                                             slot.engine().restore_cavity(&cavity);
-                                            s.kind = to;
+                                            *s.kind = to;
                                             s.supervisor.reset_watchdog();
                                             queue.schedule(
                                                 SimEvent::Watchdog,
@@ -782,13 +812,13 @@ impl LoopHarness {
                             turn: 0,
                             time_s: slot.engine().time(),
                             supervised: sup.is_some(),
-                            kind: sup.as_ref().map_or(c.kind, |s| s.kind),
+                            kind: sup.as_ref().map_or(c.kind, |s| *s.kind),
                             bunches: bunches as u32,
                             engine: slot.engine().save_state(),
                             controller: self.controller.state(),
                             injector: self.faults.state(),
                             supervisor: sup.as_ref().map(|s| s.supervisor.state()),
-                            ctrl_phase_rad: sup.as_ref().map_or(0.0, |s| s.ctrl_phase_rad),
+                            ctrl_phase_rad: sup.as_ref().map_or(0.0, |s| *s.ctrl_phase_rad),
                             last_jump_deg: last_jump,
                             rows: 0,
                             events: 0,
@@ -821,12 +851,77 @@ impl LoopHarness {
                 }
             }
         }
-        if let Some(m) = &self.telemetry {
-            m.note_trace(&trace);
-            slot.engine().sample_telemetry(&m.registry);
-            m.note_events(&queue, ckpt.is_some());
+        // Telemetry folds exactly once, at run completion. A cooperative
+        // slice that stopped on its row budget comes through here again on
+        // a later slice — folding the (whole-prefix-derived) trace counters
+        // per slice would double-count them.
+        let completed = !trace.outcome.survived() || slot.engine().time() >= duration_s;
+        if completed {
+            if let Some(m) = &self.telemetry {
+                m.note_trace(&trace);
+                slot.engine().sample_telemetry(&m.registry);
+                m.note_events(&queue, ckpt.is_some());
+            }
         }
-        Ok(trace)
+        Ok(RunCursor { trace, last_jump })
+    }
+
+    /// One cooperative time slice of a *supervised* closed loop: continue
+    /// from `cursor` until the trace reaches `limit_rows` rows, the engine
+    /// reaches `duration_s`, or the beam is lost — whichever comes first.
+    ///
+    /// The caller owns every piece of loop state (leased engine, fidelity,
+    /// supervisor, control-phase mirror, cursor), so a fleet executor can
+    /// persist it between slices, migrate it across worker threads, or
+    /// evict it to checkpoint bytes. A slice boundary is just an extra
+    /// block boundary, so the trace, audit events and deterministic
+    /// telemetry are bit-identical to an unsliced [`Self::run_supervised`].
+    /// A watchdog demotion rebuilds the engine *in the caller's box* and
+    /// updates `kind` — the caller must then treat the lease as a fresh
+    /// build (an arena may not re-admit it under the old key).
+    ///
+    /// No startup calibration is measured here (a thousand-session fleet
+    /// must not pay a scratch engine per session); the supervisor's
+    /// hard-coded per-fidelity step model is in force unless the caller
+    /// seeded a calibration itself. Telemetry (when attached) folds only on
+    /// the slice that completes the run.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_supervised_slice(
+        &mut self,
+        engine: &mut Box<dyn BeamEngine>,
+        scenario: &MdeScenario,
+        kind: &mut EngineKind,
+        ctrl_phase_rad: &mut f64,
+        supervisor: &mut LoopSupervisor,
+        duration_s: f64,
+        limit_rows: u64,
+        cursor: RunCursor,
+    ) -> Result<RunCursor> {
+        let t_rev = 1.0 / scenario.f_rev;
+        let mut slot = LeasedEngine(engine);
+        let sup = SupCtx {
+            supervisor,
+            scenario,
+            kind,
+            ctrl_phase_rad,
+            t_rev,
+        };
+        self.run_dispatch(
+            &mut slot,
+            duration_s,
+            None,
+            cursor,
+            Some(limit_rows),
+            None,
+            Some(sup),
+        )
+    }
+
+    /// Resolved metric handles, when telemetry is attached — the session
+    /// executor snapshots mid-run deterministic telemetry into eviction
+    /// bytes through this.
+    pub(crate) fn metrics(&self) -> Option<&LoopMetrics> {
+        self.telemetry.as_ref()
     }
 
     /// Run an unsupervised closed loop with periodic checkpointing (the
@@ -866,16 +961,14 @@ impl LoopHarness {
         };
         cfg.validate()?;
         let mut session = CheckpointSession::begin(&cfg).map_err(crate::error::CilError::from)?;
-        let empty = LoopTrace::empty(engine.bunches());
+        let cursor = RunCursor::fresh(engine.bunches());
         let mut slot = BorrowedEngine(engine);
-        let trace = self.run_dispatch(
+        let cursor = self.run_dispatch(
             &mut slot,
             duration_s,
             None,
-            RunStart {
-                trace: empty,
-                last_jump: 0.0,
-            },
+            cursor,
+            None,
             Some(CkptRun {
                 session: &mut session,
                 kind,
@@ -883,7 +976,7 @@ impl LoopHarness {
             None,
         )?;
         session.into_result()?;
-        Ok(trace)
+        Ok(cursor.trace)
     }
 
     /// Resume an unsupervised run from the newest good checkpoint in the
@@ -913,11 +1006,12 @@ impl LoopHarness {
         let kind = ck.kind;
         let mut session = resumed.session;
         let mut slot = BorrowedEngine(engine.as_mut());
-        let trace = self.run_dispatch(
+        let cursor = self.run_dispatch(
             &mut slot,
             duration_s,
             None,
-            RunStart { trace, last_jump },
+            RunCursor { trace, last_jump },
+            None,
             Some(CkptRun {
                 session: &mut session,
                 kind,
@@ -925,7 +1019,7 @@ impl LoopHarness {
             None,
         )?;
         session.into_result()?;
-        Ok(trace)
+        Ok(cursor.trace)
     }
 
     /// Shared resume plumbing: apply the snapshot to the engine,
@@ -1108,7 +1202,7 @@ impl LoopHarness {
         }
         let mut slot = OwnedEngine(kind.build(scenario)?);
         let bunches = slot.0.bunches();
-        let (trace, last_jump, ctrl_phase_rad) = match resume {
+        let (trace, last_jump, mut ctrl_phase_rad) = match resume {
             Some(init) => {
                 if !slot.0.restore_state(&init.engine_state) {
                     return Err(CheckpointError::Incompatible(
@@ -1120,11 +1214,12 @@ impl LoopHarness {
             }
             None => (LoopTrace::empty(bunches), 0.0, 0.0),
         };
+        let mut live_kind = kind;
         let sup = SupCtx {
             supervisor,
             scenario,
-            kind,
-            ctrl_phase_rad,
+            kind: &mut live_kind,
+            ctrl_phase_rad: &mut ctrl_phase_rad,
             t_rev: 1.0 / scenario.f_rev,
         };
         let ckpt = session.map(|s| CkptRun { session: s, kind });
@@ -1132,10 +1227,12 @@ impl LoopHarness {
             &mut slot,
             duration_s,
             None,
-            RunStart { trace, last_jump },
+            RunCursor { trace, last_jump },
+            None,
             ckpt,
             Some(sup),
         )
+        .map(|c| c.trace)
     }
 }
 
@@ -1154,7 +1251,7 @@ struct SupervisedResume {
 }
 
 /// Rebuild a [`LoopTrace`] from the write-ahead log's decoded prefix.
-fn trace_from_decoded(d: DecodedTrace, bunches: usize) -> LoopTrace {
+pub(crate) fn trace_from_decoded(d: DecodedTrace, bunches: usize) -> LoopTrace {
     let bunch_phase_deg = if d.bunch_phase_deg.is_empty() {
         vec![Vec::new(); bunches]
     } else {

@@ -43,6 +43,10 @@
 //! * [`checkpoint`] — versioned, CRC-checksummed snapshots of the complete
 //!   closed-loop state plus a write-ahead trace log, so a killed run
 //!   resumes bit-identical to an uninterrupted one;
+//! * [`session`] — the multi-session execution core: [`session::SessionMux`]
+//!   hosts thousands of concurrent closed-loop sessions with work-stealing
+//!   workers, cooperative time slices, per-worker engine arenas and
+//!   checkpoint-backed eviction of idle sessions;
 //! * [`telemetry`] — the zero-allocation-on-hot-path metrics registry
 //!   (counters, gauges, log2-bucket histograms), span timing, registry
 //!   merging for parallel sweeps, and Prometheus/JSON export;
@@ -65,6 +69,7 @@ pub mod multibunch;
 pub mod ramploop;
 pub mod recorder;
 pub mod scenario;
+pub mod session;
 pub mod signalgen;
 pub mod sweep;
 pub mod telemetry;
@@ -89,6 +94,7 @@ pub use hil::{SignalLevelLoop, TurnLevelLoop};
 pub use multibunch::MultiBunchLoop;
 pub use ramploop::RampLoop;
 pub use scenario::MdeScenario;
+pub use session::{MuxConfig, SessionHandle, SessionMux, SessionSpec, SessionState, SessionStatus};
 pub use sweep::{EngineArena, SweepPanic};
 pub use telemetry::{TelemetryRegistry, TelemetrySnapshot};
 pub use trace::TimeSeries;

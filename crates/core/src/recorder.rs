@@ -6,6 +6,7 @@
 //! little-endian stream of [`RevolutionRecord`]s with a magic header and a
 //! length-checked layout, plus streaming encode/decode built on `bytes`.
 
+use crate::error::CilError;
 use crate::framework::RevolutionRecord;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -16,22 +17,30 @@ pub const MAGIC: [u8; 4] = *b"CIL\x01";
 ///
 /// Layout: magic, bunch count (u32), record count (u64), then per record:
 /// crossing sample (u64), period seconds (f64), Δt per bunch (f64 × B).
-/// All records must have the same bunch count.
-pub fn encode(records: &[RevolutionRecord]) -> Bytes {
+/// All records must have the same bunch count — a mixed recording is a
+/// [`CilError::Recording`] error, not a panic: the recorder sits on the
+/// run path, and a malformed capture must surface as a value the caller
+/// (or a supervisor) can react to.
+pub fn encode(records: &[RevolutionRecord]) -> crate::error::Result<Bytes> {
     let bunches = records.first().map_or(0, |r| r.dt.len());
     let mut buf = BytesMut::with_capacity(16 + records.len() * (16 + 8 * bunches));
     buf.put_slice(&MAGIC);
     buf.put_u32_le(bunches as u32);
     buf.put_u64_le(records.len() as u64);
-    for r in records {
-        assert_eq!(r.dt.len(), bunches, "inconsistent bunch count");
+    for (i, r) in records.iter().enumerate() {
+        if r.dt.len() != bunches {
+            return Err(CilError::Recording(format!(
+                "record {i} has {} bunches, stream declared {bunches}",
+                r.dt.len()
+            )));
+        }
         buf.put_u64_le(r.crossing_sample);
         buf.put_f64_le(r.period_s);
         for &dt in &r.dt {
             buf.put_f64_le(dt);
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decoding errors.
@@ -110,37 +119,46 @@ mod tests {
     #[test]
     fn roundtrip() {
         let records = sample(100, 4);
-        let encoded = encode(&records);
+        let encoded = encode(&records).unwrap();
         let decoded = decode(encoded).unwrap();
         assert_eq!(decoded, records);
     }
 
     #[test]
     fn empty_recording_roundtrips() {
-        let decoded = decode(encode(&[])).unwrap();
+        let decoded = decode(encode(&[]).unwrap()).unwrap();
         assert!(decoded.is_empty());
     }
 
     #[test]
     fn detects_bad_magic() {
-        let mut data = encode(&sample(3, 1)).to_vec();
+        let mut data = encode(&sample(3, 1)).unwrap().to_vec();
         data[0] = b'X';
         assert_eq!(decode(Bytes::from(data)), Err(DecodeError::BadMagic));
     }
 
     #[test]
     fn detects_truncation() {
-        let data = encode(&sample(10, 2));
+        let data = encode(&sample(10, 2)).unwrap();
         let cut = data.slice(0..data.len() - 5);
         assert_eq!(decode(cut), Err(DecodeError::Truncated));
     }
 
     #[test]
     fn detects_corrupt_header() {
-        let mut data = encode(&sample(1, 1)).to_vec();
+        let mut data = encode(&sample(1, 1)).unwrap().to_vec();
         // Blow up the bunch count field.
         data[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode(Bytes::from(data)), Err(DecodeError::Corrupt));
+    }
+
+    #[test]
+    fn inconsistent_bunch_count_is_a_typed_error() {
+        let mut records = sample(3, 2);
+        records[1].dt.push(0.0);
+        let err = encode(&records).expect_err("mixed bunch counts must be rejected");
+        assert!(matches!(err, CilError::Recording(_)));
+        assert!(err.to_string().contains("record 1"));
     }
 
     #[test]
@@ -148,7 +166,7 @@ mod tests {
         // 0.4 s at 800 kHz with 4 bunches: 320k records x 48 B ≈ 15 MB —
         // fits the board DRAM with plenty of headroom.
         let records = sample(1000, 4);
-        let encoded = encode(&records);
+        let encoded = encode(&records).unwrap();
         assert_eq!(encoded.len(), 16 + 1000 * (16 + 32));
     }
 }

@@ -68,10 +68,16 @@ pub(crate) fn panic_message(payload: &Box<dyn Any + Send>) -> &str {
     }
 }
 
-/// Per-worker engine cache for sweeps: keeps the last-built engine alive
-/// and leases it out again — rewound to its freshly-built state — whenever
-/// the next sweep point builds an identical engine
-/// ([`MdeScenario::engine_config_eq`] and the same [`EngineKind`]).
+/// Slots an [`EngineArena`] keeps warm before evicting least-recently-used
+/// engines. Sized for the fleet executor's working set: one slot per
+/// fidelity a mixed-session worker realistically cycles through.
+pub const ARENA_SLOTS: usize = 4;
+
+/// Per-worker engine cache: keeps recently-built engines alive (LRU over
+/// [`ARENA_SLOTS`] slots, keyed on [`EngineKind`] +
+/// [`MdeScenario::engine_config_eq`]) and leases them out again — rewound
+/// to their freshly-built state — whenever the next lease would build an
+/// identical engine.
 ///
 /// Sweeps that vary only harness-side knobs (controller gain, jump program,
 /// duration) hit the cache on every point after the first, skipping engine
@@ -79,12 +85,28 @@ pub(crate) fn panic_message(payload: &Box<dyn Any + Send>) -> &str {
 /// executor build and pipeline warmup per point. The rewind goes through
 /// [`BeamEngine::restore_state`], the same snapshot/restore pair the
 /// checkpoint layer proves bit-identical, so a leased engine is
-/// indistinguishable from a freshly built one.
-#[derive(Default)]
+/// indistinguishable from a freshly built one. The session executor
+/// ([`crate::session`]) additionally checks engines *out* of the arena
+/// ([`Self::checkout`]/[`Self::checkin`]), holding one across a time slice
+/// while the arena stays usable for the worker's other sessions.
 pub struct EngineArena {
-    slot: Option<ArenaSlot>,
+    /// Warm engines, least-recently-used first.
+    slots: Vec<ArenaSlot>,
+    /// LRU capacity (≥ 1).
+    capacity: usize,
     hits: usize,
     misses: usize,
+}
+
+impl Default for EngineArena {
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            capacity: ARENA_SLOTS,
+            hits: 0,
+            misses: 0,
+        }
+    }
 }
 
 struct ArenaSlot {
@@ -94,13 +116,73 @@ struct ArenaSlot {
     fresh: crate::engine::EngineState,
 }
 
+/// An engine checked out of an [`EngineArena`]: the engine itself plus the
+/// bookkeeping needed to re-admit it ([`EngineArena::checkin`]). The engine
+/// is handed over rewound to its freshly-built state; the holder may
+/// restore any saved state on top.
+pub struct ArenaLease {
+    engine: Box<dyn BeamEngine>,
+    kind: EngineKind,
+    scenario: MdeScenario,
+    fresh: crate::engine::EngineState,
+}
+
+impl ArenaLease {
+    /// The leased engine (boxed, so a supervised slice can swap the
+    /// fidelity in place on demotion).
+    pub fn engine(&mut self) -> &mut Box<dyn BeamEngine> {
+        &mut self.engine
+    }
+
+    /// Fidelity the lease was checked out under.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+}
+
 impl EngineArena {
-    /// An empty arena (no engine cached yet).
+    /// An empty arena (no engine cached yet), [`ARENA_SLOTS`] slots.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Lease an engine for `scenario` at fidelity `kind`: reuses the cached
+    /// An empty arena holding up to `slots` warm engines (floored at 1).
+    pub fn with_slots(slots: usize) -> Self {
+        Self {
+            capacity: slots.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Index of the slot matching (`kind`, `scenario`), if any.
+    fn find(&self, scenario: &MdeScenario, kind: EngineKind) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.kind == kind && s.scenario.engine_config_eq(scenario))
+    }
+
+    /// Take the matching slot out, rewound to its freshly-built state; a
+    /// rewind failure (the fresh snapshot no longer fits the engine that
+    /// produced it) discards the slot — the caller must rebuild.
+    fn take_rewound(&mut self, scenario: &MdeScenario, kind: EngineKind) -> Option<ArenaSlot> {
+        let i = self.find(scenario, kind)?;
+        let mut slot = self.slots.remove(i);
+        if slot.engine.restore_state(&slot.fresh) {
+            Some(slot)
+        } else {
+            None
+        }
+    }
+
+    /// Push a slot, evicting the least-recently-used one over capacity.
+    fn admit(&mut self, slot: ArenaSlot) {
+        self.slots.push(slot);
+        while self.slots.len() > self.capacity {
+            self.slots.remove(0);
+        }
+    }
+
+    /// Lease an engine for `scenario` at fidelity `kind`: reuses a cached
     /// engine rewound to its initial state when the configuration matches,
     /// builds (and caches) a fresh one otherwise.
     pub fn engine(
@@ -108,37 +190,90 @@ impl EngineArena {
         scenario: &MdeScenario,
         kind: EngineKind,
     ) -> Result<&mut dyn BeamEngine> {
-        let reusable = self
-            .slot
-            .as_ref()
-            .is_some_and(|s| s.kind == kind && s.scenario.engine_config_eq(scenario));
-        // A restore_state failure would mean the fresh snapshot no longer
-        // fits the engine that produced it — treat it as a miss and rebuild
-        // rather than lease a half-rewound engine.
-        let rewound = reusable
-            && self
-                .slot
-                .as_mut()
-                .is_some_and(|s| s.engine.restore_state(&s.fresh));
-        if !rewound {
-            let engine = kind.build(scenario)?;
-            let fresh = engine.save_state();
-            self.misses += 1;
-            self.slot = Some(ArenaSlot {
-                kind,
-                scenario: scenario.clone(),
-                engine,
-                fresh,
-            });
-        } else {
-            self.hits += 1;
+        match self.take_rewound(scenario, kind) {
+            Some(slot) => {
+                self.hits += 1;
+                self.admit(slot);
+            }
+            None => {
+                let engine = kind.build(scenario)?;
+                let fresh = engine.save_state();
+                self.misses += 1;
+                self.admit(ArenaSlot {
+                    kind,
+                    scenario: scenario.clone(),
+                    engine,
+                    fresh,
+                });
+            }
         }
         Ok(self
-            .slot
-            .as_mut()
-            .expect("slot was just filled or verified")
+            .slots
+            .last_mut()
+            .expect("slot was just admitted")
             .engine
             .as_mut())
+    }
+
+    /// Check an engine *out* of the arena (building one on a miss): the
+    /// caller owns it until [`Self::checkin`]. The engine comes rewound to
+    /// its freshly-built state, bit-identical to a new build.
+    pub fn checkout(&mut self, scenario: &MdeScenario, kind: EngineKind) -> Result<ArenaLease> {
+        let slot = match self.take_rewound(scenario, kind) {
+            Some(slot) => {
+                self.hits += 1;
+                slot
+            }
+            None => {
+                let engine = kind.build(scenario)?;
+                let fresh = engine.save_state();
+                self.misses += 1;
+                ArenaSlot {
+                    kind,
+                    scenario: scenario.clone(),
+                    engine,
+                    fresh,
+                }
+            }
+        };
+        Ok(ArenaLease {
+            engine: slot.engine,
+            kind: slot.kind,
+            scenario: slot.scenario,
+            fresh: slot.fresh,
+        })
+    }
+
+    /// Return a checked-out engine to the warm pool. Callers must *drop*
+    /// (not check in) a lease whose engine was rebuilt at another fidelity
+    /// mid-slice — the lease's fresh-state snapshot no longer describes the
+    /// box's contents; [`Self::checkin`] detects the mismatch and discards
+    /// the lease rather than poisoning the cache.
+    pub fn checkin(&mut self, lease: ArenaLease) {
+        let ArenaLease {
+            mut engine,
+            kind,
+            scenario,
+            fresh,
+        } = lease;
+        // A demoted lease holds a different fidelity than it was checked
+        // out under; its fresh-state snapshot no longer fits the box's
+        // contents. The rewind doubles as the compatibility check — on
+        // failure the lease is discarded rather than poisoning the cache.
+        if !engine.restore_state(&fresh) {
+            return;
+        }
+        // One warm engine per key: a concurrent-looking checkout/checkin
+        // sequence on the same key keeps the most recent engine.
+        if let Some(i) = self.find(&scenario, kind) {
+            self.slots.remove(i);
+        }
+        self.admit(ArenaSlot {
+            kind,
+            scenario,
+            engine,
+            fresh,
+        });
     }
 
     /// Leases served from the cached engine.
@@ -151,11 +286,11 @@ impl EngineArena {
         self.misses
     }
 
-    /// Drop the cached engine (hit/miss counters survive). The campaign
+    /// Drop every cached engine (hit/miss counters survive). The campaign
     /// runner calls this after a leased engine panicked mid-point: the
     /// engine's internal state is suspect, so the next lease must rebuild.
     pub fn clear(&mut self) {
-        self.slot = None;
+        self.slots.clear();
     }
 
     /// Record the arena's lease counters into `reg` as
@@ -474,12 +609,79 @@ mod tests {
     }
 
     #[test]
+    fn arena_checkout_checkin_round_trip_is_bit_identical() {
+        let mut s = MdeScenario::nov24_2023();
+        s.duration_s = 0.01;
+        s.bunches = 1;
+        let mut arena = EngineArena::new();
+        // First checkout builds; run a loop on it to dirty its state.
+        let mut lease = arena.checkout(&s, EngineKind::Map).unwrap();
+        let hil = TurnLevelLoop::new(s.clone(), EngineKind::Map);
+        let first = hil.run_on(lease.engine().as_mut(), true).unwrap();
+        arena.checkin(lease);
+        // Second checkout must hit and come back rewound: same trace again.
+        let mut lease = arena.checkout(&s, EngineKind::Map).unwrap();
+        let second = hil.run_on(lease.engine().as_mut(), true).unwrap();
+        arena.checkin(lease);
+        assert_eq!(arena.misses(), 1);
+        assert_eq!(arena.hits(), 1);
+        assert_eq!(first.phase_deg.values, second.phase_deg.values);
+        assert_eq!(first.control_hz.values, second.control_hz.values);
+    }
+
+    #[test]
+    fn arena_lru_keeps_both_fidelities_warm() {
+        let mut s = MdeScenario::nov24_2023();
+        s.duration_s = 0.005;
+        s.bunches = 1;
+        let mut arena = EngineArena::new();
+        for _ in 0..3 {
+            arena.engine(&s, EngineKind::Map).unwrap();
+            arena.engine(&s, EngineKind::Cgra).unwrap();
+        }
+        // Alternating fidelities: one build each, every later lease warm —
+        // the single-slot arena this replaces would have rebuilt every time.
+        assert_eq!(arena.misses(), 2);
+        assert_eq!(arena.hits(), 4);
+    }
+
+    #[test]
+    fn arena_capacity_one_evicts_on_alternation() {
+        let mut s = MdeScenario::nov24_2023();
+        s.duration_s = 0.005;
+        s.bunches = 1;
+        let mut arena = EngineArena::with_slots(1);
+        arena.engine(&s, EngineKind::Map).unwrap();
+        arena.engine(&s, EngineKind::Cgra).unwrap();
+        arena.engine(&s, EngineKind::Map).unwrap();
+        assert_eq!(arena.misses(), 3);
+        assert_eq!(arena.hits(), 0);
+    }
+
+    #[test]
+    fn arena_checkin_discards_demoted_lease() {
+        let mut s = MdeScenario::nov24_2023();
+        s.duration_s = 0.005;
+        s.bunches = 1;
+        let mut arena = EngineArena::new();
+        let mut lease = arena.checkout(&s, EngineKind::Cgra).unwrap();
+        // Simulate a mid-slice demotion: the box now holds a Map engine.
+        *lease.engine() = EngineKind::Map.build(&s).unwrap();
+        arena.checkin(lease);
+        // The stale lease must not have been admitted under the Cgra key.
+        arena.engine(&s, EngineKind::Cgra).unwrap();
+        assert_eq!(arena.misses(), 2);
+        assert_eq!(arena.hits(), 0);
+    }
+
+    #[test]
     fn arena_sample_telemetry_sums_across_absorb() {
         let root = TelemetryRegistry::new();
         for (hits, misses) in [(3usize, 1usize), (5, 2)] {
             let reg = TelemetryRegistry::new();
             let arena = EngineArena {
-                slot: None,
+                slots: Vec::new(),
+                capacity: ARENA_SLOTS,
                 hits,
                 misses,
             };

@@ -418,6 +418,26 @@ impl HistogramSnapshot {
     pub fn bucket_total(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`): the `le`
+    /// edge of the bucket containing the `ceil(q · count)`-th observation.
+    /// Conservative by construction — the true quantile lies at or below
+    /// the returned edge (within one power of two). `None` on an empty
+    /// histogram; the top bucket reports `f64::INFINITY`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(f64::INFINITY)
+    }
 }
 
 /// Frozen registry state, ready for export. Metric names are sorted, so two

@@ -1,0 +1,115 @@
+//! Fleet execution demo: host a mixed fleet of closed-loop sessions on a
+//! `SessionMux`, pause one at a row target, evict it to checkpoint bytes,
+//! migrate its snapshot into a second mux with a different worker count,
+//! and show every session — sliced, stolen, evicted, migrated — lands
+//! bit-identical to an uninterrupted `run_supervised` call.
+//!
+//! ```text
+//! cargo run --release --example session_fleet
+//! ```
+
+use cil_core::harness::{LoopHarness, LoopTrace};
+use cil_core::hil::EngineKind;
+use cil_core::{LoopSupervisor, MdeScenario, MuxConfig, SessionMux, SessionSpec};
+
+fn main() {
+    // The Nov 24 2023 machine experiment, shortened so the demo runs in
+    // well under a second even in a debug build.
+    let mut s = MdeScenario::nov24_2023();
+    s.duration_s = 0.008;
+    s.bunches = 1;
+
+    // ---- the yardstick: one uninterrupted supervised run ------------------
+    let mut harness = LoopHarness::for_scenario(&s, true);
+    let mut sup = LoopSupervisor::for_scenario(&s);
+    let reference = harness
+        .run_supervised(&s, EngineKind::Map, s.duration_s, &mut sup)
+        .unwrap();
+    println!("reference   : {}", describe(&reference));
+
+    // ---- a fleet on the mux ------------------------------------------------
+    // Small slices force many dispatch/requeue cycles per session, so the
+    // work-stealing and arena-reuse machinery actually exercises.
+    let mux = SessionMux::new(MuxConfig {
+        workers: 4,
+        slice_rows: 256,
+        ..MuxConfig::default()
+    })
+    .unwrap();
+    let fleet: Vec<_> = (0..8)
+        .map(|_| {
+            let h = mux
+                .create(SessionSpec::new(s.clone(), EngineKind::Map))
+                .unwrap();
+            h.run_to_end().unwrap();
+            h
+        })
+        .collect();
+    for (i, h) in fleet.iter().enumerate() {
+        let trace = h.join().unwrap();
+        assert_traces_equal(&trace, &reference);
+        if i == 0 {
+            println!("fleet[0]    : {} (bit-identical)", describe(&trace));
+        }
+    }
+    println!("fleet       : 8/8 sessions bit-identical to the reference");
+
+    // ---- pause / evict / migrate ------------------------------------------
+    // Run a fresh session partway, park it, evict it to CILCKPT bytes, kill
+    // it, and rehydrate the bytes in a *different* mux (other worker
+    // count, fresh queues). The completed run must still match.
+    let h = mux
+        .create(SessionSpec::new(s.clone(), EngineKind::Map))
+        .unwrap();
+    let halfway = reference.times.len() as u64 / 2;
+    h.step_to(halfway).unwrap();
+    let parked = h.wait().unwrap();
+    assert!(h.evict().unwrap(), "a parked session evicts");
+    let bytes = h.snapshot().unwrap();
+    h.kill().unwrap();
+    println!(
+        "evicted     : parked at row {} -> {} CILCKPT bytes, session killed",
+        parked.rows,
+        bytes.len()
+    );
+
+    let mux2 = SessionMux::new(MuxConfig {
+        workers: 2,
+        slice_rows: 512,
+        ..MuxConfig::default()
+    })
+    .unwrap();
+    let h2 = mux2
+        .create_from_snapshot(SessionSpec::new(s.clone(), EngineKind::Map), bytes)
+        .unwrap();
+    h2.run_to_end().unwrap();
+    let migrated = h2.join().unwrap();
+    assert_traces_equal(&migrated, &reference);
+    println!("migrated    : {} (bit-identical)", describe(&migrated));
+
+    // ---- fleet telemetry ---------------------------------------------------
+    let snap = mux.telemetry().snapshot();
+    println!(
+        "mux fleet   : {} finished, {} dispatches, {} steals, {} evictions",
+        snap.counter("cil_mux_sessions_finished_total").unwrap_or(0),
+        snap.counter("cil_mux_dispatches_total").unwrap_or(0),
+        snap.counter("cil_mux_steals_total").unwrap_or(0),
+        snap.counter("cil_mux_evictions_total").unwrap_or(0),
+    );
+}
+
+fn describe(t: &LoopTrace) -> String {
+    format!(
+        "{} rows, {} jump edges, survived = {}",
+        t.times.len(),
+        t.jump_times.len(),
+        t.outcome.survived()
+    )
+}
+
+fn assert_traces_equal(a: &LoopTrace, b: &LoopTrace) {
+    assert_eq!(a.times, b.times, "row times differ");
+    assert_eq!(a.bunch_phase_deg, b.bunch_phase_deg, "bunch rows differ");
+    assert_eq!(a.control_hz, b.control_hz, "actuation differs");
+    assert_eq!(a.events, b.events, "audit events differ");
+}

@@ -6,6 +6,20 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Cross-reference lint: DESIGN.md section numbers cited from other docs
+# and crate docs must match the heading they name (several drifted in the
+# PR 9 renumbering). Each line pins one citation to its live heading.
+ref() { # $1 section number, $2 heading substring, $3 citing file, $4 citation pattern
+  grep -q "^## $1\. .*$2" DESIGN.md && grep -q "$4" "$3" || {
+    echo "stale DESIGN.md cross-reference: §$1 ($2) cited from $3" >&2
+    exit 1
+  }
+}
+ref 11 "SessionMux" README.md 'DESIGN.md §11'
+ref 13 "Experiment index" EXPERIMENTS.md 'DESIGN.md §13 for the experiment index'
+ref 17 "Known deviations" EXPERIMENTS.md 'DESIGN.md §17'
+ref 17 "Known deviations" crates/cgra/src/isa.rs 'see DESIGN.md §17'
+ref 13 "Experiment index" crates/bench/src/lib.rs 'see DESIGN.md §13'
 cargo build --release --workspace --all-targets
 # The fault/supervision crates must stay warning-free even where clippy has
 # no lint (e.g. future rustc warnings on new code paths).
@@ -61,6 +75,22 @@ cargo test --release -q --test reftrack_kernel
 # kernel-dominated case and >= 1.5x end-to-end through the closed loop
 # (release-only). Writes results/BENCH_reftrack.json.
 cargo test --release -q -p cil-bench --test reftrack_guard -- --include-ignored
+# SessionMux suite: random pause/evict/restore/steal interleavings across
+# worker counts {1,4,8} and slice budgets stay bit-identical to an
+# uninterrupted run_supervised (trace + audit events + deterministic
+# telemetry), including kill-and-resume of snapshot bytes in a fresh mux.
+cargo test -q --test session_mux
+cargo test --release -q --test session_mux
+# bench_service smoke: a small fleet end to end through the bin (table +
+# JSON plumbing; no timing claims at this size). Runs before the guard so
+# the guard's full-size BENCH_service.json is the one left on disk.
+cargo run -q --release -p cil-bench --bin bench_service -- \
+  --sessions 40 --revolutions 300 --workers 1,2 > /dev/null
+# SessionMux service guard: 1000-session skewed-fleet aggregate >= 0.5x
+# the single-loop map_batched rate on one worker, and >= 2.5x 1->8 worker
+# scaling on machines with >= 8 cores (release-only). Writes
+# results/BENCH_service.json.
+cargo test --release -q -p cil-bench --test service_guard -- --include-ignored
 # std::simd backend feature leg: the nightly-gated backend must build and
 # stay bit-identical to the stable backends (RUSTC_BOOTSTRAP unlocks the
 # portable_simd feature gate on the stable toolchain).

@@ -1,0 +1,220 @@
+//! SessionMux acceptance tests.
+//!
+//! The headline claim, quantified over random interleavings: a session
+//! hosted on the multiplexer — time-sliced, paused at arbitrary row
+//! targets, evicted to checkpoint bytes and transparently restored, stolen
+//! between 1/4/8 workers — produces the *bit-identical* trace, audit
+//! events and deterministic telemetry of an uninterrupted
+//! `run_supervised` call. Killing a session mid-eviction and resuming its
+//! snapshot bytes in a brand-new mux (fresh workers, fresh registry) is
+//! covered by the same yardstick.
+
+use cil_core::harness::{LoopHarness, LoopTrace};
+use cil_core::hil::EngineKind;
+use cil_core::{
+    LoopSupervisor, MdeScenario, MuxConfig, SessionMux, SessionSpec, SessionState,
+    TelemetryRegistry,
+};
+use proptest::prelude::*;
+
+/// Short but non-trivial closed-loop run: one bunch, long enough that a
+/// jump fires and the supervisor sees real work.
+fn scenario() -> MdeScenario {
+    let mut s = MdeScenario::nov24_2023();
+    s.duration_s = 0.008;
+    s.bunches = 1;
+    s
+}
+
+fn mux(workers: usize, slice_rows: u64) -> SessionMux {
+    SessionMux::new(MuxConfig {
+        workers,
+        slice_rows,
+        ..MuxConfig::default()
+    })
+    .unwrap()
+}
+
+/// The uninterrupted yardstick every mux run must reproduce exactly.
+fn reference(s: &MdeScenario, registry: Option<&TelemetryRegistry>) -> LoopTrace {
+    let mut harness = LoopHarness::for_scenario(s, true);
+    if let Some(r) = registry {
+        harness = harness.with_telemetry(r);
+    }
+    let mut sup = LoopSupervisor::for_scenario(s);
+    harness
+        .run_supervised(s, EngineKind::Map, s.duration_s, &mut sup)
+        .unwrap()
+}
+
+/// Deterministic (non-wall-clock) metric values, sorted by name. Exact
+/// string equality on these is the telemetry half of bit-identity.
+fn deterministic_metrics(r: &TelemetryRegistry) -> Vec<(String, String)> {
+    let snap = r.snapshot();
+    let mut out: Vec<(String, String)> = Vec::new();
+    for (name, v) in &snap.counters {
+        if !name.contains("wall") {
+            out.push((name.clone(), v.to_string()));
+        }
+    }
+    for (name, v) in &snap.gauges {
+        if !name.contains("wall") {
+            out.push((name.clone(), format!("{v:?}")));
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if !name.contains("wall") {
+            out.push((
+                name.clone(),
+                format!("{:?}/{}/{:?}", h.buckets, h.count, h.sum),
+            ));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Field-by-field exact trace equality (f64 compared bit-for-bit).
+macro_rules! prop_assert_traces_equal {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        prop_assert_eq!(&a.times, &b.times, "row times");
+        prop_assert_eq!(&a.bunch_phase_deg, &b.bunch_phase_deg, "bunch rows");
+        prop_assert_eq!(&a.mean_phase_deg, &b.mean_phase_deg, "mean phase");
+        prop_assert_eq!(&a.control_hz, &b.control_hz, "actuation");
+        prop_assert_eq!(&a.jump_times, &b.jump_times, "jump edges");
+        prop_assert_eq!(&a.events, &b.events, "audit events");
+    }};
+}
+
+const WORKER_SWEEP: [usize; 3] = [1, 4, 8];
+const SLICE_SWEEP: [u64; 3] = [64, 257, 1024];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random pause/evict/resume interleavings at random row targets, on
+    /// 1/4/8 workers and three slice budgets, all land bit-identical to
+    /// the uninterrupted run — trace, events, and telemetry totals.
+    #[test]
+    fn interleaved_pause_evict_resume_is_bit_identical(
+        cuts in prop::collection::vec(0.05f64..0.95, 1..4),
+        evict_mask in any::<u8>(),
+        workers_ix in 0usize..3,
+        slice_ix in 0usize..3,
+    ) {
+        let s = scenario();
+        let reg_ref = TelemetryRegistry::new();
+        let want = reference(&s, Some(&reg_ref));
+        let total = want.times.len() as u64;
+
+        let mut targets: Vec<u64> = cuts
+            .iter()
+            .map(|f| ((f * total as f64) as u64).max(1))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+
+        let m = mux(WORKER_SWEEP[workers_ix], SLICE_SWEEP[slice_ix]);
+        let reg = TelemetryRegistry::new();
+        let h = m
+            .create(SessionSpec::new(s.clone(), EngineKind::Map).with_registry(&reg))
+            .unwrap();
+        for (i, &rows) in targets.iter().enumerate() {
+            h.step_to(rows).unwrap();
+            let st = h.wait().unwrap();
+            prop_assert!(st.rows >= rows, "parked at {} before target {rows}", st.rows);
+            prop_assert_eq!(st.state, SessionState::Parked);
+            if evict_mask & (1 << i) != 0 {
+                prop_assert!(h.evict().unwrap(), "parked session must evict");
+                prop_assert_eq!(h.status().unwrap().state, SessionState::Evicted);
+            }
+        }
+        h.run_to_end().unwrap();
+        let got = h.join().unwrap();
+        prop_assert_traces_equal!(got, want);
+        prop_assert_eq!(deterministic_metrics(&reg), deterministic_metrics(&reg_ref));
+    }
+
+    /// Kill-and-resume mid-eviction: snapshot an evicted session's bytes,
+    /// kill it, and rehydrate the bytes in a brand-new mux with a fresh
+    /// registry. The resumed half must complete the run bit-identically —
+    /// including the telemetry totals carried inside the snapshot.
+    #[test]
+    fn killed_session_resumes_from_snapshot_in_a_fresh_mux(
+        cut in 0.1f64..0.9,
+        workers_ix in 0usize..3,
+        slice_ix in 0usize..3,
+    ) {
+        let s = scenario();
+        let reg_ref = TelemetryRegistry::new();
+        let want = reference(&s, Some(&reg_ref));
+        let total = want.times.len() as u64;
+        let rows = ((cut * total as f64) as u64).max(1);
+
+        let bytes = {
+            let m = mux(WORKER_SWEEP[workers_ix], SLICE_SWEEP[slice_ix]);
+            let reg = TelemetryRegistry::new();
+            let h = m
+                .create(SessionSpec::new(s.clone(), EngineKind::Map).with_registry(&reg))
+                .unwrap();
+            h.step_to(rows).unwrap();
+            let st = h.wait().unwrap();
+            prop_assert_eq!(st.state, SessionState::Parked);
+            prop_assert!(h.evict().unwrap());
+            let bytes = h.snapshot().unwrap();
+            h.kill().unwrap();
+            prop_assert_eq!(h.status().unwrap().state, SessionState::Dead);
+            prop_assert!(h.join().is_err(), "a killed session must not join");
+            bytes
+        };
+
+        let m2 = mux(WORKER_SWEEP[2 - workers_ix], SLICE_SWEEP[slice_ix]);
+        let reg2 = TelemetryRegistry::new();
+        let h2 = m2
+            .create_from_snapshot(
+                SessionSpec::new(s.clone(), EngineKind::Map).with_registry(&reg2),
+                bytes,
+            )
+            .unwrap();
+        prop_assert!(h2.status().unwrap().rows >= rows.min(total));
+        h2.run_to_end().unwrap();
+        let got = h2.join().unwrap();
+        prop_assert_traces_equal!(got, want);
+        prop_assert_eq!(deterministic_metrics(&reg2), deterministic_metrics(&reg_ref));
+    }
+}
+
+/// Work-stealing stress: a skewed fleet (most sessions created on one
+/// shard's queue in a burst) on every worker count in the sweep, every
+/// session bit-identical to the yardstick and the fleet counters
+/// consistent.
+#[test]
+fn stolen_fleet_matches_reference_on_every_worker_count() {
+    let s = scenario();
+    let want = reference(&s, None);
+    for workers in WORKER_SWEEP {
+        let m = mux(workers, 128);
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let h = m
+                    .create(SessionSpec::new(s.clone(), EngineKind::Map))
+                    .unwrap();
+                h.run_to_end().unwrap();
+                h
+            })
+            .collect();
+        for h in &handles {
+            let got = h.join().unwrap();
+            assert_eq!(got.times, want.times, "{workers} workers: row times");
+            assert_eq!(got.events, want.events, "{workers} workers: audit events");
+            assert_eq!(
+                got.bunch_phase_deg, want.bunch_phase_deg,
+                "{workers} workers: bunch rows"
+            );
+        }
+        let snap = m.telemetry().snapshot();
+        assert_eq!(snap.counter("cil_mux_sessions_finished_total"), Some(12));
+        assert_eq!(snap.gauge("cil_mux_sessions_live"), Some(0.0));
+    }
+}
